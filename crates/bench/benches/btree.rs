@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the B+tree — real wall-clock performance of
+//! the index implementation (the simulated-cost experiments live in the
+//! `figures` binary).
+
+use bionic_btree::{BTree, StrKey};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_int_tree(n: i64, order: usize) -> BTree<i64> {
+    let mut t = BTree::with_order(order);
+    for i in 0..n {
+        // Multiplicative shuffle for a non-sequential insert order.
+        let k = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) as i64;
+        t.insert(k, i as u64);
+    }
+    t
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_get");
+    for &n in &[10_000i64, 100_000, 1_000_000] {
+        let tree = build_int_tree(n, 256);
+        let keys: Vec<i64> = (0..n)
+            .step_by((n as usize / 1000).max(1))
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) as i64)
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let k = keys[i % keys.len()];
+                i += 1;
+                black_box(tree.get(&k).0)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("btree_insert_100k_shuffled", |b| {
+        b.iter(|| black_box(build_int_tree(100_000, 256).len()));
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let pairs: Vec<(i64, u64)> = (0..100_000).map(|i| (i, i as u64)).collect();
+    c.bench_function("btree_bulk_load_100k", |b| {
+        b.iter(|| black_box(BTree::bulk_load(pairs.clone(), 256, 0.8).len()));
+    });
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut tree = BTree::with_order(256);
+    for i in 0..1_000_000i64 {
+        tree.insert(i, i as u64);
+    }
+    c.bench_function("btree_range_200", |b| {
+        let mut lo = 0i64;
+        b.iter(|| {
+            lo = (lo + 997) % 999_000;
+            let mut sum = 0u64;
+            tree.range(&lo, &(lo + 200), |_, v| sum += v);
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_string_keys(c: &mut Criterion) {
+    let mut tree: BTree<StrKey> = BTree::with_order(128);
+    for i in 0..100_000 {
+        tree.insert(StrKey::new(format!("subscriber-{i:012}").into_bytes()), i);
+    }
+    c.bench_function("btree_get_string_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            let k = StrKey::new(format!("subscriber-{i:012}").into_bytes());
+            black_box(tree.get(&k).0)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_get,
+    bench_insert,
+    bench_bulk_load,
+    bench_range,
+    bench_string_keys
+);
+criterion_main!(benches);

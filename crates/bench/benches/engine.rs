@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the whole engine: wall-clock cost of simulating
+//! one transaction end to end (how fast the *simulator itself* runs), for
+//! software and bionic configurations and both workloads.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+use bionic_workloads::tpcc::{self, TpccConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_tatp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_tatp_txn");
+    for (name, cfg) in [
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+    ] {
+        let wl = TatpConfig {
+            subscribers: 10_000,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(cfg);
+        let tables = tatp::load(&mut engine, &wl);
+        let mut generator = TatpGenerator::new(wl, tables);
+        let mut at = SimTime::ZERO;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, prog) = generator.next();
+                at += SimTime::from_us(1.0);
+                black_box(engine.submit(&prog, at).is_committed())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_tpcc_txn");
+    g.sample_size(30);
+    for (name, cfg) in [
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+    ] {
+        let wl = TpccConfig {
+            warehouses: 1,
+            customers_per_district: 300,
+            items: 10_000,
+            initial_orders: 100,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(cfg);
+        let (_, mut generator) = tpcc::load(&mut engine, &wl);
+        let mut at = SimTime::ZERO;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, prog) = generator.next();
+                at += SimTime::from_us(4.0);
+                black_box(engine.submit(&prog, at).is_committed())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tatp, bench_tpcc);
+criterion_main!(benches);

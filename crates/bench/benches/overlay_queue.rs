@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the overlay index, result cache, and the
+//! concurrent queue.
+
+use bionic_overlay::overlay::OverlayIndex;
+use bionic_overlay::result_cache::ResultCache;
+use bionic_queue::concurrent::ConcurrentQueue;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_overlay_reads(c: &mut Criterion) {
+    let base: Vec<(i64, u64)> = (0..1_000_000).map(|i| (i, i as u64)).collect();
+    let mut ov = OverlayIndex::new(base, usize::MAX);
+    for i in 0..10_000i64 {
+        ov.put(i * 7, 1, i as u64 + 1);
+    }
+    c.bench_function("overlay_get_latest_1M_base_10k_delta", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 6151) % 1_000_000;
+            black_box(ov.get_latest(&k).0)
+        });
+    });
+    c.bench_function("overlay_get_asof", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 6151) % 1_000_000;
+            black_box(ov.get_asof(&k, 5_000).0)
+        });
+    });
+}
+
+fn bench_overlay_write_and_merge(c: &mut Criterion) {
+    c.bench_function("overlay_put", |b| {
+        let base: Vec<(i64, u64)> = (0..100_000).map(|i| (i, i as u64)).collect();
+        let mut ov = OverlayIndex::new(base, usize::MAX);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            ov.put((v as i64 * 31) % 100_000, v, v);
+            black_box(ov.delta_writes())
+        });
+    });
+    c.bench_function("overlay_merge_100k_base_10k_delta", |b| {
+        let base: Vec<(i64, u64)> = (0..100_000).map(|i| (i, i as u64)).collect();
+        b.iter(|| {
+            let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
+            for i in 0..10_000u64 {
+                ov.put((i as i64 * 13) % 100_000, i, i + 1);
+            }
+            black_box(ov.merge(20_000).keys_merged)
+        });
+    });
+}
+
+fn bench_result_cache(c: &mut Criterion) {
+    let mut cache = ResultCache::new(1 << 20);
+    for i in 0..1000u64 {
+        cache.put(i, vec![0u8; 256], &[(i % 8) as u32]);
+    }
+    c.bench_function("result_cache_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            black_box(cache.get(i).map(<[u8]>::len))
+        });
+    });
+}
+
+fn bench_concurrent_queue(c: &mut Criterion) {
+    let q: ConcurrentQueue<u64> = ConcurrentQueue::new();
+    c.bench_function("concurrent_queue_enq_deq", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.enqueue(i);
+            black_box(q.dequeue())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_overlay_reads,
+    bench_overlay_write_and_merge,
+    bench_result_cache,
+    bench_concurrent_queue
+);
+criterion_main!(benches);

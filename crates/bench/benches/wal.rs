@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the WAL: record codec, append path, and a
+//! full crash-recovery cycle.
+
+use bionic_storage::bufferpool::BufferPool;
+use bionic_storage::disk::DiskManager;
+use bionic_storage::heap::HeapFile;
+use bionic_storage::slotted::SlottedPage;
+use bionic_wal::manager::LogManager;
+use bionic_wal::record::{LogBody, LogRecord, NULL_LSN};
+use bionic_wal::recovery::recover;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn update_body(n: usize) -> LogBody {
+    LogBody::Update {
+        table: 1,
+        rid: 0xABCDEF,
+        before: vec![1u8; n],
+        after: vec![2u8; n],
+    }
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let rec = LogRecord {
+        lsn: 0,
+        txn: 42,
+        prev_lsn: NULL_LSN,
+        body: update_body(100),
+    };
+    c.bench_function("log_record_encode_100B", |b| {
+        b.iter(|| black_box(rec.encode().len()));
+    });
+    let encoded = rec.encode();
+    c.bench_function("log_record_decode_100B", |b| {
+        b.iter(|| black_box(LogRecord::decode(&encoded, 0).unwrap().0.txn));
+    });
+}
+
+fn bench_append(c: &mut Criterion) {
+    c.bench_function("log_append_update_100B", |b| {
+        let mut lm = LogManager::new();
+        b.iter(|| black_box(lm.append(7, update_body(100)).0.lsn));
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Build a log of 2000 committed inserts + 100 loser updates, then time
+    // full analysis/redo/undo against an empty pool.
+    let mut lm = LogManager::new();
+    let mut pool = BufferPool::new(1024, DiskManager::new());
+    let mut heap = HeapFile::new();
+    for t in 1..=2000u64 {
+        lm.append(t, LogBody::Begin);
+        let (rid, _) = heap.insert(&mut pool, &[9u8; 80]).unwrap();
+        let (rec, _) = lm.append(
+            t,
+            LogBody::Insert {
+                table: 0,
+                rid: rid.to_u64(),
+                after: vec![9u8; 80],
+            },
+        );
+        pool.with_page_mut(rid.page, |pg| SlottedPage::attach(pg).set_lsn(rec.lsn));
+        lm.append(t, LogBody::Commit);
+        lm.append(t, LogBody::End);
+    }
+    for t in 3000..3100u64 {
+        lm.append(t, LogBody::Begin);
+        let (rid, _) = heap.insert(&mut pool, &[8u8; 80]).unwrap();
+        let (rec, _) = lm.append(
+            t,
+            LogBody::Insert {
+                table: 0,
+                rid: rid.to_u64(),
+                after: vec![8u8; 80],
+            },
+        );
+        pool.with_page_mut(rid.page, |pg| SlottedPage::attach(pg).set_lsn(rec.lsn));
+    }
+    lm.flush();
+    let image = lm.crash_image();
+    let disk = pool.crash();
+
+    c.bench_function("recovery_2000_winners_100_losers", |b| {
+        b.iter(|| {
+            let mut lm = LogManager::from_image(image.clone());
+            // Fresh pool over a snapshot of the crashed disk each iteration.
+            let mut pool = BufferPool::new(1024, disk.clone());
+            let outcome = recover(&mut lm, &mut pool);
+            black_box(outcome.redone)
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode_decode, bench_append, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Shared reporting utilities for the benchmark harness: a minimal CSV
+//! writer and table printer used by the `figures` binary.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple in-memory table that renders to CSV and aligned text.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        out
+    }
+
+    /// Write CSV to `results/<name>.csv` and echo the text table.
+    pub fn save_and_print(&self, results_dir: &Path, name: &str) {
+        std::fs::create_dir_all(results_dir).expect("create results dir");
+        let path = results_dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv()).expect("write csv");
+        println!("{}", self.to_text());
+        println!("[saved {}]\n", path.display());
+    }
+}
+
+/// Format a float compactly.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_and_aligns() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1,2".into(), "x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,2\""));
+        let text = t.to_text();
+        assert!(text.contains('a') && text.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.4), "123");
+        assert_eq!(f(1.5), "1.500");
+        assert!(f(1e9).contains('e'));
+    }
+}

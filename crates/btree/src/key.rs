@@ -1,0 +1,112 @@
+//! Key types for the B+tree.
+//!
+//! §5.3 commits to "a generic hardware tree probe engine that can handle
+//! both integer and variable-length string keys" — so the tree is generic
+//! over [`TreeKey`], with [`i64`] and [`StrKey`] as the two paper-mandated
+//! instances.
+
+/// A type usable as a B+tree key.
+///
+/// Beyond ordering, keys report their encoded size (for node-space and
+/// transfer-byte accounting) and a comparison *cost* in machine-word
+/// operations, which feeds the "load-compare-branch triplet" instruction
+/// model of §5.3: integer compares are one operation, string compares cost
+/// one per 8-byte chunk.
+pub trait TreeKey: Ord + Clone {
+    /// Encoded size in bytes when stored in a node.
+    fn encoded_len(&self) -> usize;
+
+    /// Cost of one comparison against another key, in word operations.
+    fn compare_cost(&self) -> u32;
+}
+
+impl TreeKey for i64 {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn compare_cost(&self) -> u32 {
+        1
+    }
+}
+
+impl TreeKey for u64 {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn compare_cost(&self) -> u32 {
+        1
+    }
+}
+
+/// A variable-length byte-string key with lexicographic order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StrKey(pub Vec<u8>);
+
+impl StrKey {
+    /// Construct from anything byte-like.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        StrKey(bytes.into())
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&str> for StrKey {
+    fn from(s: &str) -> Self {
+        StrKey(s.as_bytes().to_vec())
+    }
+}
+
+impl From<&[u8]> for StrKey {
+    fn from(b: &[u8]) -> Self {
+        StrKey(b.to_vec())
+    }
+}
+
+impl TreeKey for StrKey {
+    fn encoded_len(&self) -> usize {
+        // 2-byte length prefix plus payload.
+        2 + self.0.len()
+    }
+
+    fn compare_cost(&self) -> u32 {
+        // One word op per 8-byte chunk, at least one.
+        (self.0.len() as u32).div_ceil(8).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_keys_are_cheap() {
+        assert_eq!(5i64.encoded_len(), 8);
+        assert_eq!(5i64.compare_cost(), 1);
+    }
+
+    #[test]
+    fn str_keys_order_lexicographically() {
+        let a = StrKey::from("apple");
+        let b = StrKey::from("banana");
+        let ab = StrKey::from("apple!");
+        assert!(a < b);
+        assert!(a < ab);
+        assert_eq!(a, StrKey::new(b"apple".to_vec()));
+    }
+
+    #[test]
+    fn str_key_costs_scale_with_length() {
+        assert_eq!(StrKey::from("x").compare_cost(), 1);
+        assert_eq!(StrKey::from("12345678").compare_cost(), 1);
+        assert_eq!(StrKey::from("123456789").compare_cost(), 2);
+        assert_eq!(StrKey::new(vec![0u8; 64]).compare_cost(), 8);
+        assert_eq!(StrKey::from("abc").encoded_len(), 5);
+        assert_eq!(StrKey::default().compare_cost(), 1);
+    }
+}

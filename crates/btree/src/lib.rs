@@ -1,0 +1,26 @@
+//! # bionic-btree — the index structure and its hardware probe engine
+//!
+//! §5.3 of the bionic-DBMS paper: OLTP is index-bound, and tree probes are
+//! the single biggest hardware-offload target. This crate provides:
+//!
+//! * [`tree::BTree`] — a from-scratch B+tree over [`key::TreeKey`] (integer
+//!   and variable-length string keys), with linked leaves, proper
+//!   delete-time rebalancing, bulk load, and an invariant checker. Every
+//!   operation returns a [`tree::Footprint`] so the engine can price it.
+//! * [`probe::ProbeEngine`] — the pipelined FPGA probe unit: dependent
+//!   SG-DRAM reads per level, ~a dozen probes in flight, abort-to-software
+//!   on non-resident nodes.
+//!
+//! Concurrency control is deliberately absent: in the data-oriented
+//! architecture "virtually all concurrency control issues are resolved
+//! before a request ever reaches the tree" (§5.3).
+
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod probe;
+pub mod tree;
+
+pub use key::{StrKey, TreeKey};
+pub use probe::{ProbeEngine, ProbeEngineConfig, ProbeOutcome, ProbeStats};
+pub use tree::{BTree, Footprint};

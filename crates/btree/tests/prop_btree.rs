@@ -1,0 +1,154 @@
+//! Property-based tests: the B+tree must behave exactly like a model
+//! `std::collections::BTreeMap` under arbitrary operation sequences, while
+//! never violating its structural invariants.
+
+use bionic_btree::{BTree, StrKey};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u64),
+    Remove(i64),
+    Get(i64),
+}
+
+fn op_strategy(key_space: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_model_btreemap(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        order in 4usize..32,
+    ) {
+        let mut tree = BTree::with_order(order);
+        let mut model: BTreeMap<i64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let (old, _) = tree.insert(k, v);
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    let (old, _) = tree.remove(&k);
+                    prop_assert_eq!(old, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    let (got, _) = tree.get(&k);
+                    prop_assert_eq!(got, model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        // Full scan must agree with the model's ordered iteration.
+        let mut scanned = Vec::new();
+        tree.scan_all(|k, v| scanned.push((*k, v)));
+        let expected: Vec<(i64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn range_matches_model(
+        entries in prop::collection::btree_map(0i64..1000, any::<u64>(), 0..300),
+        lo in 0i64..1000,
+        width in 0i64..200,
+        order in 4usize..16,
+    ) {
+        let mut tree = BTree::with_order(order);
+        for (&k, &v) in &entries {
+            tree.insert(k, v);
+        }
+        let hi = lo + width;
+        let mut got = Vec::new();
+        tree.range(&lo, &hi, |k, v| got.push((*k, v)));
+        let expected: Vec<(i64, u64)> =
+            entries.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_build(
+        entries in prop::collection::btree_map(0i64..10_000, any::<u64>(), 0..500),
+        order in 4usize..64,
+        fill in 0.4f64..1.0,
+    ) {
+        let pairs: Vec<(i64, u64)> = entries.iter().map(|(&k, &v)| (k, v)).collect();
+        let bulk = BTree::bulk_load(pairs.clone(), order, fill);
+        bulk.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(bulk.len(), pairs.len());
+        for (k, v) in &pairs {
+            prop_assert_eq!(bulk.get(k).0, Some(*v));
+        }
+    }
+
+    #[test]
+    fn string_keys_match_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                ("[a-z]{0,12}", any::<u64>()).prop_map(|(k, v)| (k, Some(v))),
+                "[a-z]{0,12}".prop_map(|k| (k, None)),
+            ],
+            1..200,
+        ),
+    ) {
+        let mut tree: BTree<StrKey> = BTree::with_order(8);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, v) in ops {
+            let key = StrKey::new(k.clone().into_bytes());
+            match v {
+                Some(v) => {
+                    let (old, _) = tree.insert(key, v);
+                    prop_assert_eq!(old, model.insert(k.into_bytes(), v));
+                }
+                None => {
+                    let (old, _) = tree.remove(&key);
+                    prop_assert_eq!(old, model.remove(k.as_bytes()));
+                }
+            }
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    #[test]
+    fn batch_get_matches_pointwise_gets(
+        entries in prop::collection::btree_map(0i64..2000, any::<u64>(), 0..400),
+        probes in prop::collection::vec(0i64..2500, 0..200),
+        order in 4usize..32,
+    ) {
+        let mut tree = BTree::with_order(order);
+        for (&k, &v) in &entries {
+            tree.insert(k, v);
+        }
+        let mut keys = probes.clone();
+        let (results, _) = tree.batch_get(&mut keys);
+        prop_assert_eq!(results.len(), keys.len());
+        for (k, v) in results {
+            prop_assert_eq!(v, entries.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn footprints_are_bounded_by_height(
+        n in 1usize..2000,
+        probe in 0i64..5000,
+    ) {
+        let mut tree = BTree::with_order(16);
+        for i in 0..n as i64 {
+            tree.insert(i * 3, i as u64);
+        }
+        let (_, fp) = tree.get(&probe);
+        prop_assert_eq!(fp.nodes_visited(), tree.height());
+        prop_assert_eq!(fp.leaves_visited, 1);
+        prop_assert_eq!(fp.inner_visited, tree.height() - 1);
+    }
+}

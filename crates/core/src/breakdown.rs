@@ -1,0 +1,200 @@
+//! The seven-category time breakdown of Figure 3.
+//!
+//! Figure 3 decomposes transaction time in "a highly-optimized transaction
+//! processing system" into: Other, Front-end, Dora, Xct mgmt, Log mgmt,
+//! Btree mgmt, Bpool mgmt. The engine charges every cycle of simulated CPU
+//! work to one of these categories (plus `Lock`, which is zero under DORA —
+//! it exists so the conventional baseline can show what DORA eliminated),
+//! and this module turns the tallies into the percentage bars the figure
+//! plots.
+
+use bionic_sim::time::SimTime;
+
+/// Where a slice of CPU time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Category {
+    /// Record manipulation, application logic, everything unclassified.
+    Other,
+    /// Request dispatch, routing decisions, client handling.
+    FrontEnd,
+    /// DORA mechanics: action creation, queues, rendezvous points.
+    Dora,
+    /// Transaction management: begin/commit bookkeeping, rollback.
+    Xct,
+    /// Log buffer insertion and commit processing.
+    Log,
+    /// Index probes and structural maintenance.
+    Btree,
+    /// Buffer pool: page lookup, pin/unpin, eviction.
+    Bpool,
+    /// Lock manager (conventional engine only; zero under DORA).
+    Lock,
+}
+
+impl Category {
+    /// All categories in Figure 3's display order (Lock appended).
+    pub const ALL: [Category; 8] = [
+        Category::Other,
+        Category::FrontEnd,
+        Category::Dora,
+        Category::Xct,
+        Category::Log,
+        Category::Btree,
+        Category::Bpool,
+        Category::Lock,
+    ];
+
+    /// Label as printed in Figure 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Other => "Other",
+            Category::FrontEnd => "Front-end",
+            Category::Dora => "Dora",
+            Category::Xct => "Xct mgmt",
+            Category::Log => "Log mgmt",
+            Category::Btree => "Btree mgmt",
+            Category::Bpool => "Bpool mgmt",
+            Category::Lock => "Lock mgmt",
+        }
+    }
+}
+
+/// Accumulated CPU time per category.
+#[derive(Debug, Clone, Default)]
+pub struct TimeBreakdown {
+    slices: [SimTime; 8],
+}
+
+impl TimeBreakdown {
+    /// All-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `t` of CPU time to `cat`.
+    #[inline]
+    pub fn charge(&mut self, cat: Category, t: SimTime) {
+        self.slices[cat as usize] += t;
+    }
+
+    /// Time charged to one category.
+    pub fn get(&self, cat: Category) -> SimTime {
+        self.slices[cat as usize]
+    }
+
+    /// Total across all categories.
+    pub fn total(&self) -> SimTime {
+        self.slices.iter().copied().sum()
+    }
+
+    /// Percentage share of each category (sums to ~100).
+    pub fn percentages(&self) -> Vec<(Category, f64)> {
+        let total = self.total().as_ps() as f64;
+        Category::ALL
+            .iter()
+            .map(|&c| {
+                let share = if total == 0.0 {
+                    0.0
+                } else {
+                    100.0 * self.get(c).as_ps() as f64 / total
+                };
+                (c, share)
+            })
+            .collect()
+    }
+
+    /// Share of one category in `[0, 1]`.
+    pub fn fraction(&self, cat: Category) -> f64 {
+        let total = self.total().as_ps() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(cat).as_ps() as f64 / total
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for (a, b) in self.slices.iter_mut().zip(&other.slices) {
+            *a += *b;
+        }
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = TimeBreakdown::new();
+        for (i, s) in out.slices.iter_mut().enumerate() {
+            *s = self.slices[i] - earlier.slices[i];
+        }
+        out
+    }
+
+    /// Render as a Figure-3-style table row set.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        for (c, pct) in self.percentages() {
+            out.push_str(&format!("{:<11} {:>6.2}%  {}\n", c.label(), pct, self.get(c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_category() {
+        let mut b = TimeBreakdown::new();
+        b.charge(Category::Btree, SimTime::from_ns(40.0));
+        b.charge(Category::Btree, SimTime::from_ns(10.0));
+        b.charge(Category::Log, SimTime::from_ns(50.0));
+        assert_eq!(b.get(Category::Btree).as_ns(), 50.0);
+        assert_eq!(b.total().as_ns(), 100.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut b = TimeBreakdown::new();
+        for (i, c) in Category::ALL.iter().enumerate() {
+            b.charge(*c, SimTime::from_ns((i + 1) as f64));
+        }
+        let sum: f64 = b.percentages().iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((b.fraction(Category::Lock) - 8.0 / 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let b = TimeBreakdown::new();
+        assert_eq!(b.total(), SimTime::ZERO);
+        assert!(b.percentages().iter().all(|&(_, p)| p == 0.0));
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let mut a = TimeBreakdown::new();
+        a.charge(Category::Dora, SimTime::from_ns(5.0));
+        let snap = a.clone();
+        a.charge(Category::Dora, SimTime::from_ns(7.0));
+        a.charge(Category::Xct, SimTime::from_ns(3.0));
+        let delta = a.since(&snap);
+        assert_eq!(delta.get(Category::Dora).as_ns(), 7.0);
+        assert_eq!(delta.get(Category::Xct).as_ns(), 3.0);
+        let mut rebuilt = snap.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.total(), a.total());
+    }
+
+    #[test]
+    fn table_renders_all_labels() {
+        let mut b = TimeBreakdown::new();
+        b.charge(Category::Bpool, SimTime::from_us(1.0));
+        let t = b.table();
+        for c in Category::ALL {
+            assert!(t.contains(c.label()), "missing {}", c.label());
+        }
+        assert!(t.contains("100.00%"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Engine configuration: execution model and per-component offload choices.
+
+use bionic_sim::time::SimTime;
+
+/// Which engine architecture executes transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// Data-oriented execution [10, 11]: logical partitions, action queues,
+    /// rendezvous points; no locks, no index latches.
+    Dora,
+    /// Conventional shared-everything: any worker touches any datum, so a
+    /// lock manager and index latches guard everything.
+    Conventional,
+}
+
+/// Log-insertion implementation (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogImpl {
+    /// Latch-serialized software buffer.
+    Latched,
+    /// Consolidation-array software buffer \[7\].
+    Consolidated,
+    /// Per-socket-aggregating hardware engine.
+    Hardware,
+}
+
+/// Which §5 components run on the FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offloads {
+    /// §5.3 tree probe engine.
+    pub probe: bool,
+    /// §5.4 log insertion.
+    pub log: LogImpl,
+    /// §5.5 queue engine.
+    pub queue: bool,
+    /// §5.6 overlay database instead of the buffer pool.
+    pub overlay: bool,
+}
+
+impl Offloads {
+    /// Everything in software — the conventional platform of Figure 3.
+    pub fn none() -> Self {
+        Offloads {
+            probe: false,
+            log: LogImpl::Latched,
+            queue: false,
+            overlay: false,
+        }
+    }
+
+    /// The full bionic configuration of Figure 4.
+    pub fn all() -> Self {
+        Offloads {
+            probe: true,
+            log: LogImpl::Hardware,
+            queue: true,
+            overlay: true,
+        }
+    }
+
+    /// How many units are offloaded (for ablation labels).
+    pub fn count(&self) -> usize {
+        usize::from(self.probe)
+            + usize::from(self.log == LogImpl::Hardware)
+            + usize::from(self.queue)
+            + usize::from(self.overlay)
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Execution architecture.
+    pub exec: ExecModel,
+    /// Hardware offload selection.
+    pub offloads: Offloads,
+    /// Partition agents (DORA) / worker threads (conventional).
+    pub agents: usize,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// Group-commit flush interval.
+    pub group_commit: SimTime,
+    /// FPGA memory budget for the overlay (bytes).
+    pub overlay_budget: usize,
+    /// Delta writes per table before a background merge is triggered.
+    pub merge_threshold: u64,
+    /// RNG seed for the platform's probabilistic models.
+    pub seed: u64,
+    /// CPU energy per instruction, nanojoules (sensitivity experiments
+    /// sweep this; 2.0 is the calibrated default, see DESIGN.md).
+    pub cpu_nj_per_instr: f64,
+    /// SG-DRAM energy per 64-bit access, nanojoules.
+    pub sg_nj_per_access: f64,
+}
+
+impl EngineConfig {
+    /// The software baseline: DORA on a conventional multicore — the system
+    /// Figure 3 profiles.
+    pub fn software() -> Self {
+        EngineConfig {
+            exec: ExecModel::Dora,
+            offloads: Offloads::none(),
+            agents: 16,
+            pool_pages: 1 << 14,
+            group_commit: SimTime::from_us(20.0),
+            overlay_budget: usize::MAX,
+            merge_threshold: 50_000,
+            seed: 0xB10_01C,
+            cpu_nj_per_instr: 2.0,
+            sg_nj_per_access: 2.0,
+        }
+    }
+
+    /// The full bionic engine of Figure 4.
+    pub fn bionic() -> Self {
+        EngineConfig {
+            offloads: Offloads::all(),
+            ..Self::software()
+        }
+    }
+
+    /// The pre-DORA conventional baseline.
+    pub fn conventional() -> Self {
+        EngineConfig {
+            exec: ExecModel::Conventional,
+            ..Self::software()
+        }
+    }
+
+    /// Builder-style agent count override.
+    pub fn with_agents(mut self, agents: usize) -> Self {
+        self.agents = agents;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_coherent() {
+        let sw = EngineConfig::software();
+        assert_eq!(sw.exec, ExecModel::Dora);
+        assert_eq!(sw.offloads.count(), 0);
+        let hw = EngineConfig::bionic();
+        assert_eq!(hw.offloads.count(), 4);
+        assert_eq!(hw.exec, ExecModel::Dora);
+        let conv = EngineConfig::conventional();
+        assert_eq!(conv.exec, ExecModel::Conventional);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = EngineConfig::software().with_agents(4).with_seed(7);
+        assert_eq!(c.agents, 4);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,402 @@
+//! The bionic transaction engine: state, construction, loading, restart.
+//!
+//! The engine assembles every subsystem of Figure 4 around a
+//! [`Platform`]: DORA partition agents over action queues, tables with
+//! B+tree indexes, the WAL with a pluggable insertion model, the optional
+//! FPGA units (tree probe, log insertion, queue engine, overlay manager),
+//! and the seven-category profiler of Figure 3. Execution lives in
+//! [`crate::exec`].
+//!
+//! ### Functional/timing split
+//!
+//! Transactions are *functionally* executed one at a time in arrival order
+//! (records really change, the log really grows, aborts really undo), while
+//! *timing* flows through per-agent FIFO servers and the hardware pipeline
+//! models, which overlap transactions the way the real system would. This
+//! is sound for DORA specifically because partition ownership already
+//! serializes conflicting work per partition \[10\]; it is the standard
+//! functional-first/timing-second simulator decoupling.
+
+use crate::breakdown::TimeBreakdown;
+use crate::config::{EngineConfig, LogImpl};
+use crate::table::Table;
+use bionic_btree::probe::ProbeEngine;
+use bionic_overlay::overlay::OverlayIndex;
+use bionic_overlay::result_cache::ResultCache;
+use bionic_queue::timing::{HwQueueTiming, SwQueueTiming};
+use bionic_sim::platform::{Platform, PlatformConfig};
+use bionic_sim::server::{FluidQueue, Server};
+use bionic_sim::stats::Histogram;
+use bionic_sim::time::SimTime;
+use bionic_storage::bufferpool::BufferPool;
+use bionic_storage::disk::DiskManager;
+use bionic_wal::manager::LogManager;
+use bionic_wal::recovery::{recover, RecoveryOutcome};
+use bionic_wal::timing::{
+    ConsolidatedLog, GroupCommit, HwLog, InsertTiming, LatchedLog, LogInsertModel, SwLogParams,
+};
+use bionic_wal::TxnId;
+
+/// The pluggable log-insertion path.
+pub(crate) enum LogPath {
+    /// Latch-serialized software buffer.
+    Latched(LatchedLog),
+    /// Consolidation-array software buffer.
+    Consolidated(ConsolidatedLog),
+    /// Hardware insertion engine.
+    Hardware(HwLog),
+}
+
+impl LogPath {
+    pub(crate) fn insert(&mut self, arrive: SimTime, agent: usize, bytes: u64) -> InsertTiming {
+        match self {
+            LogPath::Latched(m) => m.insert(arrive, agent, bytes),
+            LogPath::Consolidated(m) => m.insert(arrive, agent, bytes),
+            LogPath::Hardware(m) => m.insert(arrive, agent, bytes),
+        }
+    }
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Transactions submitted.
+    pub submitted: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (rolled back).
+    pub aborted: u64,
+    /// End-to-end (arrival → durable) latency of committed transactions.
+    pub latency: Histogram,
+    /// Completion time of the latest transaction.
+    pub last_completion: SimTime,
+    /// Overlay bulk merges performed.
+    pub merges: u64,
+    /// Hardware probe aborts (non-resident data).
+    pub probe_misses: u64,
+}
+
+impl EngineStats {
+    fn new() -> Self {
+        EngineStats {
+            submitted: 0,
+            committed: 0,
+            aborted: 0,
+            latency: Histogram::new(),
+            last_completion: SimTime::ZERO,
+            merges: 0,
+            probe_misses: 0,
+        }
+    }
+
+    /// Committed transactions per simulated second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.last_completion.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.last_completion.as_secs()
+        }
+    }
+}
+
+/// What survives a crash: the disk image, the durable log, and the catalog.
+pub struct CrashImage {
+    pub(crate) disk: DiskManager,
+    pub(crate) log: Vec<u8>,
+    pub(crate) log_base: bionic_wal::Lsn,
+    pub(crate) table_names: Vec<String>,
+    pub(crate) secondary_offsets: Vec<Option<usize>>,
+    /// Per-table heap extent maps. Real systems keep these in durable
+    /// catalog pages; modeling them as crash-surviving is the same
+    /// simplification as durable page-allocation metadata (DESIGN.md).
+    pub(crate) heap_pages: Vec<Vec<u64>>,
+}
+
+/// The engine.
+pub struct Engine {
+    /// Configuration (fixed at construction).
+    pub cfg: EngineConfig,
+    /// The modeled hardware platform (time/energy accounting).
+    pub platform: Platform,
+    pub(crate) pool: BufferPool,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) overlays: Vec<OverlayIndex<i64>>,
+    pub(crate) log: LogManager,
+    pub(crate) log_path: LogPath,
+    pub(crate) group_commit: GroupCommit,
+    pub(crate) agents: Vec<Server>,
+    pub(crate) rr_next: usize,
+    pub(crate) router: Server,
+    pub(crate) probe_hw: Option<ProbeEngine>,
+    pub(crate) queue_sw: SwQueueTiming,
+    pub(crate) queue_hw: Option<HwQueueTiming>,
+    /// Conventional mode: the lock-manager latch.
+    pub(crate) lock_latch: FluidQueue,
+    /// Conventional mode: per-table index root latches.
+    pub(crate) root_latches: Vec<FluidQueue>,
+    /// CPU-side cache of query results (§5.6's second data pool).
+    pub(crate) result_cache: ResultCache,
+    /// Figure-3 CPU time accounting.
+    pub breakdown: TimeBreakdown,
+    /// Run statistics.
+    pub stats: EngineStats,
+    pub(crate) next_txn: TxnId,
+    pub(crate) write_seq: u64,
+    pub(crate) merge_marks: Vec<u64>,
+}
+
+impl Engine {
+    /// Build an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let sockets = 2usize;
+        let cores_per_socket = cfg.agents.div_ceil(sockets).max(1);
+        let platform = Platform::hc2_with(PlatformConfig {
+            sockets,
+            cores_per_socket,
+            socket_hop: SimTime::from_ns(120.0),
+            seed: cfg.seed,
+        });
+        let mut fabric_platform = platform;
+        fabric_platform.cpu = bionic_sim::cpu::CpuModel::new(
+            2.5e9,
+            1.0,
+            bionic_sim::energy::Energy::from_nj(cfg.cpu_nj_per_instr),
+        );
+        fabric_platform.sg_dram = bionic_sim::mem::SgDram::new(
+            80e9,
+            SimTime::from_ns(400.0),
+            8,
+            4096,
+            bionic_sim::energy::Energy::from_nj(cfg.sg_nj_per_access),
+        );
+        let sw_log_params = SwLogParams {
+            cores_per_socket,
+            ..SwLogParams::default()
+        };
+        let log_path = match cfg.offloads.log {
+            LogImpl::Latched => LogPath::Latched(LatchedLog::new(sw_log_params)),
+            LogImpl::Consolidated => LogPath::Consolidated(ConsolidatedLog::new(sw_log_params)),
+            LogImpl::Hardware => LogPath::Hardware(
+                HwLog::hc2(&mut fabric_platform.fabric).expect("fabric fits the log engine"),
+            ),
+        };
+        let probe_hw = cfg.offloads.probe.then(|| {
+            ProbeEngine::hc2(&mut fabric_platform.fabric).expect("fabric fits the probe engine")
+        });
+        let queue_hw = cfg.offloads.queue.then(|| {
+            HwQueueTiming::hc2(&mut fabric_platform.fabric).expect("fabric fits the queue engine")
+        });
+        Engine {
+            pool: BufferPool::new(cfg.pool_pages, DiskManager::new()),
+            tables: Vec::new(),
+            overlays: Vec::new(),
+            log: LogManager::new(),
+            log_path,
+            group_commit: GroupCommit::new(
+                cfg.group_commit,
+                bionic_sim::dev::BlockDevice::ssd(),
+            ),
+            agents: vec![Server::new(); cfg.agents],
+            rr_next: 0,
+            router: Server::new(),
+            probe_hw,
+            queue_sw: SwQueueTiming::default(),
+            queue_hw,
+            lock_latch: FluidQueue::latch(),
+            root_latches: Vec::new(),
+            result_cache: ResultCache::new(16 << 20),
+            breakdown: TimeBreakdown::new(),
+            stats: EngineStats::new(),
+            next_txn: 1,
+            write_seq: 1,
+            merge_marks: Vec::new(),
+            platform: fabric_platform,
+            cfg,
+        }
+    }
+
+    /// Create a table; returns its id.
+    pub fn create_table(&mut self, name: impl Into<String>) -> u32 {
+        self.register(Table::new(name))
+    }
+
+    /// Create a table with a secondary index over the i64 field at byte
+    /// `offset` of the record image; returns its id.
+    pub fn create_table_with_secondary(&mut self, name: impl Into<String>, offset: usize) -> u32 {
+        self.register(Table::with_secondary(name, offset))
+    }
+
+    fn register(&mut self, table: Table) -> u32 {
+        let id = self.tables.len() as u32;
+        self.tables.push(table);
+        self.overlays.push(OverlayIndex::new(Vec::new(), usize::MAX));
+        self.root_latches.push(FluidQueue::latch());
+        self.merge_marks.push(0);
+        id
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Untimed bulk load of one row (initial population — "load phase"
+    /// work is not part of any measured experiment). The record image is
+    /// `key || body`.
+    pub fn load(&mut self, table: u32, key: i64, body: &[u8]) {
+        let rec = crate::table::make_record(key, body);
+        let t = &mut self.tables[table as usize];
+        let (rid, _) = t.heap.insert(&mut self.pool, &rec).expect("load insert");
+        let (old, _) = t.index.insert(key, rid.to_u64());
+        assert!(old.is_none(), "duplicate key {key} in load of {}", t.name);
+        if let Some(skey) = t.secondary_key(&rec) {
+            let (old, _) = t.secondary.insert(skey, key as u64);
+            assert!(old.is_none(), "duplicate secondary key {skey} in {}", t.name);
+        }
+    }
+
+    /// Finish loading: flush everything, build overlays from the loaded
+    /// indexes, reset measurement state.
+    pub fn finish_load(&mut self) {
+        self.pool.flush_all();
+        if self.cfg.offloads.overlay {
+            for (i, t) in self.tables.iter().enumerate() {
+                let mut pairs = Vec::with_capacity(t.index.len());
+                t.index.scan_all(|k, v| pairs.push((*k, v)));
+                self.overlays[i] = OverlayIndex::new(pairs, self.cfg.overlay_budget);
+            }
+        }
+        self.breakdown = TimeBreakdown::new();
+        self.platform.energy.reset();
+        self.stats = EngineStats::new();
+    }
+
+    /// Direct read of a row (untimed; for tests and verification). The
+    /// primary index is maintained functionally in every mode (the overlay,
+    /// when enabled, tracks it and additionally provides versioning, merge
+    /// mechanics, and the FPGA cost model).
+    pub fn read_row(&mut self, table: u32, key: i64) -> Option<Vec<u8>> {
+        self.tables[table as usize].get(&mut self.pool, key)
+    }
+
+    /// Rows currently visible in a table.
+    pub fn row_count(&self, table: u32) -> usize {
+        self.tables[table as usize].index.len()
+    }
+
+    /// Crash the engine: everything volatile dies; the disk, the durable
+    /// log prefix, and the catalog names survive.
+    pub fn crash(self) -> CrashImage {
+        CrashImage {
+            table_names: self.tables.iter().map(|t| t.name.clone()).collect(),
+            secondary_offsets: self.tables.iter().map(|t| t.secondary_offset).collect(),
+            heap_pages: self
+                .tables
+                .iter()
+                .map(|t| t.heap.page_ids().iter().map(|p| p.0).collect())
+                .collect(),
+            log_base: self.log.base_lsn(),
+            log: self.log.crash_image(),
+            disk: self.pool.crash(),
+        }
+    }
+
+    /// Restart from a crash image: run ARIES recovery, rebuild heap page
+    /// lists and indexes, and return the ready engine plus the recovery
+    /// outcome.
+    pub fn restart(image: CrashImage, cfg: EngineConfig) -> (Self, RecoveryOutcome) {
+        let mut engine = Engine::new(cfg);
+        engine.pool = BufferPool::new(engine.cfg.pool_pages, image.disk);
+        engine.log = LogManager::from_image_at(image.log, image.log_base);
+        let outcome = recover(&mut engine.log, &mut engine.pool);
+        for (name, secondary) in image.table_names.iter().zip(&image.secondary_offsets) {
+            match secondary {
+                Some(off) => engine.create_table_with_secondary(name.clone(), *off),
+                None => engine.create_table(name.clone()),
+            };
+        }
+        // Heap extents: the durable catalog map, unioned with any pages the
+        // log additionally references (growth after the last catalog write
+        // would be discovered there in a real system).
+        for (i, catalog_pages) in image.heap_pages.iter().enumerate() {
+            let mut pages = catalog_pages.clone();
+            if let Some(logged) = outcome.table_pages.get(&(i as u32)) {
+                pages.extend_from_slice(logged);
+            }
+            pages.sort_unstable();
+            pages.dedup();
+            engine.tables[i].restore_pages(&pages);
+        }
+        for i in 0..engine.tables.len() {
+            // split the borrow: table i vs the shared pool
+            let table = &mut engine.tables[i];
+            table.rebuild_index(&mut engine.pool);
+        }
+        engine.finish_load();
+        (engine, outcome)
+    }
+
+    /// Take a **sharp** checkpoint: flush every dirty page, then write a
+    /// checkpoint record whose `redo_from` is the current log tail — so a
+    /// post-crash redo pass skips everything before it. Returns the
+    /// checkpoint LSN. Time and energy are charged (the flush is real SAS
+    /// I/O); call this from a maintenance cadence, not per transaction.
+    pub fn checkpoint(&mut self, now: bionic_sim::time::SimTime) -> bionic_wal::Lsn {
+        let redo_from = self.log.tail_lsn();
+        let dirty = self.pool.flush_all();
+        // Bulk sequential write-back of the dirty pages.
+        self.platform.sas_write(now, 0, dirty * 8192);
+        let lsn = self.log.checkpoint(redo_from);
+        self.log.flush();
+        self.platform.ssd_write(now, 1 << 40, 256);
+        // Nothing below the redo point is needed anymore (no transaction is
+        // in flight between submits): reclaim the log prefix.
+        self.log.truncate_to(redo_from);
+        lsn
+    }
+
+    /// Per-agent busy fraction over the run so far — the skew/imbalance
+    /// signal §2 warns about ("even embarrassingly parallel tasks suffer
+    /// from skew and imbalance effects").
+    pub fn agent_utilization(&self) -> Vec<f64> {
+        let horizon = self.stats.last_completion;
+        self.agents
+            .iter()
+            .map(|a| a.utilization(horizon))
+            .collect()
+    }
+
+    /// Load-imbalance factor: max agent busy time over the mean (1.0 is a
+    /// perfectly balanced partition map).
+    pub fn agent_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .agents
+            .iter()
+            .map(|a| a.busy_time().as_secs())
+            .collect();
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            busy.iter().cloned().fold(0.0, f64::max) / mean
+        }
+    }
+
+    /// The write-ahead log (read access, e.g. for verification).
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// Committed-writes version counter: the NEXT version a write will be
+    /// stamped with (overlay merge versions).
+    pub fn write_seq(&self) -> u64 {
+        self.write_seq
+    }
+
+    /// The snapshot version covering everything written so far — pass this
+    /// to [`Engine::query_range`]'s `asof` to read the current state later,
+    /// after more writes have happened.
+    pub fn current_version(&self) -> u64 {
+        self.write_seq - 1
+    }
+}

@@ -1,0 +1,1014 @@
+//! Transaction execution: the timed, instrumented heart of the engine.
+//!
+//! Every operation does two things: it *really happens* (records change,
+//! the log grows) and it is *priced* — CPU instructions and memory stalls
+//! through the platform's cost models, charged to a Figure-3 category, with
+//! offloaded work routed through the FPGA unit models instead. Agent
+//! occupancy flows through per-partition FIFO servers, so saturation and
+//! queueing emerge naturally; asynchronous hardware work extends a
+//! transaction's latency without occupying its agent — §3's thesis that
+//! "throughput will improve, even if individual requests take just as long
+//! to complete".
+
+use crate::breakdown::Category;
+use crate::config::ExecModel;
+use crate::engine::Engine;
+use crate::ops::{Action, Op, TxnProgram};
+use bionic_btree::probe::ProbeOutcome;
+use bionic_btree::tree::Footprint;
+use bionic_sim::energy::EnergyDomain;
+use bionic_sim::mem::AccessClass;
+use bionic_sim::time::SimTime;
+use bionic_sim::stats::Summary;
+use bionic_storage::page::RecordId;
+use bionic_storage::slotted::SlottedPage;
+use bionic_wal::record::{LogBody, Lsn, TxnId};
+
+/// Why a transaction rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A required key was absent.
+    MissingKey,
+    /// An insert hit an existing key.
+    DuplicateKey,
+    /// An update patch did not fit the record.
+    PatchFailed,
+}
+
+/// Result of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TxnOutcome {
+    /// Committed and durable.
+    Committed {
+        /// Arrival → durable latency.
+        latency: SimTime,
+    },
+    /// Rolled back.
+    Aborted {
+        /// Why.
+        reason: AbortReason,
+        /// Arrival → rollback-complete latency.
+        latency: SimTime,
+    },
+}
+
+impl TxnOutcome {
+    /// Did the transaction commit?
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimTime {
+        match self {
+            TxnOutcome::Committed { latency } | TxnOutcome::Aborted { latency, .. } => *latency,
+        }
+    }
+}
+
+/// Volatile-index compensation for runtime aborts (the WAL undoes heap
+/// state; in-memory indexes and overlays are fixed by replaying these).
+enum IndexUndo {
+    Remove { table: u32, key: i64 },
+    Reinsert { table: u32, key: i64, rid: u64 },
+    SecondaryRemove { table: u32, skey: i64 },
+    SecondaryReinsert { table: u32, skey: i64, pkey: i64 },
+}
+
+/// Cost of one op: agent-occupying CPU time plus asynchronous tail.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpCost {
+    cpu: SimTime,
+    asy: SimTime,
+}
+
+impl OpCost {
+    fn add(&mut self, other: OpCost) {
+        debug_assert!(other.cpu.as_secs() < 60.0, "absurd op cpu {:?}", other.cpu);
+        debug_assert!(other.asy.as_secs() < 60.0, "absurd op asy {:?}", other.asy);
+        self.cpu += other.cpu;
+        self.asy += other.asy;
+    }
+}
+
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+impl Engine {
+    // ---- charging helpers ----------------------------------------------
+
+    /// Straight-line software work: instructions + memory accesses, charged
+    /// to `cat`.
+    fn sw_work(
+        &mut self,
+        cat: Category,
+        instructions: u64,
+        accesses: u64,
+        class: AccessClass,
+    ) -> SimTime {
+        let t = self.platform.sw_step(instructions, accesses, class);
+        self.breakdown.charge(cat, t);
+        t
+    }
+
+    /// Memory-stall-only charge.
+    fn mem_stall(&mut self, cat: Category, class: AccessClass, accesses: u64) -> SimTime {
+        let t = self.platform.cpu_mem_access(class, accesses);
+        self.breakdown.charge(cat, t);
+        t
+    }
+
+    /// Charge raw CPU busy time (spinning, copying) to a category, with the
+    /// corresponding core energy.
+    fn cpu_time(&mut self, cat: Category, t: SimTime) -> SimTime {
+        debug_assert!(t.as_secs() < 60.0, "absurd cpu_time charge: {t:?} to {cat:?}");
+        let instr_ps = self.platform.cpu.instr_time().as_ps().max(1);
+        let instrs = (t.as_ps() / instr_ps).max(1);
+        let e = self.platform.cpu.instr_energy() * instrs;
+        self.platform.energy.charge(EnergyDomain::CpuCore, e);
+        self.breakdown.charge(cat, t);
+        t
+    }
+
+    fn socket_of(&self, agent: usize) -> usize {
+        agent / self.platform.cfg.cores_per_socket.max(1)
+    }
+
+    fn route(&self, action: &Action) -> usize {
+        let h = (action.table as u64)
+            .wrapping_mul(GOLDEN)
+            .wrapping_add((action.route_key as u64).wrapping_mul(GOLDEN));
+        ((h >> 32) % self.agents.len() as u64) as usize
+    }
+
+    // ---- index cost paths ------------------------------------------------
+
+    /// Software probe cost from a footprint.
+    fn sw_probe_cost(&mut self, fp: &Footprint) -> SimTime {
+        // §5.3: "a few dozen machine instructions, mostly triplets of the
+        // form load-compare-branch".
+        let instr = 30 + 3 * fp.comparisons as u64;
+        self.sw_work(Category::Btree, instr, 0, AccessClass::Hot)
+            + self.mem_stall(Category::Btree, AccessClass::Index, fp.inner_visited as u64)
+            + self.mem_stall(Category::Btree, AccessClass::PointerChase, fp.leaves_visited as u64)
+    }
+
+    /// Probe cost, hardware or software. Returns `(cpu, async_tail)`.
+    fn probe_cost(&mut self, table: u32, key: i64, fp: &Footprint, now: SimTime) -> OpCost {
+        if self.probe_hw.is_none() {
+            let mut cpu = self.sw_probe_cost(fp);
+            if self.cfg.exec == ExecModel::Conventional {
+                // Latch coupling: ~10 instructions + contention at the root.
+                cpu += self.sw_work(
+                    Category::Btree,
+                    10 * fp.nodes_visited() as u64,
+                    fp.nodes_visited() as u64,
+                    AccessClass::Hot,
+                );
+                let service = SimTime::from_ns(25.0);
+                let wait = self.root_latches[table as usize].delay(now, service);
+                // Wait + hold, spin-bounded (threads yield past ~5us).
+                cpu += self.cpu_time(Category::Btree, wait.min(SimTime::from_us(5.0)) + service);
+            }
+            return OpCost {
+                cpu,
+                asy: SimTime::ZERO,
+            };
+        }
+        // Hardware path: doorbell + PCIe request, pipelined probe, response.
+        let cpu = self.sw_work(Category::Btree, 40, 1, AccessClass::Hot);
+        let levels = fp.nodes_visited().max(1);
+        let miss = self.cfg.offloads.overlay && self.overlays[table as usize].probe_would_miss(&key);
+        let at_fpga = self.platform.pcie_send(now + cpu, 64);
+        let probe = self.probe_hw.as_mut().expect("checked above");
+        let outcome = if miss {
+            probe.submit_with_miss(at_fpga, (levels / 2).max(1), 1, &mut self.platform.sg_dram)
+        } else {
+            probe.submit(at_fpga, levels, 1, &mut self.platform.sg_dram)
+        };
+        self.platform.charge_fpga(outcome.energy());
+        let mut done = self.platform.pcie_send(outcome.time(), 16);
+        let mut cpu_total = cpu;
+        if let ProbeOutcome::Aborted { .. } = outcome {
+            // §5.6: "the hardware operation aborts so that software can
+            // trigger a data fetch and then retry."
+            self.stats.probe_misses += 1;
+            let fetch_cpu = self.sw_work(Category::Bpool, 300, 4, AccessClass::Hot);
+            let fetched = self
+                .platform
+                .sas_read(done + fetch_cpu, (key as u64 % 4096) * 8192, 8192);
+            let at2 = self.platform.pcie_send(fetched, 64);
+            let probe = self.probe_hw.as_mut().expect("checked above");
+            let retry = probe.submit(at2, levels, 1, &mut self.platform.sg_dram);
+            self.platform.charge_fpga(retry.energy());
+            done = self.platform.pcie_send(retry.time(), 16);
+            cpu_total += fetch_cpu;
+        }
+        OpCost {
+            cpu: cpu_total,
+            asy: done.saturating_sub(now + cpu_total),
+        }
+    }
+
+    /// Index structural write cost: always software (§5.3 keeps SMOs
+    /// there), plus an asynchronous FPGA-replica update when the probe
+    /// engine is active.
+    fn index_write_cost(&mut self, fp: &Footprint, now: SimTime) -> OpCost {
+        let smo = (fp.splits + fp.merges + fp.borrows) as u64;
+        let instr = 60 + 3 * fp.comparisons as u64 + 400 * smo;
+        let mut cpu = self.sw_work(Category::Btree, instr, 0, AccessClass::Hot)
+            + self.mem_stall(Category::Btree, AccessClass::Index, fp.nodes_visited() as u64 + smo);
+        let mut asy = SimTime::ZERO;
+        if self.probe_hw.is_some() {
+            // Ship the delta to the FPGA-resident index replica.
+            cpu += self.sw_work(Category::Btree, 15, 0, AccessClass::Hot);
+            let done = self.platform.pcie_send(now + cpu, 96 + 160 * smo);
+            asy = done.saturating_sub(now + cpu);
+        }
+        OpCost { cpu, asy }
+    }
+
+    /// Record fetch cost (`bytes` of payload, `missed` = buffer-pool miss).
+    fn record_read_cost(&mut self, bytes: usize, missed: bool, now: SimTime) -> OpCost {
+        if self.cfg.offloads.overlay {
+            // Record lives in FPGA memory: one more SG round piggybacked on
+            // the probe exchange.
+            let cpu = self.sw_work(Category::Other, 20, 0, AccessClass::Hot);
+            let rounds = bytes.div_ceil(64) as u64;
+            let e = self.platform.sg_dram.charge_accesses(rounds * 8);
+            self.platform.energy.charge(EnergyDomain::SgDram, e);
+            let asy = SimTime::from_ns(400.0) + self.platform.pcie.wire_time(bytes as u64);
+            return OpCost { cpu, asy };
+        }
+        let mut cpu = self.sw_work(Category::Bpool, 90, 3, AccessClass::Hot);
+        let mut asy = SimTime::ZERO;
+        if missed {
+            // Synchronous page fetch from the SAS array.
+            let done = self.platform.sas_read(now + cpu, 0, 8192);
+            asy = done.saturating_sub(now + cpu);
+            cpu += self.sw_work(Category::Bpool, 400, 8, AccessClass::Hot);
+        }
+        cpu += self.sw_work(
+            Category::Other,
+            (bytes as u64) / 8,
+            (bytes as u64).div_ceil(64),
+            AccessClass::PointerChase,
+        );
+        OpCost {
+            cpu,
+            asy,
+        }
+    }
+
+    /// Record write cost (patch + page write path).
+    fn record_write_cost(&mut self, bytes: usize) -> SimTime {
+        let pool_part = if self.cfg.offloads.overlay {
+            self.sw_work(Category::Other, 25, 0, AccessClass::Hot)
+        } else {
+            self.sw_work(Category::Bpool, 110, 3, AccessClass::Hot)
+        };
+        pool_part
+            + self.sw_work(
+                Category::Other,
+                (bytes as u64) / 8,
+                (bytes as u64).div_ceil(64),
+                AccessClass::PointerChase,
+            )
+    }
+
+    /// Overlay delta-write cost (the FPGA overlay manager of Figure 4).
+    fn overlay_write_cost(&mut self, now: SimTime) -> OpCost {
+        let cpu = self.sw_work(Category::Bpool, 30, 1, AccessClass::Hot);
+        let done = self.platform.pcie_send(now + cpu, 64);
+        OpCost {
+            cpu,
+            asy: (done + SimTime::from_ns(400.0)).saturating_sub(now + cpu),
+        }
+    }
+
+    /// Append + price a log record. Returns `(cpu, buffered_at, lsn)`.
+    fn log_write(
+        &mut self,
+        txn: TxnId,
+        body: LogBody,
+        agent: usize,
+        now: SimTime,
+    ) -> (SimTime, SimTime, Lsn) {
+        let (rec, bytes) = self.log.append(txn, body);
+        let timing = self.log_path.insert(now, agent, bytes as u64);
+        let cpu = self.cpu_time(Category::Log, timing.cpu_busy);
+        self.platform.charge_fpga(timing.energy);
+        (cpu, timing.buffered_at, rec.lsn)
+    }
+
+    fn stamp_page(&mut self, rid: RecordId, lsn: Lsn) {
+        self.pool.with_page_mut(rid.page, |pg| {
+            SlottedPage::attach(pg).set_lsn(lsn);
+        });
+    }
+
+    /// Conventional-engine lock acquisition: hash + latch + queue checks
+    /// (~300 instructions per Shore-class engines), plus contention on the
+    /// central lock-manager latch.
+    fn lock_cost(&mut self, now: SimTime) -> SimTime {
+        let cpu = self.sw_work(Category::Lock, 300, 4, AccessClass::Hot);
+        // Lock-table bucket latch + lock-state line transfer: at multi-core
+        // contention levels the line rarely stays local (the effect DORA
+        // removes by construction).
+        let service = SimTime::from_ns(120.0);
+        let wait = self.lock_latch.delay(now + cpu, service);
+        cpu + self.cpu_time(Category::Lock, wait.min(SimTime::from_us(5.0)) + service)
+    }
+
+    // ---- op execution ----------------------------------------------------
+
+    /// Probe functionally + price it.
+    fn timed_probe(&mut self, table: u32, key: i64, now: SimTime) -> (Option<u64>, OpCost) {
+        let (rid, fp) = self.tables[table as usize].index.get(&key);
+        let cost = self.probe_cost(table, key, &fp, now);
+        (rid, cost)
+    }
+
+    /// Secondary-index probe: skey → primary key, priced like any probe.
+    fn timed_secondary_probe(
+        &mut self,
+        table: u32,
+        skey: i64,
+        now: SimTime,
+    ) -> (Option<i64>, OpCost) {
+        debug_assert!(
+            self.tables[table as usize].secondary_offset.is_some(),
+            "secondary read on table without a secondary index"
+        );
+        let (pkey, fp) = self.tables[table as usize].secondary.get(&skey);
+        let cost = self.probe_cost(table, skey, &fp, now);
+        (pkey.map(|p| p as i64), cost)
+    }
+
+    /// Maintain the secondary index across a write. `before`/`after` are
+    /// the record images (None = record absent on that side). Returns the
+    /// maintenance cost; pushes compensations onto `undo`.
+    fn maintain_secondary(
+        &mut self,
+        table: u32,
+        key: i64,
+        before: Option<&[u8]>,
+        after: Option<&[u8]>,
+        now: SimTime,
+        undo: &mut Vec<IndexUndo>,
+    ) -> OpCost {
+        let mut cost = OpCost::default();
+        let (old_skey, new_skey) = {
+            let t = &self.tables[table as usize];
+            if t.secondary_offset.is_none() {
+                return cost;
+            }
+            (
+                before.and_then(|r| t.secondary_key(r)),
+                after.and_then(|r| t.secondary_key(r)),
+            )
+        };
+        if old_skey == new_skey {
+            return cost;
+        }
+        if let Some(skey) = old_skey {
+            let (_, fp) = self.tables[table as usize].secondary.remove(&skey);
+            let c = self.index_write_cost(&fp, now);
+            cost.add(c);
+            undo.push(IndexUndo::SecondaryReinsert {
+                table,
+                skey,
+                pkey: key,
+            });
+        }
+        if let Some(skey) = new_skey {
+            let (_, fp) = self.tables[table as usize].secondary.insert(skey, key as u64);
+            let c = self.index_write_cost(&fp, now);
+            cost.add(c);
+            undo.push(IndexUndo::SecondaryRemove { table, skey });
+        }
+        cost
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_op(
+        &mut self,
+        txn: TxnId,
+        op: &Op,
+        agent: usize,
+        now: SimTime,
+        undo: &mut Vec<IndexUndo>,
+        wrote: &mut bool,
+        logged_begin: &mut bool,
+        abort_on_missing_read: bool,
+    ) -> (OpCost, Result<(), AbortReason>) {
+        let mut cost = OpCost::default();
+        if self.cfg.exec == ExecModel::Conventional {
+            // Every op's target is locked before access.
+            if !matches!(op, Op::Compute { .. }) {
+                cost.cpu += self.lock_cost(now);
+            }
+        }
+        let ensure_begin =
+            |eng: &mut Engine, cost: &mut OpCost, logged_begin: &mut bool, t: SimTime| {
+                if !*logged_begin {
+                    let (cpu, _, _) = eng.log_write(txn, LogBody::Begin, agent, t);
+                    cost.cpu += cpu;
+                    *logged_begin = true;
+                }
+            };
+        let result = match op {
+            Op::Compute { instructions } => {
+                cost.cpu += self.sw_work(
+                    Category::Other,
+                    *instructions,
+                    instructions / 10,
+                    AccessClass::Hot,
+                );
+                Ok(())
+            }
+            Op::SecondaryRead { table, skey } => {
+                let (pkey, c) = self.timed_secondary_probe(*table, *skey, now);
+                cost.add(c);
+                match pkey {
+                    Some(pkey) => {
+                        let (rid, c) = self.timed_probe(*table, pkey, now);
+                        cost.add(c);
+                        if let Some(rid) = rid {
+                            let rid = RecordId::from_u64(rid);
+                            let (rec, hfp) = {
+                                let t = &mut self.tables[*table as usize];
+                                t.heap.get(&mut self.pool, rid)
+                            };
+                            let bytes = rec.map_or(0, |r| r.len());
+                            let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
+                            cost.add(c);
+                        }
+                        Ok(())
+                    }
+                    None if abort_on_missing_read => Err(AbortReason::MissingKey),
+                    None => Ok(()),
+                }
+            }
+            Op::Read { table, key } => {
+                let (rid, c) = self.timed_probe(*table, *key, now);
+                cost.add(c);
+                match rid {
+                    Some(rid) => {
+                        let rid = RecordId::from_u64(rid);
+                        let (rec, hfp) = {
+                            let t = &mut self.tables[*table as usize];
+                            t.heap.get(&mut self.pool, rid)
+                        };
+                        let bytes = rec.map_or(0, |r| r.len());
+                        let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
+                        cost.add(c);
+                        Ok(())
+                    }
+                    None if abort_on_missing_read => Err(AbortReason::MissingKey),
+                    None => Ok(()),
+                }
+            }
+            Op::ReadRange {
+                table,
+                lo,
+                hi,
+                limit,
+            } => {
+                let mut rids: Vec<u64> = Vec::new();
+                let fp = {
+                    let t = &self.tables[*table as usize];
+                    t.index.range(lo, hi, |_, v| {
+                        if rids.len() < *limit {
+                            rids.push(v);
+                        }
+                    })
+                };
+                // Descent priced like a probe; the leaf walk adds dependent
+                // leaf fetches (hw: one SG round each; sw: pointer chases).
+                let c = self.probe_cost(*table, *lo, &fp, now);
+                cost.add(c);
+                let extra_leaves = fp.leaves_visited.saturating_sub(1) as u64;
+                if self.probe_hw.is_some() {
+                    cost.asy += SimTime::from_ns(400.0) * extra_leaves;
+                    let e = self.platform.sg_dram.charge_accesses(extra_leaves * 8);
+                    self.platform.energy.charge(EnergyDomain::SgDram, e);
+                } else {
+                    cost.cpu += self.sw_work(
+                        Category::Btree,
+                        4 * rids.len() as u64,
+                        0,
+                        AccessClass::Hot,
+                    );
+                }
+                for rid in rids {
+                    let rid = RecordId::from_u64(rid);
+                    let (rec, hfp) = {
+                        let t = &mut self.tables[*table as usize];
+                        t.heap.get(&mut self.pool, rid)
+                    };
+                    let bytes = rec.map_or(0, |r| r.len());
+                    let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
+                    cost.add(c);
+                }
+                Ok(())
+            }
+            Op::Update { table, key, patch } => {
+                let (rid, c) = self.timed_probe(*table, *key, now);
+                cost.add(c);
+                let Some(rid_u) = rid else {
+                    return (cost, Err(AbortReason::MissingKey));
+                };
+                let rid = RecordId::from_u64(rid_u);
+                let (before, hfp) = {
+                    let t = &mut self.tables[*table as usize];
+                    t.heap.get(&mut self.pool, rid)
+                };
+                let before = before.expect("index points at live record");
+                let c = self.record_read_cost(before.len(), hfp.pool_misses > 0, now);
+                cost.add(c);
+                let mut after = before.clone();
+                if patch.apply(&mut after).is_err() {
+                    return (cost, Err(AbortReason::PatchFailed));
+                }
+                let before_for_secondary = before.clone();
+                ensure_begin(self, &mut cost, logged_begin, now);
+                let (new_rid, _) = {
+                    let t = &mut self.tables[*table as usize];
+                    t.heap
+                        .update(&mut self.pool, rid, &after)
+                        .expect("update fits (fixed-size records)")
+                };
+                cost.cpu += self.record_write_cost(after.len());
+                if new_rid != rid {
+                    // Record moved: log as delete+insert, repoint the index.
+                    let (cpu, _, lsn1) = self.log_write(
+                        txn,
+                        LogBody::Delete {
+                            table: *table,
+                            rid: rid_u,
+                            before: before.clone(),
+                        },
+                        agent,
+                        now,
+                    );
+                    cost.cpu += cpu;
+                    self.stamp_page(rid, lsn1);
+                    let (cpu, _, lsn2) = self.log_write(
+                        txn,
+                        LogBody::Insert {
+                            table: *table,
+                            rid: new_rid.to_u64(),
+                            after: after.clone(),
+                        },
+                        agent,
+                        now,
+                    );
+                    cost.cpu += cpu;
+                    self.stamp_page(new_rid, lsn2);
+                    let (_, ifp) = self.tables[*table as usize]
+                        .index
+                        .insert(*key, new_rid.to_u64());
+                    let c = self.index_write_cost(&ifp, now);
+                    cost.add(c);
+                    undo.push(IndexUndo::Reinsert {
+                        table: *table,
+                        key: *key,
+                        rid: rid_u,
+                    });
+                } else {
+                    let (cpu, _, lsn) = self.log_write(
+                        txn,
+                        LogBody::Update {
+                            table: *table,
+                            rid: rid_u,
+                            before,
+                            after: after.clone(),
+                        },
+                        agent,
+                        now,
+                    );
+                    cost.cpu += cpu;
+                    self.stamp_page(rid, lsn);
+                }
+                if self.cfg.offloads.overlay {
+                    let seq = self.write_seq;
+                    self.write_seq += 1;
+                    self.overlays[*table as usize].put(*key, new_rid.to_u64(), seq);
+                    let c = self.overlay_write_cost(now);
+                    cost.add(c);
+                }
+                let c = self.maintain_secondary(
+                    *table,
+                    *key,
+                    Some(&before_for_secondary),
+                    Some(&after),
+                    now,
+                    undo,
+                );
+                cost.add(c);
+                *wrote = true;
+                Ok(())
+            }
+            Op::Insert { table, key, record } => {
+                let (existing, c) = self.timed_probe(*table, *key, now);
+                cost.add(c);
+                if existing.is_some() {
+                    return (cost, Err(AbortReason::DuplicateKey));
+                }
+                ensure_begin(self, &mut cost, logged_begin, now);
+                let full = crate::table::make_record(*key, record);
+                let full_for_secondary = full.clone();
+                let (rid, _) = {
+                    let t = &mut self.tables[*table as usize];
+                    t.heap.insert(&mut self.pool, &full).expect("insert fits")
+                };
+                cost.cpu += self.record_write_cost(full.len());
+                let (cpu, _, lsn) = self.log_write(
+                    txn,
+                    LogBody::Insert {
+                        table: *table,
+                        rid: rid.to_u64(),
+                        after: full,
+                    },
+                    agent,
+                    now,
+                );
+                cost.cpu += cpu;
+                self.stamp_page(rid, lsn);
+                let (_, ifp) = self.tables[*table as usize].index.insert(*key, rid.to_u64());
+                let c = self.index_write_cost(&ifp, now);
+                cost.add(c);
+                if self.cfg.offloads.overlay {
+                    let seq = self.write_seq;
+                    self.write_seq += 1;
+                    self.overlays[*table as usize].put(*key, rid.to_u64(), seq);
+                    let c = self.overlay_write_cost(now);
+                    cost.add(c);
+                }
+                undo.push(IndexUndo::Remove {
+                    table: *table,
+                    key: *key,
+                });
+                let c = self.maintain_secondary(*table, *key, None, Some(&full_for_secondary), now, undo);
+                cost.add(c);
+                *wrote = true;
+                Ok(())
+            }
+            Op::Delete { table, key } => {
+                let (rid, c) = self.timed_probe(*table, *key, now);
+                cost.add(c);
+                let Some(rid_u) = rid else {
+                    return (cost, Err(AbortReason::MissingKey));
+                };
+                let rid = RecordId::from_u64(rid_u);
+                let (before, hfp) = {
+                    let t = &mut self.tables[*table as usize];
+                    t.heap.get(&mut self.pool, rid)
+                };
+                let before = before.expect("index points at live record");
+                let before_for_secondary = before.clone();
+                let c = self.record_read_cost(before.len(), hfp.pool_misses > 0, now);
+                cost.add(c);
+                ensure_begin(self, &mut cost, logged_begin, now);
+                {
+                    let t = &mut self.tables[*table as usize];
+                    t.heap.delete(&mut self.pool, rid).expect("delete live");
+                }
+                cost.cpu += self.record_write_cost(0);
+                let (cpu, _, lsn) = self.log_write(
+                    txn,
+                    LogBody::Delete {
+                        table: *table,
+                        rid: rid_u,
+                        before,
+                    },
+                    agent,
+                    now,
+                );
+                cost.cpu += cpu;
+                self.stamp_page(rid, lsn);
+                let (_, ifp) = self.tables[*table as usize].index.remove(key);
+                let c = self.index_write_cost(&ifp, now);
+                cost.add(c);
+                if self.cfg.offloads.overlay {
+                    let seq = self.write_seq;
+                    self.write_seq += 1;
+                    self.overlays[*table as usize].delete(*key, seq);
+                    let c = self.overlay_write_cost(now);
+                    cost.add(c);
+                }
+                undo.push(IndexUndo::Reinsert {
+                    table: *table,
+                    key: *key,
+                    rid: rid_u,
+                });
+                let c = self.maintain_secondary(*table, *key, Some(&before_for_secondary), None, now, undo);
+                cost.add(c);
+                *wrote = true;
+                Ok(())
+            }
+        };
+        (cost, result)
+    }
+
+    /// Roll a transaction back: WAL undo for heap state, reverse index
+    /// compensation for volatile structures, CLR logging costs.
+    fn rollback(
+        &mut self,
+        txn: TxnId,
+        undo: Vec<IndexUndo>,
+        agent: usize,
+        now: SimTime,
+    ) -> SimTime {
+        let mut cpu = self.sw_work(Category::Xct, 150, 3, AccessClass::Hot);
+        let undone = bionic_wal::recovery::undo_txn(&mut self.log, &mut self.pool, txn);
+        // Price each CLR like a small logged update.
+        for _ in 0..undone {
+            let timing = self.log_path.insert(now + cpu, agent, 120);
+            cpu += self.cpu_time(Category::Log, timing.cpu_busy);
+            self.platform.charge_fpga(timing.energy);
+            cpu += self.sw_work(Category::Xct, 180, 4, AccessClass::PointerChase);
+        }
+        for u in undo.into_iter().rev() {
+            match u {
+                IndexUndo::Remove { table, key } => {
+                    let (_, fp) = self.tables[table as usize].index.remove(&key);
+                    let c = self.index_write_cost(&fp, now + cpu);
+                    cpu += c.cpu;
+                    if self.cfg.offloads.overlay {
+                        let seq = self.write_seq;
+                        self.write_seq += 1;
+                        self.overlays[table as usize].delete(key, seq);
+                    }
+                }
+                IndexUndo::Reinsert { table, key, rid } => {
+                    let (_, fp) = self.tables[table as usize].index.insert(key, rid);
+                    let c = self.index_write_cost(&fp, now + cpu);
+                    cpu += c.cpu;
+                    if self.cfg.offloads.overlay {
+                        let seq = self.write_seq;
+                        self.write_seq += 1;
+                        self.overlays[table as usize].put(key, rid, seq);
+                    }
+                }
+                IndexUndo::SecondaryRemove { table, skey } => {
+                    let (_, fp) = self.tables[table as usize].secondary.remove(&skey);
+                    let c = self.index_write_cost(&fp, now + cpu);
+                    cpu += c.cpu;
+                }
+                IndexUndo::SecondaryReinsert { table, skey, pkey } => {
+                    let (_, fp) =
+                        self.tables[table as usize].secondary.insert(skey, pkey as u64);
+                    let c = self.index_write_cost(&fp, now + cpu);
+                    cpu += c.cpu;
+                }
+            }
+        }
+        cpu
+    }
+
+    /// The query-side read path of Figure 4: a range query over one table,
+    /// optionally as of an earlier version (overlay mode patches history,
+    /// §5.6), answered through the CPU-side result cache when possible.
+    ///
+    /// Returns `(row_count, served_from_cache, completion_time)`. Query
+    /// execution stays in software ("query engine" sits in the GP-CPU box);
+    /// only the data access is priced through the active substrate.
+    pub fn query_range(
+        &mut self,
+        table: u32,
+        lo: i64,
+        hi: i64,
+        asof: Option<u64>,
+        now: SimTime,
+    ) -> (usize, bool, SimTime) {
+        let version = asof.unwrap_or(u64::MAX);
+        let fingerprint = (table as u64)
+            .wrapping_mul(GOLDEN)
+            .wrapping_add((lo as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .wrapping_add((hi as u64).wrapping_mul(0x9E37_79B9))
+            .wrapping_add(version);
+        // Cache lookup: a hash probe plus a couple of line touches.
+        let mut cpu = self.sw_work(Category::FrontEnd, 120, 3, AccessClass::Hot);
+        if asof.is_none() {
+            if let Some(hit) = self.result_cache.get(fingerprint) {
+                let rows = u64::from_le_bytes(hit[..8].try_into().unwrap()) as usize;
+                return (rows, true, now + cpu);
+            }
+        }
+        // Execute: overlay patching when enabled, plain index otherwise.
+        let mut rows = 0usize;
+        if self.cfg.offloads.overlay {
+            self.overlays[table as usize].range_asof(&lo, &hi, version, |_, _| rows += 1);
+        } else {
+            self.tables[table as usize].index.range(&lo, &hi, |_, _| rows += 1);
+        }
+        // Price it like a range read + per-row merge work.
+        let (_, fp) = self.tables[table as usize].index.get(&lo);
+        let c = self.probe_cost(table, lo, &fp, now);
+        cpu += c.cpu;
+        cpu += self.sw_work(
+            Category::Other,
+            30 * rows as u64 + 200,
+            rows as u64,
+            AccessClass::Sequential,
+        );
+        let done = now + cpu + c.asy;
+        if asof.is_none() {
+            self.result_cache.put(
+                fingerprint,
+                (rows as u64).to_le_bytes().to_vec(),
+                &[table],
+            );
+        }
+        (rows, false, done)
+    }
+
+    /// Result-cache statistics (hits/misses/stale/evictions).
+    pub fn result_cache_stats(&self) -> bionic_overlay::result_cache::CacheStats {
+        self.result_cache.stats()
+    }
+
+    /// Latency summary of committed transactions (convenience).
+    pub fn latency_summary(&self) -> Summary {
+        self.stats.latency.summary()
+    }
+
+    /// Background overlay merges (§5.6's bulk merge back to disk).
+    fn maybe_merge(&mut self, now: SimTime) {
+        if !self.cfg.offloads.overlay {
+            return;
+        }
+        for t in 0..self.tables.len() {
+            let writes = self.overlays[t].delta_writes();
+            if writes - self.merge_marks[t] >= self.cfg.merge_threshold {
+                let up_to = self.write_seq;
+                self.write_seq += 1;
+                let report = self.overlays[t].merge(up_to);
+                self.merge_marks[t] = self.overlays[t].delta_writes();
+                // Bulk sequential write-back to the SAS array: background
+                // I/O and fabric work, no agent time.
+                self.platform
+                    .sas_write(now, t as u64 * (1 << 30), report.bytes_written);
+                self.platform
+                    .charge_fpga(bionic_sim::energy::Energy::from_uj(
+                        report.keys_merged as f64 * 0.05,
+                    ));
+                self.sw_work(Category::Other, 2_000, 40, AccessClass::Sequential);
+                self.stats.merges += 1;
+            }
+        }
+    }
+
+    // ---- the main entry point ---------------------------------------------
+
+    /// Execute one transaction arriving at `arrive`.
+    pub fn submit(&mut self, program: &TxnProgram, arrive: SimTime) -> TxnOutcome {
+        self.stats.submitted += 1;
+        let txn = self.next_txn;
+        self.next_txn += 1;
+
+        // Front-end: admission + routing on the dispatcher.
+        let fe_cpu = self.sw_work(Category::FrontEnd, 300, 5, AccessClass::Hot);
+        let (_, t0) = self.router.submit(arrive, fe_cpu);
+        let mut t = t0 + self.sw_work(Category::Xct, 120, 2, AccessClass::Hot);
+
+        let conventional_agent = if self.cfg.exec == ExecModel::Conventional {
+            let a = self.rr_next % self.agents.len();
+            self.rr_next += 1;
+            Some(a)
+        } else {
+            None
+        };
+
+        let mut undo: Vec<IndexUndo> = Vec::new();
+        let mut written_tables: Vec<u32> = Vec::new();
+        let mut wrote = false;
+        let mut logged_begin = false;
+        let mut abort: Option<AbortReason> = None;
+        let mut last_agent = 0usize;
+        let mut locks_taken = 0u64;
+
+        'phases: for phase in &program.phases {
+            let mut completions: Vec<SimTime> = Vec::with_capacity(phase.len());
+            for action in phase {
+                let agent_idx = conventional_agent.unwrap_or_else(|| self.route(action));
+                last_agent = agent_idx;
+                let mut hand_off = SimTime::ZERO;
+                if self.cfg.exec == ExecModel::Dora {
+                    // Action creation + queue hand-off (Dora mechanics).
+                    let create = self.sw_work(Category::Dora, 100, 2, AccessClass::Hot);
+                    let cross = self.socket_of(agent_idx) != 0;
+                    let (enq, deq) = if let Some(hw) = self.queue_hw.as_mut() {
+                        let e = hw.enqueue(t);
+                        let d = hw.dequeue(t);
+                        self.platform.charge_fpga(e.energy + d.energy);
+                        (e.cpu_busy, d.cpu_busy)
+                    } else {
+                        let e = self.queue_sw.enqueue(cross);
+                        let d = self.queue_sw.dequeue(cross);
+                        (e.cpu_busy, d.cpu_busy)
+                    };
+                    self.cpu_time(Category::Dora, enq + deq);
+                    hand_off = create + enq + deq;
+                } else {
+                    locks_taken += action.ops.len() as u64;
+                }
+                // Execute the ops. CPU accumulates serially; asynchronous
+                // tails of the ops in one action OVERLAP — the agent issues
+                // every offload request of its action before waiting on the
+                // rendezvous, exactly the latency-hiding §5 argues for.
+                let mut cost = OpCost::default();
+                let start_hint = t + hand_off;
+                for op in &action.ops {
+                    let was_write = op.is_write();
+                    let (c, res) = self.exec_op(
+                        txn,
+                        op,
+                        agent_idx,
+                        start_hint,
+                        &mut undo,
+                        &mut wrote,
+                        &mut logged_begin,
+                        program.abort_on_missing_read,
+                    );
+                    cost.cpu += c.cpu;
+                    cost.asy = cost.asy.max(c.asy);
+                    if was_write && res.is_ok() {
+                        if let Op::Update { table, .. }
+                        | Op::Insert { table, .. }
+                        | Op::Delete { table, .. } = op
+                        {
+                            if !written_tables.contains(table) {
+                                written_tables.push(*table);
+                            }
+                        }
+                    }
+                    if let Err(reason) = res {
+                        abort = Some(reason);
+                        break;
+                    }
+                }
+                let (_, agent_done) = self.agents[agent_idx].submit(start_hint, cost.cpu);
+                completions.push(agent_done + cost.asy);
+                if abort.is_some() {
+                    t = completions.iter().copied().max().unwrap_or(t);
+                    break 'phases;
+                }
+            }
+            t = completions.iter().copied().max().unwrap_or(t);
+            if self.cfg.exec == ExecModel::Dora && phase.len() > 1 {
+                // Rendezvous point joins the phase.
+                t += self.sw_work(Category::Dora, 60, 1, AccessClass::Hot);
+            }
+        }
+
+        let outcome = match abort {
+            Some(reason) => {
+                let rb_cpu = self.rollback(txn, undo, last_agent, t);
+                let (_, done) = self.agents[last_agent].submit(t, rb_cpu);
+                self.stats.aborted += 1;
+                let latency = done - arrive;
+                self.stats.last_completion = self.stats.last_completion.max(done);
+                TxnOutcome::Aborted { reason, latency }
+            }
+            None => {
+                // Commit.
+                let mut commit_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
+                if self.cfg.exec == ExecModel::Conventional && locks_taken > 0 {
+                    commit_cpu += self.sw_work(
+                        Category::Lock,
+                        130 * locks_taken,
+                        2 * locks_taken,
+                        AccessClass::Hot,
+                    );
+                }
+                let done = if wrote {
+                    let (log_cpu, buffered, _) =
+                        self.log_write(txn, LogBody::Commit, last_agent, t + commit_cpu);
+                    commit_cpu += log_cpu;
+                    let bytes = self.log.unflushed_bytes().max(1);
+                    let (durable, e) = self.group_commit.durable_at(buffered, bytes);
+                    self.platform.energy.charge(EnergyDomain::Storage, e);
+                    self.log.flush();
+                    self.log.append(txn, LogBody::End);
+                    let (_, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    agent_done.max(durable)
+                } else {
+                    let (_, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    agent_done
+                };
+                for t in &written_tables {
+                    self.result_cache.bump_table(*t);
+                }
+                self.stats.committed += 1;
+                let latency = done - arrive;
+                self.stats.latency.record(latency);
+                self.stats.last_completion = self.stats.last_completion.max(done);
+                TxnOutcome::Committed { latency }
+            }
+        };
+        self.maybe_merge(t);
+        outcome
+    }
+}

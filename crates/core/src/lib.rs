@@ -1,0 +1,50 @@
+//! # bionic-core — the "bionic" hybrid hardware/software DBMS engine
+//!
+//! The primary contribution of *"The bionic DBMS is coming, but what will
+//! it look like?"* (Johnson & Pandis, CIDR 2013), built as a runnable
+//! system over the `bionic-*` substrate crates:
+//!
+//! * a data-oriented (DORA [10, 11]) execution engine — logical partitions,
+//!   action queues, rendezvous points, no locks or index latches — plus a
+//!   conventional shared-everything baseline with a lock manager;
+//! * the four §5 hardware offloads, each independently toggleable: the
+//!   tree-probe engine (§5.3), the log-insertion engine (§5.4), the queue
+//!   engine (§5.5), and the overlay database (§5.6);
+//! * the seven-category time-breakdown profiler of Figure 3 and
+//!   joules-per-transaction accounting (§2's metric);
+//! * full write-ahead logging with ARIES restart recovery wired through
+//!   [`engine::Engine::crash`] / [`engine::Engine::restart`].
+//!
+//! ```
+//! use bionic_core::config::EngineConfig;
+//! use bionic_core::engine::Engine;
+//! use bionic_core::ops::{Action, Op, TxnProgram};
+//! use bionic_sim::time::SimTime;
+//!
+//! let mut engine = Engine::new(EngineConfig::bionic());
+//! let t = engine.create_table("accounts");
+//! engine.load(t, 1, b"alice: 100");
+//! engine.finish_load();
+//!
+//! let read = TxnProgram::single_phase(
+//!     "read-account",
+//!     vec![Action::new(t, 1, vec![Op::Read { table: t, key: 1 }])],
+//! );
+//! let outcome = engine.submit(&read, SimTime::ZERO);
+//! assert!(outcome.is_committed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod ops;
+pub mod table;
+
+pub use breakdown::{Category, TimeBreakdown};
+pub use config::{EngineConfig, ExecModel, LogImpl, Offloads};
+pub use engine::{CrashImage, Engine, EngineStats};
+pub use exec::{AbortReason, TxnOutcome};
+pub use ops::{Action, Op, Patch, TxnProgram};

@@ -1,0 +1,160 @@
+//! Tables: heap storage plus a primary B+tree index.
+//!
+//! Every record follows one convention: **its first 8 bytes are its primary
+//! key** (little-endian i64). That makes indexes rebuildable from heap scans
+//! after recovery — exactly the "index re-org … stays in software" division
+//! of Figure 4.
+
+use bionic_btree::tree::BTree;
+use bionic_storage::bufferpool::BufferPool;
+use bionic_storage::heap::HeapFile;
+use bionic_storage::page::{PageId, RecordId};
+
+/// Read the embedded primary key from a record image.
+pub fn record_key(record: &[u8]) -> i64 {
+    i64::from_le_bytes(record[..8].try_into().expect("record shorter than key"))
+}
+
+/// Prefix a record body with its key, forming a full record image.
+pub fn make_record(key: i64, body: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(8 + body.len());
+    rec.extend_from_slice(&key.to_le_bytes());
+    rec.extend_from_slice(body);
+    rec
+}
+
+/// A table: heap file + primary index (key → packed [`RecordId`]), with an
+/// optional secondary index over an embedded `i64` field (secondary key →
+/// primary key) — e.g. TATP's `sub_nbr → s_id`.
+#[derive(Debug, Default)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Base record storage.
+    pub heap: HeapFile,
+    /// Primary index.
+    pub index: BTree<i64>,
+    /// Byte offset (within the full record image) of the indexed secondary
+    /// field, if any.
+    pub secondary_offset: Option<usize>,
+    /// Secondary index: field value → primary key. Unique.
+    pub secondary: BTree<i64>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Table {
+            name: name.into(),
+            heap: HeapFile::new(),
+            index: BTree::new(),
+            secondary_offset: None,
+            secondary: BTree::new(),
+        }
+    }
+
+    /// An empty table with a secondary index over the i64 at `offset`.
+    pub fn with_secondary(name: impl Into<String>, offset: usize) -> Self {
+        Table {
+            secondary_offset: Some(offset),
+            ..Self::new(name)
+        }
+    }
+
+    /// Extract the secondary key from a record image, if configured.
+    pub fn secondary_key(&self, record: &[u8]) -> Option<i64> {
+        self.secondary_offset.map(|off| {
+            i64::from_le_bytes(record[off..off + 8].try_into().expect("secondary field"))
+        })
+    }
+
+    /// Rebuild the index(es) from the heap (post-recovery). The heap's page
+    /// list must already be restored.
+    pub fn rebuild_index(&mut self, pool: &mut BufferPool) -> usize {
+        let mut pairs: Vec<(i64, u64)> = Vec::new();
+        let mut sec_pairs: Vec<(i64, u64)> = Vec::new();
+        let offset = self.secondary_offset;
+        self.heap.scan(pool, |rid, rec| {
+            let key = record_key(rec);
+            pairs.push((key, rid.to_u64()));
+            if let Some(off) = offset {
+                let skey = i64::from_le_bytes(rec[off..off + 8].try_into().unwrap());
+                sec_pairs.push((skey, key as u64));
+            }
+        });
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let n = pairs.len();
+        self.index = BTree::bulk_load(pairs, 256, 0.8);
+        if offset.is_some() {
+            sec_pairs.sort_unstable_by_key(|&(k, _)| k);
+            self.secondary = BTree::bulk_load(sec_pairs, 256, 0.8);
+        }
+        n
+    }
+
+    /// Restore the heap's page list from recovered page ids.
+    pub fn restore_pages(&mut self, pages: &[u64]) {
+        self.heap = HeapFile::new();
+        for &p in pages {
+            self.heap.adopt_page(PageId(p));
+        }
+    }
+
+    /// Fetch a record by key (index probe + heap read), untimed — loaders
+    /// and tests use this; the engine's timed paths live in `exec`.
+    pub fn get(&self, pool: &mut BufferPool, key: i64) -> Option<Vec<u8>> {
+        let (rid, _) = self.index.get(&key);
+        rid.and_then(|r| self.heap.get(pool, RecordId::from_u64(r)).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_storage::disk::DiskManager;
+
+    #[test]
+    fn record_key_round_trip() {
+        let rec = make_record(-42, b"body");
+        assert_eq!(record_key(&rec), -42);
+        assert_eq!(&rec[8..], b"body");
+    }
+
+    #[test]
+    fn rebuild_index_from_heap() {
+        let mut pool = BufferPool::new(64, DiskManager::new());
+        let mut t = Table::new("test");
+        for k in 0..500i64 {
+            let rec = make_record(k, format!("row {k}").as_bytes());
+            let (rid, _) = t.heap.insert(&mut pool, &rec).unwrap();
+            t.index.insert(k, rid.to_u64());
+        }
+        // Wipe and rebuild.
+        t.index = BTree::new();
+        assert_eq!(t.get(&mut pool, 250), None);
+        let n = t.rebuild_index(&mut pool);
+        assert_eq!(n, 500);
+        assert_eq!(t.get(&mut pool, 250).unwrap(), make_record(250, b"row 250"));
+        t.index.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn secondary_index_rebuilds_too() {
+        let mut pool = BufferPool::new(64, DiskManager::new());
+        // Secondary field: i64 at offset 8 (first body field) = key * 7.
+        let mut t = Table::with_secondary("test", 8);
+        for k in 0..200i64 {
+            let rec = make_record(k, &(k * 7).to_le_bytes());
+            let (rid, _) = t.heap.insert(&mut pool, &rec).unwrap();
+            t.index.insert(k, rid.to_u64());
+            let skey = t.secondary_key(&rec).unwrap();
+            assert_eq!(skey, k * 7);
+            t.secondary.insert(skey, k as u64);
+        }
+        t.secondary = BTree::new();
+        t.rebuild_index(&mut pool);
+        assert_eq!(t.secondary.len(), 200);
+        assert_eq!(t.secondary.get(&700).0, Some(100));
+        t.secondary.check_invariants().unwrap();
+    }
+}

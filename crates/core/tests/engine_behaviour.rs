@@ -1,0 +1,625 @@
+//! Engine-level behavioural tests: functional correctness (visibility,
+//! rollback, recovery) and model-level sanity (breakdown shares, energy,
+//! throughput) across software, bionic, and conventional configurations.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_core::ops::{Action, Op, Patch, TxnProgram};
+use bionic_core::{AbortReason, Category, TxnOutcome};
+use bionic_sim::time::SimTime;
+
+fn loaded_engine(cfg: EngineConfig, rows: i64) -> (Engine, u32) {
+    let mut e = Engine::new(cfg);
+    let t = e.create_table("accounts");
+    for k in 0..rows {
+        let mut body = vec![0u8; 92];
+        body[..8].copy_from_slice(&(k * 100).to_le_bytes());
+        e.load(t, k, &body);
+    }
+    e.finish_load();
+    (e, t)
+}
+
+fn balance_patch(delta: i64) -> Patch {
+    // Record = key(8) || balance(8) || padding: balance at offset 8.
+    Patch::AddI64 { offset: 8, delta }
+}
+
+fn read_balance(e: &mut Engine, t: u32, k: i64) -> i64 {
+    let rec = e.read_row(t, k).expect("row exists");
+    i64::from_le_bytes(rec[8..16].try_into().unwrap())
+}
+
+fn update_txn(t: u32, k: i64, delta: i64) -> TxnProgram {
+    TxnProgram::single_phase(
+        "update",
+        vec![Action::new(
+            t,
+            k,
+            vec![Op::Update {
+                table: t,
+                key: k,
+                patch: balance_patch(delta),
+            }],
+        )],
+    )
+}
+
+fn all_configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+        ("conventional", EngineConfig::conventional()),
+    ]
+}
+
+#[test]
+fn committed_updates_are_visible_in_every_config() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 100);
+        assert_eq!(read_balance(&mut e, t, 5), 500, "{name}");
+        let out = e.submit(&update_txn(t, 5, -70), SimTime::ZERO);
+        assert!(out.is_committed(), "{name}");
+        assert_eq!(read_balance(&mut e, t, 5), 430, "{name}");
+        assert_eq!(e.stats.committed, 1, "{name}");
+    }
+}
+
+#[test]
+fn missing_key_update_aborts_and_leaves_no_trace() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 10);
+        let out = e.submit(&update_txn(t, 9999, 1), SimTime::ZERO);
+        assert_eq!(
+            out,
+            TxnOutcome::Aborted {
+                reason: AbortReason::MissingKey,
+                latency: out.latency()
+            },
+            "{name}"
+        );
+        assert_eq!(e.stats.aborted, 1, "{name}");
+        assert_eq!(e.row_count(t), 10, "{name}");
+    }
+}
+
+#[test]
+fn multi_op_abort_rolls_back_earlier_writes() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 10);
+        // First op succeeds, second targets a missing key: whole txn undone.
+        let prog = TxnProgram::single_phase(
+            "transfer-to-nowhere",
+            vec![Action::new(
+                t,
+                1,
+                vec![
+                    Op::Update {
+                        table: t,
+                        key: 1,
+                        patch: balance_patch(-50),
+                    },
+                    Op::Update {
+                        table: t,
+                        key: 777,
+                        patch: balance_patch(50),
+                    },
+                ],
+            )],
+        );
+        let out = e.submit(&prog, SimTime::ZERO);
+        assert!(!out.is_committed(), "{name}");
+        assert_eq!(read_balance(&mut e, t, 1), 100, "{name}: first op undone");
+    }
+}
+
+#[test]
+fn insert_then_read_then_delete() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 10);
+        let ins = TxnProgram::single_phase(
+            "insert",
+            vec![Action::new(
+                t,
+                500,
+                vec![Op::Insert {
+                    table: t,
+                    key: 500,
+                    record: vec![7u8; 40],
+                }],
+            )],
+        );
+        assert!(e.submit(&ins, SimTime::ZERO).is_committed(), "{name}");
+        assert_eq!(e.row_count(t), 11, "{name}");
+        assert!(e.read_row(t, 500).is_some(), "{name}");
+
+        // Duplicate insert aborts and removes nothing.
+        let out = e.submit(&ins, SimTime::from_us(100.0));
+        assert_eq!(
+            out,
+            TxnOutcome::Aborted {
+                reason: AbortReason::DuplicateKey,
+                latency: out.latency()
+            },
+            "{name}"
+        );
+        assert_eq!(e.row_count(t), 11, "{name}");
+
+        let del = TxnProgram::single_phase(
+            "delete",
+            vec![Action::new(t, 500, vec![Op::Delete { table: t, key: 500 }])],
+        );
+        assert!(e.submit(&del, SimTime::from_us(200.0)).is_committed());
+        assert_eq!(e.row_count(t), 10, "{name}");
+        assert!(e.read_row(t, 500).is_none(), "{name}");
+    }
+}
+
+#[test]
+fn aborted_insert_is_fully_undone() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 10);
+        let prog = TxnProgram::single_phase(
+            "insert-then-fail",
+            vec![Action::new(
+                t,
+                600,
+                vec![
+                    Op::Insert {
+                        table: t,
+                        key: 600,
+                        record: vec![1u8; 16],
+                    },
+                    Op::Delete { table: t, key: 999 }, // missing: abort
+                ],
+            )],
+        );
+        assert!(!e.submit(&prog, SimTime::ZERO).is_committed(), "{name}");
+        assert!(e.read_row(t, 600).is_none(), "{name}");
+        assert_eq!(e.row_count(t), 10, "{name}");
+    }
+}
+
+#[test]
+fn range_reads_commit() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 1000);
+    let prog = TxnProgram::single_phase(
+        "range",
+        vec![Action::new(
+            t,
+            100,
+            vec![Op::ReadRange {
+                table: t,
+                lo: 100,
+                hi: 200,
+                limit: 50,
+            }],
+        )],
+    );
+    assert!(e.submit(&prog, SimTime::ZERO).is_committed());
+    // Range work must show up as btree + record time.
+    assert!(e.breakdown.get(Category::Btree) > SimTime::ZERO);
+}
+
+#[test]
+fn crash_and_recover_preserves_committed_state() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 50);
+    assert!(e.submit(&update_txn(t, 3, 11), SimTime::ZERO).is_committed());
+    assert!(e
+        .submit(&update_txn(t, 4, -22), SimTime::from_us(50.0))
+        .is_committed());
+    let ins = TxnProgram::single_phase(
+        "ins",
+        vec![Action::new(
+            t,
+            777,
+            vec![Op::Insert {
+                table: t,
+                key: 777,
+                record: vec![9u8; 24],
+            }],
+        )],
+    );
+    assert!(e.submit(&ins, SimTime::from_us(100.0)).is_committed());
+
+    let image = e.crash();
+    let (mut e2, outcome) = Engine::restart(image, EngineConfig::software());
+    assert!(outcome.losers.is_empty());
+    assert!(outcome.redone > 0, "dirty pages were never flushed");
+    assert_eq!(read_balance(&mut e2, 0, 3), 311);
+    assert_eq!(read_balance(&mut e2, 0, 4), 378);
+    assert!(e2.read_row(0, 777).is_some());
+    assert_eq!(e2.row_count(0), 51);
+    // The recovered engine keeps working.
+    assert!(e2.submit(&update_txn(0, 3, 1), SimTime::ZERO).is_committed());
+    assert_eq!(read_balance(&mut e2, 0, 3), 312);
+}
+
+#[test]
+fn update_workload_breakdown_has_log_and_btree_time() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 10_000);
+    let mut at = SimTime::ZERO;
+    for i in 0..500 {
+        e.submit(&update_txn(t, (i * 13) % 10_000, 1), at);
+        at += SimTime::from_us(2.0);
+    }
+    let b = &e.breakdown;
+    assert!(b.fraction(Category::Log) > 0.02, "log share too small");
+    assert!(b.fraction(Category::Btree) > 0.05, "btree share too small");
+    assert!(b.fraction(Category::Lock) == 0.0, "DORA has no locks");
+    assert!(b.fraction(Category::Dora) > 0.0);
+}
+
+#[test]
+fn read_only_workload_has_negligible_log_share() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 10_000);
+    let mut at = SimTime::ZERO;
+    for i in 0..500 {
+        let prog = TxnProgram::single_phase(
+            "ro",
+            vec![Action::new(t, i, vec![Op::Read { table: t, key: i }])],
+        );
+        e.submit(&prog, at);
+        at += SimTime::from_us(2.0);
+    }
+    assert!(e.breakdown.fraction(Category::Log) < 0.01);
+    assert!(e.stats.committed == 500);
+}
+
+#[test]
+fn conventional_engine_pays_for_locks() {
+    let (mut e, t) = loaded_engine(EngineConfig::conventional(), 1000);
+    let mut at = SimTime::ZERO;
+    for i in 0..200 {
+        e.submit(&update_txn(t, i % 1000, 1), at);
+        at += SimTime::from_us(2.0);
+    }
+    assert!(
+        e.breakdown.fraction(Category::Lock) > 0.03,
+        "lock share: {}",
+        e.breakdown.fraction(Category::Lock)
+    );
+}
+
+#[test]
+fn bionic_engine_uses_less_energy_per_txn() {
+    // The §1 headline: "effective hardware support need not always increase
+    // raw performance; the true goal is to reduce net energy use."
+    let n = 400;
+    let mut joules = Vec::new();
+    for cfg in [EngineConfig::software(), EngineConfig::bionic()] {
+        let (mut e, t) = loaded_engine(cfg, 10_000);
+        let mut at = SimTime::ZERO;
+        for i in 0..n {
+            e.submit(&update_txn(t, (i * 31) % 10_000, 1), at);
+            at += SimTime::from_us(3.0);
+        }
+        assert_eq!(e.stats.committed, n as u64);
+        joules.push(e.platform.energy.total().as_j() / n as f64);
+    }
+    let (sw, hw) = (joules[0], joules[1]);
+    assert!(
+        hw < 0.6 * sw,
+        "bionic must cut joules/txn substantially: sw={sw:.3e} hw={hw:.3e}"
+    );
+}
+
+#[test]
+fn bionic_latency_is_not_better_but_agents_are_freer() {
+    // §3: asynchronous offload trades per-request latency for freed cores.
+    let (mut sw, t) = loaded_engine(EngineConfig::software(), 10_000);
+    let (mut hw, _) = loaded_engine(EngineConfig::bionic(), 10_000);
+    let out_sw = sw.submit(&update_txn(t, 5, 1), SimTime::ZERO);
+    let out_hw = hw.submit(&update_txn(t, 5, 1), SimTime::ZERO);
+    assert!(
+        out_hw.latency() >= out_sw.latency(),
+        "hw latency {} should not beat sw {}",
+        out_hw.latency(),
+        out_sw.latency()
+    );
+    // But the bionic engine burned far less agent CPU on it.
+    assert!(hw.breakdown.total() < sw.breakdown.total() );
+}
+
+#[test]
+fn overlay_merges_trigger_on_write_volume() {
+    let mut cfg = EngineConfig::bionic();
+    cfg.merge_threshold = 200;
+    let (mut e, t) = loaded_engine(cfg, 1000);
+    let mut at = SimTime::ZERO;
+    for i in 0..600 {
+        e.submit(&update_txn(t, i % 1000, 1), at);
+        at += SimTime::from_us(3.0);
+    }
+    assert!(e.stats.merges >= 2, "merges={}", e.stats.merges);
+    // Data still correct after merges.
+    assert_eq!(read_balance(&mut e, t, 0), 1);
+}
+
+#[test]
+fn tight_overlay_budget_causes_probe_misses() {
+    let mut cfg = EngineConfig::bionic();
+    cfg.overlay_budget = 1 << 14; // far smaller than 10k rows of index
+    let (mut e, t) = loaded_engine(cfg, 10_000);
+    let mut at = SimTime::ZERO;
+    for i in 0..300 {
+        let prog = TxnProgram::single_phase(
+            "ro",
+            vec![Action::new(
+                t,
+                i * 7 % 10_000,
+                vec![Op::Read {
+                    table: t,
+                    key: i * 7 % 10_000,
+                }],
+            )],
+        );
+        e.submit(&prog, at);
+        at += SimTime::from_us(3.0);
+    }
+    assert!(
+        e.stats.probe_misses > 30,
+        "probe_misses={}",
+        e.stats.probe_misses
+    );
+}
+
+#[test]
+fn multi_action_phases_join_at_rendezvous() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 1000);
+    // A transfer touching two partitions in one phase, then a read phase.
+    let prog = TxnProgram {
+        name: "transfer",
+        phases: vec![
+            vec![
+                Action::new(
+                    t,
+                    1,
+                    vec![Op::Update {
+                        table: t,
+                        key: 1,
+                        patch: balance_patch(-10),
+                    }],
+                ),
+                Action::new(
+                    t,
+                    900,
+                    vec![Op::Update {
+                        table: t,
+                        key: 900,
+                        patch: balance_patch(10),
+                    }],
+                ),
+            ],
+            vec![Action::new(t, 1, vec![Op::Read { table: t, key: 1 }])],
+        ],
+        abort_on_missing_read: false,
+    };
+    assert!(e.submit(&prog, SimTime::ZERO).is_committed());
+    assert_eq!(read_balance(&mut e, t, 1), 90);
+    assert_eq!(read_balance(&mut e, t, 900), 90_010);
+}
+
+#[test]
+fn secondary_reads_resolve_and_survive_crash() {
+    // Secondary field: i64 at record offset 8 = key * 1000 + 7.
+    let mut e = Engine::new(EngineConfig::software());
+    let t = e.create_table_with_secondary("subs", 8);
+    for k in 0..200i64 {
+        let mut body = vec![0u8; 48];
+        body[..8].copy_from_slice(&(k * 1000 + 7).to_le_bytes());
+        e.load(t, k, &body);
+    }
+    e.finish_load();
+
+    let by_nbr = |skey: i64| {
+        TxnProgram {
+            name: "by-secondary",
+            phases: vec![vec![Action::new(t, skey, vec![Op::SecondaryRead { table: t, skey }])]],
+            abort_on_missing_read: true,
+        }
+    };
+    assert!(e.submit(&by_nbr(42_007), SimTime::ZERO).is_committed());
+    let miss = e.submit(&by_nbr(999), SimTime::from_us(10.0));
+    assert!(!miss.is_committed(), "unknown secondary key aborts");
+
+    // Insert a row; its secondary entry must be visible; abort must remove it.
+    let mut body = vec![0u8; 48];
+    body[..8].copy_from_slice(&777_000i64.to_le_bytes());
+    let ins = TxnProgram::single_phase(
+        "ins",
+        vec![Action::new(
+            t,
+            500,
+            vec![Op::Insert {
+                table: t,
+                key: 500,
+                record: body.clone(),
+            }],
+        )],
+    );
+    assert!(e.submit(&ins, SimTime::from_us(20.0)).is_committed());
+    assert!(e.submit(&by_nbr(777_000), SimTime::from_us(30.0)).is_committed());
+
+    let failing_ins = TxnProgram::single_phase(
+        "ins-fail",
+        vec![Action::new(
+            t,
+            501,
+            vec![
+                Op::Insert {
+                    table: t,
+                    key: 501,
+                    record: {
+                        let mut b = vec![0u8; 48];
+                        b[..8].copy_from_slice(&888_000i64.to_le_bytes());
+                        b
+                    },
+                },
+                Op::Delete { table: t, key: 99_999 }, // forces rollback
+            ],
+        )],
+    );
+    assert!(!e.submit(&failing_ins, SimTime::from_us(40.0)).is_committed());
+    assert!(
+        !e.submit(&by_nbr(888_000), SimTime::from_us(50.0)).is_committed(),
+        "aborted insert's secondary entry must be gone"
+    );
+
+    // Crash: secondary index must rebuild from the heap.
+    let image = e.crash();
+    let (mut e, _) = Engine::restart(image, EngineConfig::software());
+    assert!(e.submit(&by_nbr(42_007), SimTime::ZERO).is_committed());
+    assert!(e.submit(&by_nbr(777_000), SimTime::from_us(10.0)).is_committed());
+    assert!(!e.submit(&by_nbr(888_000), SimTime::from_us(20.0)).is_committed());
+}
+
+#[test]
+fn secondary_key_updates_move_the_index_entry() {
+    let mut e = Engine::new(EngineConfig::software());
+    let t = e.create_table_with_secondary("subs", 8);
+    let mut body = vec![0u8; 48];
+    body[..8].copy_from_slice(&111i64.to_le_bytes());
+    e.load(t, 1, &body);
+    e.finish_load();
+
+    // Update the secondary field 111 -> 222.
+    let upd = TxnProgram::single_phase(
+        "move-skey",
+        vec![Action::new(
+            t,
+            1,
+            vec![Op::Update {
+                table: t,
+                key: 1,
+                patch: Patch::Splice {
+                    offset: 8,
+                    bytes: 222i64.to_le_bytes().to_vec(),
+                },
+            }],
+        )],
+    );
+    assert!(e.submit(&upd, SimTime::ZERO).is_committed());
+    let by = |skey: i64| TxnProgram {
+        name: "by",
+        phases: vec![vec![Action::new(t, skey, vec![Op::SecondaryRead { table: t, skey }])]],
+        abort_on_missing_read: true,
+    };
+    assert!(!e.submit(&by(111), SimTime::from_us(10.0)).is_committed());
+    assert!(e.submit(&by(222), SimTime::from_us(20.0)).is_committed());
+}
+
+#[test]
+fn sharp_checkpoint_bounds_redo_work() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 100);
+    let mut at = SimTime::ZERO;
+    for i in 0..200 {
+        e.submit(&update_txn(t, i % 100, 1), at);
+        at += SimTime::from_us(5.0);
+    }
+    let ck = e.checkpoint(at);
+    assert!(e.log().last_checkpoint() == Some(ck));
+    for i in 0..20 {
+        e.submit(&update_txn(t, i % 100, 1), at);
+        at += SimTime::from_us(5.0);
+    }
+    let with_ck = {
+        let image = e.crash();
+        let (mut e2, outcome) = Engine::restart(image, EngineConfig::software());
+        // Key 0 was bumped at i=0 and i=100 pre-checkpoint and i=0 after.
+        assert_eq!(read_balance(&mut e2, t, 0), 3);
+        outcome.records_scanned
+    };
+
+    // Same run without the checkpoint scans the whole log.
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 100);
+    let mut at = SimTime::ZERO;
+    for i in 0..220 {
+        e.submit(&update_txn(t, i % 100, 1), at);
+        at += SimTime::from_us(5.0);
+    }
+    let image = e.crash();
+    let (_, outcome) = Engine::restart(image, EngineConfig::software());
+    assert!(
+        with_ck < outcome.records_scanned / 2,
+        "checkpoint must bound recovery: {} vs {}",
+        with_ck,
+        outcome.records_scanned
+    );
+}
+
+#[test]
+fn query_range_uses_the_result_cache_until_invalidated() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 1000);
+    // Cold query computes and caches.
+    let (rows, cached, _) = e.query_range(t, 100, 200, None, SimTime::ZERO);
+    assert_eq!(rows, 100);
+    assert!(!cached);
+    // Warm query hits the CPU-side cache.
+    let (rows, cached, _) = e.query_range(t, 100, 200, None, SimTime::from_us(10.0));
+    assert_eq!(rows, 100);
+    assert!(cached);
+    // A committed write to the table invalidates the cached result.
+    assert!(e
+        .submit(&update_txn(t, 150, 1), SimTime::from_us(20.0))
+        .is_committed());
+    let (rows, cached, _) = e.query_range(t, 100, 200, None, SimTime::from_us(50.0));
+    assert_eq!(rows, 100);
+    assert!(!cached, "write must invalidate");
+    let stats = e.result_cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert!(stats.stale >= 1);
+}
+
+#[test]
+fn historical_queries_patch_through_the_overlay() {
+    let (mut e, t) = loaded_engine(EngineConfig::bionic(), 100);
+    let v0 = e.current_version();
+    // Delete key 50, insert key 1000.
+    let del = TxnProgram::single_phase(
+        "del",
+        vec![Action::new(t, 50, vec![Op::Delete { table: t, key: 50 }])],
+    );
+    assert!(e.submit(&del, SimTime::ZERO).is_committed());
+    let ins = TxnProgram::single_phase(
+        "ins",
+        vec![Action::new(
+            t,
+            1000,
+            vec![Op::Insert {
+                table: t,
+                key: 1000,
+                record: vec![0u8; 24],
+            }],
+        )],
+    );
+    assert!(e.submit(&ins, SimTime::from_us(50.0)).is_committed());
+
+    // Latest view: 99 keys in [0,100), 1 in [1000,1001).
+    let (now_rows, _, _) = e.query_range(t, 0, 2000, None, SimTime::from_us(100.0));
+    assert_eq!(now_rows, 100);
+    // As-of the pre-write version: the deleted key is back, the insert gone.
+    let (old_rows, _, _) = e.query_range(t, 0, 2000, Some(v0), SimTime::from_us(120.0));
+    assert_eq!(old_rows, 100); // 100 original keys
+    let (old_mid, _, _) = e.query_range(t, 50, 51, Some(v0), SimTime::from_us(130.0));
+    assert_eq!(old_mid, 1, "deleted key visible in history");
+    let (new_mid, _, _) = e.query_range(t, 50, 51, None, SimTime::from_us(140.0));
+    assert_eq!(new_mid, 0);
+}
+
+#[test]
+fn throughput_saturates_with_offered_load() {
+    let (mut e, t) = loaded_engine(EngineConfig::software(), 10_000);
+    // Open-loop overload: arrivals far faster than service.
+    let mut at = SimTime::ZERO;
+    for i in 0..2000 {
+        e.submit(&update_txn(t, (i * 17) % 10_000, 1), at);
+        at += SimTime::from_ns(100.0);
+    }
+    let tput = e.stats.throughput_per_sec();
+    assert!(tput > 10_000.0, "tput={tput}");
+    // Under overload, p99 latency balloons past the uncontended latency.
+    let p99 = e.stats.latency.quantile(0.99);
+    let p50 = e.stats.latency.quantile(0.50);
+    assert!(p99 > p50);
+}

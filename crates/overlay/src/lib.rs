@@ -1,0 +1,21 @@
+//! # bionic-overlay — the two data pools of §5.6
+//!
+//! The bionic system replaces the buffer pool with two pools:
+//!
+//! * [`overlay::OverlayIndex`] — the FPGA-side in-memory overlay: a
+//!   bulk-loaded **main** index plus a versioned **delta** of buffered
+//!   writes (HANA-style), with historical patching (`get_asof`,
+//!   `range_asof`), bulk [`overlay::OverlayIndex::merge`] back to base
+//!   data, and a memory budget that makes hardware probes of non-resident
+//!   keys abort to software;
+//! * [`result_cache::ResultCache`] — the CPU-side cache of "intermediate
+//!   results and other 'cooked' data", LRU by bytes and invalidated by
+//!   table versions.
+
+#![warn(missing_docs)]
+
+pub mod overlay;
+pub mod result_cache;
+
+pub use overlay::{MergeReport, OverlayFootprint, OverlayIndex};
+pub use result_cache::{CacheStats, ResultCache};

@@ -1,0 +1,510 @@
+//! The FPGA-side database overlay (§5.6).
+//!
+//! "Rather than a buffer pool, the bionic system would employ two data
+//! pools. … the FPGA side maintains an in-memory overlay of the database.
+//! The overlay serves to cache reads and to buffer writes until they can be
+//! bulk-merged back to the on-disk data (replacing the buffer pool), and
+//! will also patch updates into historical data requested by queries; SAP
+//! HANA is an excellent example of this approach. Recognizing that OLTP
+//! workloads are heavy index-users, the overlay will consist entirely of
+//! various indexes that can be probed by the hardware engine. If disk access
+//! is needed, the hardware operation aborts so that software can trigger a
+//! data fetch and then retry."
+//!
+//! Concretely: a **main** B+tree holding the state as of the last merge
+//! (version `merged_version`), and a **delta** B+tree mapping keys to
+//! version chains of later writes (including tombstones). Reads consult
+//! delta then main; versioned reads patch history; `merge` folds the delta
+//! back into main in bulk. A memory budget determines which main keys are
+//! FPGA-resident — probes of non-resident keys miss, modeling the
+//! abort-to-software path.
+
+use bionic_btree::key::TreeKey;
+use bionic_btree::tree::{BTree, Footprint};
+use std::hash::{Hash, Hasher};
+
+/// A versioned write: `None` is a delete tombstone.
+type Versioned = (u64, Option<u64>);
+
+/// Footprint of one overlay read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlayFootprint {
+    /// Probe of the delta index.
+    pub delta: Footprint,
+    /// Probe of the main index (skipped when delta answered).
+    pub main: Option<Footprint>,
+    /// Did the delta answer the read?
+    pub hit_delta: bool,
+}
+
+impl OverlayFootprint {
+    /// Total nodes visited across both probes.
+    pub fn nodes_visited(&self) -> u32 {
+        self.delta.nodes_visited() + self.main.map_or(0, |f| f.nodes_visited())
+    }
+}
+
+/// Report from a bulk merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Distinct keys folded into main.
+    pub keys_merged: u64,
+    /// Of those, keys removed by tombstones.
+    pub keys_deleted: u64,
+    /// Version entries that stayed in the delta (newer than the merge).
+    pub entries_retained: u64,
+    /// Main index size after the merge.
+    pub main_len: usize,
+    /// Approximate bytes written back to disk (the bulk-merge I/O).
+    pub bytes_written: u64,
+}
+
+/// The overlay index: versioned delta over a bulk-loaded main.
+///
+/// ```
+/// use bionic_overlay::OverlayIndex;
+///
+/// let mut overlay = OverlayIndex::new(vec![(1i64, 10), (2, 20)], usize::MAX);
+/// overlay.put(1, 99, /*version*/ 5);
+/// assert_eq!(overlay.get_latest(&1).0, Some(99));
+/// assert_eq!(overlay.get_asof(&1, 4).0, Some(10)); // history patched
+/// overlay.merge(5);
+/// assert_eq!(overlay.get_latest(&1).0, Some(99));
+/// assert_eq!(overlay.delta_len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayIndex<K: TreeKey> {
+    main: BTree<K>,
+    delta: BTree<K>,
+    chains: Vec<Vec<Versioned>>,
+    merged_version: u64,
+    memory_budget: usize,
+    delta_writes: u64,
+}
+
+fn residency_hash<K: Hash>(k: &K) -> u64 {
+    // FxHash-style multiply-xor — only used to spread residency decisions.
+    struct FxLite(u64);
+    impl Hasher for FxLite {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001B3);
+            }
+        }
+    }
+    let mut h = FxLite(0xCBF29CE484222325);
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl<K: TreeKey + Hash> OverlayIndex<K> {
+    /// Build an overlay over sorted `(key, value)` base data, with a given
+    /// FPGA memory budget in bytes.
+    pub fn new(base: Vec<(K, u64)>, memory_budget: usize) -> Self {
+        OverlayIndex {
+            main: BTree::bulk_load(base, 256, 0.8),
+            delta: BTree::new(),
+            chains: Vec::new(),
+            merged_version: 0,
+            memory_budget,
+            delta_writes: 0,
+        }
+    }
+
+    /// State version captured by main (the last merge's high-water mark).
+    pub fn merged_version(&self) -> u64 {
+        self.merged_version
+    }
+
+    /// Entries in the main index.
+    pub fn main_len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Distinct keys with pending delta entries.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Writes buffered since the last merge.
+    pub fn delta_writes(&self) -> u64 {
+        self.delta_writes
+    }
+
+    /// Approximate bytes of the main index.
+    pub fn main_bytes(&self) -> usize {
+        self.main.approx_bytes()
+    }
+
+    /// Approximate bytes of the delta (index + chains).
+    pub fn delta_bytes(&self) -> usize {
+        self.delta.approx_bytes() + self.chains.iter().map(|c| c.len() * 16).sum::<usize>()
+    }
+
+    /// Fraction of main keys resident in FPGA memory under the budget.
+    pub fn resident_fraction(&self) -> f64 {
+        let total = self.main_bytes() + self.delta_bytes();
+        if total == 0 {
+            1.0
+        } else {
+            (self.memory_budget as f64 / total as f64).min(1.0)
+        }
+    }
+
+    /// Would a hardware probe of `k` miss FPGA memory? Deterministic per
+    /// key: the delta is always resident (it's the write buffer), main keys
+    /// are resident with probability equal to the resident fraction.
+    pub fn probe_would_miss(&self, k: &K) -> bool {
+        let f = self.resident_fraction();
+        if f >= 1.0 {
+            return false;
+        }
+        (residency_hash(k) as f64 / u64::MAX as f64) >= f
+    }
+
+    /// Buffer a versioned write. `version` must be ≥ any previous version
+    /// for the same key and > `merged_version`.
+    pub fn put(&mut self, k: K, v: u64, version: u64) -> Footprint {
+        self.upsert(k, version, Some(v))
+    }
+
+    /// Buffer a versioned delete (tombstone).
+    pub fn delete(&mut self, k: K, version: u64) -> Footprint {
+        self.upsert(k, version, None)
+    }
+
+    fn upsert(&mut self, k: K, version: u64, value: Option<u64>) -> Footprint {
+        assert!(
+            version > self.merged_version,
+            "write version {version} not newer than merged {}",
+            self.merged_version
+        );
+        self.delta_writes += 1;
+        let (existing, mut fp) = self.delta.get(&k);
+        match existing {
+            Some(chain_idx) => {
+                let chain = &mut self.chains[chain_idx as usize];
+                debug_assert!(chain.last().is_none_or(|&(v0, _)| v0 <= version));
+                chain.push((version, value));
+                fp
+            }
+            None => {
+                let idx = self.chains.len() as u64;
+                self.chains.push(vec![(version, value)]);
+                let (_, ins_fp) = self.delta.insert(k, idx);
+                fp.merge_from(ins_fp);
+                fp
+            }
+        }
+    }
+
+    /// Read the newest visible value.
+    pub fn get_latest(&self, k: &K) -> (Option<u64>, OverlayFootprint) {
+        let mut fp = OverlayFootprint::default();
+        let (chain, dfp) = self.delta.get(k);
+        fp.delta = dfp;
+        if let Some(idx) = chain {
+            let chain = &self.chains[idx as usize];
+            if let Some(&(_, value)) = chain.last() {
+                fp.hit_delta = true;
+                return (value, fp);
+            }
+        }
+        let (v, mfp) = self.main.get(k);
+        fp.main = Some(mfp);
+        (v, fp)
+    }
+
+    /// Read the value visible at `version` — the historical-query patching
+    /// path. History older than the last merge has been folded into main,
+    /// so `version < merged_version` answers as of the merge (documented
+    /// HANA-style bound).
+    pub fn get_asof(&self, k: &K, version: u64) -> (Option<u64>, OverlayFootprint) {
+        let mut fp = OverlayFootprint::default();
+        let (chain, dfp) = self.delta.get(k);
+        fp.delta = dfp;
+        if let Some(idx) = chain {
+            let chain = &self.chains[idx as usize];
+            // Newest entry with version <= asked-for version.
+            if let Some(&(_, value)) = chain.iter().rev().find(|&&(v, _)| v <= version) {
+                fp.hit_delta = true;
+                return (value, fp);
+            }
+        }
+        let (v, mfp) = self.main.get(k);
+        fp.main = Some(mfp);
+        (v, fp)
+    }
+
+    /// Ordered scan of `lo..hi` as visible at `version`, patching delta
+    /// entries into the main data — the query-side read path of §5.6.
+    pub fn range_asof(&self, lo: &K, hi: &K, version: u64, mut visit: impl FnMut(&K, u64)) {
+        // Collect both sides (ranges are short in OLTP usage).
+        let mut main_rows: Vec<(K, u64)> = Vec::new();
+        self.main.range(lo, hi, |k, v| main_rows.push((k.clone(), v)));
+        let mut patches: Vec<(K, Option<u64>)> = Vec::new();
+        self.delta.range(lo, hi, |k, idx| {
+            let chain = &self.chains[idx as usize];
+            if let Some(&(_, value)) = chain.iter().rev().find(|&&(v, _)| v <= version) {
+                patches.push((k.clone(), value));
+            }
+        });
+        // Merge-join the two sorted streams; delta wins on key collisions.
+        let mut mi = 0;
+        let mut pi = 0;
+        while mi < main_rows.len() || pi < patches.len() {
+            let take_patch = match (main_rows.get(mi), patches.get(pi)) {
+                (Some((mk, _)), Some((pk, _))) => pk <= mk,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            if take_patch {
+                let (pk, pv) = &patches[pi];
+                if mi < main_rows.len() && &main_rows[mi].0 == pk {
+                    mi += 1; // shadowed base row
+                }
+                if let Some(v) = pv {
+                    visit(pk, *v);
+                }
+                pi += 1;
+            } else {
+                let (mk, mv) = &main_rows[mi];
+                visit(mk, *mv);
+                mi += 1;
+            }
+        }
+    }
+
+    /// Fold all delta entries with version ≤ `up_to` into main, rebuilding
+    /// it in bulk. Entries newer than `up_to` remain buffered.
+    pub fn merge(&mut self, up_to: u64) -> MergeReport {
+        assert!(up_to >= self.merged_version);
+        // Resolve each delta key to its value at `up_to`, keep the rest.
+        let mut resolved: Vec<(K, Option<u64>)> = Vec::new();
+        let mut retained: Vec<(K, Vec<Versioned>)> = Vec::new();
+        let mut entries_retained = 0u64;
+        let chains = std::mem::take(&mut self.chains);
+        let delta = std::mem::replace(&mut self.delta, BTree::new());
+        delta.scan_all(|k, idx| {
+            let chain = &chains[idx as usize];
+            let (merged, rest): (Vec<Versioned>, Vec<Versioned>) =
+                chain.iter().partition(|&&(v, _)| v <= up_to);
+            if let Some(&(_, value)) = merged.last() {
+                resolved.push((k.clone(), value));
+            }
+            if !rest.is_empty() {
+                entries_retained += rest.len() as u64;
+                retained.push((k.clone(), rest));
+            }
+        });
+
+        // Merge-join main with resolved writes into a new sorted base.
+        let mut base: Vec<(K, u64)> = Vec::with_capacity(self.main.len() + resolved.len());
+        let mut deleted = 0u64;
+        let mut di = 0;
+        self.main.scan_all(|k, v| {
+            while di < resolved.len() && resolved[di].0 < *k {
+                if let Some(nv) = resolved[di].1 {
+                    base.push((resolved[di].0.clone(), nv));
+                }
+                di += 1;
+            }
+            if di < resolved.len() && &resolved[di].0 == k {
+                match resolved[di].1 {
+                    Some(nv) => base.push((k.clone(), nv)),
+                    None => deleted += 1,
+                }
+                di += 1;
+            } else {
+                base.push((k.clone(), v));
+            }
+        });
+        while di < resolved.len() {
+            if let Some(nv) = resolved[di].1 {
+                base.push((resolved[di].0.clone(), nv));
+            }
+            di += 1;
+        }
+
+        let keys_merged = resolved.len() as u64;
+        let bytes_written: u64 = base
+            .iter()
+            .map(|(k, _)| k.encoded_len() as u64 + 8)
+            .sum();
+        self.main = BTree::bulk_load(base, 256, 0.8);
+        for (k, chain) in retained {
+            let idx = self.chains.len() as u64;
+            self.chains.push(chain);
+            self.delta.insert(k, idx);
+        }
+        self.merged_version = up_to;
+        MergeReport {
+            keys_merged,
+            keys_deleted: deleted,
+            entries_retained,
+            main_len: self.main.len(),
+            bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: i64) -> Vec<(i64, u64)> {
+        (0..n).map(|i| (i, (i * 10) as u64)).collect()
+    }
+
+    #[test]
+    fn reads_fall_through_to_main() {
+        let ov = OverlayIndex::new(base(100), usize::MAX);
+        let (v, fp) = ov.get_latest(&7);
+        assert_eq!(v, Some(70));
+        assert!(!fp.hit_delta);
+        assert!(fp.main.is_some());
+        assert!(fp.nodes_visited() >= 2, "delta + main probes");
+    }
+
+    #[test]
+    fn writes_shadow_main_until_merged() {
+        let mut ov = OverlayIndex::new(base(100), usize::MAX);
+        ov.put(7, 777, 1);
+        let (v, fp) = ov.get_latest(&7);
+        assert_eq!(v, Some(777));
+        assert!(fp.hit_delta);
+        assert!(fp.main.is_none(), "delta answered; main not probed");
+        // Unwritten keys unaffected.
+        assert_eq!(ov.get_latest(&8).0, Some(80));
+    }
+
+    #[test]
+    fn tombstones_hide_base_rows() {
+        let mut ov = OverlayIndex::new(base(100), usize::MAX);
+        ov.delete(7, 1);
+        assert_eq!(ov.get_latest(&7).0, None);
+        assert_eq!(ov.get_asof(&7, 0).0, Some(70), "history still visible");
+    }
+
+    #[test]
+    fn asof_reads_patch_history() {
+        let mut ov = OverlayIndex::new(base(10), usize::MAX);
+        ov.put(3, 100, 5);
+        ov.put(3, 200, 8);
+        ov.delete(3, 12);
+        assert_eq!(ov.get_asof(&3, 4).0, Some(30), "before first write");
+        assert_eq!(ov.get_asof(&3, 5).0, Some(100));
+        assert_eq!(ov.get_asof(&3, 9).0, Some(200));
+        assert_eq!(ov.get_asof(&3, 12).0, None);
+        assert_eq!(ov.get_latest(&3).0, None);
+    }
+
+    #[test]
+    fn range_asof_merges_and_patches() {
+        let mut ov = OverlayIndex::new(base(10), usize::MAX);
+        ov.put(3, 333, 5); // update
+        ov.delete(4, 5); // delete
+        ov.put(100, 1000, 5); // insert beyond base range? use in-range key
+        ov.put(5, 555, 9); // later than asof: must NOT appear at v=5
+
+        let mut rows = Vec::new();
+        ov.range_asof(&2, &7, 5, |k, v| rows.push((*k, v)));
+        assert_eq!(rows, vec![(2, 20), (3, 333), (5, 50), (6, 60)]);
+
+        let mut latest = Vec::new();
+        ov.range_asof(&2, &7, u64::MAX, |k, v| latest.push((*k, v)));
+        assert_eq!(latest, vec![(2, 20), (3, 333), (5, 555), (6, 60)]);
+    }
+
+    #[test]
+    fn range_asof_includes_fresh_inserts() {
+        let mut ov = OverlayIndex::new(vec![(0i64, 0), (10, 100)], usize::MAX);
+        ov.put(5, 55, 1);
+        let mut rows = Vec::new();
+        ov.range_asof(&0, &20, 1, |k, v| rows.push((*k, v)));
+        assert_eq!(rows, vec![(0, 0), (5, 55), (10, 100)]);
+    }
+
+    #[test]
+    fn merge_folds_delta_into_main() {
+        let mut ov = OverlayIndex::new(base(100), usize::MAX);
+        ov.put(7, 777, 1);
+        ov.delete(8, 2);
+        ov.put(200, 2000, 3); // new key
+        ov.put(9, 999, 10); // newer than merge point: retained
+        let report = ov.merge(5);
+        assert_eq!(report.keys_merged, 3);
+        assert_eq!(report.keys_deleted, 1);
+        assert_eq!(report.entries_retained, 1);
+        assert_eq!(report.main_len, 100 + 1 - 1);
+        assert!(report.bytes_written > 0);
+        assert_eq!(ov.merged_version(), 5);
+        // Post-merge reads come from main.
+        let (v, fp) = ov.get_latest(&7);
+        assert_eq!(v, Some(777));
+        assert!(!fp.hit_delta);
+        assert_eq!(ov.get_latest(&8).0, None);
+        assert_eq!(ov.get_latest(&200).0, Some(2000));
+        // The retained write still shadows.
+        assert_eq!(ov.get_latest(&9).0, Some(999));
+        assert_eq!(ov.delta_len(), 1);
+    }
+
+    #[test]
+    fn repeated_merge_converges_to_empty_delta() {
+        let mut ov = OverlayIndex::new(base(50), usize::MAX);
+        for round in 1..=5u64 {
+            for i in 0..50 {
+                ov.put(i, round * 1000 + i as u64, round);
+            }
+            let r = ov.merge(round);
+            assert_eq!(r.entries_retained, 0);
+            assert_eq!(ov.delta_len(), 0);
+        }
+        assert_eq!(ov.get_latest(&10).0, Some(5010));
+    }
+
+    #[test]
+    #[should_panic(expected = "not newer than merged")]
+    fn stale_writes_rejected_after_merge() {
+        let mut ov = OverlayIndex::new(base(10), usize::MAX);
+        ov.put(1, 11, 5);
+        ov.merge(5);
+        ov.put(2, 22, 5);
+    }
+
+    #[test]
+    fn residency_follows_memory_budget() {
+        let full = OverlayIndex::new(base(10_000), usize::MAX);
+        assert_eq!(full.resident_fraction(), 1.0);
+        assert!(!full.probe_would_miss(&42));
+
+        let half_budget = full.main_bytes() / 2;
+        let tight = OverlayIndex::new(base(10_000), half_budget);
+        let f = tight.resident_fraction();
+        assert!(f < 0.6 && f > 0.4, "f={f}");
+        let misses = (0..10_000i64).filter(|k| tight.probe_would_miss(k)).count();
+        let miss_frac = misses as f64 / 10_000.0;
+        assert!(
+            (miss_frac - (1.0 - f)).abs() < 0.05,
+            "miss_frac={miss_frac} expected~{}",
+            1.0 - f
+        );
+        // Deterministic per key.
+        assert_eq!(tight.probe_would_miss(&42), tight.probe_would_miss(&42));
+    }
+
+    #[test]
+    fn delta_growth_is_observable_for_merge_policy() {
+        let mut ov = OverlayIndex::new(base(100), usize::MAX);
+        let before = ov.delta_bytes();
+        for i in 0..100 {
+            ov.put(i, i as u64, 1 + i as u64);
+        }
+        assert!(ov.delta_bytes() > before);
+        assert_eq!(ov.delta_writes(), 100);
+    }
+}

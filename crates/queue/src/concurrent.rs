@@ -1,0 +1,143 @@
+//! A real multi-producer queue for use outside the simulator.
+//!
+//! The discrete-event engine models queue *costs*; this module provides the
+//! genuinely concurrent counterpart a downstream user would deploy — a thin
+//! instrumented wrapper over `crossbeam`'s lock-free `SegQueue` — so the
+//! library's DORA machinery is usable with real threads as well as simulated
+//! agents.
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An MPMC lock-free FIFO with enqueue/dequeue counters.
+#[derive(Debug, Default)]
+pub struct ConcurrentQueue<T> {
+    inner: SegQueue<T>,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+}
+
+impl<T> ConcurrentQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ConcurrentQueue {
+            inner: SegQueue::new(),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an item (wait-free).
+    pub fn enqueue(&self, item: T) {
+        self.inner.push(item);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remove the oldest item, if any.
+    pub fn dequeue(&self) -> Option<T> {
+        let item = self.inner.pop();
+        if item.is_some() {
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Approximate depth.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the queue (approximately) empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// `(enqueued, dequeued)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.enqueued.load(Ordering::Relaxed),
+            self.dequeued.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_fifo() {
+        let q = ConcurrentQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.counters(), (2, 2));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(ConcurrentQueue::new());
+        let producers = 4;
+        let per_producer = 10_000u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..per_producer {
+                        q.enqueue(p as u64 * per_producer + i);
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let total = producers as u64 * per_producer;
+                let mut seen = Vec::with_capacity(total as usize);
+                while seen.len() < total as usize {
+                    if let Some(v) = q.dequeue() {
+                        seen.push(v);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..producers as u64 * per_producer).collect();
+        assert_eq!(seen, expect, "every item delivered exactly once");
+        // Per-producer FIFO order is guaranteed by SegQueue; totals match.
+        assert_eq!(q.counters(), (40_000, 40_000));
+    }
+
+    #[test]
+    fn producer_order_is_preserved_per_thread() {
+        let q = Arc::new(ConcurrentQueue::new());
+        let writer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..5000u64 {
+                    q.enqueue(i);
+                }
+            })
+        };
+        writer.join().unwrap();
+        let mut last = None;
+        while let Some(v) = q.dequeue() {
+            if let Some(l) = last {
+                assert!(v > l);
+            }
+            last = Some(v);
+        }
+        assert_eq!(last, Some(4999));
+    }
+}

@@ -1,0 +1,251 @@
+//! Agent scheduling and convoys — the part hardware does NOT solve.
+//!
+//! §5.5 is careful: "many of the challenges associated with queues are
+//! fundamentally hard; while hardware will undoubtedly reduce overheads, it
+//! will not magically solve the scheduling problem. … knowing when to
+//! deschedule an idle agent thread with an empty input queue (a wrong choice
+//! can hold up an entire chain of queues, leading to convoys)."
+//!
+//! This module simulates exactly that trade-off: a chain of agents (the
+//! multi-partition path of a DORA transaction) where each idle agent either
+//! spins (instant hand-off, wasted cycles) or parks (saved cycles, wake
+//! latency on the next arrival) — and a wake at stage *k* delays every
+//! downstream stage, which is the convoy.
+
+use bionic_sim::stats::Histogram;
+use bionic_sim::time::SimTime;
+
+/// What an idle agent does with an empty input queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParkPolicy {
+    /// Spin forever: zero wake latency, cores burn while idle.
+    Spin,
+    /// Park as soon as the queue is empty.
+    ParkImmediately,
+    /// Spin for the given grace period, then park.
+    ParkAfter(SimTime),
+}
+
+/// One agent stage in the chain.
+#[derive(Debug, Clone)]
+struct Agent {
+    free_at: SimTime,
+    policy: ParkPolicy,
+    wake_latency: SimTime,
+    service: SimTime,
+    wakes: u64,
+    busy: SimTime,
+    spin_waste: SimTime,
+}
+
+impl Agent {
+    /// Process an item arriving at `arrive`; returns its completion time.
+    fn process(&mut self, arrive: SimTime) -> SimTime {
+        let mut start = arrive.max(self.free_at);
+        if arrive > self.free_at {
+            // The agent was idle from free_at to arrive.
+            let idle = arrive - self.free_at;
+            match self.policy {
+                ParkPolicy::Spin => self.spin_waste += idle,
+                ParkPolicy::ParkImmediately => {
+                    self.wakes += 1;
+                    start += self.wake_latency;
+                }
+                ParkPolicy::ParkAfter(grace) => {
+                    if idle > grace {
+                        self.wakes += 1;
+                        self.spin_waste += grace;
+                        start += self.wake_latency;
+                    } else {
+                        self.spin_waste += idle;
+                    }
+                }
+            }
+        }
+        let done = start + self.service;
+        self.free_at = done;
+        self.busy += self.service;
+        done
+    }
+}
+
+/// Results of a chain simulation.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Items pushed through the chain.
+    pub items: u64,
+    /// End-to-end latency distribution.
+    pub latency: Histogram,
+    /// Completed items per simulated second.
+    pub throughput_per_sec: f64,
+    /// Total wake-ups across all agents.
+    pub wakes: u64,
+    /// Core time wasted spinning on empty queues.
+    pub spin_waste: SimTime,
+    /// Core time doing useful work.
+    pub useful_busy: SimTime,
+}
+
+/// Simulate `items` arrivals (spaced `inter_arrival`, with every
+/// `burst_period`-th gap stretched by `burst_gap` to create idle spells)
+/// flowing through a chain of `stages` agents, each with `service` work per
+/// item, under the given parking policy.
+#[allow(clippy::too_many_arguments)] // a simulation's knobs ARE its signature
+pub fn simulate_chain(
+    stages: usize,
+    items: u64,
+    inter_arrival: SimTime,
+    burst_period: u64,
+    burst_gap: SimTime,
+    service: SimTime,
+    wake_latency: SimTime,
+    policy: ParkPolicy,
+) -> ChainReport {
+    assert!(stages >= 1);
+    let mut agents: Vec<Agent> = (0..stages)
+        .map(|_| Agent {
+            free_at: SimTime::ZERO,
+            policy,
+            wake_latency,
+            service,
+            wakes: 0,
+            busy: SimTime::ZERO,
+            spin_waste: SimTime::ZERO,
+        })
+        .collect();
+
+    let mut latency = Histogram::new();
+    let mut arrive = SimTime::ZERO;
+    let mut last_done = SimTime::ZERO;
+    for i in 0..items {
+        let mut t = arrive;
+        for agent in agents.iter_mut() {
+            t = agent.process(t);
+        }
+        latency.record(t - arrive);
+        last_done = last_done.max(t);
+        arrive += inter_arrival;
+        if burst_period > 0 && (i + 1) % burst_period == 0 {
+            arrive += burst_gap;
+        }
+    }
+    ChainReport {
+        items,
+        throughput_per_sec: items as f64 / last_done.as_secs(),
+        wakes: agents.iter().map(|a| a.wakes).sum(),
+        spin_waste: agents.iter().map(|a| a.spin_waste).sum(),
+        useful_busy: agents.iter().map(|a| a.busy).sum(),
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: ParkPolicy) -> ChainReport {
+        simulate_chain(
+            4,                       // DORA chain of 4 partitions
+            10_000,                  // items
+            SimTime::from_us(1.0),   // 1M items/s offered
+            10,                      // every 10th item...
+            SimTime::from_us(50.0),  // ...is followed by a 50us lull
+            SimTime::from_ns(500.0), // work per stage
+            SimTime::from_us(8.0),   // OS futex-style wake
+            policy,
+        )
+    }
+
+    #[test]
+    fn spinning_has_no_wakes_but_wastes_cycles() {
+        let r = run(ParkPolicy::Spin);
+        assert_eq!(r.wakes, 0);
+        assert!(r.spin_waste > r.useful_busy, "idle chain burns cores");
+    }
+
+    #[test]
+    fn eager_parking_creates_convoys() {
+        // Every post-lull item pays a wake at EVERY stage: the convoy.
+        let spin = run(ParkPolicy::Spin);
+        let eager = run(ParkPolicy::ParkImmediately);
+        assert!(eager.wakes > 3000, "wakes={}", eager.wakes);
+        let spin_p99 = spin.latency.quantile(0.99);
+        let eager_p99 = eager.latency.quantile(0.99);
+        assert!(
+            eager_p99.as_us() > spin_p99.as_us() + 25.0,
+            "spin p99={spin_p99} eager p99={eager_p99}"
+        );
+    }
+
+    #[test]
+    fn grace_period_balances_the_tradeoff() {
+        // Short (2us) wakes so eager's mid-stream parking isn't masked by
+        // backlog absorption: eager parks in every sub-microsecond gap,
+        // patient (20us grace) parks only at the genuine 50us lulls, spin
+        // never parks but burns the most idle cycles.
+        let with_policy = |policy| {
+            simulate_chain(
+                4,
+                10_000,
+                SimTime::from_us(1.0),
+                10,
+                SimTime::from_us(50.0),
+                SimTime::from_ns(500.0),
+                SimTime::from_us(2.0),
+                policy,
+            )
+        };
+        let eager = with_policy(ParkPolicy::ParkImmediately);
+        let spin = with_policy(ParkPolicy::Spin);
+        let patient = with_policy(ParkPolicy::ParkAfter(SimTime::from_us(20.0)));
+        assert!(
+            eager.wakes as f64 > 1.5 * patient.wakes as f64,
+            "eager={} patient={}",
+            eager.wakes,
+            patient.wakes
+        );
+        assert!(patient.spin_waste < spin.spin_waste);
+        assert_eq!(spin.wakes, 0);
+    }
+
+    #[test]
+    fn wake_latency_scaling_shows_hardware_does_not_fix_scheduling() {
+        // Even with a 10x faster (hardware-assisted) wake, eager parking
+        // still shows convoy latency: the scheduling decision dominates.
+        let slow_wake = run(ParkPolicy::ParkImmediately);
+        let fast = simulate_chain(
+            4,
+            10_000,
+            SimTime::from_us(1.0),
+            10,
+            SimTime::from_us(50.0),
+            SimTime::from_ns(500.0),
+            SimTime::from_ns(800.0), // 10x faster wake
+            ParkPolicy::ParkImmediately,
+        );
+        assert!(fast.wakes > 1000 && slow_wake.wakes > 1000);
+        let fast_p99 = fast.latency.quantile(0.99);
+        let spin_p99 = run(ParkPolicy::Spin).latency.quantile(0.99);
+        assert!(
+            fast_p99 > spin_p99,
+            "faster wakes shrink but do not eliminate the convoy: fast={fast_p99} spin={spin_p99}"
+        );
+    }
+
+    #[test]
+    fn single_stage_sanity() {
+        let r = simulate_chain(
+            1,
+            100,
+            SimTime::from_us(1.0),
+            0,
+            SimTime::ZERO,
+            SimTime::from_ns(100.0),
+            SimTime::ZERO,
+            ParkPolicy::Spin,
+        );
+        assert_eq!(r.items, 100);
+        // Uncontended: latency == service.
+        assert_eq!(r.latency.max().as_ns(), 100.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Queue operation cost models — software vs. hardware (§5.5).
+//!
+//! "The queues in DORA usually see only light contention at worst, but they
+//! still have significant management overhead (which is part of the Dora and
+//! front-end components in Figure 3)." The software model prices that
+//! overhead: tens of instructions plus the cache-coherence traffic of
+//! handing a line from producer to consumer (cross-socket hand-offs pay the
+//! interconnect hop). The hardware model is the paper's QOLB-flavoured \[8\]
+//! alternative: a doorbell write on the producer side with queue state
+//! managed on the fabric, shrinking overhead to a store plus a few cycles.
+
+use bionic_sim::energy::Energy;
+use bionic_sim::fpga::{FpgaFabric, FpgaUnit, OutOfArea};
+use bionic_sim::time::SimTime;
+
+/// Cost of one queue operation.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueOpCost {
+    /// Core-occupancy time.
+    pub cpu_busy: SimTime,
+    /// Off-core energy (fabric) — CPU energy derives from `cpu_busy`.
+    pub energy: Energy,
+}
+
+/// Software queue cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SwQueueParams {
+    /// Instructions per enqueue (pointer juggle, bounds, fences).
+    pub enqueue_instr: u64,
+    /// Instructions per dequeue.
+    pub dequeue_instr: u64,
+    /// Instruction slot time (1 / (freq × IPC)).
+    pub instr_time: SimTime,
+    /// Cache lines that bounce producer→consumer per hand-off.
+    pub lines_per_handoff: u64,
+    /// Latency of a line transfer within a socket (shared LLC).
+    pub line_transfer_same_socket: SimTime,
+    /// Latency of a line transfer across sockets.
+    pub line_transfer_cross_socket: SimTime,
+}
+
+impl Default for SwQueueParams {
+    fn default() -> Self {
+        SwQueueParams {
+            enqueue_instr: 45,
+            dequeue_instr: 45,
+            instr_time: SimTime::from_ps(400),
+            lines_per_handoff: 1,
+            line_transfer_same_socket: SimTime::from_ns(16.0),
+            line_transfer_cross_socket: SimTime::from_ns(120.0),
+        }
+    }
+}
+
+/// The software queue cost model.
+#[derive(Debug, Clone, Default)]
+pub struct SwQueueTiming {
+    params: SwQueueParams,
+    ops: u64,
+}
+
+impl SwQueueTiming {
+    /// Create with explicit parameters.
+    pub fn new(params: SwQueueParams) -> Self {
+        SwQueueTiming { params, ops: 0 }
+    }
+
+    /// Cost of an enqueue whose consumer runs on another core.
+    pub fn enqueue(&mut self, cross_socket: bool) -> QueueOpCost {
+        self.ops += 1;
+        let transfer = if cross_socket {
+            self.params.line_transfer_cross_socket
+        } else {
+            self.params.line_transfer_same_socket
+        };
+        QueueOpCost {
+            cpu_busy: self.params.instr_time * self.params.enqueue_instr
+                + transfer * self.params.lines_per_handoff,
+            energy: Energy::ZERO,
+        }
+    }
+
+    /// Cost of a dequeue (consumer side pulls the lines back).
+    pub fn dequeue(&mut self, cross_socket: bool) -> QueueOpCost {
+        self.ops += 1;
+        let transfer = if cross_socket {
+            self.params.line_transfer_cross_socket
+        } else {
+            self.params.line_transfer_same_socket
+        };
+        QueueOpCost {
+            cpu_busy: self.params.instr_time * self.params.dequeue_instr
+                + transfer * self.params.lines_per_handoff,
+            energy: Energy::ZERO,
+        }
+    }
+
+    /// Operations costed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// Configuration of the hardware queuing engine.
+#[derive(Debug, Clone)]
+pub struct HwQueueConfig {
+    /// Producer-side doorbell store cost.
+    pub doorbell_cost: SimTime,
+    /// Consumer-side receive cost (the line arrives pushed, QOLB-style).
+    pub receive_cost: SimTime,
+    /// Fabric cycles per queue operation.
+    pub cycles_per_op: u64,
+    /// Fabric energy per queue operation.
+    pub energy_per_op: Energy,
+    /// Fabric area.
+    pub area_slices: u64,
+}
+
+impl Default for HwQueueConfig {
+    fn default() -> Self {
+        HwQueueConfig {
+            doorbell_cost: SimTime::from_ns(6.0),
+            receive_cost: SimTime::from_ns(10.0),
+            cycles_per_op: 1,
+            energy_per_op: Energy::from_pj(60.0),
+            area_slices: 5_000,
+        }
+    }
+}
+
+/// The hardware queue engine cost model.
+#[derive(Debug)]
+pub struct HwQueueTiming {
+    cfg: HwQueueConfig,
+    unit: FpgaUnit,
+}
+
+impl HwQueueTiming {
+    /// Place the engine on a fabric.
+    pub fn place(fabric: &mut FpgaFabric, cfg: HwQueueConfig) -> Result<Self, OutOfArea> {
+        let unit = fabric.place(
+            "queue-engine",
+            cfg.cycles_per_op,
+            64,
+            cfg.energy_per_op,
+            cfg.area_slices,
+        )?;
+        Ok(HwQueueTiming { cfg, unit })
+    }
+
+    /// Place with defaults.
+    pub fn hc2(fabric: &mut FpgaFabric) -> Result<Self, OutOfArea> {
+        Self::place(fabric, HwQueueConfig::default())
+    }
+
+    /// Cost of an enqueue: a doorbell store; queue state never bounces
+    /// between cores, so socket placement is irrelevant.
+    pub fn enqueue(&mut self, now: SimTime) -> QueueOpCost {
+        let (_, e) = self.unit.submit(now);
+        QueueOpCost {
+            cpu_busy: self.cfg.doorbell_cost,
+            energy: e,
+        }
+    }
+
+    /// Cost of a dequeue: the engine pushed the line ahead of time.
+    pub fn dequeue(&mut self, now: SimTime) -> QueueOpCost {
+        let (_, e) = self.unit.submit(now);
+        QueueOpCost {
+            cpu_busy: self.cfg.receive_cost,
+            energy: e,
+        }
+    }
+
+    /// Operations processed by the fabric unit.
+    pub fn ops(&self) -> u64 {
+        self.unit.ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_costs_scale_with_socket_distance() {
+        let mut sw = SwQueueTiming::default();
+        let near = sw.enqueue(false).cpu_busy;
+        let far = sw.enqueue(true).cpu_busy;
+        // 1 line * (120 - 16)ns = 104ns extra.
+        assert!((far.as_ns() - near.as_ns() - 104.0).abs() < 1.0);
+        assert_eq!(sw.ops(), 2);
+    }
+
+    #[test]
+    fn hardware_is_an_order_of_magnitude_cheaper() {
+        let mut fabric = FpgaFabric::hc2();
+        let mut hw = HwQueueTiming::hc2(&mut fabric).unwrap();
+        let mut sw = SwQueueTiming::default();
+        let hw_roundtrip =
+            hw.enqueue(SimTime::ZERO).cpu_busy + hw.dequeue(SimTime::ZERO).cpu_busy;
+        let sw_roundtrip = sw.enqueue(true).cpu_busy + sw.dequeue(true).cpu_busy;
+        let ratio = sw_roundtrip.as_ns() / hw_roundtrip.as_ns();
+        assert!(ratio > 10.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn hardware_cost_is_placement_independent() {
+        let mut fabric = FpgaFabric::hc2();
+        let mut hw = HwQueueTiming::hc2(&mut fabric).unwrap();
+        let a = hw.enqueue(SimTime::ZERO).cpu_busy;
+        let b = hw.enqueue(SimTime::ZERO).cpu_busy;
+        assert_eq!(a, b);
+        assert_eq!(hw.ops(), 2);
+    }
+}

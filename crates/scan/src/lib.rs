@@ -1,0 +1,22 @@
+//! # bionic-scan — the Netezza-style enhanced scanner (§5.2)
+//!
+//! Figure 4 places an "enhanced scanner" on the FPGA in front of the
+//! columnar database: it "implements selections and projections for queries
+//! to reduce bandwidth pressure on the PCI bus". This crate provides the
+//! predicate language ([`predicate`]) and both scan paths ([`scanner`]):
+//! the conventional ship-then-filter CPU scan and the FPGA filter that
+//! ships only results. Experiment E10 sweeps selectivity over both.
+//!
+//! [`nfa`] adds §4's control-flow-in-hardware exhibit: Thompson-compiled
+//! NFA pattern matching with a byte-per-cycle skeleton-automata hardware
+//! model \[13\] beside the active-set software simulation it embarrasses.
+
+#![warn(missing_docs)]
+
+pub mod nfa;
+pub mod predicate;
+pub mod scanner;
+
+pub use nfa::{Nfa, NfaEngine, SimStats};
+pub use predicate::{CmpOp, ColPredicate, ScanRequest};
+pub use scanner::{scan_enhanced, scan_software, ScanOutcome, ScannerConfig};

@@ -1,0 +1,221 @@
+//! Selection predicates for the scan path.
+//!
+//! Deliberately simple — conjunctions of column/constant comparisons — which
+//! is exactly the class of filters FPGA scanners like Netezza's push into
+//! hardware (§5.2 "a Netezza-style engine implements selections and
+//! projections for queries").
+
+use crate::nfa::Nfa;
+use bionic_storage::columnar::ColumnarTable;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+        }
+    }
+}
+
+/// One `column OP constant` predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct ColPredicate {
+    /// Column index in the table.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant operand.
+    pub value: i64,
+}
+
+impl ColPredicate {
+    /// Construct a predicate.
+    pub fn new(col: usize, op: CmpOp, value: i64) -> Self {
+        ColPredicate { col, op, value }
+    }
+
+    /// Evaluate against row `row` of `table`. String columns never match
+    /// (numeric predicates only).
+    pub fn matches(&self, table: &ColumnarTable, row: usize) -> bool {
+        table
+            .column(self.col)
+            .as_i64(row)
+            .is_some_and(|v| self.op.eval(v, self.value))
+    }
+}
+
+/// A LIKE-style pattern predicate on a fixed-width string column,
+/// evaluated by the §4 NFA machinery.
+#[derive(Debug, Clone)]
+pub struct StrPredicate {
+    /// Column index (must be a `FixedStr` column).
+    pub col: usize,
+    /// Compiled pattern (unanchored search).
+    pub nfa: Nfa,
+}
+
+impl StrPredicate {
+    /// Construct from a pattern source.
+    pub fn new(col: usize, pattern: &str) -> Result<Self, crate::nfa::ParseError> {
+        Ok(StrPredicate {
+            col,
+            nfa: Nfa::compile(pattern)?,
+        })
+    }
+}
+
+/// A conjunction of predicates plus a projection list.
+#[derive(Debug, Clone, Default)]
+pub struct ScanRequest {
+    /// All must hold (empty = match everything).
+    pub predicates: Vec<ColPredicate>,
+    /// String-pattern predicates (all must hold too).
+    pub str_predicates: Vec<StrPredicate>,
+    /// Column indexes to return for matching rows.
+    pub projection: Vec<usize>,
+}
+
+impl ScanRequest {
+    /// Does `row` satisfy every predicate?
+    pub fn matches(&self, table: &ColumnarTable, row: usize) -> bool {
+        let mut sink = 0u64;
+        self.matches_counting(table, row, &mut sink)
+    }
+
+    /// [`ScanRequest::matches`], accumulating NFA state-visit counts (the
+    /// software cost driver) into `nfa_visits`.
+    pub fn matches_counting(
+        &self,
+        table: &ColumnarTable,
+        row: usize,
+        nfa_visits: &mut u64,
+    ) -> bool {
+        if !self.predicates.iter().all(|p| p.matches(table, row)) {
+            return false;
+        }
+        for sp in &self.str_predicates {
+            let bytes = table.column(sp.col).value_bytes(row);
+            let (hit, stats) = sp.nfa.search_with_stats(&bytes);
+            *nfa_visits += stats.state_visits;
+            if !hit {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bytes per row of the columns the predicates read.
+    pub fn predicate_width(&self, table: &ColumnarTable) -> usize {
+        let mut cols: Vec<usize> = self.predicates.iter().map(|p| p.col).collect();
+        cols.extend(self.str_predicates.iter().map(|p| p.col));
+        cols.sort_unstable();
+        cols.dedup();
+        cols.iter().map(|&c| table.column(c).value_width()).sum()
+    }
+
+    /// Total NFA states across string predicates (hardware area / energy).
+    pub fn nfa_states(&self) -> usize {
+        self.str_predicates.iter().map(|p| p.nfa.state_count()).sum()
+    }
+
+    /// Bytes per row of the projected columns.
+    pub fn projection_width(&self, table: &ColumnarTable) -> usize {
+        self.projection
+            .iter()
+            .map(|&c| table.column(c).value_width())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_storage::columnar::Column;
+
+    fn table() -> ColumnarTable {
+        let mut t = ColumnarTable::new();
+        t.add_column("id", Column::I64((0..10).collect()));
+        t.add_column("qty", Column::U32((0..10).map(|i| i * 10).collect()));
+        t
+    }
+
+    #[test]
+    fn all_operators() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(!CmpOp::Gt.eval(2, 2));
+    }
+
+    #[test]
+    fn single_predicate_filters() {
+        let t = table();
+        let p = ColPredicate::new(0, CmpOp::Ge, 5);
+        let matches: Vec<usize> = (0..10).filter(|&r| p.matches(&t, r)).collect();
+        assert_eq!(matches, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn conjunction_narrows() {
+        let t = table();
+        let req = ScanRequest {
+            predicates: vec![
+                ColPredicate::new(0, CmpOp::Ge, 3),
+                ColPredicate::new(1, CmpOp::Lt, 70),
+            ],
+            projection: vec![0],
+            ..Default::default()
+        };
+        let matches: Vec<usize> = (0..10).filter(|&r| req.matches(&t, r)).collect();
+        assert_eq!(matches, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn widths_deduplicate_predicate_columns() {
+        let t = table();
+        let req = ScanRequest {
+            predicates: vec![
+                ColPredicate::new(0, CmpOp::Ge, 1),
+                ColPredicate::new(0, CmpOp::Lt, 9),
+                ColPredicate::new(1, CmpOp::Gt, 0),
+            ],
+            projection: vec![0, 1],
+            ..Default::default()
+        };
+        assert_eq!(req.predicate_width(&t), 8 + 4);
+        assert_eq!(req.projection_width(&t), 12);
+    }
+
+    #[test]
+    fn empty_request_matches_all() {
+        let t = table();
+        let req = ScanRequest::default();
+        assert!((0..10).all(|r| req.matches(&t, r)));
+        assert_eq!(req.predicate_width(&t), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Dark-silicon and Amdahl analytics — the model behind Figure 1 and §2.
+//!
+//! Figure 1 plots the *fraction of chip utilized* as parallelism varies, for
+//! a 64-core 2011 chip and a 1024-core 2018 chip, at serial fractions of
+//! 10 %, 1 %, 0.1 %, and 0.01 %, with part of the 2018 chip struck out as
+//! "over power budget". This module provides the Amdahl and Hill-Marty
+//! speedup formulas, a chip-generation model with a power envelope, and the
+//! series generator the `figures` binary renders.
+
+/// Amdahl's-law speedup of a workload with serial fraction `s` on `n` cores.
+pub fn amdahl_speedup(serial_frac: f64, n: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&serial_frac));
+    assert!(n >= 1);
+    1.0 / (serial_frac + (1.0 - serial_frac) / n as f64)
+}
+
+/// Fraction of an `n`-core chip doing useful work under Amdahl: speedup/n.
+///
+/// This is the quantity Figure 1 shades from the top-left corner.
+pub fn utilization(serial_frac: f64, n: u64) -> f64 {
+    amdahl_speedup(serial_frac, n) / n as f64
+}
+
+/// Smallest serial fraction that still achieves `target` utilization on `n`
+/// cores (inverse of [`utilization`] in `s`). Returns `None` if even a fully
+/// parallel workload can't reach the target (target > 1).
+pub fn serial_budget_for_utilization(target: f64, n: u64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&target) || target == 0.0 {
+        return None;
+    }
+    // utilization = 1 / (n*s + 1 - s)  =>  s = (1/u - 1) / (n - 1)
+    if n == 1 {
+        return Some(1.0);
+    }
+    let s = (1.0 / target - 1.0) / (n as f64 - 1.0);
+    (s >= 0.0).then_some(s.min(1.0))
+}
+
+/// Hill & Marty's symmetric multicore speedup \[6\]: a chip of `n` base-core
+/// equivalents (BCEs) built from cores of `r` BCEs each, where a core of
+/// `r` BCEs delivers `sqrt(r)` base-core performance.
+pub fn hill_marty_symmetric(parallel_frac: f64, n_bce: u64, r_bce: u64) -> f64 {
+    assert!(r_bce >= 1 && n_bce >= r_bce);
+    let perf = (r_bce as f64).sqrt();
+    let cores = (n_bce / r_bce) as f64;
+    1.0 / ((1.0 - parallel_frac) / perf + parallel_frac / (perf * cores))
+}
+
+/// Hill & Marty's asymmetric speedup \[6\]: one big core of `r` BCEs plus
+/// `n - r` single-BCE cores; serial work runs on the big core, parallel work
+/// on everything.
+pub fn hill_marty_asymmetric(parallel_frac: f64, n_bce: u64, r_bce: u64) -> f64 {
+    assert!(r_bce >= 1 && n_bce >= r_bce);
+    let perf = (r_bce as f64).sqrt();
+    let small = (n_bce - r_bce) as f64;
+    1.0 / ((1.0 - parallel_frac) / perf + parallel_frac / (perf + small))
+}
+
+/// Hill & Marty's dynamic speedup \[6\]: the chip reconfigures — serial work
+/// runs as one core using all `n` BCEs (perf √n), parallel work as `n`
+/// base cores. The paper's "bionic" thesis is the limit of this idea:
+/// reconfigure into *specialized* logic rather than a bigger core.
+pub fn hill_marty_dynamic(parallel_frac: f64, n_bce: u64) -> f64 {
+    let perf = (n_bce as f64).sqrt();
+    1.0 / ((1.0 - parallel_frac) / perf + parallel_frac / n_bce as f64)
+}
+
+/// A hardware generation with a power envelope.
+#[derive(Debug, Clone, Copy)]
+pub struct ChipGeneration {
+    /// Calendar year, for labels.
+    pub year: u32,
+    /// Physical cores on the die.
+    pub cores: u64,
+    /// Fraction of the die that the power envelope keeps dark.
+    pub dark_fraction: f64,
+}
+
+impl ChipGeneration {
+    /// The 2011 chip of Figure 1(a): 64 cores, everything powered.
+    pub fn y2011() -> Self {
+        ChipGeneration {
+            year: 2011,
+            cores: 64,
+            dark_fraction: 0.0,
+        }
+    }
+
+    /// The 2018 chip of Figure 1(b): 1024 cores, ~20 % over power budget
+    /// (§2's "conservative calculation").
+    pub fn y2018() -> Self {
+        ChipGeneration {
+            year: 2018,
+            cores: 1024,
+            dark_fraction: 0.20,
+        }
+    }
+
+    /// Generations after 2018: the usable fraction shrinks by `shrink`
+    /// (30–50 % per §2; pass e.g. 0.4) each step. `steps = 0` is 2018.
+    pub fn after_2018(steps: u32, shrink: f64) -> Self {
+        assert!((0.0..1.0).contains(&shrink));
+        let usable_2018 = 0.80f64;
+        let usable = usable_2018 * (1.0 - shrink).powi(steps as i32);
+        ChipGeneration {
+            year: 2018 + 2 * steps,
+            cores: 1024 << steps, // Moore's-law transistor doubling continues
+            dark_fraction: 1.0 - usable,
+        }
+    }
+
+    /// Cores that can be powered simultaneously.
+    pub fn powered_cores(&self) -> u64 {
+        ((self.cores as f64) * (1.0 - self.dark_fraction)).floor() as u64
+    }
+
+    /// Utilization of the *whole die* for a workload with the given serial
+    /// fraction: Amdahl utilization of the powered cores, scaled by the
+    /// powered fraction of the die.
+    pub fn die_utilization(&self, serial_frac: f64) -> f64 {
+        let powered = self.powered_cores().max(1);
+        utilization(serial_frac, powered) * (powered as f64 / self.cores as f64)
+    }
+}
+
+/// One curve of Figure 1: utilization vs. core count for a serial fraction.
+#[derive(Debug, Clone)]
+pub struct UtilizationCurve {
+    /// Serial fraction of the workload.
+    pub serial_frac: f64,
+    /// `(cores_used, fraction_of_chip_utilized)` samples.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// The serial fractions Figure 1 labels.
+pub const FIGURE1_SERIAL_FRACTIONS: [f64; 4] = [0.10, 0.01, 0.001, 0.0001];
+
+/// Generate the Figure 1 curves for a chip with `max_cores` cores: for each
+/// labeled serial fraction, utilization as the software spreads across
+/// 1..=max_cores cores (powers of two).
+pub fn figure1_curves(max_cores: u64) -> Vec<UtilizationCurve> {
+    FIGURE1_SERIAL_FRACTIONS
+        .iter()
+        .map(|&s| {
+            let mut points = Vec::new();
+            let mut n = 1u64;
+            while n <= max_cores {
+                points.push((n, utilization(s, n)));
+                n *= 2;
+            }
+            UtilizationCurve {
+                serial_frac: s,
+                points,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(amdahl_speedup(0.0, 64), 64.0);
+        assert_eq!(amdahl_speedup(1.0, 64), 1.0);
+        // 10% serial caps speedup below 10x regardless of cores.
+        assert!(amdahl_speedup(0.1, 1 << 20) < 10.0);
+    }
+
+    #[test]
+    fn utilization_decreases_with_cores() {
+        let u64c = utilization(0.01, 64);
+        let u1024c = utilization(0.01, 1024);
+        assert!(u64c > u1024c);
+        assert!(u64c > 0.6, "u64c={u64c}");
+        assert!(u1024c < 0.1, "u1024c={u1024c}");
+    }
+
+    #[test]
+    fn paper_claim_two_orders_of_magnitude() {
+        // §2: 0.1% serial "arguably suffices" on 64 cores, but a ~1000-core
+        // chip "demands that the serial fraction decreases by roughly two
+        // orders of magnitude". In the Amdahl model: 0.1% serial wastes only
+        // ~6% of a 64-core chip but ~50% of a 1024-core chip, and getting a
+        // 1024-core chip back to near-full utilization (99%) needs the
+        // serial fraction down at ~0.001% — two orders below 0.1%.
+        let u_2011 = utilization(0.001, 64);
+        assert!(u_2011 > 0.9, "u_2011={u_2011}");
+        let u_2018_same_s = utilization(0.001, 1024);
+        assert!(u_2018_same_s < 0.55, "u_2018={u_2018_same_s}");
+        let needed = serial_budget_for_utilization(0.99, 1024).unwrap();
+        assert!(
+            needed <= 0.001 / 90.0,
+            "serial budget must shrink ~100x, got {needed}"
+        );
+    }
+
+    #[test]
+    fn serial_budget_inverts_utilization() {
+        for &(target, n) in &[(0.5, 64u64), (0.9, 1024), (0.2, 256)] {
+            let s = serial_budget_for_utilization(target, n).unwrap();
+            let u = utilization(s, n);
+            assert!((u - target).abs() < 1e-9, "target={target} got={u}");
+        }
+        assert_eq!(serial_budget_for_utilization(0.0, 64), None);
+        assert_eq!(serial_budget_for_utilization(1.0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn hill_marty_symmetric_matches_amdahl_for_unit_cores() {
+        let f = 0.99;
+        let hm = hill_marty_symmetric(f, 256, 1);
+        let am = amdahl_speedup(1.0 - f, 256);
+        assert!((hm - am).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hill_marty_asymmetric_beats_symmetric_at_high_serial() {
+        // With 10% serial work, one fat core + many small beats all-small.
+        let f = 0.90;
+        let sym = hill_marty_symmetric(f, 256, 1);
+        let asym = hill_marty_asymmetric(f, 256, 64);
+        assert!(asym > sym, "sym={sym} asym={asym}");
+    }
+
+    #[test]
+    fn dynamic_dominates_both_fixed_topologies() {
+        // [6]: dynamic >= asymmetric >= symmetric for any f.
+        for f in [0.5, 0.9, 0.99] {
+            let dynamic = hill_marty_dynamic(f, 256);
+            let asym = hill_marty_asymmetric(f, 256, 16);
+            let sym = hill_marty_symmetric(f, 256, 16);
+            assert!(dynamic >= asym && asym >= sym, "f={f}: {dynamic} {asym} {sym}");
+        }
+    }
+
+    #[test]
+    fn chip_2018_is_twenty_percent_dark() {
+        let g = ChipGeneration::y2018();
+        assert_eq!(g.powered_cores(), 819);
+        let g11 = ChipGeneration::y2011();
+        assert_eq!(g11.powered_cores(), 64);
+    }
+
+    #[test]
+    fn post_2018_usable_fraction_shrinks_per_generation() {
+        let g0 = ChipGeneration::after_2018(0, 0.4);
+        let g1 = ChipGeneration::after_2018(1, 0.4);
+        let g2 = ChipGeneration::after_2018(2, 0.4);
+        let usable = |g: &ChipGeneration| 1.0 - g.dark_fraction;
+        assert!((usable(&g0) - 0.8).abs() < 1e-9);
+        assert!((usable(&g1) - 0.48).abs() < 1e-9);
+        assert!((usable(&g2) - 0.288).abs() < 1e-9);
+        // Cores keep doubling even though fewer can be powered.
+        assert_eq!(g1.cores, 2048);
+    }
+
+    #[test]
+    fn die_utilization_combines_amdahl_and_power() {
+        let g = ChipGeneration::y2018();
+        // Perfectly parallel work still can't use the dark 20%.
+        let u = g.die_utilization(0.0);
+        assert!((u - 0.7998).abs() < 1e-3, "u={u}");
+        // 1% serial work on 819 powered cores uses almost nothing.
+        assert!(g.die_utilization(0.01) < 0.1);
+    }
+
+    #[test]
+    fn figure1_curves_have_expected_shape() {
+        let curves = figure1_curves(1024);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            // Utilization monotonically non-increasing in core count.
+            for w in c.points.windows(2) {
+                assert!(w[1].1 <= w[0].1 + 1e-12);
+            }
+            assert_eq!(c.points.first().unwrap().1, 1.0);
+        }
+        // At 1024 cores the 10% curve is far below the 0.01% curve.
+        let at_1024 = |i: usize| curves[i].points.last().unwrap().1;
+        assert!(at_1024(0) < 0.01);
+        assert!(at_1024(3) > 0.9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Generic reconfigurable-fabric models.
+//!
+//! The domain crates (btree, wal, queue, overlay, scan) each build a
+//! specialized engine out of an [`FpgaUnit`] — a clocked, pipelined function
+//! unit with a per-op energy — placed on an [`FpgaFabric`] that enforces an
+//! area budget. Area is what makes "which operations deserve hardware?" a
+//! real design question rather than a free lunch, mirroring §5's observation
+//! that a *purely* hardware OLTP engine is uneconomical.
+
+use crate::energy::Energy;
+use crate::server::PipelinedUnit;
+use crate::time::SimTime;
+
+/// One synthesized function unit on the fabric.
+#[derive(Debug, Clone)]
+pub struct FpgaUnit {
+    name: &'static str,
+    clock_period: SimTime,
+    cycles_per_op: u64,
+    pipeline: PipelinedUnit,
+    energy_per_op: Energy,
+    area_slices: u64,
+    ops: u64,
+}
+
+impl FpgaUnit {
+    /// Create a unit.
+    ///
+    /// * `clock_period` — fabric clock (the HC-2 preset is 200 MHz → 5 ns).
+    /// * `cycles_per_op` — latency of one operation through the unit.
+    /// * `depth` — pipeline depth (operations in flight).
+    /// * `energy_per_op` — switching energy of one operation.
+    /// * `area_slices` — fabric area consumed.
+    pub fn new(
+        name: &'static str,
+        clock_period: SimTime,
+        cycles_per_op: u64,
+        depth: usize,
+        energy_per_op: Energy,
+        area_slices: u64,
+    ) -> Self {
+        let latency = clock_period * cycles_per_op;
+        FpgaUnit {
+            name,
+            clock_period,
+            cycles_per_op,
+            pipeline: PipelinedUnit::new(latency, clock_period, depth),
+            energy_per_op,
+            area_slices,
+            ops: 0,
+        }
+    }
+
+    /// Unit name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Submit one operation arriving at `arrive`; returns completion time
+    /// and energy spent.
+    pub fn submit(&mut self, arrive: SimTime) -> (SimTime, Energy) {
+        self.ops += 1;
+        (self.pipeline.submit(arrive), self.energy_per_op)
+    }
+
+    /// Latency of one operation through the unit.
+    pub fn op_latency(&self) -> SimTime {
+        self.clock_period * self.cycles_per_op
+    }
+
+    /// Fabric clock period.
+    pub fn clock_period(&self) -> SimTime {
+        self.clock_period
+    }
+
+    /// Area consumed, in slices.
+    pub fn area_slices(&self) -> u64 {
+        self.area_slices
+    }
+
+    /// Operations completed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// The whole reconfigurable fabric: a finite pool of slices.
+#[derive(Debug, Clone)]
+pub struct FpgaFabric {
+    total_slices: u64,
+    used_slices: u64,
+    clock_period: SimTime,
+    placed: Vec<(&'static str, u64)>,
+}
+
+/// Error returned when a unit does not fit on the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfArea {
+    /// Unit that failed to place.
+    pub unit: &'static str,
+    /// Slices the unit needs.
+    pub requested: u64,
+    /// Slices still free.
+    pub available: u64,
+}
+
+impl core::fmt::Display for OutOfArea {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unit '{}' needs {} slices but only {} are free",
+            self.unit, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfArea {}
+
+impl FpgaFabric {
+    /// A fabric with `total_slices` of area and the given clock.
+    pub fn new(total_slices: u64, clock_period: SimTime) -> Self {
+        FpgaFabric {
+            total_slices,
+            used_slices: 0,
+            clock_period,
+            placed: Vec::new(),
+        }
+    }
+
+    /// The HC-2-class preset: a large Virtex-class part at 200 MHz. The
+    /// slice count is an abstract budget; what matters is that the four §5
+    /// engines together fit comfortably while leaving room for the scanner.
+    pub fn hc2() -> Self {
+        FpgaFabric::new(150_000, SimTime::from_ns(5.0))
+    }
+
+    /// Fabric clock period.
+    pub fn clock_period(&self) -> SimTime {
+        self.clock_period
+    }
+
+    /// Place a unit on the fabric, consuming area.
+    pub fn place(
+        &mut self,
+        name: &'static str,
+        cycles_per_op: u64,
+        depth: usize,
+        energy_per_op: Energy,
+        area_slices: u64,
+    ) -> Result<FpgaUnit, OutOfArea> {
+        let available = self.total_slices - self.used_slices;
+        if area_slices > available {
+            return Err(OutOfArea {
+                unit: name,
+                requested: area_slices,
+                available,
+            });
+        }
+        self.used_slices += area_slices;
+        self.placed.push((name, area_slices));
+        Ok(FpgaUnit::new(
+            name,
+            self.clock_period,
+            cycles_per_op,
+            depth,
+            energy_per_op,
+            area_slices,
+        ))
+    }
+
+    /// Slices still free.
+    pub fn free_slices(&self) -> u64 {
+        self.total_slices - self.used_slices
+    }
+
+    /// Fraction of the fabric in use.
+    pub fn occupancy(&self) -> f64 {
+        self.used_slices as f64 / self.total_slices as f64
+    }
+
+    /// Placed units and their areas.
+    pub fn placements(&self) -> &[(&'static str, u64)] {
+        &self.placed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_latency_is_cycles_times_clock() {
+        let u = FpgaUnit::new(
+            "t",
+            SimTime::from_ns(5.0),
+            4,
+            8,
+            Energy::from_pj(50.0),
+            100,
+        );
+        assert_eq!(u.op_latency().as_ns(), 20.0);
+    }
+
+    #[test]
+    fn unit_pipelines_one_op_per_cycle() {
+        let mut u = FpgaUnit::new(
+            "t",
+            SimTime::from_ns(5.0),
+            10,
+            16,
+            Energy::from_pj(50.0),
+            100,
+        );
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let (d, _) = u.submit(SimTime::ZERO);
+            last = d;
+        }
+        // 10-cycle latency + 99 initiations at 1/cycle.
+        assert_eq!(last.as_ns(), (10.0 + 99.0) * 5.0);
+        assert_eq!(u.ops(), 100);
+    }
+
+    #[test]
+    fn fabric_enforces_area_budget() {
+        let mut f = FpgaFabric::new(1000, SimTime::from_ns(5.0));
+        let a = f.place("a", 1, 1, Energy::ZERO, 600);
+        assert!(a.is_ok());
+        let b = f.place("b", 1, 1, Energy::ZERO, 600);
+        let err = b.unwrap_err();
+        assert_eq!(err.available, 400);
+        assert_eq!(err.requested, 600);
+        assert_eq!(f.free_slices(), 400);
+        assert!((f.occupancy() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hc2_fits_all_five_engines() {
+        // The §5 architecture: probe, log, queue, overlay, scanner.
+        let mut f = FpgaFabric::hc2();
+        for (name, area) in [
+            ("tree-probe", 20_000u64),
+            ("log-insert", 10_000),
+            ("queue", 8_000),
+            ("overlay", 25_000),
+            ("scanner", 30_000),
+        ] {
+            f.place(name, 1, 8, Energy::from_pj(50.0), area).unwrap();
+        }
+        assert!(f.occupancy() < 0.7);
+        assert_eq!(f.placements().len(), 5);
+    }
+}

@@ -1,0 +1,271 @@
+//! Measurement utilities: latency histograms and throughput summaries.
+//!
+//! Every experiment in EXPERIMENTS.md reports through these types, so they
+//! favour reproducibility (integer bucket math) over extreme precision.
+
+use crate::time::SimTime;
+
+/// A log₂-bucketed latency histogram with sub-bucket linear resolution.
+///
+/// Records picosecond durations into buckets whose relative error is bounded
+/// by `1/SUBBUCKETS` (≈1.6 %) — the classic HdrHistogram layout, sized for
+/// values from 1 ps to ~584 years.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ps: u128,
+    max_ps: u64,
+    min_ps: u64,
+}
+
+const SUBBUCKET_BITS: u32 = 6; // 64 linear sub-buckets per power of two
+const SUBBUCKETS: u64 = 1 << SUBBUCKET_BITS;
+const BUCKETS: usize = (64 - SUBBUCKET_BITS as usize) * SUBBUCKETS as usize;
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ps: 0,
+            max_ps: 0,
+            min_ps: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn index(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros();
+        if msb < SUBBUCKET_BITS {
+            v as usize
+        } else {
+            let shift = msb - SUBBUCKET_BITS;
+            let sub = (v >> shift) & (SUBBUCKETS - 1);
+            ((((msb - SUBBUCKET_BITS + 1) as u64 * SUBBUCKETS) + sub) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    #[inline]
+    fn bucket_floor(index: usize) -> u64 {
+        let i = index as u64;
+        if i < SUBBUCKETS {
+            i
+        } else {
+            let exp = (i / SUBBUCKETS) as u32 + SUBBUCKET_BITS - 1;
+            let sub = i % SUBBUCKETS;
+            (1u64 << exp) + (sub << (exp - SUBBUCKET_BITS))
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimTime) {
+        let ps = d.as_ps();
+        self.counts[Self::index(ps)] += 1;
+        self.total += 1;
+        self.sum_ps += ps as u128;
+        self.max_ps = self.max_ps.max(ps);
+        self.min_ps = self.min_ps.min(ps);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of all samples.
+    pub fn mean(&self) -> SimTime {
+        if self.total == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_ps((self.sum_ps / self.total as u128) as u64)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_ps(self.max_ps)
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> SimTime {
+        if self.total == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ps(self.min_ps)
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, e.g. `0.99` for p99. Returns the
+    /// lower bound of the containing bucket (≤1.6 % relative error).
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.total == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimTime::from_ps(Self::bucket_floor(i).max(self.min_ps).min(self.max_ps));
+            }
+        }
+        self.max()
+    }
+
+    /// Condensed five-number summary, the unit most experiments print.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.total,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum_ps += other.sum_ps;
+        self.max_ps = self.max_ps.max(other.max_ps);
+        self.min_ps = self.min_ps.min(other.min_ps);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Five-number latency summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// Median.
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Throughput helper: operations completed over a simulated interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Completed operations.
+    pub ops: u64,
+    /// Elapsed simulated time.
+    pub elapsed: SimTime,
+}
+
+impl Throughput {
+    /// Operations per simulated second.
+    pub fn per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimTime::ZERO);
+        assert_eq!(s.p99, SimTime::ZERO);
+        assert_eq!(h.min(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_ns(100.0));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean.as_ns(), 100.0);
+        assert_eq!(s.max.as_ns(), 100.0);
+        // bucket floor within 1.6% of the true value
+        assert!((s.p50.as_ns() - 100.0).abs() / 100.0 < 0.017);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_ramp() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::from_ps(i * 1000));
+        }
+        let p50 = h.quantile(0.5).as_ps() as f64;
+        let p99 = h.quantile(0.99).as_ps() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        // Every value must land in a bucket whose floor is within 1/64 of it.
+        for v in [1u64, 63, 64, 65, 1000, 123_456, 9_876_543_210] {
+            let i = Histogram::index(v);
+            let floor = Histogram::bucket_floor(i);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            assert!(
+                (v - floor) as f64 / v as f64 <= 1.0 / 32.0,
+                "v={v} floor={floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimTime::from_ns(10.0));
+        b.record(SimTime::from_ns(1000.0));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max().as_ns(), 1000.0);
+        assert_eq!(a.min().as_ns(), 10.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            ops: 1_000,
+            elapsed: SimTime::from_ms(10.0),
+        };
+        assert!((t.per_sec() - 100_000.0).abs() < 1e-6);
+        let z = Throughput {
+            ops: 5,
+            elapsed: SimTime::ZERO,
+        };
+        assert_eq!(z.per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated time.
+//!
+//! The simulator keeps time in integer **picoseconds**. The paper's platform
+//! mixes effects five orders of magnitude apart — 0.4 ns instruction slots on
+//! a 2.5 GHz core against 5 ms SAS seeks — so a picosecond tick keeps every
+//! charge exact (no drift from rounding sub-nanosecond instruction costs)
+//! while `u64` still covers ~213 days of simulated time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in picoseconds.
+///
+/// `SimTime` is deliberately a single type for both instants and durations;
+/// the simulator's arithmetic is simple enough that the extra type safety of
+/// separate types is not worth the friction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "never happens" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds (fractional values allowed).
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        SimTime((ns * 1e3).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us * 1e6).round() as u64)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms * 1e9).round() as u64)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        SimTime((s * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Is this the zero time/duration?
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-oriented display: picks the largest unit that keeps the value
+    /// above 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_round_trips() {
+        assert_eq!(SimTime::from_ns(1.0).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(2.0).as_ps(), 2_000_000);
+        assert_eq!(SimTime::from_ms(5.0).as_ps(), 5_000_000_000);
+        assert_eq!(SimTime::from_secs(1.0).as_ps(), 1_000_000_000_000);
+        assert!((SimTime::from_ns(400.0).as_ns() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_nanoseconds_are_exact_to_the_picosecond() {
+        // A 2.5 GHz instruction slot is 0.4 ns = 400 ps; 1000 of them must be
+        // exactly 400 ns, not 0 (as it would be with integer-ns rounding).
+        let slot = SimTime::from_ns(0.4);
+        assert_eq!(slot.as_ps(), 400);
+        assert_eq!((slot * 1000).as_ns(), 400.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_ns(10.0);
+        let b = SimTime::from_ns(3.0);
+        assert_eq!((a + b).as_ns(), 13.0);
+        assert_eq!((a - b).as_ns(), 7.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!(b < a);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!((a * 3u64).as_ns(), 30.0);
+        assert_eq!((a / 2).as_ns(), 5.0);
+        assert_eq!((a * 0.5).as_ns(), 5.0);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_ns(i as f64)).sum();
+        assert_eq!(total.as_ns(), 10.0);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(format!("{}", SimTime::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", SimTime::from_ns(400.0)), "400.000ns");
+        assert_eq!(format!("{}", SimTime::from_us(2.0)), "2.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(5.0)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500s");
+    }
+}

@@ -1,0 +1,337 @@
+//! The buffer pool — CLOCK replacement over a fixed frame budget.
+//!
+//! Figure 3 shows "Bpool mgmt" as a visible slice of transaction time even
+//! in a highly optimized engine; §5.6 proposes replacing the pool with an
+//! FPGA-side overlay. This is the conventional pool those comparisons need.
+//! Every access returns an [`Access`] footprint (hit? dirty eviction?) that
+//! the engine converts to simulated time and energy.
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageId};
+use std::collections::HashMap;
+
+/// Footprint of one buffer-pool access, consumed by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Was the page already resident?
+    pub hit: bool,
+    /// Did fetching it force a dirty page to be written back?
+    pub evicted_dirty: bool,
+}
+
+/// Aggregate buffer-pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses served from memory.
+    pub hits: u64,
+    /// Accesses that read from disk.
+    pub misses: u64,
+    /// Dirty write-backs caused by eviction.
+    pub dirty_evictions: u64,
+    /// Explicit flushes.
+    pub flushes: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; zero when no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page_id: PageId,
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A CLOCK-replacement buffer pool over a [`DiskManager`].
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    disk: DiskManager,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages over `disk`.
+    pub fn new(capacity: usize, disk: DiskManager) -> Self {
+        assert!(capacity >= 1);
+        BufferPool {
+            capacity,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            hand: 0,
+            disk,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Allocate a fresh page on disk and fault it in.
+    pub fn allocate_page(&mut self) -> (PageId, Access) {
+        let id = self.disk.allocate();
+        let access = self.fault_in(id);
+        (id, access)
+    }
+
+    fn evict_victim(&mut self) -> (usize, bool) {
+        // CLOCK: sweep until an unreferenced frame is found.
+        loop {
+            let f = &mut self.frames[self.hand];
+            if f.referenced {
+                f.referenced = false;
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else {
+                let idx = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                let dirty = self.frames[idx].dirty;
+                if dirty {
+                    let (pid, page) = {
+                        let f = &self.frames[idx];
+                        (f.page_id, f.page.clone())
+                    };
+                    self.disk.write(pid, &page);
+                    self.stats.dirty_evictions += 1;
+                }
+                self.map.remove(&self.frames[idx].page_id);
+                return (idx, dirty);
+            }
+        }
+    }
+
+    fn fault_in(&mut self, id: PageId) -> Access {
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].referenced = true;
+            self.stats.hits += 1;
+            return Access {
+                hit: true,
+                evicted_dirty: false,
+            };
+        }
+        self.stats.misses += 1;
+        let page = self.disk.read(id);
+        let mut evicted_dirty = false;
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page_id: id,
+                page,
+                dirty: false,
+                referenced: true,
+            });
+            self.frames.len() - 1
+        } else {
+            let (idx, dirty) = self.evict_victim();
+            evicted_dirty = dirty;
+            self.frames[idx] = Frame {
+                page_id: id,
+                page,
+                dirty: false,
+                referenced: true,
+            };
+            idx
+        };
+        self.map.insert(id, idx);
+        Access {
+            hit: false,
+            evicted_dirty,
+        }
+    }
+
+    /// Read access to a page through a closure.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> (R, Access) {
+        let access = self.fault_in(id);
+        let idx = self.map[&id];
+        (f(&self.frames[idx].page), access)
+    }
+
+    /// Write access to a page through a closure; marks the page dirty.
+    pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> (R, Access) {
+        let access = self.fault_in(id);
+        let idx = self.map[&id];
+        let frame = &mut self.frames[idx];
+        frame.dirty = true;
+        (f(&mut frame.page), access)
+    }
+
+    /// Flush one page if resident and dirty. Returns true if a write happened.
+    pub fn flush(&mut self, id: PageId) -> bool {
+        if let Some(&idx) = self.map.get(&id) {
+            if self.frames[idx].dirty {
+                let page = self.frames[idx].page.clone();
+                self.disk.write(id, &page);
+                self.frames[idx].dirty = false;
+                self.stats.flushes += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Flush every dirty page; returns the number written.
+    pub fn flush_all(&mut self) -> u64 {
+        let dirty_ids: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_id)
+            .collect();
+        let n = dirty_ids.len() as u64;
+        for id in dirty_ids {
+            self.flush(id);
+        }
+        n
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Access to the underlying disk (e.g. for crash drills: flush, then
+    /// steal the disk and rebuild a pool over it).
+    pub fn into_disk(self) -> DiskManager {
+        let mut pool = self;
+        pool.flush_all();
+        pool.disk
+    }
+
+    /// Take the disk WITHOUT flushing — models a crash: only what eviction
+    /// or explicit flushes wrote back survives.
+    pub fn crash(self) -> DiskManager {
+        self.disk
+    }
+
+    /// Immutable view of the disk's I/O counters.
+    pub fn disk_io(&self) -> (u64, u64) {
+        self.disk.io_counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: usize, npages: usize) -> (BufferPool, Vec<PageId>) {
+        let disk = DiskManager::new();
+        let mut pool = BufferPool::new(cap, disk);
+        let ids: Vec<PageId> = (0..npages).map(|_| pool.allocate_page().0).collect();
+        (pool, ids)
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (mut p, ids) = pool(2, 1);
+        let (_, a) = p.with_page(ids[0], |_| ());
+        assert!(a.hit); // allocate faulted it in
+        assert_eq!(p.stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_kicks_in_at_capacity() {
+        let (mut p, ids) = pool(2, 3);
+        // 3 pages through a 2-frame pool: the first allocation got evicted.
+        assert_eq!(p.resident(), 2);
+        let (_, a) = p.with_page(ids[0], |_| ());
+        assert!(!a.hit, "page 0 must have been evicted");
+    }
+
+    #[test]
+    fn dirty_pages_are_written_back_on_eviction() {
+        let (mut p, ids) = pool(2, 2);
+        p.with_page_mut(ids[0], |pg| pg.bytes_mut()[0] = 7);
+        // Fault in a third page to force eviction of a dirty frame.
+        let (_id3, _) = p.allocate_page();
+        // One of ids[0]/ids[1] got evicted; if it was the dirty one, the
+        // write-back must be visible on re-read.
+        let (byte, _) = p.with_page(ids[0], |pg| pg.bytes()[0]);
+        assert_eq!(byte, 7);
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced_victims() {
+        let (mut p, ids) = pool(2, 2);
+        // Touch page 0 so it is referenced; allocate a new page: victim
+        // should be page 1 (unreferenced after the sweep clears page 0).
+        p.with_page(ids[0], |_| ());
+        p.with_page(ids[1], |_| ());
+        p.with_page(ids[0], |_| ());
+        p.allocate_page();
+        // Page 0 was twice-referenced, more likely retained than page 1.
+        // CLOCK is approximate, so just check: exactly one of them missed.
+        let (_, a0) = p.with_page(ids[0], |_| ());
+        let (_, a1) = p.with_page(ids[1], |_| ());
+        assert!(a0.hit != a1.hit || !a0.hit);
+    }
+
+    #[test]
+    fn flush_all_makes_state_durable() {
+        let (mut p, ids) = pool(4, 2);
+        p.with_page_mut(ids[0], |pg| pg.bytes_mut()[10] = 42);
+        p.with_page_mut(ids[1], |pg| pg.bytes_mut()[10] = 43);
+        assert_eq!(p.flush_all(), 2);
+        let mut disk = p.crash(); // no further flush
+        assert_eq!(disk.read(ids[0]).bytes()[10], 42);
+        assert_eq!(disk.read(ids[1]).bytes()[10], 43);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_writes() {
+        let (mut p, ids) = pool(4, 1);
+        p.with_page_mut(ids[0], |pg| pg.bytes_mut()[10] = 42);
+        let mut disk = p.crash();
+        assert_eq!(disk.read(ids[0]).bytes()[10], 0, "unflushed write must die");
+    }
+
+    #[test]
+    fn into_disk_flushes_first() {
+        let (mut p, ids) = pool(4, 1);
+        p.with_page_mut(ids[0], |pg| pg.bytes_mut()[10] = 42);
+        let mut disk = p.into_disk();
+        assert_eq!(disk.read(ids[0]).bytes()[10], 42);
+    }
+
+    #[test]
+    fn hit_ratio_reflects_locality() {
+        let (mut p, ids) = pool(8, 8);
+        for _ in 0..100 {
+            for id in &ids {
+                p.with_page(*id, |_| ());
+            }
+        }
+        assert!(p.stats().hit_ratio() > 0.9);
+    }
+
+    #[test]
+    fn working_set_larger_than_pool_thrashes() {
+        let (mut p, ids) = pool(4, 64);
+        let mut misses = 0;
+        for round in 0..10 {
+            for id in &ids {
+                let (_, a) = p.with_page(*id, |_| ());
+                if round > 0 && !a.hit {
+                    misses += 1;
+                }
+            }
+        }
+        // Sequential sweep over 64 pages with 4 frames: near-100% miss.
+        assert!(misses > 500, "misses={misses}");
+    }
+}

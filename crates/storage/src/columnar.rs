@@ -1,0 +1,216 @@
+//! Columnar storage for the analytics path.
+//!
+//! §5.2 keeps a "columnar database" on the FPGA side of Figure 4, scanned by
+//! the Netezza-style enhanced scanner. This module supplies that substrate:
+//! typed column vectors grouped into a table, with the byte-size accounting
+//! the scan experiments need to reason about PCIe bandwidth.
+
+/// A typed column of values.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// 32-bit unsigned integers.
+    U32(Vec<u32>),
+    /// Fixed-width byte strings, `width` bytes per row, concatenated.
+    FixedStr {
+        /// Bytes per value.
+        width: usize,
+        /// Row-major concatenated values (`rows * width` bytes).
+        data: Vec<u8>,
+    },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::U32(v) => v.len(),
+            Column::FixedStr { width, data } => {
+                if *width == 0 {
+                    0
+                } else {
+                    data.len() / width
+                }
+            }
+        }
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes per value.
+    pub fn value_width(&self) -> usize {
+        match self {
+            Column::I64(_) => 8,
+            Column::U32(_) => 4,
+            Column::FixedStr { width, .. } => *width,
+        }
+    }
+
+    /// Total bytes held.
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.value_width()
+    }
+
+    /// Read row `i` as i64 where the column is numeric; `None` for strings.
+    pub fn as_i64(&self, i: usize) -> Option<i64> {
+        match self {
+            Column::I64(v) => v.get(i).copied(),
+            Column::U32(v) => v.get(i).map(|&x| x as i64),
+            Column::FixedStr { .. } => None,
+        }
+    }
+
+    /// Read row `i` as raw bytes (numeric columns in little-endian).
+    pub fn value_bytes(&self, i: usize) -> Vec<u8> {
+        match self {
+            Column::I64(v) => v[i].to_le_bytes().to_vec(),
+            Column::U32(v) => v[i].to_le_bytes().to_vec(),
+            Column::FixedStr { width, data } => data[i * width..(i + 1) * width].to_vec(),
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarTable {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl ColumnarTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a column. Panics if its length disagrees with existing columns —
+    /// ragged tables are construction bugs.
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> &mut Self {
+        if let Some(first) = self.columns.first() {
+            assert_eq!(first.len(), col.len(), "ragged column lengths");
+        }
+        self.names.push(name.into());
+        self.columns.push(col);
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total bytes of one full row across all columns.
+    pub fn row_bytes(&self) -> usize {
+        self.columns.iter().map(Column::value_width).sum()
+    }
+
+    /// Total bytes of the whole table.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColumnarTable {
+        let mut t = ColumnarTable::new();
+        t.add_column("id", Column::I64((0..100).collect()));
+        t.add_column("qty", Column::U32((0..100).map(|i| i * 2).collect()));
+        t.add_column(
+            "tag",
+            Column::FixedStr {
+                width: 4,
+                data: (0..100).flat_map(|i: u32| i.to_le_bytes()).collect(),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = sample();
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.row_bytes(), 8 + 4 + 4);
+        assert_eq!(t.byte_size(), 100 * 16);
+    }
+
+    #[test]
+    fn numeric_access() {
+        let t = sample();
+        assert_eq!(t.column_by_name("id").unwrap().as_i64(7), Some(7));
+        assert_eq!(t.column_by_name("qty").unwrap().as_i64(7), Some(14));
+        assert_eq!(t.column_by_name("tag").unwrap().as_i64(7), None);
+    }
+
+    #[test]
+    fn value_bytes_round_trip() {
+        let t = sample();
+        assert_eq!(
+            t.column_by_name("id").unwrap().value_bytes(3),
+            3i64.to_le_bytes().to_vec()
+        );
+        assert_eq!(
+            t.column_by_name("tag").unwrap().value_bytes(3),
+            3u32.to_le_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn name_lookup() {
+        let t = sample();
+        assert_eq!(t.column_index("qty"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+        assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        let mut t = ColumnarTable::new();
+        t.add_column("a", Column::I64(vec![1, 2, 3]));
+        t.add_column("b", Column::I64(vec![1]));
+    }
+
+    #[test]
+    fn empty_fixedstr_edge_cases() {
+        let c = Column::FixedStr {
+            width: 0,
+            data: vec![],
+        };
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # bionic-storage — pages, buffering, heap files, and columnar data
+//!
+//! The storage substrate under the bionic DBMS: fixed-size [`page::Page`]s
+//! with a [`slotted::SlottedPage`] record layout, a CLOCK
+//! [`bufferpool::BufferPool`] over a [`disk::DiskManager`], unordered
+//! [`heap::HeapFile`]s for the OLTP base tables, and a
+//! [`columnar::ColumnarTable`] store for the Netezza-style scan path of §5.2.
+//!
+//! Everything here is functionally real — bytes round-trip through pages,
+//! eviction, and crash drills. Timing and energy are *not* modeled here:
+//! operations return footprints (`bufferpool::Access`, `heap::HeapFootprint`)
+//! that `bionic-core` converts to simulated cost, keeping data structures
+//! reusable outside the simulator.
+
+#![warn(missing_docs)]
+
+pub mod bufferpool;
+pub mod columnar;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod slotted;
+
+pub use bufferpool::{Access, BufferPool, PoolStats};
+pub use disk::DiskManager;
+pub use heap::{HeapFile, HeapFootprint};
+pub use page::{Page, PageId, RecordId, PAGE_SIZE};
+pub use slotted::{SlotError, SlottedPage};

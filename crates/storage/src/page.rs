@@ -1,0 +1,138 @@
+//! Fixed-size pages, the unit of buffering and I/O.
+
+/// Page size in bytes. Leaves are "sized for disk access" (§5.3); 8 KiB is
+/// the classic OLTP choice.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifies a page within the database file space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page".
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// Is this the invalid sentinel?
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+
+    /// Byte offset of this page in the backing file.
+    pub fn byte_offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+impl core::fmt::Display for PageId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A record's physical address: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Containing page.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Construct a record id.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+
+    /// Pack into a u64 (page in the high 48 bits, slot in the low 16) — the
+    /// form stored as B+tree payloads.
+    pub fn to_u64(self) -> u64 {
+        (self.page.0 << 16) | self.slot as u64
+    }
+
+    /// Unpack from [`RecordId::to_u64`] form.
+    pub fn from_u64(v: u64) -> Self {
+        RecordId {
+            page: PageId(v >> 16),
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl core::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}", self.page, self.slot)
+    }
+}
+
+/// An 8 KiB page image.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Read access to the raw bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Write access to the raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl core::fmt::Debug for Page {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_offsets() {
+        assert_eq!(PageId(0).byte_offset(), 0);
+        assert_eq!(PageId(3).byte_offset(), 3 * 8192);
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+    }
+
+    #[test]
+    fn record_id_round_trips_through_u64() {
+        let rid = RecordId::new(PageId(123_456), 789);
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+        let max = RecordId::new(PageId((1 << 48) - 1), u16::MAX);
+        assert_eq!(RecordId::from_u64(max.to_u64()), max);
+    }
+
+    #[test]
+    fn pages_start_zeroed_and_are_writable() {
+        let mut p = Page::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+        p.bytes_mut()[100] = 42;
+        assert_eq!(p.bytes()[100], 42);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PageId(7)), "P7");
+        assert_eq!(format!("{}", RecordId::new(PageId(7), 3)), "P7.3");
+    }
+}

@@ -1,0 +1,372 @@
+//! A log-structured filesystem over the WAL machinery.
+//!
+//! §5.4 closes with: "We also note that efficient logging infrastructure
+//! could prove useful outside the database engine; high performance logging
+//! file systems are another obvious candidate." This module is that
+//! demonstration: a minimal log-structured filesystem whose only persistent
+//! structure is an append-only operation log. All file state is an
+//! in-memory cache rebuilt by replay; durability comes from the same
+//! [`GroupCommit`] path the DBMS uses, and the insert cost can ride any
+//! [`LogInsertModel`] — including the hardware engine.
+//!
+//! [`GroupCommit`]: crate::timing::GroupCommit
+//! [`LogInsertModel`]: crate::timing::LogInsertModel
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// A file id.
+pub type Fid = u64;
+
+/// One logged filesystem operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    /// Create a file with a name; assigns the next fid.
+    Create {
+        /// File name.
+        name: String,
+    },
+    /// Append bytes to a file.
+    Append {
+        /// Target file.
+        fid: Fid,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Truncate a file to zero length.
+    Truncate {
+        /// Target file.
+        fid: Fid,
+    },
+    /// Remove a file.
+    Remove {
+        /// Target file.
+        fid: Fid,
+    },
+}
+
+impl FsOp {
+    fn encode(&self, out: &mut BytesMut) {
+        match self {
+            FsOp::Create { name } => {
+                out.put_u8(0);
+                out.put_u32_le(name.len() as u32);
+                out.put_slice(name.as_bytes());
+            }
+            FsOp::Append { fid, data } => {
+                out.put_u8(1);
+                out.put_u64_le(*fid);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+            FsOp::Truncate { fid } => {
+                out.put_u8(2);
+                out.put_u64_le(*fid);
+            }
+            FsOp::Remove { fid } => {
+                out.put_u8(3);
+                out.put_u64_le(*fid);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> FsOp {
+        match buf.get_u8() {
+            0 => {
+                let n = buf.get_u32_le() as usize;
+                let name = String::from_utf8(buf[..n].to_vec()).expect("utf8 name");
+                buf.advance(n);
+                FsOp::Create { name }
+            }
+            1 => {
+                let fid = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                let data = buf[..n].to_vec();
+                buf.advance(n);
+                FsOp::Append { fid, data }
+            }
+            2 => FsOp::Truncate {
+                fid: buf.get_u64_le(),
+            },
+            3 => FsOp::Remove {
+                fid: buf.get_u64_le(),
+            },
+            k => panic!("corrupt fs log op {k}"),
+        }
+    }
+
+    /// Encoded length in bytes (what an insert costs the log path).
+    pub fn encoded_len(&self) -> usize {
+        let mut b = BytesMut::new();
+        self.encode(&mut b);
+        4 + b.len()
+    }
+}
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Name already exists.
+    Exists,
+    /// No such file.
+    NotFound,
+}
+
+impl core::fmt::Display for FsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FsError::Exists => write!(f, "file exists"),
+            FsError::NotFound => write!(f, "no such file"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The log-structured filesystem.
+///
+/// ```
+/// use bionic_wal::logfs::LogFs;
+///
+/// let mut fs = LogFs::new();
+/// let (fid, _) = fs.create("notes.txt").unwrap();
+/// fs.append(fid, b"hello").unwrap();
+/// fs.flush();
+/// fs.append(fid, b" LOST").unwrap(); // never flushed
+///
+/// let replayed = LogFs::replay(fs.crash_image());
+/// assert_eq!(replayed.read(fid).unwrap(), b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct LogFs {
+    log: Vec<u8>,
+    durable: usize,
+    next_fid: Fid,
+    names: HashMap<String, Fid>,
+    contents: HashMap<Fid, Vec<u8>>,
+}
+
+impl LogFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn apply(&mut self, op: &FsOp) {
+        match op {
+            FsOp::Create { name } => {
+                let fid = self.next_fid;
+                self.next_fid += 1;
+                self.names.insert(name.clone(), fid);
+                self.contents.insert(fid, Vec::new());
+            }
+            FsOp::Append { fid, data } => {
+                self.contents
+                    .get_mut(fid)
+                    .expect("append to live file")
+                    .extend_from_slice(data);
+            }
+            FsOp::Truncate { fid } => {
+                self.contents.get_mut(fid).expect("truncate live").clear();
+            }
+            FsOp::Remove { fid } => {
+                self.contents.remove(fid);
+                self.names.retain(|_, f| f != fid);
+            }
+        }
+    }
+
+    fn log_op(&mut self, op: &FsOp) -> usize {
+        let mut body = BytesMut::new();
+        op.encode(&mut body);
+        self.log.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.log.extend_from_slice(&body);
+        self.apply(op);
+        4 + body.len()
+    }
+
+    /// Create a file; returns its fid and the logged bytes.
+    pub fn create(&mut self, name: &str) -> Result<(Fid, usize), FsError> {
+        if self.names.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let fid = self.next_fid;
+        let bytes = self.log_op(&FsOp::Create {
+            name: name.to_string(),
+        });
+        Ok((fid, bytes))
+    }
+
+    /// Append to a file; returns the logged bytes.
+    pub fn append(&mut self, fid: Fid, data: &[u8]) -> Result<usize, FsError> {
+        if !self.contents.contains_key(&fid) {
+            return Err(FsError::NotFound);
+        }
+        Ok(self.log_op(&FsOp::Append {
+            fid,
+            data: data.to_vec(),
+        }))
+    }
+
+    /// Truncate a file to empty.
+    pub fn truncate(&mut self, fid: Fid) -> Result<usize, FsError> {
+        if !self.contents.contains_key(&fid) {
+            return Err(FsError::NotFound);
+        }
+        Ok(self.log_op(&FsOp::Truncate { fid }))
+    }
+
+    /// Remove a file.
+    pub fn remove(&mut self, fid: Fid) -> Result<usize, FsError> {
+        if !self.contents.contains_key(&fid) {
+            return Err(FsError::NotFound);
+        }
+        Ok(self.log_op(&FsOp::Remove { fid }))
+    }
+
+    /// Look up a file by name.
+    pub fn lookup(&self, name: &str) -> Option<Fid> {
+        self.names.get(name).copied()
+    }
+
+    /// Read a file's contents.
+    pub fn read(&self, fid: Fid) -> Result<&[u8], FsError> {
+        self.contents
+            .get(&fid)
+            .map(Vec::as_slice)
+            .ok_or(FsError::NotFound)
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// Mark everything logged so far as durable (the caller has timed the
+    /// flush through its group-commit path).
+    pub fn flush(&mut self) {
+        self.durable = self.log.len();
+    }
+
+    /// Bytes logged but not yet durable.
+    pub fn unflushed_bytes(&self) -> usize {
+        self.log.len() - self.durable
+    }
+
+    /// Crash: only the durable log prefix survives.
+    pub fn crash_image(&self) -> Vec<u8> {
+        self.log[..self.durable].to_vec()
+    }
+
+    /// Rebuild a filesystem by replaying a log image.
+    pub fn replay(image: Vec<u8>) -> Self {
+        let mut fs = LogFs {
+            durable: image.len(),
+            log: image,
+            ..Default::default()
+        };
+        let mut at = 0usize;
+        while at + 4 <= fs.log.len() {
+            let len = u32::from_le_bytes(fs.log[at..at + 4].try_into().unwrap()) as usize;
+            if at + 4 + len > fs.log.len() {
+                break; // truncated tail
+            }
+            let mut buf = Bytes::copy_from_slice(&fs.log[at + 4..at + 4 + len]);
+            let op = FsOp::decode(&mut buf);
+            fs.apply(&op);
+            at += 4 + len;
+        }
+        fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{HwLog, LatchedLog, LogInsertModel, SwLogParams};
+    use bionic_sim::fpga::FpgaFabric;
+    use bionic_sim::time::SimTime;
+
+    #[test]
+    fn create_append_read() {
+        let mut fs = LogFs::new();
+        let (fid, _) = fs.create("journal").unwrap();
+        fs.append(fid, b"hello ").unwrap();
+        fs.append(fid, b"world").unwrap();
+        assert_eq!(fs.read(fid).unwrap(), b"hello world");
+        assert_eq!(fs.lookup("journal"), Some(fid));
+        assert_eq!(fs.create("journal"), Err(FsError::Exists));
+    }
+
+    #[test]
+    fn truncate_and_remove() {
+        let mut fs = LogFs::new();
+        let (fid, _) = fs.create("tmp").unwrap();
+        fs.append(fid, b"data").unwrap();
+        fs.truncate(fid).unwrap();
+        assert_eq!(fs.read(fid).unwrap(), b"");
+        fs.remove(fid).unwrap();
+        assert_eq!(fs.read(fid), Err(FsError::NotFound));
+        assert_eq!(fs.lookup("tmp"), None);
+        assert_eq!(fs.append(fid, b"x"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn replay_restores_flushed_state_exactly() {
+        let mut fs = LogFs::new();
+        let (a, _) = fs.create("a").unwrap();
+        let (b, _) = fs.create("b").unwrap();
+        fs.append(a, b"alpha").unwrap();
+        fs.append(b, b"beta").unwrap();
+        fs.remove(b).unwrap();
+        fs.flush();
+        fs.append(a, b" LOST").unwrap(); // not flushed
+
+        let replayed = LogFs::replay(fs.crash_image());
+        assert_eq!(replayed.read(a).unwrap(), b"alpha");
+        assert_eq!(replayed.read(b), Err(FsError::NotFound));
+        assert_eq!(replayed.file_count(), 1);
+        // fid allocation continues correctly after replay.
+        let mut replayed = replayed;
+        let (c, _) = replayed.create("c").unwrap();
+        assert!(c > b);
+    }
+
+    #[test]
+    fn replay_tolerates_torn_tail() {
+        let mut fs = LogFs::new();
+        let (a, _) = fs.create("a").unwrap();
+        fs.append(a, b"whole").unwrap();
+        fs.flush();
+        let mut image = fs.crash_image();
+        // A torn write: half a record at the end.
+        image.extend_from_slice(&[200, 0, 0, 0, 1, 2, 3]);
+        let replayed = LogFs::replay(image);
+        assert_eq!(replayed.read(a).unwrap(), b"whole");
+    }
+
+    #[test]
+    fn hardware_log_path_makes_fs_appends_cheap() {
+        // The §5.4 aside, quantified: per-append CPU cost under the latched
+        // vs hardware insert models, driving the same filesystem.
+        let mut fs = LogFs::new();
+        let (fid, _) = fs.create("applog").unwrap();
+        let mut latched = LatchedLog::new(SwLogParams::default());
+        let mut fabric = FpgaFabric::hc2();
+        let mut hw = HwLog::hc2(&mut fabric).unwrap();
+        let mut at = SimTime::ZERO;
+        let mut sw_busy = SimTime::ZERO;
+        let mut hw_busy = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            let bytes = fs.append(fid, b"log line payload 0123456789").unwrap() as u64;
+            sw_busy += latched.insert(at, (i % 16) as usize, bytes).cpu_busy;
+            hw_busy += hw.insert(at, (i % 16) as usize, bytes).cpu_busy;
+            at += SimTime::from_ns(300.0);
+        }
+        assert!(
+            hw_busy * 2u64 < sw_busy,
+            "hw={hw_busy} sw={sw_busy}"
+        );
+        assert_eq!(fs.read(fid).unwrap().len(), 27 * 1000);
+    }
+}

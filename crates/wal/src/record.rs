@@ -1,0 +1,438 @@
+//! Log records and their binary encoding.
+//!
+//! Records carry physical before/after images addressed by `(table, rid)`,
+//! plus the per-transaction `prev_lsn` chain that undo walks backwards.
+//! The encoding is a plain length-prefixed binary layout — a log is the one
+//! place where bytes on disk *are* the contract, so the format is explicit
+//! rather than derived.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Log sequence number: the byte offset of a record in the log.
+pub type Lsn = u64;
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// LSN value meaning "none" (start of chain).
+pub const NULL_LSN: Lsn = u64::MAX;
+
+/// The action a compensation (CLR) performs when replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClrAction {
+    /// Re-install an image at `(table, rid)` (undo of update/delete).
+    Install {
+        /// Table being compensated.
+        table: u32,
+        /// Record address.
+        rid: u64,
+        /// Image to install.
+        image: Vec<u8>,
+    },
+    /// Delete `(table, rid)` (undo of insert).
+    Remove {
+        /// Table being compensated.
+        table: u32,
+        /// Record address.
+        rid: u64,
+    },
+}
+
+/// Payload of a log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogBody {
+    /// Transaction start.
+    Begin,
+    /// Transaction commit (durable once flushed).
+    Commit,
+    /// Transaction abort (undo follows as CLRs).
+    Abort,
+    /// Transaction fully undone / finished after abort.
+    End,
+    /// Physical insert.
+    Insert {
+        /// Table id.
+        table: u32,
+        /// Record address (packed `RecordId`).
+        rid: u64,
+        /// Inserted image.
+        after: Vec<u8>,
+    },
+    /// Physical update.
+    Update {
+        /// Table id.
+        table: u32,
+        /// Record address.
+        rid: u64,
+        /// Pre-image (for undo).
+        before: Vec<u8>,
+        /// Post-image (for redo).
+        after: Vec<u8>,
+    },
+    /// Physical delete.
+    Delete {
+        /// Table id.
+        table: u32,
+        /// Record address.
+        rid: u64,
+        /// Pre-image (for undo).
+        before: Vec<u8>,
+    },
+    /// Compensation record: `undo_next` continues the undo chain.
+    Clr {
+        /// Next record to undo for this transaction.
+        undo_next: Lsn,
+        /// The compensating action (idempotently redoable).
+        action: ClrAction,
+    },
+    /// Checkpoint: transactions active at checkpoint time, plus the LSN
+    /// redo may start from (for *sharp* checkpoints — where the caller
+    /// flushed all dirty pages first — this is the checkpoint's own LSN;
+    /// fuzzy checkpoints pass the min recovery LSN, or 0 when unknown).
+    Checkpoint {
+        /// Active transaction ids and their last LSNs.
+        active: Vec<(TxnId, Lsn)>,
+        /// Earliest LSN whose effects might not be on disk.
+        redo_from: Lsn,
+    },
+}
+
+impl LogBody {
+    /// Is this body a data modification (redoable)?
+    pub fn is_redoable(&self) -> bool {
+        matches!(
+            self,
+            LogBody::Insert { .. }
+                | LogBody::Update { .. }
+                | LogBody::Delete { .. }
+                | LogBody::Clr { .. }
+        )
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            LogBody::Begin => 0,
+            LogBody::Commit => 1,
+            LogBody::Abort => 2,
+            LogBody::End => 3,
+            LogBody::Insert { .. } => 4,
+            LogBody::Update { .. } => 5,
+            LogBody::Delete { .. } => 6,
+            LogBody::Clr { .. } => 7,
+            LogBody::Checkpoint { .. } => 8,
+        }
+    }
+}
+
+/// A complete log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// This record's LSN (byte offset in the log).
+    pub lsn: Lsn,
+    /// Owning transaction (0 for checkpoints).
+    pub txn: TxnId,
+    /// Previous record of the same transaction ([`NULL_LSN`] if first).
+    pub prev_lsn: Lsn,
+    /// Payload.
+    pub body: LogBody,
+}
+
+fn put_image(buf: &mut BytesMut, img: &[u8]) {
+    buf.put_u32_le(img.len() as u32);
+    buf.put_slice(img);
+}
+
+fn get_image(buf: &mut Bytes) -> Vec<u8> {
+    let len = buf.get_u32_le() as usize;
+    let img = buf[..len].to_vec();
+    buf.advance(len);
+    img
+}
+
+impl LogRecord {
+    /// Encode to bytes: `u32 total_len | u8 kind | u64 txn | u64 prev | payload`.
+    /// The LSN itself is implicit (it is the record's offset).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::with_capacity(64);
+        body.put_u8(self.body.kind());
+        body.put_u64_le(self.txn);
+        body.put_u64_le(self.prev_lsn);
+        match &self.body {
+            LogBody::Begin | LogBody::Commit | LogBody::Abort | LogBody::End => {}
+            LogBody::Insert { table, rid, after } => {
+                body.put_u32_le(*table);
+                body.put_u64_le(*rid);
+                put_image(&mut body, after);
+            }
+            LogBody::Update {
+                table,
+                rid,
+                before,
+                after,
+            } => {
+                body.put_u32_le(*table);
+                body.put_u64_le(*rid);
+                put_image(&mut body, before);
+                put_image(&mut body, after);
+            }
+            LogBody::Delete { table, rid, before } => {
+                body.put_u32_le(*table);
+                body.put_u64_le(*rid);
+                put_image(&mut body, before);
+            }
+            LogBody::Clr { undo_next, action } => {
+                body.put_u64_le(*undo_next);
+                match action {
+                    ClrAction::Install { table, rid, image } => {
+                        body.put_u8(0);
+                        body.put_u32_le(*table);
+                        body.put_u64_le(*rid);
+                        put_image(&mut body, image);
+                    }
+                    ClrAction::Remove { table, rid } => {
+                        body.put_u8(1);
+                        body.put_u32_le(*table);
+                        body.put_u64_le(*rid);
+                    }
+                }
+            }
+            LogBody::Checkpoint { active, redo_from } => {
+                body.put_u64_le(*redo_from);
+                body.put_u32_le(active.len() as u32);
+                for (t, l) in active {
+                    body.put_u64_le(*t);
+                    body.put_u64_le(*l);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode the record starting at offset `lsn` in `log`. Returns the
+    /// record and the offset of the next one. `None` on a truncated tail.
+    pub fn decode(log: &[u8], lsn: Lsn) -> Option<(LogRecord, Lsn)> {
+        let off = lsn as usize;
+        if off + 4 > log.len() {
+            return None;
+        }
+        let body_len = u32::from_le_bytes(log[off..off + 4].try_into().unwrap()) as usize;
+        if off + 4 + body_len > log.len() {
+            return None;
+        }
+        let mut buf = Bytes::copy_from_slice(&log[off + 4..off + 4 + body_len]);
+        let kind = buf.get_u8();
+        let txn = buf.get_u64_le();
+        let prev_lsn = buf.get_u64_le();
+        let body = match kind {
+            0 => LogBody::Begin,
+            1 => LogBody::Commit,
+            2 => LogBody::Abort,
+            3 => LogBody::End,
+            4 => {
+                let table = buf.get_u32_le();
+                let rid = buf.get_u64_le();
+                LogBody::Insert {
+                    table,
+                    rid,
+                    after: get_image(&mut buf),
+                }
+            }
+            5 => {
+                let table = buf.get_u32_le();
+                let rid = buf.get_u64_le();
+                let before = get_image(&mut buf);
+                let after = get_image(&mut buf);
+                LogBody::Update {
+                    table,
+                    rid,
+                    before,
+                    after,
+                }
+            }
+            6 => {
+                let table = buf.get_u32_le();
+                let rid = buf.get_u64_le();
+                LogBody::Delete {
+                    table,
+                    rid,
+                    before: get_image(&mut buf),
+                }
+            }
+            7 => {
+                let undo_next = buf.get_u64_le();
+                let action = match buf.get_u8() {
+                    0 => {
+                        let table = buf.get_u32_le();
+                        let rid = buf.get_u64_le();
+                        ClrAction::Install {
+                            table,
+                            rid,
+                            image: get_image(&mut buf),
+                        }
+                    }
+                    1 => {
+                        let table = buf.get_u32_le();
+                        let rid = buf.get_u64_le();
+                        ClrAction::Remove { table, rid }
+                    }
+                    k => panic!("corrupt CLR action kind {k}"),
+                };
+                LogBody::Clr { undo_next, action }
+            }
+            8 => {
+                let redo_from = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                let mut active = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let t = buf.get_u64_le();
+                    let l = buf.get_u64_le();
+                    active.push((t, l));
+                }
+                LogBody::Checkpoint { active, redo_from }
+            }
+            k => panic!("corrupt log record kind {k}"),
+        };
+        Some((
+            LogRecord {
+                lsn,
+                txn,
+                prev_lsn,
+                body,
+            },
+            lsn + 4 + body_len as u64,
+        ))
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(body: LogBody) {
+        let rec = LogRecord {
+            lsn: 128,
+            txn: 42,
+            prev_lsn: 64,
+            body,
+        };
+        let mut log = vec![0u8; 128];
+        log.extend(rec.encode());
+        let (decoded, next) = LogRecord::decode(&log, 128).unwrap();
+        assert_eq!(decoded, rec);
+        assert_eq!(next as usize, log.len());
+    }
+
+    #[test]
+    fn all_bodies_round_trip() {
+        round_trip(LogBody::Begin);
+        round_trip(LogBody::Commit);
+        round_trip(LogBody::Abort);
+        round_trip(LogBody::End);
+        round_trip(LogBody::Insert {
+            table: 3,
+            rid: 0xABCD,
+            after: b"new row".to_vec(),
+        });
+        round_trip(LogBody::Update {
+            table: 1,
+            rid: 7,
+            before: b"old".to_vec(),
+            after: b"new and longer".to_vec(),
+        });
+        round_trip(LogBody::Delete {
+            table: 2,
+            rid: 9,
+            before: vec![0xFF; 300],
+        });
+        round_trip(LogBody::Clr {
+            undo_next: NULL_LSN,
+            action: ClrAction::Install {
+                table: 1,
+                rid: 5,
+                image: b"restored".to_vec(),
+            },
+        });
+        round_trip(LogBody::Clr {
+            undo_next: 77,
+            action: ClrAction::Remove { table: 4, rid: 11 },
+        });
+        round_trip(LogBody::Checkpoint {
+            active: vec![(1, 100), (2, 200)],
+            redo_from: 64,
+        });
+        round_trip(LogBody::Checkpoint {
+            active: vec![],
+            redo_from: 0,
+        });
+    }
+
+    #[test]
+    fn truncated_tail_decodes_to_none() {
+        let rec = LogRecord {
+            lsn: 0,
+            txn: 1,
+            prev_lsn: NULL_LSN,
+            body: LogBody::Insert {
+                table: 1,
+                rid: 2,
+                after: vec![1, 2, 3, 4],
+            },
+        };
+        let full = rec.encode();
+        for cut in 0..full.len() {
+            assert!(
+                LogRecord::decode(&full[..cut], 0).is_none(),
+                "cut at {cut} should be detected as truncated"
+            );
+        }
+        assert!(LogRecord::decode(&full, 0).is_some());
+    }
+
+    #[test]
+    fn sequential_decode_walks_the_log() {
+        let mut log = Vec::new();
+        let mut lsns = Vec::new();
+        for i in 0..10u64 {
+            let rec = LogRecord {
+                lsn: log.len() as u64,
+                txn: i,
+                prev_lsn: NULL_LSN,
+                body: LogBody::Begin,
+            };
+            lsns.push(rec.lsn);
+            log.extend(rec.encode());
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((rec, next)) = LogRecord::decode(&log, at) {
+            seen.push(rec.lsn);
+            at = next;
+        }
+        assert_eq!(seen, lsns);
+    }
+
+    #[test]
+    fn redoable_classification() {
+        assert!(!LogBody::Begin.is_redoable());
+        assert!(!LogBody::Commit.is_redoable());
+        assert!(LogBody::Insert {
+            table: 0,
+            rid: 0,
+            after: vec![]
+        }
+        .is_redoable());
+        assert!(LogBody::Clr {
+            undo_next: 0,
+            action: ClrAction::Remove { table: 0, rid: 0 }
+        }
+        .is_redoable());
+    }
+}

@@ -1,0 +1,164 @@
+//! Workload driver: runs a transaction stream against an engine and
+//! collects the report every experiment prints.
+
+use bionic_core::breakdown::TimeBreakdown;
+use bionic_core::engine::Engine;
+use bionic_core::ops::TxnProgram;
+use bionic_sim::energy::{Energy, EnergyDomain};
+use bionic_sim::stats::{Histogram, Summary};
+use bionic_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Everything a workload run produces.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Transactions submitted.
+    pub submitted: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Committed throughput (txn/s of simulated time).
+    pub throughput_per_sec: f64,
+    /// Commit latency summary.
+    pub latency: Summary,
+    /// Figure-3 CPU-time breakdown over the run.
+    pub breakdown: TimeBreakdown,
+    /// Total energy per committed transaction.
+    pub joules_per_txn: f64,
+    /// Energy by hardware domain.
+    pub energy: Vec<(EnergyDomain, Energy)>,
+    /// Counts per transaction type.
+    pub per_type: BTreeMap<&'static str, u64>,
+    /// Latency summary per transaction type (committed and aborted alike).
+    pub per_type_latency: BTreeMap<&'static str, Summary>,
+}
+
+impl WorkloadReport {
+    /// Render a compact human-readable summary.
+    pub fn summary_table(&self) -> String {
+        let mut out = format!(
+            "txns: {} submitted, {} committed, {} aborted\n\
+             throughput: {:.0} txn/s   joules/txn: {:.3e}\n\
+             latency: {}\n",
+            self.submitted,
+            self.committed,
+            self.aborted,
+            self.throughput_per_sec,
+            self.joules_per_txn,
+            self.latency,
+        );
+        out.push_str(&self.breakdown.table());
+        out
+    }
+}
+
+/// Run `n` transactions drawn from `next`, arriving `inter_arrival` apart
+/// (open loop). Measurement state is taken relative to the engine's state
+/// at entry, so back-to-back runs on one engine stay comparable.
+pub fn run(
+    engine: &mut Engine,
+    n: u64,
+    inter_arrival: SimTime,
+    mut next: impl FnMut() -> (&'static str, TxnProgram),
+) -> WorkloadReport {
+    let breakdown_before = engine.breakdown.clone();
+    let energy_before = engine.platform.energy.clone();
+    let committed_before = engine.stats.committed;
+    let submitted_before = engine.stats.submitted;
+    let aborted_before = engine.stats.aborted;
+
+    let mut per_type: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut per_type_hist: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let mut at = SimTime::ZERO;
+    let start_completion = engine.stats.last_completion;
+    for _ in 0..n {
+        let (label, prog) = next();
+        *per_type.entry(label).or_insert(0) += 1;
+        let outcome = engine.submit(&prog, start_completion + at);
+        per_type_hist
+            .entry(label)
+            .or_default()
+            .record(outcome.latency());
+        at += inter_arrival;
+    }
+
+    let committed = engine.stats.committed - committed_before;
+    let elapsed = engine.stats.last_completion.saturating_sub(start_completion);
+    let energy = engine.platform.energy.since(&energy_before);
+    WorkloadReport {
+        submitted: engine.stats.submitted - submitted_before,
+        committed,
+        aborted: engine.stats.aborted - aborted_before,
+        throughput_per_sec: if elapsed.is_zero() {
+            0.0
+        } else {
+            committed as f64 / elapsed.as_secs()
+        },
+        latency: engine.stats.latency.summary(),
+        breakdown: engine.breakdown.since(&breakdown_before),
+        joules_per_txn: if committed == 0 {
+            0.0
+        } else {
+            energy.total().as_j() / committed as f64
+        },
+        energy: energy.snapshot(),
+        per_type,
+        per_type_latency: per_type_hist
+            .into_iter()
+            .map(|(k, h)| (k, h.summary()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tatp::{self, TatpConfig, TatpGenerator};
+    use bionic_core::config::EngineConfig;
+
+    #[test]
+    fn driver_reports_are_consistent() {
+        let cfg = TatpConfig::small();
+        let mut e = Engine::new(EngineConfig::software().with_agents(8));
+        let tables = tatp::load(&mut e, &cfg);
+        let mut g = TatpGenerator::new(cfg, tables);
+        let report = run(&mut e, 500, SimTime::from_us(5.0), || {
+            let (t, p) = g.next();
+            (t.label(), p)
+        });
+        assert_eq!(report.submitted, 500);
+        assert_eq!(report.committed + report.aborted, 500);
+        assert!(report.throughput_per_sec > 0.0);
+        assert!(report.joules_per_txn > 0.0);
+        assert_eq!(report.per_type.values().sum::<u64>(), 500);
+        assert_eq!(report.per_type.len(), report.per_type_latency.len());
+        let total: u64 = report.per_type_latency.values().map(|s| s.count).sum();
+        assert_eq!(total, 500);
+        let table = report.summary_table();
+        assert!(table.contains("throughput"));
+        assert!(table.contains("Btree"));
+    }
+
+    #[test]
+    fn back_to_back_runs_measure_independently() {
+        let cfg = TatpConfig::small();
+        let mut e = Engine::new(EngineConfig::software().with_agents(8));
+        let tables = tatp::load(&mut e, &cfg);
+        let mut g = TatpGenerator::new(cfg, tables);
+        let r1 = run(&mut e, 200, SimTime::from_us(5.0), || {
+            let (t, p) = g.next();
+            (t.label(), p)
+        });
+        let r2 = run(&mut e, 200, SimTime::from_us(5.0), || {
+            let (t, p) = g.next();
+            (t.label(), p)
+        });
+        assert_eq!(r1.submitted, 200);
+        assert_eq!(r2.submitted, 200);
+        // Second run's breakdown is its own, not cumulative.
+        let total1 = r1.breakdown.total();
+        let total2 = r2.breakdown.total();
+        assert!(total2 < total1 * 2u64);
+    }
+}

@@ -1,0 +1,22 @@
+//! # bionic-workloads — TATP and TPC-C for the bionic engine
+//!
+//! Spec-faithful implementations of the two workloads Figure 3 profiles:
+//!
+//! * [`tatp`] — the update-heavy telecom benchmark, including the
+//!   non-uniform subscriber selection and the built-in failure rates
+//!   (UpdateSubscriberData aborts ≈37.5 % of the time by design);
+//! * [`tpcc`] — all five TPC-C transactions with NURand skew, remote
+//!   warehouses, and the 1 % NewOrder rollback; StockLevel is the paper's
+//!   index-bound exhibit;
+//! * [`driver`] — runs a stream against an engine and reports throughput,
+//!   latency, joules/txn, and the Figure-3 breakdown.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod tatp;
+pub mod tpcc;
+
+pub use driver::{run, WorkloadReport};
+pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
+pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

@@ -1,0 +1,569 @@
+//! The TATP (Telecom Application Transaction Processing) benchmark.
+//!
+//! TATP is the paper's update-heavy exhibit: Figure 3's left bar profiles
+//! **UpdateSubscriberData**. The implementation follows the public TATP
+//! specification: four tables keyed by subscriber id, the standard seven
+//! transaction types in the standard 35/10/35/2/14/2/2 mix, non-uniform
+//! subscriber selection, and the spec's intentional failure modes
+//! (UpdateSubscriberData fails when the chosen special-facility row does not
+//! exist — ≈37.5 % of attempts — which exercises the abort/rollback path).
+//!
+//! Composite keys are packed into `i64`: see [`keys`].
+
+use bionic_core::engine::Engine;
+use bionic_core::ops::{Action, Op, Patch, TxnProgram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Key packing for TATP's composite primary keys.
+pub mod keys {
+    /// ACCESS_INFO key: `(s_id, ai_type 1..=4)`.
+    pub fn access_info(s_id: i64, ai_type: i64) -> i64 {
+        s_id * 4 + (ai_type - 1)
+    }
+
+    /// SPECIAL_FACILITY key: `(s_id, sf_type 1..=4)`.
+    pub fn special_facility(s_id: i64, sf_type: i64) -> i64 {
+        s_id * 4 + (sf_type - 1)
+    }
+
+    /// CALL_FORWARDING key: `(s_id, sf_type 1..=4, start_time 0|8|16)`.
+    pub fn call_forwarding(s_id: i64, sf_type: i64, start_time: i64) -> i64 {
+        special_facility(s_id, sf_type) * 3 + start_time / 8
+    }
+}
+
+/// Record-layout offsets (bytes, relative to the full record image whose
+/// first 8 bytes are the packed key).
+pub mod layout {
+    /// SUBSCRIBER.bit_1 (one byte of the bit fields).
+    pub const SUB_BIT_1: usize = 8;
+    /// SUBSCRIBER.vlr_location (u32 stored as 8-byte field).
+    pub const SUB_VLR_LOCATION: usize = 24;
+    /// SUBSCRIBER.sub_nbr (the 15-digit number, stored as its numeric
+    /// value; indexed by the table's secondary index).
+    pub const SUB_NBR: usize = 40;
+    /// SUBSCRIBER record body length (spec: ~10 bit, 10 hex, 10 byte2
+    /// fields plus locations; we store them packed).
+    pub const SUB_BODY: usize = 60;
+    /// SPECIAL_FACILITY.data_a.
+    pub const SF_DATA_A: usize = 10;
+    /// SPECIAL_FACILITY body length.
+    pub const SF_BODY: usize = 16;
+    /// ACCESS_INFO body length (data1-4, data5, data6).
+    pub const AI_BODY: usize = 16;
+    /// CALL_FORWARDING body length (end_time + numberx).
+    pub const CF_BODY: usize = 24;
+}
+
+/// TATP table ids within the engine, in creation order.
+#[derive(Debug, Clone, Copy)]
+pub struct TatpTables {
+    /// SUBSCRIBER.
+    pub subscriber: u32,
+    /// ACCESS_INFO.
+    pub access_info: u32,
+    /// SPECIAL_FACILITY.
+    pub special_facility: u32,
+    /// CALL_FORWARDING.
+    pub call_forwarding: u32,
+}
+
+/// TATP configuration.
+#[derive(Debug, Clone)]
+pub struct TatpConfig {
+    /// Subscriber population (spec default 100k; tests use less).
+    pub subscribers: i64,
+    /// RNG seed for load + generation.
+    pub seed: u64,
+}
+
+impl Default for TatpConfig {
+    fn default() -> Self {
+        TatpConfig {
+            subscribers: 100_000,
+            seed: 0x7A79,
+        }
+    }
+}
+
+impl TatpConfig {
+    /// A small population for fast tests.
+    pub fn small() -> Self {
+        TatpConfig {
+            subscribers: 2_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// The seven TATP transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TatpTxn {
+    /// Read one subscriber row (35 %).
+    GetSubscriberData,
+    /// Read an active call-forwarding destination (10 %).
+    GetNewDestination,
+    /// Read one access-info row (35 %).
+    GetAccessData,
+    /// Update subscriber bit + special-facility data (2 %) — Figure 3 left.
+    UpdateSubscriberData,
+    /// Update subscriber vlr_location (14 %).
+    UpdateLocation,
+    /// Insert a call-forwarding row (2 %).
+    InsertCallForwarding,
+    /// Delete a call-forwarding row (2 %).
+    DeleteCallForwarding,
+}
+
+impl TatpTxn {
+    /// The spec mix as cumulative percentage thresholds.
+    pub const MIX: [(TatpTxn, u32); 7] = [
+        (TatpTxn::GetSubscriberData, 35),
+        (TatpTxn::GetNewDestination, 45),
+        (TatpTxn::GetAccessData, 80),
+        (TatpTxn::UpdateSubscriberData, 82),
+        (TatpTxn::UpdateLocation, 96),
+        (TatpTxn::InsertCallForwarding, 98),
+        (TatpTxn::DeleteCallForwarding, 100),
+    ];
+
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TatpTxn::GetSubscriberData => "GetSubscriberData",
+            TatpTxn::GetNewDestination => "GetNewDestination",
+            TatpTxn::GetAccessData => "GetAccessData",
+            TatpTxn::UpdateSubscriberData => "UpdateSubscriberData",
+            TatpTxn::UpdateLocation => "UpdateLocation",
+            TatpTxn::InsertCallForwarding => "InsertCallForwarding",
+            TatpTxn::DeleteCallForwarding => "DeleteCallForwarding",
+        }
+    }
+}
+
+/// The sub_nbr assigned to a subscriber: a fixed permutation of s_id (the
+/// spec's zero-padded digit string, folded to a number).
+pub fn sub_nbr(s_id: i64) -> i64 {
+    (s_id.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as i64)) & i64::MAX
+}
+
+/// Load the TATP schema and population into an engine.
+pub fn load(engine: &mut Engine, cfg: &TatpConfig) -> TatpTables {
+    let tables = TatpTables {
+        subscriber: engine
+            .create_table_with_secondary("SUBSCRIBER", layout::SUB_NBR),
+        access_info: engine.create_table("ACCESS_INFO"),
+        special_facility: engine.create_table("SPECIAL_FACILITY"),
+        call_forwarding: engine.create_table("CALL_FORWARDING"),
+    };
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    for s_id in 1..=cfg.subscribers {
+        let mut body = vec![0u8; layout::SUB_BODY];
+        rng.fill(&mut body[..]);
+        body[layout::SUB_VLR_LOCATION - 8..layout::SUB_VLR_LOCATION]
+            .copy_from_slice(&rng.gen_range(0i64..1 << 31).to_le_bytes());
+        // The record image is key(8) || body, so body offsets are -8.
+        body[layout::SUB_NBR - 8..layout::SUB_NBR]
+            .copy_from_slice(&sub_nbr(s_id).to_le_bytes());
+        engine.load(tables.subscriber, s_id, &body);
+
+        // 1..=4 ACCESS_INFO rows with distinct ai_types.
+        let n_ai = rng.gen_range(1..=4);
+        for ai_type in 1..=n_ai {
+            let mut body = vec![0u8; layout::AI_BODY];
+            rng.fill(&mut body[..]);
+            engine.load(tables.access_info, keys::access_info(s_id, ai_type), &body);
+        }
+
+        // 1..=4 SPECIAL_FACILITY rows; for each, 0..=3 CALL_FORWARDING rows.
+        let n_sf = rng.gen_range(1..=4);
+        for sf_type in 1..=n_sf {
+            let mut body = vec![0u8; layout::SF_BODY];
+            rng.fill(&mut body[..]);
+            body[0] = u8::from(rng.gen_bool(0.85)); // is_active
+            engine.load(
+                tables.special_facility,
+                keys::special_facility(s_id, sf_type),
+                &body,
+            );
+            let n_cf = rng.gen_range(0..=3);
+            for cf in 0..n_cf {
+                let start_time = cf * 8;
+                let mut body = vec![0u8; layout::CF_BODY];
+                rng.fill(&mut body[..]);
+                body[0] = (start_time + 8) as u8; // end_time
+                engine.load(
+                    tables.call_forwarding,
+                    keys::call_forwarding(s_id, sf_type, start_time),
+                    &body,
+                );
+            }
+        }
+    }
+    engine.finish_load();
+    tables
+}
+
+/// Generates the TATP transaction stream.
+pub struct TatpGenerator {
+    cfg: TatpConfig,
+    tables: TatpTables,
+    rng: SmallRng,
+    /// The non-uniformity mask `A` (65535 for populations ≤ 1 M).
+    a: i64,
+}
+
+impl TatpGenerator {
+    /// Create a generator over a loaded schema.
+    pub fn new(cfg: TatpConfig, tables: TatpTables) -> Self {
+        let a = if cfg.subscribers <= 1_000_000 {
+            65_535
+        } else {
+            1_048_575
+        };
+        TatpGenerator {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xDEAD),
+            cfg,
+            tables,
+            a,
+        }
+    }
+
+    /// The spec's non-uniform subscriber id: `(rnd(0,A) | rnd(1,P)) % P + 1`.
+    pub fn subscriber_id(&mut self) -> i64 {
+        let p = self.cfg.subscribers;
+        let x = self.rng.gen_range(0..=self.a);
+        let y = self.rng.gen_range(1..=p);
+        ((x | y) % p) + 1
+    }
+
+    /// Pick the next transaction type from the official mix.
+    pub fn next_type(&mut self) -> TatpTxn {
+        let roll = self.rng.gen_range(0..100u32);
+        for (t, hi) in TatpTxn::MIX {
+            if roll < hi {
+                return t;
+            }
+        }
+        unreachable!("mix covers 0..100")
+    }
+
+    /// Generate the next transaction program.
+    #[allow(clippy::should_implement_trait)] // fallible-free, tuple-returning
+    pub fn next(&mut self) -> (TatpTxn, TxnProgram) {
+        let t = self.next_type();
+        (t, self.program(t))
+    }
+
+    /// Build a program of a specific type (used directly by Figure 3).
+    pub fn program(&mut self, t: TatpTxn) -> TxnProgram {
+        let s_id = self.subscriber_id();
+        match t {
+            TatpTxn::GetSubscriberData => TxnProgram {
+                name: "TATP-GetSubscriberData",
+                phases: vec![vec![Action::new(
+                    self.tables.subscriber,
+                    s_id,
+                    vec![Op::Read {
+                        table: self.tables.subscriber,
+                        key: s_id,
+                    }],
+                )]],
+                abort_on_missing_read: true,
+            },
+            TatpTxn::GetAccessData => {
+                let ai_type = self.rng.gen_range(1..=4);
+                let key = keys::access_info(s_id, ai_type);
+                TxnProgram {
+                    name: "TATP-GetAccessData",
+                    phases: vec![vec![Action::new(
+                        self.tables.access_info,
+                        key,
+                        vec![Op::Read {
+                            table: self.tables.access_info,
+                            key,
+                        }],
+                    )]],
+                    // Spec: fails (gracefully) when the ai row is absent.
+                    abort_on_missing_read: false,
+                }
+            }
+            TatpTxn::GetNewDestination => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let start_time = self.rng.gen_range(0..3) * 8;
+                let sf_key = keys::special_facility(s_id, sf_type);
+                let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
+                TxnProgram {
+                    name: "TATP-GetNewDestination",
+                    phases: vec![vec![
+                        Action::new(
+                            self.tables.special_facility,
+                            sf_key,
+                            vec![Op::Read {
+                                table: self.tables.special_facility,
+                                key: sf_key,
+                            }],
+                        ),
+                        Action::new(
+                            self.tables.call_forwarding,
+                            cf_key,
+                            vec![Op::Read {
+                                table: self.tables.call_forwarding,
+                                key: cf_key,
+                            }],
+                        ),
+                    ]],
+                    abort_on_missing_read: false,
+                }
+            }
+            TatpTxn::UpdateSubscriberData => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let bit: u8 = self.rng.gen_range(0..=1);
+                let data_a: u8 = self.rng.gen();
+                let sf_key = keys::special_facility(s_id, sf_type);
+                TxnProgram {
+                    name: "TATP-UpdateSubscriberData",
+                    phases: vec![vec![
+                        Action::new(
+                            self.tables.subscriber,
+                            s_id,
+                            vec![Op::Update {
+                                table: self.tables.subscriber,
+                                key: s_id,
+                                patch: Patch::Splice {
+                                    offset: layout::SUB_BIT_1,
+                                    bytes: vec![bit],
+                                },
+                            }],
+                        ),
+                        // Fails (≈37.5 %) when this sf_type doesn't exist:
+                        // the spec's built-in abort driver.
+                        Action::new(
+                            self.tables.special_facility,
+                            sf_key,
+                            vec![Op::Update {
+                                table: self.tables.special_facility,
+                                key: sf_key,
+                                patch: Patch::Splice {
+                                    offset: layout::SF_DATA_A,
+                                    bytes: vec![data_a],
+                                },
+                            }],
+                        ),
+                    ]],
+                    abort_on_missing_read: true,
+                }
+            }
+            TatpTxn::UpdateLocation => {
+                // Spec: the subscriber is identified BY sub_nbr — one
+                // secondary probe, then the update.
+                let loc: i64 = self.rng.gen_range(0..1 << 31);
+                TxnProgram {
+                    name: "TATP-UpdateLocation",
+                    phases: vec![vec![Action::new(
+                        self.tables.subscriber,
+                        s_id,
+                        vec![
+                            Op::SecondaryRead {
+                                table: self.tables.subscriber,
+                                skey: sub_nbr(s_id),
+                            },
+                            Op::Update {
+                                table: self.tables.subscriber,
+                                key: s_id,
+                                patch: Patch::Splice {
+                                    offset: layout::SUB_VLR_LOCATION,
+                                    bytes: loc.to_le_bytes().to_vec(),
+                                },
+                            },
+                        ],
+                    )]],
+                    abort_on_missing_read: true,
+                }
+            }
+            TatpTxn::InsertCallForwarding => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let start_time = self.rng.gen_range(0..3) * 8;
+                let sf_key = keys::special_facility(s_id, sf_type);
+                let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
+                let mut body = vec![0u8; layout::CF_BODY];
+                self.rng.fill(&mut body[..]);
+                TxnProgram {
+                    name: "TATP-InsertCallForwarding",
+                    phases: vec![
+                        vec![
+                            Action::new(
+                                self.tables.subscriber,
+                                s_id,
+                                vec![Op::SecondaryRead {
+                                    table: self.tables.subscriber,
+                                    skey: sub_nbr(s_id),
+                                }],
+                            ),
+                            Action::new(
+                                self.tables.special_facility,
+                                sf_key,
+                                vec![Op::Read {
+                                    table: self.tables.special_facility,
+                                    key: sf_key,
+                                }],
+                            ),
+                        ],
+                        vec![Action::new(
+                            self.tables.call_forwarding,
+                            cf_key,
+                            vec![Op::Insert {
+                                table: self.tables.call_forwarding,
+                                key: cf_key,
+                                record: body,
+                            }],
+                        )],
+                    ],
+                    // Fails when the SF row is missing or the CF exists.
+                    abort_on_missing_read: true,
+                }
+            }
+            TatpTxn::DeleteCallForwarding => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let start_time = self.rng.gen_range(0..3) * 8;
+                let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
+                TxnProgram {
+                    name: "TATP-DeleteCallForwarding",
+                    phases: vec![vec![Action::new(
+                        self.tables.call_forwarding,
+                        cf_key,
+                        vec![Op::Delete {
+                            table: self.tables.call_forwarding,
+                            key: cf_key,
+                        }],
+                    )]],
+                    abort_on_missing_read: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_core::config::EngineConfig;
+
+    fn setup() -> (Engine, TatpGenerator) {
+        let cfg = TatpConfig::small();
+        let mut e = Engine::new(EngineConfig::software().with_agents(8));
+        let tables = load(&mut e, &cfg);
+        let g = TatpGenerator::new(cfg, tables);
+        (e, g)
+    }
+
+    #[test]
+    fn load_populates_all_tables() {
+        let (e, _) = setup();
+        assert_eq!(e.row_count(0), 2000, "subscribers");
+        let ai = e.row_count(1);
+        assert!((2000..=8000).contains(&ai), "access_info={ai}");
+        let sf = e.row_count(2);
+        assert!((2000..=8000).contains(&sf), "special_facility={sf}");
+        assert!(e.row_count(3) > 0, "some call forwarding rows");
+    }
+
+    #[test]
+    fn subscriber_ids_are_in_range_and_nonuniform() {
+        let (_, mut g) = setup();
+        let mut counts = vec![0u32; 2001];
+        for _ in 0..20_000 {
+            let id = g.subscriber_id();
+            assert!((1..=2000).contains(&id));
+            counts[id as usize] += 1;
+        }
+        // The OR-mask skews low bits: distribution must differ measurably
+        // from uniform (chi-square-lite: max/min bucket ratio).
+        let hot = counts.iter().skip(1).max().unwrap();
+        let avg = 20_000 / 2000;
+        assert!(*hot > 3 * avg, "hot={hot} avg={avg}");
+    }
+
+    #[test]
+    fn mix_matches_spec_within_tolerance() {
+        let (_, mut g) = setup();
+        let mut counts = std::collections::HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *counts.entry(g.next_type()).or_insert(0u32) += 1;
+        }
+        let pct = |t: TatpTxn| 100.0 * counts[&t] as f64 / n as f64;
+        assert!((pct(TatpTxn::GetSubscriberData) - 35.0).abs() < 1.5);
+        assert!((pct(TatpTxn::GetAccessData) - 35.0).abs() < 1.5);
+        assert!((pct(TatpTxn::UpdateLocation) - 14.0).abs() < 1.0);
+        assert!((pct(TatpTxn::GetNewDestination) - 10.0).abs() < 1.0);
+        assert!((pct(TatpTxn::UpdateSubscriberData) - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn update_subscriber_data_fails_at_spec_rate() {
+        let (mut e, mut g) = setup();
+        let mut at = bionic_sim::SimTime::ZERO;
+        let n = 1000;
+        for _ in 0..n {
+            let prog = g.program(TatpTxn::UpdateSubscriberData);
+            e.submit(&prog, at);
+            at += bionic_sim::SimTime::from_us(5.0);
+        }
+        let abort_rate = e.stats.aborted as f64 / n as f64;
+        // P(sf_type present) = E[n_sf]/4 = 62.5% -> ~37.5% abort.
+        assert!(
+            (abort_rate - 0.375).abs() < 0.06,
+            "abort_rate={abort_rate}"
+        );
+    }
+
+    #[test]
+    fn full_mix_runs_clean() {
+        let (mut e, mut g) = setup();
+        let mut at = bionic_sim::SimTime::ZERO;
+        for _ in 0..2000 {
+            let (_, prog) = g.next();
+            e.submit(&prog, at);
+            at += bionic_sim::SimTime::from_us(5.0);
+        }
+        assert_eq!(e.stats.submitted, 2000);
+        assert!(e.stats.committed > 1500, "committed={}", e.stats.committed);
+        // Reads dominate the mix, so aborts stay bounded.
+        assert!(e.stats.aborted < 500, "aborted={}", e.stats.aborted);
+    }
+
+    #[test]
+    fn insert_then_delete_call_forwarding_round_trips() {
+        let (mut e, _) = setup();
+        // Hand-roll a CF insert+delete pair on a known-present subscriber.
+        let s_id = 1;
+        let cf_key = keys::call_forwarding(s_id, 1, 0);
+        // Clean slate: remove if the loader created it.
+        let del = TxnProgram::single_phase(
+            "cleanup",
+            vec![Action::new(
+                3,
+                cf_key,
+                vec![Op::Delete { table: 3, key: cf_key }],
+            )],
+        );
+        e.submit(&del, bionic_sim::SimTime::ZERO);
+        let before = e.row_count(3);
+        let ins = TxnProgram::single_phase(
+            "ins",
+            vec![Action::new(
+                3,
+                cf_key,
+                vec![Op::Insert {
+                    table: 3,
+                    key: cf_key,
+                    record: vec![0u8; layout::CF_BODY],
+                }],
+            )],
+        );
+        assert!(e.submit(&ins, bionic_sim::SimTime::from_ms(1.0)).is_committed());
+        assert_eq!(e.row_count(3), before + 1);
+    }
+}

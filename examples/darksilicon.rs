@@ -1,0 +1,60 @@
+//! Regenerate Figure 1: fraction of chip utilized vs. available parallelism
+//! for the 2011 (64-core) and 2018 (1024-core, 20% dark) chips, at the
+//! paper's four serial fractions — plus the post-2018 outlook (§2).
+//!
+//! ```sh
+//! cargo run --release --example darksilicon
+//! ```
+
+use bionic_sim::darksilicon::{
+    figure1_curves, serial_budget_for_utilization, ChipGeneration, FIGURE1_SERIAL_FRACTIONS,
+};
+
+fn main() {
+    for (label, cores) in [("(a) 2011, 64 cores", 64u64), ("(b) 2018, 1024 cores", 1024)] {
+        println!("=== Figure 1{label} ===");
+        print!("{:>8}", "cores");
+        for s in FIGURE1_SERIAL_FRACTIONS {
+            print!("{:>12}", format!("{}% serial", s * 100.0));
+        }
+        println!();
+        let curves = figure1_curves(cores);
+        let points = curves[0].points.len();
+        for i in 0..points {
+            let n = curves[0].points[i].0;
+            print!("{n:>8}");
+            for c in &curves {
+                print!("{:>12.3}", c.points[i].1);
+            }
+            println!();
+        }
+        if cores == 1024 {
+            let g = ChipGeneration::y2018();
+            println!(
+                "power budget: only {} of {} cores can be lit (20% dark)",
+                g.powered_cores(),
+                g.cores
+            );
+        }
+        println!();
+    }
+
+    println!("=== serial-fraction budget to keep 90% of the powered chip busy ===");
+    for cores in [64u64, 256, 1024, 4096] {
+        let s = serial_budget_for_utilization(0.9, cores).unwrap();
+        println!("{cores:>6} cores: serial work must be below {:.5}%", s * 100.0);
+    }
+
+    println!("\n=== the post-2018 outlook (usable fraction -40%/generation) ===");
+    for step in 0..4 {
+        let g = ChipGeneration::after_2018(step, 0.4);
+        println!(
+            "{}: {:>6} cores, {:>4} powered ({:.0}% dark), die utilization at 0.1% serial: {:.3}",
+            g.year,
+            g.cores,
+            g.powered_cores(),
+            g.dark_fraction * 100.0,
+            g.die_utilization(0.001)
+        );
+    }
+}

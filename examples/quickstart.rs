@@ -1,0 +1,95 @@
+//! Quickstart: build a bionic engine, run a few transactions, inspect the
+//! Figure-3 breakdown and the energy meter.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_core::ops::{Action, Op, Patch, TxnProgram};
+use bionic_sim::time::SimTime;
+
+fn main() {
+    // A fully "bionic" engine: tree probes, log insertion, queues, and the
+    // overlay all offloaded to the modeled FPGA (Figure 4).
+    let mut engine = Engine::new(EngineConfig::bionic());
+
+    // One table of bank accounts: record = key(8B) | balance(8B) | padding.
+    let accounts = engine.create_table("accounts");
+    for k in 0..1_000i64 {
+        let mut body = vec![0u8; 56];
+        body[..8].copy_from_slice(&1_000i64.to_le_bytes());
+        engine.load(accounts, k, &body);
+    }
+    engine.finish_load();
+
+    // A transfer: two updates in one phase (DORA routes them to their
+    // partitions), then a verifying read.
+    let transfer = |from: i64, to: i64, amount: i64| TxnProgram {
+        name: "transfer",
+        phases: vec![
+            vec![
+                Action::new(
+                    accounts,
+                    from,
+                    vec![Op::Update {
+                        table: accounts,
+                        key: from,
+                        patch: Patch::AddI64 {
+                            offset: 8,
+                            delta: -amount,
+                        },
+                    }],
+                ),
+                Action::new(
+                    accounts,
+                    to,
+                    vec![Op::Update {
+                        table: accounts,
+                        key: to,
+                        patch: Patch::AddI64 {
+                            offset: 8,
+                            delta: amount,
+                        },
+                    }],
+                ),
+            ],
+            vec![Action::new(
+                accounts,
+                from,
+                vec![Op::Read {
+                    table: accounts,
+                    key: from,
+                }],
+            )],
+        ],
+        abort_on_missing_read: true,
+    };
+
+    let mut at = SimTime::ZERO;
+    for i in 0..100 {
+        let out = engine.submit(&transfer(i, (i + 37) % 1000, 25), at);
+        assert!(out.is_committed());
+        at += SimTime::from_us(5.0);
+    }
+
+    // Verify: account 0 sent 25 and maybe received.
+    let rec = engine.read_row(accounts, 0).unwrap();
+    let balance = i64::from_le_bytes(rec[8..16].try_into().unwrap());
+    println!("account 0 balance after transfers: {balance}");
+
+    println!("\n=== committed: {} ===", engine.stats.committed);
+    println!(
+        "throughput: {:.0} txn/s (simulated)",
+        engine.stats.throughput_per_sec()
+    );
+    println!("p99 latency: {}", engine.stats.latency.quantile(0.99));
+    println!(
+        "energy: {} total, {:.1} nJ/txn",
+        engine.platform.energy.total(),
+        engine.platform.energy.total().as_nj() / engine.stats.committed as f64
+    );
+    println!("\nwhere the CPU time went (Figure 3 categories):");
+    print!("{}", engine.breakdown.table());
+}

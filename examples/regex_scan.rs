@@ -1,0 +1,77 @@
+//! §4's control-flow-in-hardware argument, run end to end: LIKE-style
+//! regex filtering over a columnar string column, software NFA simulation
+//! vs skeleton-automata lanes on the FPGA scanner.
+//!
+//! ```sh
+//! cargo run --release --example regex_scan
+//! ```
+
+use bionic_scan::nfa::Nfa;
+use bionic_scan::predicate::{ScanRequest, StrPredicate};
+use bionic_scan::scanner::{scan_enhanced, scan_software, ScannerConfig};
+use bionic_sim::platform::Platform;
+use bionic_sim::time::SimTime;
+use bionic_storage::columnar::{Column, ColumnarTable};
+
+fn main() {
+    // A log table: 1M rows of 32-byte message tags.
+    let rows = 1_000_000usize;
+    let mut data = Vec::with_capacity(rows * 32);
+    for i in 0..rows {
+        let mut tag = match i % 5003 {
+            0 => format!("req{i:09} status=TIMEOUT retry"),
+            1 => format!("req{i:09} status=PANIC stack"),
+            _ => format!("req{i:09} status=ok fast"),
+        }
+        .into_bytes();
+        tag.resize(32, b' ');
+        data.extend_from_slice(&tag);
+    }
+    let mut table = ColumnarTable::new();
+    table.add_column("key", Column::I64((0..rows as i64).collect()));
+    table.add_column("msg", Column::FixedStr { width: 32, data });
+
+    // First, the raw §4 asymmetry on a hostile pattern.
+    let gnarly = Nfa::compile("(TIME|TIM)+OUT|PANIC").unwrap();
+    let probe: Vec<u8> = b"status=TIMTIMEOUT maybe".to_vec();
+    let (hit, stats) = gnarly.search_with_stats(&probe);
+    println!(
+        "pattern '{}': {} states; on a {}B probe: {} state visits ({:.1}/byte), match={hit}",
+        gnarly.pattern(),
+        gnarly.state_count(),
+        stats.bytes,
+        stats.state_visits,
+        stats.state_visits as f64 / stats.bytes.max(1) as f64,
+    );
+
+    // Then the full scan, both paths.
+    let req = ScanRequest {
+        str_predicates: vec![StrPredicate::new(1, "TIMEOUT|PANIC").unwrap()],
+        projection: vec![0],
+        ..Default::default()
+    };
+    let mut p_sw = Platform::hc2();
+    let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
+    let mut p_hw = Platform::hc2();
+    let hw = scan_enhanced(&mut p_hw, &table, &req, SimTime::ZERO, &ScannerConfig::default());
+    assert_eq!(sw.matches, hw.matches);
+
+    let gb = (rows * 32) as f64 / 1e9;
+    println!("\nscan of {rows} rows ({:.2} GB of tags), {} matches:", gb, sw.matches.len());
+    println!(
+        "  software NFA : {:>8.2} ms  {:>6.2} GB/s  {:>8.4} J",
+        sw.done.as_ms(),
+        gb / sw.done.as_secs(),
+        p_sw.energy.total().as_j()
+    );
+    println!(
+        "  FPGA lanes   : {:>8.2} ms  {:>6.2} GB/s  {:>8.4} J",
+        hw.done.as_ms(),
+        gb / hw.done.as_secs(),
+        p_hw.energy.total().as_j()
+    );
+    println!(
+        "\n§4: the software cost rides the active-state set; the skeleton \
+         automata [13] evaluate every state each cycle — flat per byte."
+    );
+}

@@ -1,0 +1,43 @@
+//! TATP on the software engine vs. the bionic engine — the paper's
+//! headline comparison (§1): "effective hardware support need not always
+//! increase raw performance; the true goal is to reduce net energy use."
+//!
+//! ```sh
+//! cargo run --release --example tatp_bionic
+//! ```
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+
+fn run(label: &str, cfg: EngineConfig) -> (f64, f64, f64) {
+    let wl = TatpConfig {
+        subscribers: 20_000,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(cfg);
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl, tables);
+    let report = bionic_workloads::run(&mut engine, 20_000, SimTime::from_us(1.0), || {
+        let (t, p) = generator.next();
+        (t.label(), p)
+    });
+    println!("=== {label} ===");
+    println!("{}", report.summary_table());
+    (
+        report.throughput_per_sec,
+        report.joules_per_txn,
+        report.latency.p50.as_us(),
+    )
+}
+
+fn main() {
+    let (sw_tput, sw_j, sw_lat) = run("software DORA (conventional multicore)", EngineConfig::software());
+    let (hw_tput, hw_j, hw_lat) = run("bionic (probe + log + queue + overlay on FPGA)", EngineConfig::bionic());
+
+    println!("=== verdict ===");
+    println!("throughput: {:.0} -> {:.0} txn/s ({:+.0}%)", sw_tput, hw_tput, 100.0 * (hw_tput / sw_tput - 1.0));
+    println!("joules/txn: {:.3e} -> {:.3e} ({:.1}x less energy)", sw_j, hw_j, sw_j / hw_j);
+    println!("median latency: {:.1}us -> {:.1}us (asynchrony is not free)", sw_lat, hw_lat);
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the bionic-dbms workspace crates.
+pub use bionic_btree as btree;
+pub use bionic_core as core;
+pub use bionic_overlay as overlay;
+pub use bionic_queue as queue;
+pub use bionic_scan as scan;
+pub use bionic_sim as sim;
+pub use bionic_storage as storage;
+pub use bionic_wal as wal;
+pub use bionic_workloads as workloads;

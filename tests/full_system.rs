@@ -1,0 +1,311 @@
+//! Cross-crate integration tests: full workloads through the full engine,
+//! with functional verification against shadow state, crash/recovery in
+//! mid-flight, and TPC-C money-conservation invariants.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, layout as tatp_layout, TatpConfig, TatpGenerator, TatpTxn};
+use bionic_workloads::tpcc::{self, keys, layout as tpcc_layout, TpccConfig, TpccTxn, DISTRICTS};
+
+fn read_i64(engine: &mut Engine, table: u32, key: i64, offset: usize) -> i64 {
+    let rec = engine.read_row(table, key).expect("row exists");
+    i64::from_le_bytes(rec[offset..offset + 8].try_into().unwrap())
+}
+
+#[test]
+fn tatp_commit_abort_decisions_are_config_independent() {
+    // The same transaction stream must make identical commit/abort
+    // decisions on every engine configuration — timing models must never
+    // leak into functional outcomes.
+    let mut decisions: Vec<Vec<bool>> = Vec::new();
+    for cfg in [
+        EngineConfig::software(),
+        EngineConfig::bionic(),
+        EngineConfig::conventional(),
+    ] {
+        let wl = TatpConfig::small();
+        let mut engine = Engine::new(cfg);
+        let tables = tatp::load(&mut engine, &wl);
+        let mut generator = TatpGenerator::new(wl, tables);
+        let mut outcomes = Vec::new();
+        let mut at = SimTime::ZERO;
+        for _ in 0..1_500 {
+            let (_, prog) = generator.next();
+            outcomes.push(engine.submit(&prog, at).is_committed());
+            at += SimTime::from_us(3.0);
+        }
+        decisions.push(outcomes);
+    }
+    assert_eq!(decisions[0], decisions[1], "software vs bionic");
+    assert_eq!(decisions[0], decisions[2], "software vs conventional");
+}
+
+#[test]
+fn tatp_update_location_state_matches_shadow() {
+    let wl = TatpConfig::small();
+    let mut engine = Engine::new(EngineConfig::bionic());
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl.clone(), tables);
+    // Shadow of committed vlr_locations, reconstructed from the programs.
+    let mut shadow: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    let mut at = SimTime::ZERO;
+    for _ in 0..1_000 {
+        let prog = generator.program(TatpTxn::UpdateLocation);
+        // Extract (key, new location) from the program itself.
+        let bionic_core::ops::Op::Update { key, patch, .. } = &prog.phases[0][0].ops[1] else {
+            panic!("UpdateLocation shape changed")
+        };
+        let bionic_core::ops::Patch::Splice { bytes, .. } = patch else {
+            panic!("UpdateLocation patch shape changed")
+        };
+        let loc = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+        if engine.submit(&prog, at).is_committed() {
+            shadow.insert(*key, loc);
+        }
+        at += SimTime::from_us(3.0);
+    }
+    assert!(shadow.len() > 300, "enough distinct subscribers touched");
+    for (&s_id, &loc) in &shadow {
+        let got = read_i64(
+            &mut engine,
+            tables.subscriber,
+            s_id,
+            tatp_layout::SUB_VLR_LOCATION,
+        );
+        assert_eq!(got, loc, "subscriber {s_id}");
+    }
+}
+
+#[test]
+fn crash_mid_tatp_preserves_every_committed_update() {
+    let wl = TatpConfig::small();
+    let mut engine = Engine::new(EngineConfig::software());
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl, tables);
+    let mut shadow: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    let mut at = SimTime::ZERO;
+    for _ in 0..800 {
+        let prog = generator.program(TatpTxn::UpdateLocation);
+        let bionic_core::ops::Op::Update { key, patch, .. } = &prog.phases[0][0].ops[1] else {
+            unreachable!()
+        };
+        let bionic_core::ops::Patch::Splice { bytes, .. } = patch else {
+            unreachable!()
+        };
+        let loc = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+        if engine.submit(&prog, at).is_committed() {
+            shadow.insert(*key, loc);
+        }
+        at += SimTime::from_us(3.0);
+    }
+
+    // Pull the plug. Nothing was explicitly flushed.
+    let image = engine.crash();
+    let (mut engine, outcome) = Engine::restart(image, EngineConfig::software());
+    assert!(outcome.losers.is_empty(), "all submitted txns had finished");
+    for (&s_id, &loc) in &shadow {
+        let got = read_i64(&mut engine, 0, s_id, tatp_layout::SUB_VLR_LOCATION);
+        assert_eq!(got, loc, "subscriber {s_id} lost its committed update");
+    }
+}
+
+#[test]
+fn tpcc_money_conservation_and_row_accounting() {
+    let wl = TpccConfig::small();
+    let mut engine = Engine::new(EngineConfig::software());
+    let (tables, mut generator) = tpcc::load(&mut engine, &wl);
+
+    let initial_orders = engine.row_count(tables.order);
+    let initial_neworders = engine.row_count(tables.neworder);
+
+    let mut committed_neworders = 0u64;
+    let mut committed_payments = 0u64;
+    let mut committed_deliveries = 0u64;
+    let mut at = SimTime::ZERO;
+    for _ in 0..600 {
+        let (ty, prog) = generator.next();
+        let ok = engine.submit(&prog, at).is_committed();
+        at += SimTime::from_us(40.0);
+        if ok {
+            match ty {
+                TpccTxn::NewOrder => committed_neworders += 1,
+                TpccTxn::Payment => committed_payments += 1,
+                TpccTxn::Delivery => committed_deliveries += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(committed_neworders > 100);
+    assert!(committed_payments > 100);
+
+    // Money conservation: every Payment added its amount to BOTH the
+    // warehouse ytd and one of its districts' ytd (all start at zero, and
+    // 1 warehouse means remote-district payments stay in-warehouse).
+    let w_ytd = read_i64(&mut engine, tables.warehouse, 0, tpcc_layout::W_YTD);
+    let mut d_ytd_sum = 0i64;
+    for d in 0..DISTRICTS {
+        d_ytd_sum += read_i64(
+            &mut engine,
+            tables.district,
+            keys::district(0, d),
+            tpcc_layout::D_YTD,
+        );
+    }
+    assert_eq!(w_ytd, d_ytd_sum, "warehouse vs district ytd");
+    assert!(w_ytd > 0);
+
+    // Row accounting: orders grow by committed NewOrders; new-order rows
+    // grow by NewOrders and shrink by 10 per committed Delivery (when all
+    // districts had pending orders).
+    assert_eq!(
+        engine.row_count(tables.order),
+        initial_orders + committed_neworders as usize
+    );
+    let neworders = engine.row_count(tables.neworder);
+    assert!(
+        neworders
+            <= initial_neworders + committed_neworders as usize,
+        "deliveries must drain the new-order table"
+    );
+    assert!(committed_deliveries == 0 || neworders < initial_neworders + committed_neworders as usize);
+
+    // History rows match committed payments exactly.
+    assert_eq!(engine.row_count(tables.history), committed_payments as usize);
+}
+
+#[test]
+fn tpcc_survives_crash_with_consistency_intact() {
+    let wl = TpccConfig::small();
+    let mut engine = Engine::new(EngineConfig::software());
+    let (tables, mut generator) = tpcc::load(&mut engine, &wl);
+    let mut at = SimTime::ZERO;
+    for _ in 0..300 {
+        let (_, prog) = generator.next();
+        engine.submit(&prog, at);
+        at += SimTime::from_us(40.0);
+    }
+    let orders_before = engine.row_count(tables.order);
+    let history_before = engine.row_count(tables.history);
+
+    let image = engine.crash();
+    let (mut engine, outcome) = Engine::restart(image, EngineConfig::software());
+    assert!(outcome.losers.is_empty());
+
+    assert_eq!(engine.row_count(tables.order), orders_before);
+    assert_eq!(engine.row_count(tables.history), history_before);
+    // Money conservation still holds after recovery.
+    let w_ytd = read_i64(&mut engine, tables.warehouse, 0, tpcc_layout::W_YTD);
+    let mut d_sum = 0i64;
+    for d in 0..DISTRICTS {
+        d_sum += read_i64(
+            &mut engine,
+            tables.district,
+            keys::district(0, d),
+            tpcc_layout::D_YTD,
+        );
+    }
+    assert_eq!(w_ytd, d_sum);
+
+    // And the recovered engine still runs the workload.
+    let (_, prog) = generator.next();
+    let out = engine.submit(&prog, SimTime::ZERO);
+    assert!(out.latency() > SimTime::ZERO);
+}
+
+#[test]
+fn double_crash_recovery_is_idempotent_at_engine_level() {
+    // Crash, recover, crash again immediately, recover again: state
+    // identical both times (recovery itself is crash-safe).
+    let wl = TatpConfig::small();
+    let mut engine = Engine::new(EngineConfig::software());
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl, tables);
+    let mut at = SimTime::ZERO;
+    for _ in 0..400 {
+        let (_, prog) = generator.next();
+        engine.submit(&prog, at);
+        at += SimTime::from_us(3.0);
+    }
+    let witness = engine.read_row(tables.subscriber, 1).unwrap();
+
+    let image = engine.crash();
+    let (engine1, first) = Engine::restart(image, EngineConfig::software());
+    let rows1 = engine1.row_count(tables.call_forwarding);
+    // Immediate second crash: recovery's CLRs/Ends were flushed by restart?
+    // They are appended but not necessarily flushed — flush happens on the
+    // next commit. The durable prefix alone must still recover cleanly.
+    let image2 = engine1.crash();
+    let (mut engine2, second) = Engine::restart(image2, EngineConfig::software());
+    assert_eq!(engine2.row_count(tables.call_forwarding), rows1);
+    assert_eq!(
+        engine2.read_row(tables.subscriber, 1).unwrap(),
+        witness,
+        "subscriber state identical across double crash"
+    );
+    assert!(second.undone <= first.undone);
+}
+
+#[test]
+fn checkpointed_engine_recovers_with_truncated_log() {
+    let wl = TatpConfig::small();
+    let mut engine = Engine::new(EngineConfig::software());
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl, tables);
+    let mut at = SimTime::ZERO;
+    for _ in 0..300 {
+        let (_, prog) = generator.next();
+        engine.submit(&prog, at);
+        at += SimTime::from_us(3.0);
+    }
+    engine.checkpoint(at);
+    assert!(engine.log().base_lsn() > 0, "checkpoint truncates the log");
+    for _ in 0..100 {
+        let (_, prog) = generator.next();
+        engine.submit(&prog, at);
+        at += SimTime::from_us(3.0);
+    }
+    let witness = engine.read_row(tables.subscriber, 1).unwrap();
+    let image = engine.crash();
+    let (mut engine, outcome) = Engine::restart(image, EngineConfig::software());
+    assert!(outcome.losers.is_empty());
+    assert_eq!(engine.read_row(tables.subscriber, 1).unwrap(), witness);
+    // And it keeps serving.
+    let (_, prog) = generator.next();
+    engine.submit(&prog, SimTime::ZERO);
+}
+
+#[test]
+fn bionic_is_cheaper_per_txn_on_both_workloads() {
+    // The repository's headline, as an always-on regression test.
+    for workload in ["tatp", "tpcc"] {
+        let mut joules = Vec::new();
+        for cfg in [EngineConfig::software(), EngineConfig::bionic()] {
+            let mut engine = Engine::new(cfg);
+            let report = if workload == "tatp" {
+                let wl = TatpConfig::small();
+                let tables = tatp::load(&mut engine, &wl);
+                let mut g = TatpGenerator::new(wl, tables);
+                bionic_workloads::run(&mut engine, 1_000, SimTime::from_us(3.0), || {
+                    let (t, p) = g.next();
+                    (t.label(), p)
+                })
+            } else {
+                let wl = TpccConfig::small();
+                let (_, mut g) = tpcc::load(&mut engine, &wl);
+                bionic_workloads::run(&mut engine, 400, SimTime::from_us(40.0), || {
+                    let (t, p) = g.next();
+                    (t.label(), p)
+                })
+            };
+            assert!(report.committed > 0);
+            joules.push(report.joules_per_txn);
+        }
+        assert!(
+            joules[1] < 0.8 * joules[0],
+            "{workload}: bionic {} vs software {}",
+            joules[1],
+            joules[0]
+        );
+    }
+}

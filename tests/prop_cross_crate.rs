@@ -1,0 +1,205 @@
+//! Property-based tests spanning crates: slotted pages against a model
+//! map, the overlay's versioned visibility against a model version store,
+//! WAL codec fuzz, and NFA search against a reference substring oracle.
+
+use bionic_dbms::overlay::overlay::OverlayIndex;
+use bionic_dbms::scan::nfa::Nfa;
+use bionic_dbms::storage::page::Page;
+use bionic_dbms::storage::slotted::{SlotError, SlottedPage};
+use bionic_dbms::wal::record::{ClrAction, LogBody, LogRecord, NULL_LSN};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---- slotted pages vs a model map --------------------------------------
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+    Install(u16, Vec<u8>),
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..300).prop_map(PageOp::Insert),
+        (0usize..80).prop_map(PageOp::Delete),
+        ((0usize..80), prop::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(s, r)| PageOp::Update(s, r)),
+        ((0u16..100), prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(s, r)| PageOp::Install(s, r)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slotted_page_matches_model(ops in prop::collection::vec(page_op(), 1..120)) {
+        let mut page = Page::zeroed();
+        let mut sp = SlottedPage::init(&mut page);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut live_slots: Vec<u16> = Vec::new();
+        for op in ops {
+            match op {
+                PageOp::Insert(rec) => {
+                    if let Ok(slot) = sp.insert(&rec) {
+                        model.insert(slot, rec);
+                        if !live_slots.contains(&slot) {
+                            live_slots.push(slot);
+                        }
+                    }
+                }
+                PageOp::Delete(i) => {
+                    if let Some(&slot) = live_slots.get(i) {
+                        if model.remove(&slot).is_some() {
+                            prop_assert!(sp.delete(slot).is_ok());
+                        } else {
+                            prop_assert_eq!(sp.delete(slot), Err(SlotError::NoSuchSlot));
+                        }
+                    }
+                }
+                PageOp::Update(i, rec) => {
+                    if let Some(&slot) = live_slots.get(i) {
+                        if model.contains_key(&slot) && sp.update(slot, &rec).is_ok() {
+                            model.insert(slot, rec);
+                        }
+                    }
+                }
+                PageOp::Install(slot, rec) => {
+                    if sp.install(slot, &rec).is_ok() {
+                        model.insert(slot, rec);
+                        if !live_slots.contains(&slot) {
+                            live_slots.push(slot);
+                        }
+                    }
+                }
+            }
+            // Model equivalence on every live slot.
+            for (&slot, rec) in &model {
+                prop_assert_eq!(sp.get(slot).expect("live slot"), &rec[..]);
+            }
+        }
+        // Everything not in the model must be dead.
+        for s in 0..sp.slot_count() {
+            if !model.contains_key(&s) {
+                prop_assert_eq!(sp.get(s), Err(SlotError::NoSuchSlot));
+            }
+        }
+    }
+
+    // ---- overlay versioned reads vs a model version store --------------
+
+    #[test]
+    fn overlay_asof_matches_model(
+        writes in prop::collection::vec((0i64..50, any::<bool>(), any::<u64>()), 1..150),
+        merge_at in 0usize..150,
+    ) {
+        let base: Vec<(i64, u64)> = (0..50).map(|i| (i, 1000 + i as u64)).collect();
+        let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
+        // model: key -> Vec<(version, Option<value>)>, plus the base.
+        let mut model: HashMap<i64, Vec<(u64, Option<u64>)>> = HashMap::new();
+        let mut version = 0u64;
+        for (i, (key, is_delete, value)) in writes.iter().enumerate() {
+            version += 1;
+            if *is_delete {
+                ov.delete(*key, version);
+                model.entry(*key).or_default().push((version, None));
+            } else {
+                ov.put(*key, *value, version);
+                model.entry(*key).or_default().push((version, Some(*value)));
+            }
+            if i == merge_at {
+                ov.merge(version);
+            }
+        }
+        // Latest visibility must match the model for every key.
+        for k in 0..50i64 {
+            let expect = match model.get(&k).and_then(|chain| chain.last()) {
+                Some(&(_, v)) => v,
+                None => Some(1000 + k as u64),
+            };
+            prop_assert_eq!(ov.get_latest(&k).0, expect, "key {}", k);
+        }
+        // As-of visibility at versions after the merge point matches too.
+        let asof = version;
+        for k in 0..50i64 {
+            let expect = match model
+                .get(&k)
+                .and_then(|chain| chain.iter().rev().find(|&&(v, _)| v <= asof))
+            {
+                Some(&(_, v)) => v,
+                None => Some(1000 + k as u64),
+            };
+            prop_assert_eq!(ov.get_asof(&k, asof).0, expect);
+        }
+    }
+
+    // ---- WAL codec fuzz --------------------------------------------------
+
+    #[test]
+    fn log_records_roundtrip_arbitrary_payloads(
+        txn in any::<u64>(),
+        prev in any::<u64>(),
+        table in any::<u32>(),
+        rid in any::<u64>(),
+        before in prop::collection::vec(any::<u8>(), 0..500),
+        after in prop::collection::vec(any::<u8>(), 0..500),
+        kind in 0u8..5,
+    ) {
+        let body = match kind {
+            0 => LogBody::Insert { table, rid, after: after.clone() },
+            1 => LogBody::Update { table, rid, before: before.clone(), after },
+            2 => LogBody::Delete { table, rid, before },
+            3 => LogBody::Clr {
+                undo_next: prev,
+                action: ClrAction::Install { table, rid, image: after },
+            },
+            _ => LogBody::Checkpoint { active: vec![(txn, prev)], redo_from: rid },
+        };
+        let rec = LogRecord { lsn: 0, txn, prev_lsn: NULL_LSN, body };
+        let encoded = rec.encode();
+        let (decoded, next) = LogRecord::decode(&encoded, 0).expect("decodes");
+        prop_assert_eq!(decoded, rec);
+        prop_assert_eq!(next as usize, encoded.len());
+        // Any strict prefix is detected as truncated.
+        prop_assert!(LogRecord::decode(&encoded[..encoded.len() - 1], 0).is_none());
+    }
+
+    // ---- NFA vs substring oracle ----------------------------------------
+
+    #[test]
+    fn nfa_literal_equals_substring_search(
+        needle in "[a-d]{1,6}",
+        hay in "[a-e]{0,60}",
+    ) {
+        let nfa = Nfa::compile(&needle).expect("literal compiles");
+        prop_assert_eq!(nfa.is_match(hay.as_bytes()), hay.contains(&needle));
+    }
+
+    #[test]
+    fn nfa_alternation_equals_either_substring(
+        a in "[a-c]{1,4}",
+        b in "[a-c]{1,4}",
+        hay in "[a-d]{0,40}",
+    ) {
+        let nfa = Nfa::compile(&format!("{a}|{b}")).expect("compiles");
+        prop_assert_eq!(
+            nfa.is_match(hay.as_bytes()),
+            hay.contains(&a) || hay.contains(&b)
+        );
+    }
+
+    #[test]
+    fn nfa_star_on_single_char_matches_iff_prefix_run(
+        hay in "[ab]{0,30}",
+    ) {
+        // "ab*c" oracle: some 'a' followed by zero+ 'b's then 'c' — over an
+        // {a,b} alphabet it can never match (no 'c'), while "ab*" always
+        // matches iff an 'a' exists.
+        let no_c = Nfa::compile("ab*c").unwrap();
+        prop_assert!(!no_c.is_match(hay.as_bytes()));
+        let ab = Nfa::compile("ab*").unwrap();
+        prop_assert_eq!(ab.is_match(hay.as_bytes()), hay.contains('a'));
+    }
+}

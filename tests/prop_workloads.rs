@@ -1,0 +1,114 @@
+//! Property tests over the workload generators and the fluid queueing
+//! model: every generated program must be well-formed and executable, and
+//! the queueing approximation must respect basic queueing-theory laws.
+
+use bionic_core::ops::{Op, TxnProgram};
+use bionic_dbms::sim::server::FluidQueue;
+use bionic_dbms::sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+use bionic_workloads::tpcc::{self, TpccConfig};
+use proptest::prelude::*;
+
+fn check_program_well_formed(prog: &TxnProgram, n_tables: u32) {
+    assert!(!prog.phases.is_empty(), "{}: empty program", prog.name);
+    for phase in &prog.phases {
+        assert!(!phase.is_empty(), "{}: empty phase", prog.name);
+        for action in phase {
+            assert!(action.table < n_tables, "{}: bad table", prog.name);
+            assert!(!action.ops.is_empty(), "{}: empty action", prog.name);
+            for op in &action.ops {
+                let t = match op {
+                    Op::Read { table, .. }
+                    | Op::ReadRange { table, .. }
+                    | Op::Update { table, .. }
+                    | Op::Insert { table, .. }
+                    | Op::Delete { table, .. }
+                    | Op::SecondaryRead { table, .. } => *table,
+                    Op::Compute { instructions } => {
+                        assert!(*instructions > 0);
+                        continue;
+                    }
+                };
+                assert!(t < n_tables, "{}: op on bad table {t}", prog.name);
+                if let Op::ReadRange { lo, hi, limit, .. } = op {
+                    assert!(lo <= hi, "{}: inverted range", prog.name);
+                    assert!(*limit > 0, "{}: zero-limit range", prog.name);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tatp_programs_are_always_well_formed(seed in any::<u64>()) {
+        let cfg = TatpConfig { subscribers: 500, seed };
+        // Build the generator against a real engine so table ids are real.
+        let mut engine = bionic_core::engine::Engine::new(
+            bionic_core::config::EngineConfig::software().with_agents(4),
+        );
+        let tables = tatp::load(&mut engine, &cfg);
+        let mut g = TatpGenerator::new(cfg, tables);
+        for _ in 0..300 {
+            let (_, prog) = g.next();
+            check_program_well_formed(&prog, engine.table_count() as u32);
+            // And every program must actually execute without panicking.
+            engine.submit(&prog, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn tpcc_programs_are_always_well_formed(seed in any::<u64>()) {
+        let cfg = TpccConfig {
+            seed,
+            ..TpccConfig::small()
+        };
+        let mut engine = bionic_core::engine::Engine::new(
+            bionic_core::config::EngineConfig::software().with_agents(4),
+        );
+        let (_, mut g) = tpcc::load(&mut engine, &cfg);
+        for _ in 0..200 {
+            let (_, prog) = g.next();
+            check_program_well_formed(&prog, engine.table_count() as u32);
+            engine.submit(&prog, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn fluid_queue_delay_is_monotone_in_load(
+        service_ns in 10.0f64..500.0,
+        load_a in 0.05f64..0.45,
+        load_b in 0.5f64..0.9,
+    ) {
+        // Mean delay at a higher utilization must exceed the lower one.
+        let measure = |load: f64| {
+            let mut q = FluidQueue::latch();
+            let service = SimTime::from_ns(service_ns);
+            let inter = SimTime::from_ns(service_ns / load);
+            let mut at = SimTime::ZERO;
+            let mut total = SimTime::ZERO;
+            for _ in 0..5_000 {
+                total += q.delay(at, service);
+                at += inter;
+            }
+            total.as_ns()
+        };
+        prop_assert!(measure(load_b) > measure(load_a));
+    }
+
+    #[test]
+    fn fluid_queue_never_goes_back_in_time(
+        arrivals in prop::collection::vec(0u64..1_000_000, 1..200),
+        service_ns in 1.0f64..1000.0,
+    ) {
+        let mut q = FluidQueue::new(2, SimTime::from_ms(1.0));
+        for a in arrivals {
+            let d = q.delay(SimTime::from_ns(a as f64), SimTime::from_ns(service_ns));
+            // Delay is finite and non-negative even for adversarial
+            // out-of-order arrival patterns.
+            prop_assert!(d.as_secs() < 1.0);
+        }
+    }
+}
