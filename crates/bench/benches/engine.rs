@@ -7,7 +7,7 @@ use bionic_core::engine::Engine;
 use bionic_sim::time::SimTime;
 use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
 use bionic_workloads::tpcc::{self, TpccConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_tatp(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_tatp_txn");
@@ -62,5 +62,78 @@ fn bench_tpcc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tatp, bench_tpcc);
+/// `submit` vs `submit_batch`: the PALM-batched hot path at growing batch
+/// sizes. Also asserts the point of the batching — the engine charges
+/// strictly fewer index nodes per probe than per-op submission does on the
+/// same clustered TATP read stream.
+fn bench_batch_submit(c: &mut Criterion) {
+    let make = || {
+        let wl = TatpConfig {
+            subscribers: 10_000,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(EngineConfig::software());
+        let tables = tatp::load(&mut engine, &wl);
+        let generator = TatpGenerator::new(wl, tables);
+        (engine, generator)
+    };
+
+    let mut g = c.benchmark_group("engine_batch_submit");
+    {
+        let (mut engine, mut generator) = make();
+        let mut at = SimTime::ZERO;
+        g.bench_function("per_op_submit", |b| {
+            b.iter(|| {
+                let (_, prog) = generator.next();
+                at += SimTime::from_us(1.0);
+                black_box(engine.submit(&prog, at).is_committed())
+            });
+        });
+    }
+    for batch in [1usize, 8, 64, 256] {
+        let (mut engine, mut generator) = make();
+        let mut at = SimTime::ZERO;
+        g.bench_with_input(
+            BenchmarkId::new("submit_batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let programs: Vec<_> = (0..batch).map(|_| generator.next().1).collect();
+                    let outcomes = engine.submit_batch(&programs, at, SimTime::from_us(1.0));
+                    at += SimTime::from_us(1.0) * batch as u64;
+                    black_box(outcomes.len())
+                });
+            },
+        );
+    }
+    g.finish();
+
+    // The amortization claim, checked on fresh engines over one identical
+    // clustered read stream.
+    let nodes_per_probe = |engine: &Engine| {
+        engine.stats.probe_nodes_visited as f64 / engine.stats.probes.max(1) as f64
+    };
+    let (mut serial, mut gs) = make();
+    let mut at = SimTime::ZERO;
+    for _ in 0..512 {
+        let (_, prog) = gs.next();
+        serial.submit(&prog, at);
+        at += SimTime::from_us(1.0);
+    }
+    let (mut batched, mut gb) = make();
+    let mut at = SimTime::ZERO;
+    for _ in 0..8 {
+        let programs: Vec<_> = (0..64).map(|_| gb.next().1).collect();
+        batched.submit_batch(&programs, at, SimTime::from_us(1.0));
+        at += SimTime::from_us(1.0) * 64;
+    }
+    assert!(
+        nodes_per_probe(&batched) < nodes_per_probe(&serial),
+        "PALM batching must charge fewer nodes per probe: batched {:.2} vs serial {:.2}",
+        nodes_per_probe(&batched),
+        nodes_per_probe(&serial)
+    );
+}
+
+criterion_group!(benches, bench_tatp, bench_tpcc, bench_batch_submit);
 criterion_main!(benches);

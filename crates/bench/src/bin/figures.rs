@@ -1,1039 +1,73 @@
 //! Regenerate every figure and quantitative claim of the paper.
 //!
 //! ```sh
-//! cargo run --release -p bionic-bench --bin figures            # everything
-//! cargo run --release -p bionic-bench --bin figures f3 e8     # a subset
+//! cargo run --release -p bionic-bench --bin figures             # everything
+//! cargo run --release -p bionic-bench --bin figures f3 e8       # a subset
+//! cargo run --release -p bionic-bench --bin figures --jobs 8    # 8 workers
+//! cargo run --release -p bionic-bench --bin figures --list      # list ids
 //! ```
 //!
-//! Each experiment prints its table and writes `results/<id>_*.csv`.
+//! Each experiment prints its tables and writes `results/<id>_*.csv`.
 //! EXPERIMENTS.md maps each id to the paper artifact it reproduces.
+//!
+//! Experiments are decomposed into independent cells and run on a
+//! work-queue of `--jobs` worker threads (default: all cores). Output is
+//! assembled serially in fixed order, so every CSV and printed table is
+//! byte-identical regardless of `--jobs`; only wall-clock time changes.
+//! Per-experiment timing is written to `results/harness_timing.csv`.
 
-use bionic_bench::{f, Table};
-use bionic_btree::probe::{ProbeEngine, ProbeEngineConfig};
-use bionic_btree::tree::BTree;
-use bionic_core::breakdown::Category;
-use bionic_core::config::{EngineConfig, LogImpl, Offloads};
-use bionic_core::engine::Engine;
-use bionic_core::ops::TxnProgram;
-use bionic_overlay::overlay::OverlayIndex;
-use bionic_queue::sched::{simulate_chain, ParkPolicy};
-use bionic_queue::timing::{HwQueueTiming, SwQueueTiming};
-use bionic_scan::predicate::{CmpOp, ColPredicate, ScanRequest};
-use bionic_scan::scanner::{scan_enhanced, scan_software, ScannerConfig};
-use bionic_sim::darksilicon::{figure1_curves, ChipGeneration, FIGURE1_SERIAL_FRACTIONS};
-use bionic_sim::energy::EnergyDomain;
-use bionic_sim::fpga::FpgaFabric;
-use bionic_sim::mem::{AccessClass, SgDram};
-use bionic_sim::platform::Platform;
-use bionic_sim::time::SimTime;
-use bionic_storage::columnar::{Column, ColumnarTable};
-use bionic_wal::timing::{
-    ConsolidatedLog, HwLog, LatchedLog, LogInsertModel, SwLogParams,
-};
-use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator, TatpTxn};
-use bionic_workloads::tpcc::{self, TpccConfig, TpccTxn};
+use bionic_bench::experiments::{self, Scale};
+use bionic_bench::harness;
 use std::path::PathBuf;
+use std::process::exit;
 
-fn results_dir() -> PathBuf {
-    PathBuf::from("results")
-}
-
-// ---------------------------------------------------------------- F1 ----
-
-/// Figure 1: fraction of chip utilized vs. parallelism, 2011 vs 2018.
-fn f1() {
-    println!("### F1 — Figure 1: dark silicon & Amdahl chip utilization\n");
-    for (tag, cores) in [("2011_64cores", 64u64), ("2018_1024cores", 1024)] {
-        let curves = figure1_curves(cores);
-        let mut headers = vec!["cores".to_string()];
-        for s in FIGURE1_SERIAL_FRACTIONS {
-            headers.push(format!("serial_{}pct", s * 100.0));
-        }
-        let mut t = Table {
-            headers,
-            rows: Vec::new(),
-        };
-        for i in 0..curves[0].points.len() {
-            let mut row = vec![curves[0].points[i].0.to_string()];
-            for c in &curves {
-                row.push(f(c.points[i].1));
-            }
-            t.rows.push(row);
-        }
-        t.save_and_print(&results_dir(), &format!("f1_{tag}"));
-    }
-    let g = ChipGeneration::y2018();
-    println!(
-        "power envelope 2018: {}/{} cores powered ({}% dark, §2's conservative calculation)\n",
-        g.powered_cores(),
-        g.cores,
-        g.dark_fraction * 100.0
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--jobs N] [--list] [ids...]   ids: {}",
+        experiments::IDS.join(" ")
     );
+    exit(2);
 }
-
-// ---------------------------------------------------------------- F2 ----
-
-/// Figure 2: validate every modeled platform path against its label.
-fn f2() {
-    println!("### F2 — Figure 2: platform path characterization\n");
-    let mut t = Table::new(&[
-        "path",
-        "configured_bw",
-        "measured_bw",
-        "configured_latency",
-        "measured_latency",
-    ]);
-
-    // PCIe: 1000 x 1 MiB bulk transfers, and a 64 B round trip.
-    let mut p = Platform::hc2();
-    let mut done = SimTime::ZERO;
-    for i in 0..1000u64 {
-        done = p.pcie_transfer(SimTime::ZERO, 1 << 20).max(done);
-        let _ = i;
-    }
-    let bw = (1000u64 * (1 << 20)) as f64 / done.as_secs();
-    let rt = p.pcie_exchange(done, 64, SimTime::ZERO, 64) - done;
-    t.row(vec![
-        "PCIe 8x".into(),
-        "4.0e9 B/s".into(),
-        format!("{:.2e} B/s", bw),
-        "2 us RT".into(),
-        format!("{:.2} us RT", rt.as_us()),
-    ]);
-
-    // SG-DRAM: random 64-bit requests, pipelined.
-    let mut sg = SgDram::hc2();
-    let (first, _) = sg.access(SimTime::ZERO);
-    let n = 100_000u64;
-    let mut last = SimTime::ZERO;
-    for _ in 0..n {
-        last = sg.access(SimTime::ZERO).0;
-    }
-    t.row(vec![
-        "SG-DRAM".into(),
-        "8.0e10 B/s".into(),
-        format!("{:.2e} B/s", (n * 8) as f64 / last.as_secs()),
-        "400 ns".into(),
-        format!("{:.0} ns", first.as_ns()),
-    ]);
-
-    // SAS array: sequential stream vs random read.
-    let mut p = Platform::hc2();
-    let mut at = SimTime::ZERO;
-    let chunk = 8u64 << 20;
-    for i in 0..64u64 {
-        at = p.sas_read(at, i * chunk, chunk);
-    }
-    let sas_bw = (64 * chunk) as f64 / at.as_secs();
-    let rand_read = p.sas_read(at, 0, 8192) - at;
-    t.row(vec![
-        "2x SAS".into(),
-        "1.5e9 B/s".into(),
-        format!("{:.2e} B/s", sas_bw),
-        "5 ms seek".into(),
-        format!("{:.2} ms", rand_read.as_ms()),
-    ]);
-
-    // SSD.
-    let mut p = Platform::hc2();
-    let mut at = SimTime::ZERO;
-    for i in 0..64u64 {
-        at = p.ssd_write(at, i * chunk, chunk);
-    }
-    let ssd_bw = (64 * chunk) as f64 / at.as_secs();
-    let ssd_lat = p.ssd_write(at, 1 << 40, 512) - at;
-    t.row(vec![
-        "SSD".into(),
-        "5.0e8 B/s".into(),
-        format!("{:.2e} B/s", ssd_bw),
-        "20 us".into(),
-        format!("{:.1} us", ssd_lat.as_us()),
-    ]);
-
-    // Host memory: expected latencies per access class.
-    let p = Platform::hc2();
-    for class in AccessClass::ALL {
-        let lat = p.cpu_mem.expected_latency(class);
-        t.row(vec![
-            format!("host mem ({class:?})"),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            format!("{:.1} ns", lat.as_ns()),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "f2_platform");
-}
-
-// ---------------------------------------------------------------- F3 ----
-
-fn breakdown_rows(t: &mut Table, label: &str, b: &bionic_core::TimeBreakdown) {
-    for (c, pct) in b.percentages() {
-        if c == Category::Lock {
-            continue;
-        }
-        t.row(vec![label.into(), c.label().into(), f(pct)]);
-    }
-}
-
-/// Figure 3: time breakdown of TATP-UpdSubData and TPCC-StockLevel on the
-/// software (conventional multicore) DORA engine.
-fn f3() {
-    println!("### F3 — Figure 3: time breakdown on a conventional multicore\n");
-    let mut t = Table::new(&["workload", "category", "percent"]);
-
-    let wl = TatpConfig {
-        subscribers: 20_000,
-        ..Default::default()
-    };
-    let mut engine = Engine::new(EngineConfig::software());
-    let tables = tatp::load(&mut engine, &wl);
-    let mut g = TatpGenerator::new(wl, tables);
-    let tatp_report = bionic_workloads::run(&mut engine, 5_000, SimTime::from_us(2.0), || {
-        ("UpdSubData", g.program(TatpTxn::UpdateSubscriberData))
-    });
-    breakdown_rows(&mut t, "TATP-UpdSubData", &tatp_report.breakdown);
-
-    let wl = TpccConfig::default();
-    let mut engine = Engine::new(EngineConfig::software());
-    let (_, mut g) = tpcc::load(&mut engine, &wl);
-    let tpcc_report = bionic_workloads::run(&mut engine, 2_000, SimTime::from_us(10.0), || {
-        ("StockLevel", g.program(TpccTxn::StockLevel))
-    });
-    breakdown_rows(&mut t, "TPCC-StockLevel", &tpcc_report.breakdown);
-
-    // The Figure-4 payoff: the same two workloads on the bionic engine —
-    // the categories §5 offloads shrink toward zero.
-    let wl = TatpConfig {
-        subscribers: 20_000,
-        ..Default::default()
-    };
-    let mut engine = Engine::new(EngineConfig::bionic());
-    let tables = tatp::load(&mut engine, &wl);
-    let mut g = TatpGenerator::new(wl, tables);
-    let tatp_bionic = bionic_workloads::run(&mut engine, 5_000, SimTime::from_us(2.0), || {
-        ("UpdSubData", g.program(TatpTxn::UpdateSubscriberData))
-    });
-    breakdown_rows(&mut t, "TATP-UpdSubData-bionic", &tatp_bionic.breakdown);
-    let wl = TpccConfig::default();
-    let mut engine = Engine::new(EngineConfig::bionic());
-    let (_, mut g) = tpcc::load(&mut engine, &wl);
-    let tpcc_bionic = bionic_workloads::run(&mut engine, 2_000, SimTime::from_us(10.0), || {
-        ("StockLevel", g.program(TpccTxn::StockLevel))
-    });
-    breakdown_rows(&mut t, "TPCC-StockLevel-bionic", &tpcc_bionic.breakdown);
-    t.save_and_print(&results_dir(), "f3_breakdown");
-    println!(
-        "figure-4 payoff: StockLevel CPU time {} -> {} per txn; Btree share          {:.1}% -> {:.1}%
-",
-        tpcc_report.breakdown.total() / 2_000,
-        tpcc_bionic.breakdown.total() / 2_000,
-        100.0 * tpcc_report.breakdown.fraction(Category::Btree),
-        100.0 * tpcc_bionic.breakdown.fraction(Category::Btree),
-    );
-
-    println!(
-        "shape checks: StockLevel Btree = {:.1}% (paper: \"40% or more\"); \
-         UpdSubData Log = {:.1}% (visible) vs StockLevel Log = {:.1}% (nil)\n",
-        100.0 * tpcc_report.breakdown.fraction(Category::Btree),
-        100.0 * tatp_report.breakdown.fraction(Category::Log),
-        100.0 * tpcc_report.breakdown.fraction(Category::Log),
-    );
-}
-
-// ---------------------------------------------------------------- E4 ----
-
-/// §5.3: the hardware tree-probe engine — outstanding-request sweep,
-/// string keys, and software-vs-hardware cost per probe.
-fn e4() {
-    println!("### E4 — §5.3: tree probe engine\n");
-
-    // (a) Capacity vs outstanding probes: the "dozen outstanding" claim,
-    // cross-checked by a paced run at 90% of each capacity.
-    let mut t = Table::new(&[
-        "outstanding",
-        "capacity_probes_per_sec",
-        "speedup_vs_1",
-        "p_mean_latency_us_at_90pct",
-    ]);
-    let mut base_rate = 0.0;
-    for outstanding in [1usize, 2, 4, 8, 12, 16, 24, 32] {
-        let mut fabric = FpgaFabric::hc2();
-        let mut eng = ProbeEngine::place(
-            &mut fabric,
-            ProbeEngineConfig {
-                max_outstanding: outstanding,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        let mut sg = SgDram::hc2();
-        let cap = eng.capacity_per_sec(3, 1, &sg);
-        if outstanding == 1 {
-            base_rate = cap;
-        }
-        let inter = SimTime::from_secs(1.0 / (0.9 * cap));
-        let n = 10_000u64;
-        let mut at = SimTime::ZERO;
-        let mut total = SimTime::ZERO;
-        for _ in 0..n {
-            total += eng.submit(at, 3, 1, &mut sg).time() - at;
-            at += inter;
-        }
-        t.row(vec![
-            outstanding.to_string(),
-            f(cap),
-            f(cap / base_rate),
-            f(total.as_us() / n as f64),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e4_outstanding");
-
-    // (b) Per-probe cost: software vs hardware, int vs string keys.
-    let mut t = Table::new(&["path", "key", "latency_us", "cpu_busy_ns", "energy_nJ"]);
-    // Software: priced like the engine does (30 + 3*cmp instructions,
-    // inner nodes from mid-hierarchy, leaf from the pointer-chase class).
-    let mut tree = BTree::with_order(256);
-    for i in 0..200_000i64 {
-        tree.insert(i, i as u64);
-    }
-    let (_, fp) = tree.get(&100_000);
-    let mut p = Platform::hc2();
-    let before = p.energy.total();
-    let mut cpu = p.sw_step(30 + 3 * fp.comparisons as u64, 0, AccessClass::Hot);
-    cpu += p.cpu_mem_access(AccessClass::Index, fp.inner_visited as u64);
-    cpu += p.cpu_mem_access(AccessClass::PointerChase, fp.leaves_visited as u64);
-    let sw_energy = (p.energy.total() - before).as_nj();
-    t.row(vec![
-        "software".into(),
-        "i64".into(),
-        f(cpu.as_us()),
-        f(cpu.as_ns()),
-        f(sw_energy),
-    ]);
-
-    for (key, factor) in [("i64", 1u32), ("str24B", 3)] {
-        let mut fabric = FpgaFabric::hc2();
-        let mut eng = ProbeEngine::hc2(&mut fabric).unwrap();
-        let mut sg = SgDram::hc2();
-        let out = eng.submit(SimTime::ZERO, fp.nodes_visited(), factor, &mut sg);
-        t.row(vec![
-            "hardware".into(),
-            key.into(),
-            f(out.time().as_us() + 2.0), // + PCIe round trip
-            "16".into(),                 // doorbell
-            f(out.energy().as_nj()),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e4_per_probe");
-
-    // (c) The software counter-measure §5.3 cites: PALM-style batching
-    // amortizes descents but cannot remove the leaf-level pointer chase.
-    let mut t = Table::new(&["batch", "nodes_per_probe_single", "nodes_per_probe_batched"]);
-    for batch in [16usize, 64, 256] {
-        let mut keys: Vec<i64> = (0..batch as i64).map(|i| i * 701 % 200_000).collect();
-        let (_, bfp) = tree.batch_get(&mut keys);
-        let mut singles = 0;
-        for k in &keys {
-            singles += tree.get(k).1.nodes_visited();
-        }
-        t.row(vec![
-            batch.to_string(),
-            f(singles as f64 / keys.len() as f64),
-            f(bfp.nodes_visited() as f64 / keys.len() as f64),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e4_palm_batching");
-
-    let mut fabric = FpgaFabric::hc2();
-    let mut eng = ProbeEngine::hc2(&mut fabric).unwrap();
-    let mut sg = SgDram::hc2();
-    let hw_energy = eng
-        .submit(SimTime::ZERO, fp.nodes_visited(), 1, &mut sg)
-        .energy()
-        .as_nj();
-    println!(
-        "claims: throughput flattens at ~12 outstanding (the §5.3 \"dozen\"); \
-         a hardware probe is slower per-request but {}x cheaper in total \
-         energy and ~10x cheaper in core-time ({} ns vs 16 ns of CPU)\n",
-        f(sw_energy / hw_energy),
-        f(cpu.as_ns()),
-    );
-}
-
-// ---------------------------------------------------------------- E5 ----
-
-/// §5.4: log insertion scalability — latched vs consolidated vs hardware.
-fn e5() {
-    println!("### E5 — §5.4: log insertion under contention\n");
-    let mut t = Table::new(&[
-        "threads",
-        "latched_ins_per_s",
-        "consolidated_ins_per_s",
-        "hardware_ins_per_s",
-        "latched_cpu_ns",
-        "hw_cpu_ns",
-    ]);
-    let bytes = 120u64;
-    let think = SimTime::from_ns(200.0);
-    for threads in [1usize, 2, 4, 8, 16, 32, 64] {
-        let mut rates = Vec::new();
-        let mut cpu_ns = Vec::new();
-        let params = SwLogParams::default();
-        let mut fabric = FpgaFabric::hc2();
-        let mut models: Vec<Box<dyn LogInsertModel>> = vec![
-            Box::new(LatchedLog::new(params)),
-            Box::new(ConsolidatedLog::new(params)),
-            Box::new(HwLog::hc2(&mut fabric).unwrap()),
-        ];
-        for m in models.iter_mut() {
-            let mut clocks = vec![SimTime::ZERO; threads];
-            let n = 30_000u64;
-            let mut last = SimTime::ZERO;
-            let mut busy = SimTime::ZERO;
-            for i in 0..n {
-                let th = (i % threads as u64) as usize;
-                let out = m.insert(clocks[th] + think, th, bytes);
-                clocks[th] = clocks[th] + think + out.cpu_busy;
-                busy += out.cpu_busy;
-                last = last.max(out.buffered_at);
-            }
-            rates.push(n as f64 / last.as_secs());
-            cpu_ns.push(busy.as_ns() / n as f64);
-        }
-        t.row(vec![
-            threads.to_string(),
-            f(rates[0]),
-            f(rates[1]),
-            f(rates[2]),
-            f(cpu_ns[0]),
-            f(cpu_ns[2]),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e5_log_scaling");
-    println!(
-        "claims: latched plateaus once the latch saturates; consolidation \
-         lifts the plateau ([7]); the hardware engine keeps scaling and its \
-         per-insert CPU cost is constant\n"
-    );
-}
-
-// ---------------------------------------------------------------- E6 ----
-
-/// §5.5: queue costs and the scheduling problem hardware does not solve.
-fn e6() {
-    println!("### E6 — §5.5: queue management\n");
-    let mut t = Table::new(&["op", "software_same_socket_ns", "software_cross_socket_ns", "hardware_ns"]);
-    let mut sw = SwQueueTiming::default();
-    let mut fabric = FpgaFabric::hc2();
-    let mut hw = HwQueueTiming::hc2(&mut fabric).unwrap();
-    t.row(vec![
-        "enqueue".into(),
-        f(sw.enqueue(false).cpu_busy.as_ns()),
-        f(sw.enqueue(true).cpu_busy.as_ns()),
-        f(hw.enqueue(SimTime::ZERO).cpu_busy.as_ns()),
-    ]);
-    t.row(vec![
-        "dequeue".into(),
-        f(sw.dequeue(false).cpu_busy.as_ns()),
-        f(sw.dequeue(true).cpu_busy.as_ns()),
-        f(hw.dequeue(SimTime::ZERO).cpu_busy.as_ns()),
-    ]);
-    t.save_and_print(&results_dir(), "e6_queue_ops");
-
-    // Convoys: parking policy x wake latency.
-    let mut t = Table::new(&[
-        "policy",
-        "wake_us",
-        "p99_latency_us",
-        "wakes",
-        "spin_waste_ms",
-    ]);
-    for (policy, name) in [
-        (ParkPolicy::Spin, "spin"),
-        (ParkPolicy::ParkImmediately, "park-eager"),
-        (ParkPolicy::ParkAfter(SimTime::from_us(20.0)), "park-20us-grace"),
-    ] {
-        for wake_us in [0.8, 8.0] {
-            let r = simulate_chain(
-                4,
-                20_000,
-                SimTime::from_us(1.0),
-                10,
-                SimTime::from_us(50.0),
-                SimTime::from_ns(500.0),
-                SimTime::from_us(wake_us),
-                policy,
-            );
-            t.row(vec![
-                name.into(),
-                f(wake_us),
-                f(r.latency.quantile(0.99).as_us()),
-                r.wakes.to_string(),
-                f(r.spin_waste.as_ms()),
-            ]);
-        }
-    }
-    t.save_and_print(&results_dir(), "e6_convoys");
-    println!(
-        "claims: hardware cuts queue op cost ~10x, but eager parking still \
-         convoys even with 10x faster wakes — \"it will not magically solve \
-         the scheduling problem\"\n"
-    );
-}
-
-// ---------------------------------------------------------------- E7 ----
-
-/// §5.6: the overlay database.
-fn e7() {
-    println!("### E7 — §5.6: overlay database\n");
-
-    // (a) Read paths: delta hit vs main fallthrough vs non-resident miss.
-    let base: Vec<(i64, u64)> = (0..100_000).map(|i| (i, i as u64)).collect();
-    let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
-    for i in 0..1_000i64 {
-        ov.put(i, 7, i as u64 + 1);
-    }
-    let mut t = Table::new(&["read_path", "nodes_visited", "note"]);
-    let (_, fp_hit) = ov.get_latest(&500);
-    t.row(vec![
-        "delta hit".into(),
-        fp_hit.nodes_visited().to_string(),
-        "buffered write answered from delta".into(),
-    ]);
-    let (_, fp_miss) = ov.get_latest(&50_000);
-    t.row(vec![
-        "main fallthrough".into(),
-        fp_miss.nodes_visited().to_string(),
-        "delta probe + main probe".into(),
-    ]);
-    let tight = OverlayIndex::new(base.clone(), 1 << 18);
-    let misses = (0..100_000i64)
-        .filter(|k| tight.probe_would_miss(k))
-        .count();
-    t.row(vec![
-        "non-resident".into(),
-        "-".into(),
-        format!(
-            "budget 256KiB -> {:.1}% probes abort to software+SAS",
-            100.0 * misses as f64 / 100_000.0
-        ),
-    ]);
-    t.save_and_print(&results_dir(), "e7_read_paths");
-
-    // (b) Merge amortization: bytes written back per buffered write.
-    let mut t = Table::new(&[
-        "delta_writes_before_merge",
-        "merge_bytes",
-        "bytes_per_write",
-        "retained",
-    ]);
-    for batch in [1_000u64, 5_000, 20_000, 50_000] {
-        let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
-        let mut v = 0;
-        for i in 0..batch {
-            v += 1;
-            ov.put((i as i64 * 17) % 100_000, i, v);
-        }
-        let report = ov.merge(v);
-        t.row(vec![
-            batch.to_string(),
-            report.bytes_written.to_string(),
-            f(report.bytes_written as f64 / batch as f64),
-            report.entries_retained.to_string(),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e7_merge_amortization");
-
-    // (c) Historical patching: a query as-of an old version sees old data.
-    let mut ov = OverlayIndex::new(base, usize::MAX);
-    ov.put(42, 999, 10);
-    ov.delete(43, 11);
-    let mut rows_old = Vec::new();
-    ov.range_asof(&42, &45, 5, |k, v| rows_old.push((*k, v)));
-    let mut rows_new = Vec::new();
-    ov.range_asof(&42, &45, 11, |k, v| rows_new.push((*k, v)));
-    println!(
-        "historical patching: asof v5 -> {rows_old:?}; asof v11 -> {rows_new:?} \
-         (HANA-style: updates patched into history on read)\n"
-    );
-}
-
-// ---------------------------------------------------------------- E8 ----
-
-fn run_tatp(cfg: EngineConfig, subscribers: i64, n: u64, inter: SimTime) -> bionic_workloads::WorkloadReport {
-    let wl = TatpConfig {
-        subscribers,
-        ..Default::default()
-    };
-    let mut engine = Engine::new(cfg);
-    let tables = tatp::load(&mut engine, &wl);
-    let mut g = TatpGenerator::new(wl, tables);
-    bionic_workloads::run(&mut engine, n, inter, || {
-        let (t, p) = g.next();
-        (t.label(), p)
-    })
-}
-
-fn run_tpcc(cfg: EngineConfig, n: u64, inter: SimTime) -> bionic_workloads::WorkloadReport {
-    let wl = TpccConfig::default();
-    let mut engine = Engine::new(cfg);
-    let (_, mut g) = tpcc::load(&mut engine, &wl);
-    bionic_workloads::run(&mut engine, n, inter, || {
-        let (t, p) = g.next();
-        (t.label(), p)
-    })
-}
-
-/// Measure a configuration: capacity from an overloaded run (arrivals far
-/// above service rate), then latency/energy from a run at ~70% of that
-/// capacity.
-fn measure(
-    cfg: &EngineConfig,
-    workload: &str,
-) -> (f64, bionic_workloads::WorkloadReport) {
-    let (overload_inter, n) = if workload == "tatp" {
-        (SimTime::from_ns(100.0), 20_000u64)
-    } else {
-        (SimTime::from_ns(1000.0), 6_000u64)
-    };
-    let cap_report = if workload == "tatp" {
-        run_tatp(cfg.clone(), 20_000, n, overload_inter)
-    } else {
-        run_tpcc(cfg.clone(), n, overload_inter)
-    };
-    let capacity = cap_report.throughput_per_sec;
-    let inter = SimTime::from_secs(1.0 / (0.7 * capacity));
-    let loaded = if workload == "tatp" {
-        run_tatp(cfg.clone(), 20_000, n, inter)
-    } else {
-        run_tpcc(cfg.clone(), n, inter)
-    };
-    (capacity, loaded)
-}
-
-/// §1/§3 headline: end-to-end software vs bionic (+ per-unit ablation).
-fn e8() {
-    println!("### E8 — end-to-end: conventional vs DORA vs bionic\n");
-    let mut t = Table::new(&[
-        "engine",
-        "workload",
-        "capacity_txn_s",
-        "p50_us_at_70pct",
-        "p99_us_at_70pct",
-        "joules_per_txn",
-        "cpu_mJ",
-        "fpga_mJ",
-    ]);
-    let configs = [
-        ("conventional", EngineConfig::conventional()),
-        ("dora-software", EngineConfig::software()),
-        ("bionic", EngineConfig::bionic()),
-    ];
-    for (name, cfg) in &configs {
-        for workload in ["tatp", "tpcc"] {
-            let (capacity, report) = measure(cfg, workload);
-            let energy = |d: EnergyDomain| {
-                report
-                    .energy
-                    .iter()
-                    .find(|(dd, _)| *dd == d)
-                    .map(|(_, e)| e.as_j() * 1e3)
-                    .unwrap_or(0.0)
-            };
-            t.row(vec![
-                (*name).into(),
-                workload.into(),
-                f(capacity),
-                f(report.latency.p50.as_us()),
-                f(report.latency.p99.as_us()),
-                f(report.joules_per_txn),
-                f(energy(EnergyDomain::CpuCore)),
-                f(energy(EnergyDomain::Fpga)),
-            ]);
-        }
-    }
-    t.save_and_print(&results_dir(), "e8_end_to_end");
-
-    // Per-transaction-type latency on TPC-C, software vs bionic.
-    let mut t = Table::new(&["engine", "txn_type", "count", "p50_us", "p99_us"]);
-    for (name, cfg) in [
-        ("dora-software", EngineConfig::software()),
-        ("bionic", EngineConfig::bionic()),
-    ] {
-        // ~40k txn/s: below both engines' capacity, so the table shows
-        // transaction shape, not queueing.
-        let report = run_tpcc(cfg, 6_000, SimTime::from_us(25.0));
-        for (ty, summary) in &report.per_type_latency {
-            t.row(vec![
-                name.into(),
-                (*ty).into(),
-                summary.count.to_string(),
-                f(summary.p50.as_us()),
-                f(summary.p99.as_us()),
-            ]);
-        }
-    }
-    t.save_and_print(&results_dir(), "e8_per_type_latency");
-
-    // Ablation: add one offload at a time on TATP.
-    println!("ablation (TATP, DORA engine):\n");
-    let mut t = Table::new(&["offloads", "capacity_txn_s", "joules_per_txn", "p50_us_at_70pct"]);
-    let variants: Vec<(&str, Offloads)> = vec![
-        ("none", Offloads::none()),
-        (
-            "probe",
-            Offloads {
-                probe: true,
-                ..Offloads::none()
-            },
-        ),
-        (
-            "log",
-            Offloads {
-                log: LogImpl::Hardware,
-                ..Offloads::none()
-            },
-        ),
-        (
-            "log-consolidated(sw)",
-            Offloads {
-                log: LogImpl::Consolidated,
-                ..Offloads::none()
-            },
-        ),
-        (
-            "queue",
-            Offloads {
-                queue: true,
-                ..Offloads::none()
-            },
-        ),
-        (
-            "overlay+probe",
-            Offloads {
-                probe: true,
-                overlay: true,
-                ..Offloads::none()
-            },
-        ),
-        ("all", Offloads::all()),
-    ];
-    for (name, offloads) in variants {
-        let cfg = EngineConfig {
-            offloads,
-            ..EngineConfig::software()
-        };
-        let (capacity, report) = measure(&cfg, "tatp");
-        t.row(vec![
-            name.into(),
-            f(capacity),
-            f(report.joules_per_txn),
-            f(report.latency.p50.as_us()),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e8_ablation");
-    println!(
-        "claims: the bionic engine wins on joules/txn (the §2 metric), not \
-         on latency; each offload contributes, the combination compounds\n"
-    );
-}
-
-// ---------------------------------------------------------------- E9 ----
-
-/// §2/§3: OLTP under dark silicon — scale-up and the power envelope.
-fn e9() {
-    println!("### E9 — dark-silicon scale-up of the OLTP engine\n");
-    let mut t = Table::new(&[
-        "agents",
-        "throughput_txn_s",
-        "scaled_speedup",
-        "amdahl_fit_serial_pct",
-        "imbalance_max_over_mean",
-    ]);
-    let mut base = 0.0;
-    let mut rows = Vec::new();
-    for agents in [2usize, 4, 8, 16, 32, 64, 128] {
-        let cfg = EngineConfig::software().with_agents(agents);
-        // Overload: arrivals far faster than service so agents saturate.
-        let wl = TatpConfig {
-            subscribers: 20_000,
-            ..Default::default()
-        };
-        let mut engine = Engine::new(cfg);
-        let tables = tatp::load(&mut engine, &wl);
-        let mut g = TatpGenerator::new(wl, tables);
-        let report = bionic_workloads::run(&mut engine, 20_000, SimTime::from_ns(50.0), || {
-            let (t, p) = g.next();
-            (t.label(), p)
-        });
-        if agents == 2 {
-            base = report.throughput_per_sec / 2.0;
-        }
-        let speedup = report.throughput_per_sec / base;
-        rows.push((agents, report.throughput_per_sec, speedup, engine.agent_imbalance()));
-    }
-    // Fit the serial fraction from the largest point: s from Amdahl.
-    for (agents, tput, speedup, imbalance) in &rows {
-        let n = *agents as f64;
-        let s = if *speedup > 1.0 && n > 1.0 {
-            ((n / speedup) - 1.0) / (n - 1.0)
-        } else {
-            0.0
-        };
-        t.row(vec![
-            agents.to_string(),
-            f(*tput),
-            f(*speedup),
-            f(s.max(0.0) * 100.0),
-            f(*imbalance),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e9_scaleup");
-    println!(
-        "claims: the front-end/log serial fraction caps scale-up exactly as \
-         Amdahl predicts; under a 2018 envelope only ~80% of cores could be \
-         lit at all (see F1), so joules/txn — not cores — is the lever\n"
-    );
-}
-
-// --------------------------------------------------------------- E10 ----
-
-/// §5.2: Netezza-style FPGA filtering vs CPU scan, selectivity sweep.
-fn e10() {
-    println!("### E10 — §5.2: enhanced scanner selectivity sweep\n");
-    let rows = 2_000_000usize;
-    let mut table = ColumnarTable::new();
-    table.add_column("key", Column::I64((0..rows as i64).collect()));
-    table.add_column(
-        "val",
-        Column::I64((0..rows as i64).map(|i| i % 1000).collect()),
-    );
-    table.add_column(
-        "payload",
-        Column::I64((0..rows as i64).map(|i| i * 3).collect()),
-    );
-
-    let mut t = Table::new(&[
-        "selectivity_pct",
-        "sw_pcie_MB",
-        "hw_pcie_MB",
-        "bytes_ratio",
-        "sw_ms",
-        "hw_ms",
-        "sw_J",
-        "hw_J",
-    ]);
-    for sel_pct in [0.1f64, 1.0, 10.0, 50.0, 100.0] {
-        let threshold = (1000.0 * sel_pct / 100.0) as i64;
-        let req = ScanRequest {
-            predicates: vec![ColPredicate::new(1, CmpOp::Lt, threshold)],
-            projection: vec![0, 2],
-            ..Default::default()
-        };
-        let mut p_sw = Platform::hc2();
-        let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
-        let mut p_hw = Platform::hc2();
-        let hw = scan_enhanced(&mut p_hw, &table, &req, SimTime::ZERO, &ScannerConfig::default());
-        assert_eq!(sw.matches.len(), hw.matches.len());
-        t.row(vec![
-            f(sel_pct),
-            f(sw.pcie_bytes as f64 / 1e6),
-            f(hw.pcie_bytes as f64 / 1e6),
-            f(sw.pcie_bytes as f64 / hw.pcie_bytes.max(1) as f64),
-            f(sw.done.as_ms()),
-            f(hw.done.as_ms()),
-            f(p_sw.energy.total().as_j()),
-            f(p_hw.energy.total().as_j()),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e10_scan");
-    println!(
-        "claims: at low selectivity the FPGA filter ships orders of magnitude \
-         fewer bytes over the 4 GB/s bus; the advantage shrinks toward 100% \
-         selectivity but never inverts (the predicate column never ships)\n"
-    );
-}
-
-// --------------------------------------------------------------- E12 ----
-
-/// Robustness: does the E8 energy verdict survive perturbing the two most
-/// influential calibration constants? Sweeps CPU nJ/instruction and SG-DRAM
-/// nJ/access ±2x around the defaults and reports the bionic/software
-/// joules-per-txn ratio for each combination.
-fn e12() {
-    println!("### E12 — sensitivity of the energy verdict to calibration\n");
-    let mut t = Table::new(&[
-        "cpu_nj_per_instr",
-        "sg_nj_per_access",
-        "sw_joules_per_txn",
-        "bionic_joules_per_txn",
-        "ratio_bionic_over_sw",
-    ]);
-    let mut worst: f64 = 0.0;
-    for cpu_nj in [1.0, 2.0, 4.0] {
-        for sg_nj in [1.0, 2.0, 4.0] {
-            let mut joules = Vec::new();
-            for base in [EngineConfig::software(), EngineConfig::bionic()] {
-                let cfg = EngineConfig {
-                    cpu_nj_per_instr: cpu_nj,
-                    sg_nj_per_access: sg_nj,
-                    ..base
-                };
-                let report = run_tatp(cfg, 20_000, 8_000, SimTime::from_us(2.0));
-                joules.push(report.joules_per_txn);
-            }
-            let ratio = joules[1] / joules[0];
-            worst = worst.max(ratio);
-            t.row(vec![
-                f(cpu_nj),
-                f(sg_nj),
-                f(joules[0]),
-                f(joules[1]),
-                f(ratio),
-            ]);
-        }
-    }
-    t.save_and_print(&results_dir(), "e12_sensitivity");
-    println!(
-        "claims: the \"bionic uses less energy\" verdict holds across a 4x \
-         range of both constants (worst-case ratio {}); it flips only if \
-         general-purpose cores were implausibly efficient AND FPGA-side \
-         memory implausibly expensive\n",
-        f(worst)
-    );
-}
-
-// --------------------------------------------------------------- E11 ----
-
-/// §4: control flow in hardware — NFA pattern matching, software
-/// active-set simulation vs skeleton-automata lanes \[13\].
-fn e11() {
-    use bionic_scan::nfa::{Nfa, NfaEngine};
-    use bionic_scan::predicate::StrPredicate;
-    println!("### E11 — §4: NFA regex matching, software vs hardware\n");
-
-    // (a) Raw matcher: cost per byte as pattern nondeterminism grows.
-    let mut t = Table::new(&[
-        "pattern",
-        "nfa_states",
-        "sw_state_visits_per_byte",
-        "sw_ns_per_byte",
-        "hw_ns_per_byte",
-        "hw_energy_pJ_per_byte",
-    ]);
-    let input: Vec<u8> = (0..100_000u32)
-        .map(|i| b"abcdefgh"[(i % 8) as usize])
-        .collect();
-    for pattern in ["needle", "a[bc]+d", "(a|ab)+c", "(a|aa)+(b|bb)+x"] {
-        let nfa = Nfa::compile(pattern).unwrap();
-        let (_, stats) = nfa.search_with_stats(&input);
-        let visits_per_byte = stats.state_visits as f64 / stats.bytes.max(1) as f64;
-        // Software: 4 instructions per state visit at 2.5 GHz.
-        let sw_ns = visits_per_byte * 4.0 * 0.4;
-        let mut fabric = FpgaFabric::hc2();
-        let mut eng = NfaEngine::place(&mut fabric, nfa.state_count()).unwrap();
-        let (done, energy) = eng.scan(SimTime::ZERO, &nfa, stats.bytes);
-        t.row(vec![
-            pattern.into(),
-            nfa.state_count().to_string(),
-            f(visits_per_byte),
-            f(sw_ns),
-            f(done.as_ns() / stats.bytes.max(1) as f64),
-            f(energy.as_j() * 1e12 / stats.bytes.max(1) as f64),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e11_nfa_matcher");
-
-    // (b) In the scanner: LIKE-style filter over a string column.
-    let rows = 500_000usize;
-    let mut data = Vec::with_capacity(rows * 24);
-    for i in 0..rows {
-        let mut tag = if i % 997 == 0 {
-            format!("evt{i:08}FATAL")
-        } else {
-            format!("evt{i:08}routine")
-        }
-        .into_bytes();
-        tag.resize(24, b'y');
-        data.extend_from_slice(&tag);
-    }
-    let mut table = ColumnarTable::new();
-    table.add_column("key", Column::I64((0..rows as i64).collect()));
-    table.add_column("tag", Column::FixedStr { width: 24, data });
-    let req = ScanRequest {
-        str_predicates: vec![StrPredicate::new(1, "FATAL|PANIC").unwrap()],
-        projection: vec![0],
-        ..Default::default()
-    };
-    let mut p_sw = Platform::hc2();
-    let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
-    let mut p_hw = Platform::hc2();
-    let hw = scan_enhanced(&mut p_hw, &table, &req, SimTime::ZERO, &ScannerConfig::default());
-    assert_eq!(sw.matches.len(), hw.matches.len());
-    let mut t = Table::new(&["path", "matches", "ms", "GB_per_s", "joules"]);
-    let bytes = (rows * 24) as f64;
-    for (name, out, p) in [("software", &sw, &p_sw), ("hardware", &hw, &p_hw)] {
-        t.row(vec![
-            name.into(),
-            out.matches.len().to_string(),
-            f(out.done.as_ms()),
-            f(bytes / out.done.as_secs() / 1e9),
-            f(p.energy.total().as_j()),
-        ]);
-    }
-    t.save_and_print(&results_dir(), "e11_regex_scan");
-    println!(
-        "claims (§4): software cost grows with nondeterminism (state visits/byte); \
-         the skeleton-automata lanes are flat at 1 byte/cycle/lane regardless\n"
-    );
-}
-
-// ----------------------------------------------------------------------
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in experiments::IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--jobs" | "-j" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                jobs = n.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            s if s.starts_with('-') => usage(),
+            s => ids.push(s.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
+    }
 
-    // Keep TxnProgram linked in even when only analytic figures run.
-    let _ = TxnProgram::single_phase("noop", vec![]);
+    let mut selected = Vec::new();
+    for id in &ids {
+        match experiments::build(id, Scale::Full) {
+            Some(e) => selected.push(e),
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                usage();
+            }
+        }
+    }
 
-    if want("f1") {
-        f1();
-    }
-    if want("f2") {
-        f2();
-    }
-    if want("f3") {
-        f3();
-    }
-    if want("e4") {
-        e4();
-    }
-    if want("e5") {
-        e5();
-    }
-    if want("e6") {
-        e6();
-    }
-    if want("e7") {
-        e7();
-    }
-    if want("e8") {
-        e8();
-    }
-    if want("e9") {
-        e9();
-    }
-    if want("e10") {
-        e10();
-    }
-    if want("e11") {
-        e11();
-    }
-    if want("e12") {
-        e12();
-    }
-    println!("done. CSVs under results/.");
+    let results = PathBuf::from("results");
+    let timing = harness::run(selected, jobs, &results);
+    timing.table().save_and_print(&results, "harness_timing");
 }

@@ -1,0 +1,331 @@
+//! Parallel experiment harness.
+//!
+//! Every experiment is decomposed into independent **cells** — pure
+//! `FnOnce() -> CellOut` closures closed over nothing but their own
+//! configuration (each cell builds its own engine, generators, and seeds).
+//! A work-queue runner executes cells on `jobs` worker threads; results are
+//! collected **by cell index** and every table row, CSV byte, and printed
+//! line is produced by the experiment's `assemble` step on the main thread
+//! in fixed experiment/cell order. Consequently the contents of
+//! `results/*.csv` are byte-identical for every `jobs` value — parallelism
+//! only changes wall-clock time (reported separately in
+//! `harness_timing.csv`, the one file that legitimately differs run to
+//! run).
+//!
+//! Determinism rules for cells (see DESIGN.md):
+//! 1. no printing and no file I/O inside a cell;
+//! 2. no shared mutable state — all RNG seeding is per-cell and fixed;
+//! 3. all cross-cell derivation (baselines, ratios, claims) happens in
+//!    `assemble` from the collected `values`.
+
+use crate::Table;
+use std::path::Path;
+use std::time::Instant;
+
+/// What one cell computes: table fragments, scalars for cross-cell
+/// derivation, and free-form note lines. Everything is plain data — cells
+/// never touch stdout or the filesystem.
+#[derive(Debug, Default)]
+pub struct CellOut {
+    /// Named tables (or fragments of a table shared across cells). The
+    /// assembler merges fragments with the same name in cell order.
+    pub tables: Vec<(String, Table)>,
+    /// Scalars consumed by the experiment's `assemble` step.
+    pub values: Vec<f64>,
+    /// Lines printed (in cell order) after the experiment's tables.
+    pub notes: Vec<String>,
+}
+
+impl CellOut {
+    /// A cell output carrying one table.
+    pub fn table(name: impl Into<String>, table: Table) -> Self {
+        CellOut {
+            tables: vec![(name.into(), table)],
+            ..Default::default()
+        }
+    }
+}
+
+/// A unit of parallel work.
+pub type CellFn = Box<dyn FnOnce() -> CellOut + Send>;
+
+/// Final, serial step of an experiment: receives every cell's output in
+/// cell-index order and performs all printing and CSV writing.
+pub type AssembleFn = Box<dyn FnOnce(Vec<CellOut>, &Path) + Send>;
+
+/// One experiment: an id, a banner line, parallel cells, and the serial
+/// assembly step.
+pub struct Experiment {
+    /// Short id (`f1` … `e12`).
+    pub id: &'static str,
+    /// Banner printed before the experiment's output.
+    pub title: &'static str,
+    /// Independent units of work.
+    pub cells: Vec<CellFn>,
+    /// Deterministic merge + print + save step.
+    pub assemble: AssembleFn,
+}
+
+/// Merge cell outputs into whole tables, in first-seen (cell, table)
+/// order. Fragments sharing a name must share headers.
+pub fn merge_tables(outs: &[CellOut]) -> Vec<(String, Table)> {
+    let mut merged: Vec<(String, Table)> = Vec::new();
+    for out in outs {
+        for (name, frag) in &out.tables {
+            match merged.iter_mut().find(|(n, _)| n == name) {
+                Some((_, t)) => {
+                    assert_eq!(t.headers, frag.headers, "fragment headers differ: {name}");
+                    t.rows.extend(frag.rows.iter().cloned());
+                }
+                None => merged.push((name.clone(), frag.clone())),
+            }
+        }
+    }
+    merged
+}
+
+/// The assembly step most experiments need: merge table fragments, save
+/// and print each table, then print every note in cell order.
+pub fn default_assemble(outs: Vec<CellOut>, results_dir: &Path) {
+    for (name, table) in merge_tables(&outs) {
+        table.save_and_print(results_dir, &name);
+    }
+    for out in &outs {
+        for note in &out.notes {
+            println!("{note}");
+        }
+    }
+}
+
+/// Wall-clock accounting for one experiment within a run.
+#[derive(Debug, Clone)]
+pub struct ExperimentTiming {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Number of cells.
+    pub cells: usize,
+    /// Sum of per-cell execution times (the serial cost).
+    pub serial_seconds: f64,
+    /// First-cell-start to last-cell-end (the parallel cost).
+    pub makespan_seconds: f64,
+}
+
+impl ExperimentTiming {
+    /// Serial-over-makespan speedup for this experiment.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_seconds > 0.0 {
+            self.serial_seconds / self.makespan_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Wall-clock accounting for a whole run.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Worker count used.
+    pub jobs: usize,
+    /// Per-experiment timings, in run order.
+    pub per_experiment: Vec<ExperimentTiming>,
+    /// Sum of all cell times (what `--jobs 1` would roughly cost).
+    pub serial_seconds: f64,
+    /// Elapsed time of the parallel cell phase.
+    pub wall_seconds: f64,
+}
+
+impl RunTiming {
+    /// Render as the `harness_timing.csv` table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "experiment",
+            "cells",
+            "serial_seconds",
+            "makespan_seconds",
+            "speedup",
+        ]);
+        for e in &self.per_experiment {
+            t.row(vec![
+                e.id.to_string(),
+                e.cells.to_string(),
+                format!("{:.3}", e.serial_seconds),
+                format!("{:.3}", e.makespan_seconds),
+                format!("{:.2}", e.speedup()),
+            ]);
+        }
+        let total_cells: usize = self.per_experiment.iter().map(|e| e.cells).sum();
+        t.row(vec![
+            format!("TOTAL(jobs={})", self.jobs),
+            total_cells.to_string(),
+            format!("{:.3}", self.serial_seconds),
+            format!("{:.3}", self.wall_seconds),
+            format!(
+                "{:.2}",
+                if self.wall_seconds > 0.0 {
+                    self.serial_seconds / self.wall_seconds
+                } else {
+                    1.0
+                }
+            ),
+        ]);
+        t
+    }
+}
+
+/// Run `experiments` with `jobs` workers, then assemble each experiment in
+/// order. Returns the timing report; all experiment output (tables, CSVs,
+/// claims) is produced by the assembly steps.
+pub fn run(experiments: Vec<Experiment>, jobs: usize, results_dir: &Path) -> RunTiming {
+    let jobs = jobs.max(1);
+    let epoch = Instant::now();
+
+    struct Done {
+        exp: usize,
+        cell: usize,
+        out: CellOut,
+        started: f64,
+        finished: f64,
+    }
+
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, usize, CellFn)>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<Done>();
+
+    let mut assembles = Vec::with_capacity(experiments.len());
+    let mut total_cells = 0usize;
+    for (ei, exp) in experiments.into_iter().enumerate() {
+        for (ci, cell) in exp.cells.into_iter().enumerate() {
+            if work_tx.send((ei, ci, cell)).is_err() {
+                unreachable!("work queue closed before workers started");
+            }
+            total_cells += 1;
+        }
+        assembles.push((exp.id, exp.title, exp.assemble));
+    }
+    drop(work_tx);
+
+    let mut outs: Vec<Vec<Option<CellOut>>> = Vec::new();
+    let mut timing: Vec<ExperimentTiming> = assembles
+        .iter()
+        .map(|(id, _, _)| {
+            outs.push(Vec::new());
+            ExperimentTiming {
+                id,
+                cells: 0,
+                serial_seconds: 0.0,
+                makespan_seconds: 0.0,
+            }
+        })
+        .collect();
+    let mut spans: Vec<(f64, f64)> = vec![(f64::MAX, 0.0); assembles.len()];
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((exp, cell, work)) = work_rx.recv() {
+                    let started = epoch.elapsed().as_secs_f64();
+                    let out = work();
+                    let finished = epoch.elapsed().as_secs_f64();
+                    let _ = done_tx.send(Done {
+                        exp,
+                        cell,
+                        out,
+                        started,
+                        finished,
+                    });
+                }
+            });
+        }
+        drop(done_tx);
+        drop(work_rx);
+        for _ in 0..total_cells {
+            let d = done_rx.recv().expect("worker died with work pending");
+            let slot = &mut outs[d.exp];
+            if slot.len() <= d.cell {
+                slot.resize_with(d.cell + 1, || None);
+            }
+            slot[d.cell] = Some(d.out);
+            timing[d.exp].cells += 1;
+            timing[d.exp].serial_seconds += d.finished - d.started;
+            spans[d.exp].0 = spans[d.exp].0.min(d.started);
+            spans[d.exp].1 = spans[d.exp].1.max(d.finished);
+        }
+    });
+    let wall_seconds = epoch.elapsed().as_secs_f64();
+
+    for (t, (lo, hi)) in timing.iter_mut().zip(&spans) {
+        if t.cells > 0 {
+            t.makespan_seconds = hi - lo;
+        }
+    }
+
+    // Deterministic serial assembly, in experiment order.
+    for ((id, title, assemble), cell_outs) in assembles.into_iter().zip(outs) {
+        println!("{title}");
+        let collected: Vec<CellOut> = cell_outs
+            .into_iter()
+            .map(|o| o.unwrap_or_else(|| panic!("missing cell output for {id}")))
+            .collect();
+        assemble(collected, results_dir);
+    }
+
+    let serial_seconds = timing.iter().map(|t| t.serial_seconds).sum();
+    RunTiming {
+        jobs,
+        per_experiment: timing,
+        serial_seconds,
+        wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(idx: usize) -> CellFn {
+        Box::new(move || {
+            let mut t = Table::new(&["i", "sq"]);
+            t.row(vec![idx.to_string(), (idx * idx).to_string()]);
+            CellOut {
+                tables: vec![("toy".into(), t)],
+                values: vec![idx as f64],
+                notes: vec![],
+            }
+        })
+    }
+
+    fn toy_experiment() -> Experiment {
+        Experiment {
+            id: "toy",
+            title: "### toy",
+            cells: (0..16).map(toy).collect(),
+            assemble: Box::new(|outs, dir| {
+                let sum: f64 = outs.iter().flat_map(|o| &o.values).sum();
+                assert_eq!(sum, 120.0);
+                default_assemble(outs, dir);
+            }),
+        }
+    }
+
+    #[test]
+    fn results_are_collected_by_index_regardless_of_jobs() {
+        let base = std::env::temp_dir().join(format!("bionic_harness_test_{}", std::process::id()));
+        let mut csvs = Vec::new();
+        for jobs in [1usize, 4] {
+            let dir = base.join(format!("jobs{jobs}"));
+            run(vec![toy_experiment()], jobs, &dir);
+            csvs.push(std::fs::read(dir.join("toy.csv")).expect("csv written"));
+        }
+        assert_eq!(csvs[0], csvs[1], "CSV bytes must not depend on --jobs");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_fragments() {
+        let a = CellOut::table("x", Table::new(&["h1"]));
+        let b = CellOut::table("x", Table::new(&["h2"]));
+        let r = std::panic::catch_unwind(|| merge_tables(&[a, b]));
+        assert!(r.is_err());
+    }
+}

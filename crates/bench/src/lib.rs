@@ -3,6 +3,9 @@
 
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod harness;
+
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -44,7 +47,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
             let _ = writeln!(

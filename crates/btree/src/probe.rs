@@ -184,8 +184,8 @@ impl ProbeEngine {
     /// Dependent-chain latency of a full probe.
     pub fn chain_latency(&self, levels: u32, compare_cost_factor: u32, sg: &SgDram) -> SimTime {
         let rounds_per_level = (self.cfg.rounds_per_level * compare_cost_factor.max(1)) as u64;
-        let level_time = sg.latency() * rounds_per_level
-            + self.unit.clock_period() * self.cfg.cycles_per_level;
+        let level_time =
+            sg.latency() * rounds_per_level + self.unit.clock_period() * self.cfg.cycles_per_level;
         level_time * levels as u64
     }
 
@@ -199,7 +199,9 @@ impl ProbeEngine {
     /// Steady-state probe capacity for the given probe shape: the binding
     /// minimum of context-limited (Little's law) and stage-limited rates.
     pub fn capacity_per_sec(&self, levels: u32, compare_cost_factor: u32, sg: &SgDram) -> f64 {
-        let chain = self.chain_latency(levels, compare_cost_factor, sg).as_secs();
+        let chain = self
+            .chain_latency(levels, compare_cost_factor, sg)
+            .as_secs();
         let stage = self.stage_time(levels, compare_cost_factor).as_secs();
         (self.cfg.max_outstanding as f64 / chain).min(1.0 / stage)
     }
@@ -215,7 +217,9 @@ impl ProbeEngine {
         }
         self.ring_busy += chain;
         self.stage_busy += stage;
-        let span = (arrive.saturating_sub(self.window_start)).max(chain).as_secs();
+        let span = (arrive.saturating_sub(self.window_start))
+            .max(chain)
+            .as_secs();
         let rho_ring = self.ring_busy.as_secs() / (span * self.cfg.max_outstanding as f64);
         let rho_stage = self.stage_busy.as_secs() / span;
         let (rho, service) = if rho_stage >= rho_ring {

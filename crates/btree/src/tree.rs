@@ -78,7 +78,11 @@ enum Node<K> {
 
 enum Ins<K> {
     Done(Option<u64>),
-    Split { sep: K, right: u32, old: Option<u64> },
+    Split {
+        sep: K,
+        right: u32,
+        old: Option<u64>,
+    },
 }
 
 /// A B+tree mapping keys to `u64` payloads (packed `RecordId`s from
@@ -496,8 +500,12 @@ impl<K: TreeKey> BTree<K> {
         let mut cnode = self.take(child);
         match (&mut lnode, &mut cnode) {
             (
-                Node::Leaf { keys: lk, vals: lv, .. },
-                Node::Leaf { keys: ck, vals: cv, .. },
+                Node::Leaf {
+                    keys: lk, vals: lv, ..
+                },
+                Node::Leaf {
+                    keys: ck, vals: cv, ..
+                },
             ) => {
                 let k = lk.pop().expect("borrow from empty left leaf");
                 let v = lv.pop().expect("borrow from empty left leaf");
@@ -510,8 +518,14 @@ impl<K: TreeKey> BTree<K> {
                 keys[idx - 1] = new_sep;
             }
             (
-                Node::Inner { keys: lk, children: lc },
-                Node::Inner { keys: ck, children: cc },
+                Node::Inner {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Inner {
+                    keys: ck,
+                    children: cc,
+                },
             ) => {
                 let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
                     unreachable!()
@@ -534,8 +548,12 @@ impl<K: TreeKey> BTree<K> {
         let mut rnode = self.take(right);
         match (&mut cnode, &mut rnode) {
             (
-                Node::Leaf { keys: ck, vals: cv, .. },
-                Node::Leaf { keys: rk, vals: rv, .. },
+                Node::Leaf {
+                    keys: ck, vals: cv, ..
+                },
+                Node::Leaf {
+                    keys: rk, vals: rv, ..
+                },
             ) => {
                 ck.push(rk.remove(0));
                 cv.push(rv.remove(0));
@@ -546,8 +564,14 @@ impl<K: TreeKey> BTree<K> {
                 keys[idx] = new_sep;
             }
             (
-                Node::Inner { keys: ck, children: cc },
-                Node::Inner { keys: rk, children: rc },
+                Node::Inner {
+                    keys: ck,
+                    children: cc,
+                },
+                Node::Inner {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
                     unreachable!()
@@ -575,16 +599,30 @@ impl<K: TreeKey> BTree<K> {
         let mut lnode = self.take(left);
         match (&mut lnode, rnode) {
             (
-                Node::Leaf { keys: lk, vals: lv, next: ln },
-                Node::Leaf { keys: rk, vals: rv, next: rn },
+                Node::Leaf {
+                    keys: lk,
+                    vals: lv,
+                    next: ln,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    vals: rv,
+                    next: rn,
+                },
             ) => {
                 lk.extend(rk);
                 lv.extend(rv);
                 *ln = rn;
             }
             (
-                Node::Inner { keys: lk, children: lc },
-                Node::Inner { keys: rk, children: rc },
+                Node::Inner {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Inner {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 lk.push(sep);
                 lk.extend(rk);
@@ -603,10 +641,11 @@ impl<K: TreeKey> BTree<K> {
     /// independent [`BTree::get`] calls.
     ///
     /// Returns per-key results in the order of the (sorted, deduplicated)
-    /// input, plus one aggregate footprint.
-    pub fn batch_get(&self, keys: &mut Vec<K>) -> (Vec<(K, Option<u64>)>, Footprint) {
+    /// input, plus one aggregate footprint. The slice is sorted in place;
+    /// duplicates are skipped during descent (equal keys always route to
+    /// the same leaf) so no reallocation is needed.
+    pub fn batch_get(&self, keys: &mut [K]) -> (Vec<(K, Option<u64>)>, Footprint) {
         keys.sort();
-        keys.dedup();
         let mut fp = Footprint::default();
         let mut out = Vec::with_capacity(keys.len());
         if keys.is_empty() {
@@ -616,19 +655,16 @@ impl<K: TreeKey> BTree<K> {
         (out, fp)
     }
 
-    fn batch_rec(
-        &self,
-        id: u32,
-        keys: &[K],
-        out: &mut Vec<(K, Option<u64>)>,
-        fp: &mut Footprint,
-    ) {
+    fn batch_rec(&self, id: u32, keys: &[K], out: &mut Vec<(K, Option<u64>)>, fp: &mut Footprint) {
         match &self.nodes[id as usize] {
-            Node::Leaf {
-                keys: lk, vals, ..
-            } => {
+            Node::Leaf { keys: lk, vals, .. } => {
                 fp.leaves_visited += 1;
-                for k in keys {
+                for (i, k) in keys.iter().enumerate() {
+                    // Adjacent duplicates (slice arrives sorted) collapse to
+                    // one probe, matching the old sort+dedup behavior.
+                    if i > 0 && keys[i - 1] == *k {
+                        continue;
+                    }
                     fp.comparisons += Self::compare_cost_of(lk, k);
                     out.push((k.clone(), lk.binary_search(k).ok().map(|i| vals[i])));
                 }
@@ -1338,8 +1374,16 @@ mod tests {
         t.reorganize(0.9);
         t.check_invariants().unwrap();
         assert_eq!(t.len(), 5_000);
-        assert!(t.avg_leaf_fill() > frag_fill + 0.2, "fill {frag_fill} -> {}", t.avg_leaf_fill());
-        assert!(t.node_count() * 3 < frag_nodes * 2, "nodes {frag_nodes} -> {}", t.node_count());
+        assert!(
+            t.avg_leaf_fill() > frag_fill + 0.2,
+            "fill {frag_fill} -> {}",
+            t.avg_leaf_fill()
+        );
+        assert!(
+            t.node_count() * 3 < frag_nodes * 2,
+            "nodes {frag_nodes} -> {}",
+            t.node_count()
+        );
         let (v, fp_after) = t.get(&10_000);
         assert_eq!(v, Some(10_000));
         assert!(fp_after.nodes_visited() <= fp_before.nodes_visited());

@@ -131,7 +131,14 @@ proptest! {
         }
         let mut keys = probes.clone();
         let (results, _) = tree.batch_get(&mut keys);
-        prop_assert_eq!(results.len(), keys.len());
+        // One result per distinct probe, in key order.
+        let mut unique = probes.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(
+            results.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            unique
+        );
         for (k, v) in results {
             prop_assert_eq!(v, entries.get(&k).copied());
         }

@@ -134,7 +134,12 @@ impl TimeBreakdown {
     pub fn table(&self) -> String {
         let mut out = String::new();
         for (c, pct) in self.percentages() {
-            out.push_str(&format!("{:<11} {:>6.2}%  {}\n", c.label(), pct, self.get(c)));
+            out.push_str(&format!(
+                "{:<11} {:>6.2}%  {}\n",
+                c.label(),
+                pct,
+                self.get(c)
+            ));
         }
         out
     }

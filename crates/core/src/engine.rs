@@ -74,6 +74,11 @@ pub struct EngineStats {
     pub merges: u64,
     /// Hardware probe aborts (non-resident data).
     pub probe_misses: u64,
+    /// Index probes priced (point descents; range descents count once).
+    pub probes: u64,
+    /// Total index nodes charged across those probes. With batched submit
+    /// the PALM amortization shows up here as fewer nodes per probe.
+    pub probe_nodes_visited: u64,
 }
 
 impl EngineStats {
@@ -86,6 +91,8 @@ impl EngineStats {
             last_completion: SimTime::ZERO,
             merges: 0,
             probe_misses: 0,
+            probes: 0,
+            probe_nodes_visited: 0,
         }
     }
 
@@ -143,6 +150,8 @@ pub struct Engine {
     pub(crate) next_txn: TxnId,
     pub(crate) write_seq: u64,
     pub(crate) merge_marks: Vec<u64>,
+    /// Amortized probe shares for an in-flight [`Engine::submit_batch`].
+    pub(crate) batch_plan: crate::exec::BatchPlan,
 }
 
 impl Engine {
@@ -192,10 +201,7 @@ impl Engine {
             overlays: Vec::new(),
             log: LogManager::new(),
             log_path,
-            group_commit: GroupCommit::new(
-                cfg.group_commit,
-                bionic_sim::dev::BlockDevice::ssd(),
-            ),
+            group_commit: GroupCommit::new(cfg.group_commit, bionic_sim::dev::BlockDevice::ssd()),
             agents: vec![Server::new(); cfg.agents],
             rr_next: 0,
             router: Server::new(),
@@ -210,6 +216,7 @@ impl Engine {
             next_txn: 1,
             write_seq: 1,
             merge_marks: Vec::new(),
+            batch_plan: crate::exec::BatchPlan::default(),
             platform: fabric_platform,
             cfg,
         }
@@ -229,7 +236,8 @@ impl Engine {
     fn register(&mut self, table: Table) -> u32 {
         let id = self.tables.len() as u32;
         self.tables.push(table);
-        self.overlays.push(OverlayIndex::new(Vec::new(), usize::MAX));
+        self.overlays
+            .push(OverlayIndex::new(Vec::new(), usize::MAX));
         self.root_latches.push(FluidQueue::latch());
         self.merge_marks.push(0);
         id
@@ -251,7 +259,11 @@ impl Engine {
         assert!(old.is_none(), "duplicate key {key} in load of {}", t.name);
         if let Some(skey) = t.secondary_key(&rec) {
             let (old, _) = t.secondary.insert(skey, key as u64);
-            assert!(old.is_none(), "duplicate secondary key {skey} in {}", t.name);
+            assert!(
+                old.is_none(),
+                "duplicate secondary key {skey} in {}",
+                t.name
+            );
         }
     }
 
@@ -360,10 +372,7 @@ impl Engine {
     /// from skew and imbalance effects").
     pub fn agent_utilization(&self) -> Vec<f64> {
         let horizon = self.stats.last_completion;
-        self.agents
-            .iter()
-            .map(|a| a.utilization(horizon))
-            .collect()
+        self.agents.iter().map(|a| a.utilization(horizon)).collect()
     }
 
     /// Load-imbalance factor: max agent busy time over the mean (1.0 is a

@@ -18,8 +18,8 @@ use bionic_btree::probe::ProbeOutcome;
 use bionic_btree::tree::Footprint;
 use bionic_sim::energy::EnergyDomain;
 use bionic_sim::mem::AccessClass;
-use bionic_sim::time::SimTime;
 use bionic_sim::stats::Summary;
+use bionic_sim::time::SimTime;
 use bionic_storage::page::RecordId;
 use bionic_storage::slotted::SlottedPage;
 use bionic_wal::record::{LogBody, Lsn, TxnId};
@@ -93,6 +93,63 @@ impl OpCost {
 
 const GOLDEN: u64 = 0x9E3779B97F4A7C15;
 
+/// Amortized probe pricing for an in-flight [`Engine::submit_batch`].
+///
+/// Planning runs the batch's same-table point probes through
+/// [`bionic_btree::tree::BTree::batch_get`] once (PALM \[12\]: sorted keys
+/// share their descent prefix), then hands each executed probe an equal
+/// integer share of the aggregate footprint. Shares conserve the aggregate
+/// exactly — division floors and the final consumer takes the remainder —
+/// so total charged work is independent of consumption order and fully
+/// deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct BatchPlan {
+    shares: std::collections::HashMap<u32, PlanShare>,
+}
+
+#[derive(Debug)]
+struct PlanShare {
+    remaining: u32,
+    fp: Footprint,
+}
+
+impl BatchPlan {
+    fn insert(&mut self, table: u32, remaining: u32, fp: Footprint) {
+        self.shares.insert(table, PlanShare { remaining, fp });
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.shares.clear();
+    }
+
+    /// Take one probe's share of `table`'s planned footprint, if any.
+    fn consume(&mut self, table: u32) -> Option<Footprint> {
+        let entry = self.shares.get_mut(&table)?;
+        let n = entry.remaining;
+        let share = if n <= 1 {
+            std::mem::take(&mut entry.fp)
+        } else {
+            let s = Footprint {
+                inner_visited: entry.fp.inner_visited / n,
+                leaves_visited: entry.fp.leaves_visited / n,
+                comparisons: entry.fp.comparisons / n,
+                splits: 0,
+                merges: 0,
+                borrows: 0,
+            };
+            entry.fp.inner_visited -= s.inner_visited;
+            entry.fp.leaves_visited -= s.leaves_visited;
+            entry.fp.comparisons -= s.comparisons;
+            s
+        };
+        entry.remaining = n.saturating_sub(1);
+        if entry.remaining == 0 {
+            self.shares.remove(&table);
+        }
+        Some(share)
+    }
+}
+
 impl Engine {
     // ---- charging helpers ----------------------------------------------
 
@@ -120,7 +177,10 @@ impl Engine {
     /// Charge raw CPU busy time (spinning, copying) to a category, with the
     /// corresponding core energy.
     fn cpu_time(&mut self, cat: Category, t: SimTime) -> SimTime {
-        debug_assert!(t.as_secs() < 60.0, "absurd cpu_time charge: {t:?} to {cat:?}");
+        debug_assert!(
+            t.as_secs() < 60.0,
+            "absurd cpu_time charge: {t:?} to {cat:?}"
+        );
         let instr_ps = self.platform.cpu.instr_time().as_ps().max(1);
         let instrs = (t.as_ps() / instr_ps).max(1);
         let e = self.platform.cpu.instr_energy() * instrs;
@@ -149,11 +209,17 @@ impl Engine {
         let instr = 30 + 3 * fp.comparisons as u64;
         self.sw_work(Category::Btree, instr, 0, AccessClass::Hot)
             + self.mem_stall(Category::Btree, AccessClass::Index, fp.inner_visited as u64)
-            + self.mem_stall(Category::Btree, AccessClass::PointerChase, fp.leaves_visited as u64)
+            + self.mem_stall(
+                Category::Btree,
+                AccessClass::PointerChase,
+                fp.leaves_visited as u64,
+            )
     }
 
     /// Probe cost, hardware or software. Returns `(cpu, async_tail)`.
     fn probe_cost(&mut self, table: u32, key: i64, fp: &Footprint, now: SimTime) -> OpCost {
+        self.stats.probes += 1;
+        self.stats.probe_nodes_visited += fp.nodes_visited() as u64;
         if self.probe_hw.is_none() {
             let mut cpu = self.sw_probe_cost(fp);
             if self.cfg.exec == ExecModel::Conventional {
@@ -177,7 +243,8 @@ impl Engine {
         // Hardware path: doorbell + PCIe request, pipelined probe, response.
         let cpu = self.sw_work(Category::Btree, 40, 1, AccessClass::Hot);
         let levels = fp.nodes_visited().max(1);
-        let miss = self.cfg.offloads.overlay && self.overlays[table as usize].probe_would_miss(&key);
+        let miss =
+            self.cfg.offloads.overlay && self.overlays[table as usize].probe_would_miss(&key);
         let at_fpga = self.platform.pcie_send(now + cpu, 64);
         let probe = self.probe_hw.as_mut().expect("checked above");
         let outcome = if miss {
@@ -193,9 +260,9 @@ impl Engine {
             // trigger a data fetch and then retry."
             self.stats.probe_misses += 1;
             let fetch_cpu = self.sw_work(Category::Bpool, 300, 4, AccessClass::Hot);
-            let fetched = self
-                .platform
-                .sas_read(done + fetch_cpu, (key as u64 % 4096) * 8192, 8192);
+            let fetched =
+                self.platform
+                    .sas_read(done + fetch_cpu, (key as u64 % 4096) * 8192, 8192);
             let at2 = self.platform.pcie_send(fetched, 64);
             let probe = self.probe_hw.as_mut().expect("checked above");
             let retry = probe.submit(at2, levels, 1, &mut self.platform.sg_dram);
@@ -216,7 +283,11 @@ impl Engine {
         let smo = (fp.splits + fp.merges + fp.borrows) as u64;
         let instr = 60 + 3 * fp.comparisons as u64 + 400 * smo;
         let mut cpu = self.sw_work(Category::Btree, instr, 0, AccessClass::Hot)
-            + self.mem_stall(Category::Btree, AccessClass::Index, fp.nodes_visited() as u64 + smo);
+            + self.mem_stall(
+                Category::Btree,
+                AccessClass::Index,
+                fp.nodes_visited() as u64 + smo,
+            );
         let mut asy = SimTime::ZERO;
         if self.probe_hw.is_some() {
             // Ship the delta to the FPGA-resident index replica.
@@ -253,10 +324,7 @@ impl Engine {
             (bytes as u64).div_ceil(64),
             AccessClass::PointerChase,
         );
-        OpCost {
-            cpu,
-            asy,
-        }
+        OpCost { cpu, asy }
     }
 
     /// Record write cost (patch + page write path).
@@ -321,9 +389,25 @@ impl Engine {
 
     // ---- op execution ----------------------------------------------------
 
-    /// Probe functionally + price it.
-    fn timed_probe(&mut self, table: u32, key: i64, now: SimTime) -> (Option<u64>, OpCost) {
-        let (rid, fp) = self.tables[table as usize].index.get(&key);
+    /// Probe functionally + price it. `use_plan` marks probes that were
+    /// visible to [`Engine::submit_batch`] planning (the primary-key probe
+    /// of Read/Update/Insert/Delete): those consume an amortized share of
+    /// the batch footprint when one is available. Probes planning could not
+    /// see — the primary hop of a secondary read, range descents — always
+    /// price their live footprint.
+    fn timed_probe(
+        &mut self,
+        table: u32,
+        key: i64,
+        now: SimTime,
+        use_plan: bool,
+    ) -> (Option<u64>, OpCost) {
+        let (rid, live_fp) = self.tables[table as usize].index.get(&key);
+        let fp = if use_plan {
+            self.batch_plan.consume(table).unwrap_or(live_fp)
+        } else {
+            live_fp
+        };
         let cost = self.probe_cost(table, key, &fp, now);
         (rid, cost)
     }
@@ -381,7 +465,9 @@ impl Engine {
             });
         }
         if let Some(skey) = new_skey {
-            let (_, fp) = self.tables[table as usize].secondary.insert(skey, key as u64);
+            let (_, fp) = self.tables[table as usize]
+                .secondary
+                .insert(skey, key as u64);
             let c = self.index_write_cost(&fp, now);
             cost.add(c);
             undo.push(IndexUndo::SecondaryRemove { table, skey });
@@ -431,7 +517,7 @@ impl Engine {
                 cost.add(c);
                 match pkey {
                     Some(pkey) => {
-                        let (rid, c) = self.timed_probe(*table, pkey, now);
+                        let (rid, c) = self.timed_probe(*table, pkey, now, false);
                         cost.add(c);
                         if let Some(rid) = rid {
                             let rid = RecordId::from_u64(rid);
@@ -450,7 +536,7 @@ impl Engine {
                 }
             }
             Op::Read { table, key } => {
-                let (rid, c) = self.timed_probe(*table, *key, now);
+                let (rid, c) = self.timed_probe(*table, *key, now, true);
                 cost.add(c);
                 match rid {
                     Some(rid) => {
@@ -493,12 +579,8 @@ impl Engine {
                     let e = self.platform.sg_dram.charge_accesses(extra_leaves * 8);
                     self.platform.energy.charge(EnergyDomain::SgDram, e);
                 } else {
-                    cost.cpu += self.sw_work(
-                        Category::Btree,
-                        4 * rids.len() as u64,
-                        0,
-                        AccessClass::Hot,
-                    );
+                    cost.cpu +=
+                        self.sw_work(Category::Btree, 4 * rids.len() as u64, 0, AccessClass::Hot);
                 }
                 for rid in rids {
                     let rid = RecordId::from_u64(rid);
@@ -513,7 +595,7 @@ impl Engine {
                 Ok(())
             }
             Op::Update { table, key, patch } => {
-                let (rid, c) = self.timed_probe(*table, *key, now);
+                let (rid, c) = self.timed_probe(*table, *key, now, true);
                 cost.add(c);
                 let Some(rid_u) = rid else {
                     return (cost, Err(AbortReason::MissingKey));
@@ -610,7 +692,7 @@ impl Engine {
                 Ok(())
             }
             Op::Insert { table, key, record } => {
-                let (existing, c) = self.timed_probe(*table, *key, now);
+                let (existing, c) = self.timed_probe(*table, *key, now, true);
                 cost.add(c);
                 if existing.is_some() {
                     return (cost, Err(AbortReason::DuplicateKey));
@@ -635,7 +717,9 @@ impl Engine {
                 );
                 cost.cpu += cpu;
                 self.stamp_page(rid, lsn);
-                let (_, ifp) = self.tables[*table as usize].index.insert(*key, rid.to_u64());
+                let (_, ifp) = self.tables[*table as usize]
+                    .index
+                    .insert(*key, rid.to_u64());
                 let c = self.index_write_cost(&ifp, now);
                 cost.add(c);
                 if self.cfg.offloads.overlay {
@@ -649,13 +733,20 @@ impl Engine {
                     table: *table,
                     key: *key,
                 });
-                let c = self.maintain_secondary(*table, *key, None, Some(&full_for_secondary), now, undo);
+                let c = self.maintain_secondary(
+                    *table,
+                    *key,
+                    None,
+                    Some(&full_for_secondary),
+                    now,
+                    undo,
+                );
                 cost.add(c);
                 *wrote = true;
                 Ok(())
             }
             Op::Delete { table, key } => {
-                let (rid, c) = self.timed_probe(*table, *key, now);
+                let (rid, c) = self.timed_probe(*table, *key, now, true);
                 cost.add(c);
                 let Some(rid_u) = rid else {
                     return (cost, Err(AbortReason::MissingKey));
@@ -702,7 +793,14 @@ impl Engine {
                     key: *key,
                     rid: rid_u,
                 });
-                let c = self.maintain_secondary(*table, *key, Some(&before_for_secondary), None, now, undo);
+                let c = self.maintain_secondary(
+                    *table,
+                    *key,
+                    Some(&before_for_secondary),
+                    None,
+                    now,
+                    undo,
+                );
                 cost.add(c);
                 *wrote = true;
                 Ok(())
@@ -757,8 +855,9 @@ impl Engine {
                     cpu += c.cpu;
                 }
                 IndexUndo::SecondaryReinsert { table, skey, pkey } => {
-                    let (_, fp) =
-                        self.tables[table as usize].secondary.insert(skey, pkey as u64);
+                    let (_, fp) = self.tables[table as usize]
+                        .secondary
+                        .insert(skey, pkey as u64);
                     let c = self.index_write_cost(&fp, now + cpu);
                     cpu += c.cpu;
                 }
@@ -801,7 +900,9 @@ impl Engine {
         if self.cfg.offloads.overlay {
             self.overlays[table as usize].range_asof(&lo, &hi, version, |_, _| rows += 1);
         } else {
-            self.tables[table as usize].index.range(&lo, &hi, |_, _| rows += 1);
+            self.tables[table as usize]
+                .index
+                .range(&lo, &hi, |_, _| rows += 1);
         }
         // Price it like a range read + per-row merge work.
         let (_, fp) = self.tables[table as usize].index.get(&lo);
@@ -815,11 +916,8 @@ impl Engine {
         );
         let done = now + cpu + c.asy;
         if asof.is_none() {
-            self.result_cache.put(
-                fingerprint,
-                (rows as u64).to_le_bytes().to_vec(),
-                &[table],
-            );
+            self.result_cache
+                .put(fingerprint, (rows as u64).to_le_bytes().to_vec(), &[table]);
         }
         (rows, false, done)
     }
@@ -1010,5 +1108,83 @@ impl Engine {
         };
         self.maybe_merge(t);
         outcome
+    }
+
+    /// Execute a batch of transactions, the `i`-th arriving at
+    /// `arrive + i × inter`.
+    ///
+    /// Functionally identical to calling [`Engine::submit`] once per
+    /// program — same commits, aborts, log records, and index state. The
+    /// difference is probe *pricing*: same-table point probes across the
+    /// batch are planned together through one PALM-style
+    /// [`bionic_btree::tree::BTree::batch_get`] descent (software mode) or
+    /// one amortized pass through the probe engine's outstanding-context
+    /// pipeline (bionic mode), so each probe is charged its share of the
+    /// shared descent instead of a full root-to-leaf walk. §5.3's "complex
+    /// measure": batching is how software hides probe latency, and the
+    /// comparison point for the FPGA probe engine.
+    pub fn submit_batch(
+        &mut self,
+        programs: &[TxnProgram],
+        arrive: SimTime,
+        inter: SimTime,
+    ) -> Vec<TxnOutcome> {
+        self.plan_batch(programs, arrive);
+        let mut out = Vec::with_capacity(programs.len());
+        let mut at = arrive;
+        for program in programs {
+            out.push(self.submit(program, at));
+            at += inter;
+        }
+        // Shares left by aborted tails are dropped: the planner's aggregate
+        // is an upper bound once execution diverges from the plan.
+        self.batch_plan.clear();
+        out
+    }
+
+    /// Build the amortized probe plan for `programs`: group planned point
+    /// probes by table and run each group's batched descent once.
+    fn plan_batch(&mut self, programs: &[TxnProgram], now: SimTime) {
+        self.batch_plan.clear();
+        let mut keys_by_table: std::collections::BTreeMap<u32, Vec<i64>> =
+            std::collections::BTreeMap::new();
+        for program in programs {
+            for phase in &program.phases {
+                for action in phase {
+                    for op in &action.ops {
+                        match op {
+                            Op::Read { table, key }
+                            | Op::Update { table, key, .. }
+                            | Op::Insert { table, key, .. }
+                            | Op::Delete { table, key } => {
+                                keys_by_table.entry(*table).or_default().push(*key);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        let mut planned_keys = 0u64;
+        for (table, mut keys) in keys_by_table {
+            let n = keys.len() as u32;
+            if n < 2 {
+                continue; // a lone probe has nothing to share with
+            }
+            planned_keys += n as u64;
+            let (_, fp) = self.tables[table as usize].index.batch_get(&mut keys);
+            self.batch_plan.insert(table, n, fp);
+        }
+        if planned_keys > 0 {
+            // The planner's own work (gather + sort) runs on the dispatcher.
+            let ilog = 64 - planned_keys.leading_zeros() as u64;
+            let cpu = self.sw_work(
+                Category::FrontEnd,
+                planned_keys * (8 + 2 * ilog),
+                planned_keys / 8,
+                AccessClass::Hot,
+            );
+            self.router.submit(now, cpu);
+        }
     }
 }

@@ -142,7 +142,10 @@ pub enum Op {
 impl Op {
     /// Is this op a write (needs logging and undo)?
     pub fn is_write(&self) -> bool {
-        matches!(self, Op::Update { .. } | Op::Insert { .. } | Op::Delete { .. })
+        matches!(
+            self,
+            Op::Update { .. } | Op::Insert { .. } | Op::Delete { .. }
+        )
     }
 }
 
@@ -255,7 +258,12 @@ mod tests {
     #[test]
     fn add_i64_wraps_not_panics() {
         let mut rec = i64::MAX.to_le_bytes().to_vec();
-        Patch::AddI64 { offset: 0, delta: 1 }.apply(&mut rec).unwrap();
+        Patch::AddI64 {
+            offset: 0,
+            delta: 1,
+        }
+        .apply(&mut rec)
+        .unwrap();
         assert_eq!(i64::from_le_bytes(rec[..].try_into().unwrap()), i64::MIN);
     }
 
@@ -285,7 +293,10 @@ mod tests {
                     Op::Update {
                         table: 0,
                         key: 1,
-                        patch: Patch::AddI64 { offset: 0, delta: 1 },
+                        patch: Patch::AddI64 {
+                            offset: 0,
+                            delta: 1,
+                        },
                     },
                 ],
             )],

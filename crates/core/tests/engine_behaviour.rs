@@ -204,7 +204,9 @@ fn range_reads_commit() {
 #[test]
 fn crash_and_recover_preserves_committed_state() {
     let (mut e, t) = loaded_engine(EngineConfig::software(), 50);
-    assert!(e.submit(&update_txn(t, 3, 11), SimTime::ZERO).is_committed());
+    assert!(e
+        .submit(&update_txn(t, 3, 11), SimTime::ZERO)
+        .is_committed());
     assert!(e
         .submit(&update_txn(t, 4, -22), SimTime::from_us(50.0))
         .is_committed());
@@ -231,7 +233,9 @@ fn crash_and_recover_preserves_committed_state() {
     assert!(e2.read_row(0, 777).is_some());
     assert_eq!(e2.row_count(0), 51);
     // The recovered engine keeps working.
-    assert!(e2.submit(&update_txn(0, 3, 1), SimTime::ZERO).is_committed());
+    assert!(e2
+        .submit(&update_txn(0, 3, 1), SimTime::ZERO)
+        .is_committed());
     assert_eq!(read_balance(&mut e2, 0, 3), 312);
 }
 
@@ -318,7 +322,7 @@ fn bionic_latency_is_not_better_but_agents_are_freer() {
         out_sw.latency()
     );
     // But the bionic engine burned far less agent CPU on it.
-    assert!(hw.breakdown.total() < sw.breakdown.total() );
+    assert!(hw.breakdown.total() < sw.breakdown.total());
 }
 
 #[test]
@@ -412,12 +416,14 @@ fn secondary_reads_resolve_and_survive_crash() {
     }
     e.finish_load();
 
-    let by_nbr = |skey: i64| {
-        TxnProgram {
-            name: "by-secondary",
-            phases: vec![vec![Action::new(t, skey, vec![Op::SecondaryRead { table: t, skey }])]],
-            abort_on_missing_read: true,
-        }
+    let by_nbr = |skey: i64| TxnProgram {
+        name: "by-secondary",
+        phases: vec![vec![Action::new(
+            t,
+            skey,
+            vec![Op::SecondaryRead { table: t, skey }],
+        )]],
+        abort_on_missing_read: true,
     };
     assert!(e.submit(&by_nbr(42_007), SimTime::ZERO).is_committed());
     let miss = e.submit(&by_nbr(999), SimTime::from_us(10.0));
@@ -439,7 +445,9 @@ fn secondary_reads_resolve_and_survive_crash() {
         )],
     );
     assert!(e.submit(&ins, SimTime::from_us(20.0)).is_committed());
-    assert!(e.submit(&by_nbr(777_000), SimTime::from_us(30.0)).is_committed());
+    assert!(e
+        .submit(&by_nbr(777_000), SimTime::from_us(30.0))
+        .is_committed());
 
     let failing_ins = TxnProgram::single_phase(
         "ins-fail",
@@ -456,13 +464,19 @@ fn secondary_reads_resolve_and_survive_crash() {
                         b
                     },
                 },
-                Op::Delete { table: t, key: 99_999 }, // forces rollback
+                Op::Delete {
+                    table: t,
+                    key: 99_999,
+                }, // forces rollback
             ],
         )],
     );
-    assert!(!e.submit(&failing_ins, SimTime::from_us(40.0)).is_committed());
+    assert!(!e
+        .submit(&failing_ins, SimTime::from_us(40.0))
+        .is_committed());
     assert!(
-        !e.submit(&by_nbr(888_000), SimTime::from_us(50.0)).is_committed(),
+        !e.submit(&by_nbr(888_000), SimTime::from_us(50.0))
+            .is_committed(),
         "aborted insert's secondary entry must be gone"
     );
 
@@ -470,8 +484,12 @@ fn secondary_reads_resolve_and_survive_crash() {
     let image = e.crash();
     let (mut e, _) = Engine::restart(image, EngineConfig::software());
     assert!(e.submit(&by_nbr(42_007), SimTime::ZERO).is_committed());
-    assert!(e.submit(&by_nbr(777_000), SimTime::from_us(10.0)).is_committed());
-    assert!(!e.submit(&by_nbr(888_000), SimTime::from_us(20.0)).is_committed());
+    assert!(e
+        .submit(&by_nbr(777_000), SimTime::from_us(10.0))
+        .is_committed());
+    assert!(!e
+        .submit(&by_nbr(888_000), SimTime::from_us(20.0))
+        .is_committed());
 }
 
 #[test]
@@ -502,7 +520,11 @@ fn secondary_key_updates_move_the_index_entry() {
     assert!(e.submit(&upd, SimTime::ZERO).is_committed());
     let by = |skey: i64| TxnProgram {
         name: "by",
-        phases: vec![vec![Action::new(t, skey, vec![Op::SecondaryRead { table: t, skey }])]],
+        phases: vec![vec![Action::new(
+            t,
+            skey,
+            vec![Op::SecondaryRead { table: t, skey }],
+        )]],
         abort_on_missing_read: true,
     };
     assert!(!e.submit(&by(111), SimTime::from_us(10.0)).is_committed());

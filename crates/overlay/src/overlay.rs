@@ -244,7 +244,8 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
     pub fn range_asof(&self, lo: &K, hi: &K, version: u64, mut visit: impl FnMut(&K, u64)) {
         // Collect both sides (ranges are short in OLTP usage).
         let mut main_rows: Vec<(K, u64)> = Vec::new();
-        self.main.range(lo, hi, |k, v| main_rows.push((k.clone(), v)));
+        self.main
+            .range(lo, hi, |k, v| main_rows.push((k.clone(), v)));
         let mut patches: Vec<(K, Option<u64>)> = Vec::new();
         self.delta.range(lo, hi, |k, idx| {
             let chain = &self.chains[idx as usize];
@@ -330,10 +331,7 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
         }
 
         let keys_merged = resolved.len() as u64;
-        let bytes_written: u64 = base
-            .iter()
-            .map(|(k, _)| k.encoded_len() as u64 + 8)
-            .sum();
+        let bytes_written: u64 = base.iter().map(|(k, _)| k.encoded_len() as u64 + 8).sum();
         self.main = BTree::bulk_load(base, 256, 0.8);
         for (k, chain) in retained {
             let idx = self.chains.len() as u64;

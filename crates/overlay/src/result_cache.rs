@@ -102,10 +102,7 @@ impl ResultCache {
             self.used_bytes -= old.bytes.len();
         }
         self.used_bytes += bytes.len();
-        let deps = tables
-            .iter()
-            .map(|&t| (t, self.table_version(t)))
-            .collect();
+        let deps = tables.iter().map(|&t| (t, self.table_version(t))).collect();
         self.map.insert(
             fingerprint,
             Entry {

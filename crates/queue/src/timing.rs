@@ -197,8 +197,7 @@ mod tests {
         let mut fabric = FpgaFabric::hc2();
         let mut hw = HwQueueTiming::hc2(&mut fabric).unwrap();
         let mut sw = SwQueueTiming::default();
-        let hw_roundtrip =
-            hw.enqueue(SimTime::ZERO).cpu_busy + hw.dequeue(SimTime::ZERO).cpu_busy;
+        let hw_roundtrip = hw.enqueue(SimTime::ZERO).cpu_busy + hw.dequeue(SimTime::ZERO).cpu_busy;
         let sw_roundtrip = sw.enqueue(true).cpu_busy + sw.dequeue(true).cpu_busy;
         let ratio = sw_roundtrip.as_ns() / hw_roundtrip.as_ns();
         assert!(ratio > 10.0, "ratio={ratio}");

@@ -139,10 +139,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, what: &'static str) -> ParseError {
-        ParseError {
-            at: self.pos,
-            what,
-        }
+        ParseError { at: self.pos, what }
     }
 
     fn alt(&mut self) -> Result<Frag, ParseError> {

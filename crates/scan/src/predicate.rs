@@ -137,7 +137,10 @@ impl ScanRequest {
 
     /// Total NFA states across string predicates (hardware area / energy).
     pub fn nfa_states(&self) -> usize {
-        self.str_predicates.iter().map(|p| p.nfa.state_count()).sum()
+        self.str_predicates
+            .iter()
+            .map(|p| p.nfa.state_count())
+            .sum()
     }
 
     /// Bytes per row of the projected columns.

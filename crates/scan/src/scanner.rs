@@ -135,15 +135,15 @@ pub fn scan_enhanced(
     let stream_secs = pred_bytes as f64 / filter_rate;
     let filtered_at = start + SimTime::from_secs(stream_secs) + SimTime::from_ns(400.0);
     platform.charge_fpga(cfg.energy_per_row * rows);
-    platform.charge_fpga(
-        cfg.nfa_energy_per_state_byte * (str_bytes * req.nfa_states() as u64),
-    );
+    platform.charge_fpga(cfg.nfa_energy_per_state_byte * (str_bytes * req.nfa_states() as u64));
     // SG-DRAM consumption (energy + counters) for the streamed bytes.
     let sg_accesses = pred_bytes / platform.sg_dram.request_bytes().max(1);
     let e = platform.sg_dram.charge_accesses(sg_accesses);
     platform.energy.charge(EnergyDomain::SgDram, e);
 
-    let matches: Vec<usize> = (0..table.rows()).filter(|&r| req.matches(table, r)).collect();
+    let matches: Vec<usize> = (0..table.rows())
+        .filter(|&r| req.matches(table, r))
+        .collect();
 
     let proj_bytes = matches.len() as u64 * req.projection_width(table) as u64;
     let done = if proj_bytes > 0 {
@@ -167,10 +167,7 @@ mod tests {
     fn lineitems(n: usize) -> ColumnarTable {
         let mut t = ColumnarTable::new();
         t.add_column("key", Column::I64((0..n as i64).collect()));
-        t.add_column(
-            "qty",
-            Column::I64((0..n as i64).map(|i| i % 100).collect()),
-        );
+        t.add_column("qty", Column::I64((0..n as i64).map(|i| i % 100).collect()));
         t.add_column(
             "price",
             Column::I64((0..n as i64).map(|i| i * 7 % 1000).collect()),
@@ -259,13 +256,7 @@ mod tests {
         }
         let mut t = ColumnarTable::new();
         t.add_column("key", Column::I64((0..n as i64).collect()));
-        t.add_column(
-            "tag",
-            Column::FixedStr {
-                width: 16,
-                data,
-            },
-        );
+        t.add_column("tag", Column::FixedStr { width: 16, data });
         let req = ScanRequest {
             str_predicates: vec![StrPredicate::new(1, "ERR").unwrap()],
             projection: vec![0],
@@ -293,7 +284,13 @@ mod tests {
         let mut p_sw = Platform::hc2();
         let mut p_hw = Platform::hc2();
         scan_software(&mut p_sw, &t, &req, SimTime::ZERO);
-        scan_enhanced(&mut p_hw, &t, &req, SimTime::ZERO, &ScannerConfig::default());
+        scan_enhanced(
+            &mut p_hw,
+            &t,
+            &req,
+            SimTime::ZERO,
+            &ScannerConfig::default(),
+        );
         let sw_j = p_sw.energy.total().as_j();
         let hw_j = p_hw.energy.total().as_j();
         assert!(hw_j < sw_j, "hw={hw_j} sw={sw_j}");

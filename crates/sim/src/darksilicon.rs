@@ -231,7 +231,10 @@ mod tests {
             let dynamic = hill_marty_dynamic(f, 256);
             let asym = hill_marty_asymmetric(f, 256, 16);
             let sym = hill_marty_symmetric(f, 256, 16);
-            assert!(dynamic >= asym && asym >= sym, "f={f}: {dynamic} {asym} {sym}");
+            assert!(
+                dynamic >= asym && asym >= sym,
+                "f={f}: {dynamic} {asym} {sym}"
+            );
         }
     }
 

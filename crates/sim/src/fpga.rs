@@ -190,14 +190,7 @@ mod tests {
 
     #[test]
     fn unit_latency_is_cycles_times_clock() {
-        let u = FpgaUnit::new(
-            "t",
-            SimTime::from_ns(5.0),
-            4,
-            8,
-            Energy::from_pj(50.0),
-            100,
-        );
+        let u = FpgaUnit::new("t", SimTime::from_ns(5.0), 4, 8, Energy::from_pj(50.0), 100);
         assert_eq!(u.op_latency().as_ns(), 20.0);
     }
 

@@ -236,13 +236,7 @@ impl SgDram {
     /// (~2 nJ) is scaled from DRAM line-access energy to the 64-bit request
     /// size, with no cache hierarchy in front to add SRAM costs.
     pub fn hc2() -> Self {
-        SgDram::new(
-            80e9,
-            SimTime::from_ns(400.0),
-            8,
-            4096,
-            Energy::from_nj(2.0),
-        )
+        SgDram::new(80e9, SimTime::from_ns(400.0), 8, 4096, Energy::from_nj(2.0))
     }
 
     /// Issue one random access at `arrive`; returns completion and energy.

@@ -157,9 +157,9 @@ impl Platform {
         remote_service: SimTime,
         resp_bytes: u64,
     ) -> SimTime {
-        let (done, e) = self
-            .pcie
-            .round_trip_exchange(arrive, req_bytes, remote_service, resp_bytes);
+        let (done, e) =
+            self.pcie
+                .round_trip_exchange(arrive, req_bytes, remote_service, resp_bytes);
         self.energy.charge(EnergyDomain::Pcie, e);
         done
     }

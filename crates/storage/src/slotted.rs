@@ -450,8 +450,7 @@ mod tests {
         let b = sp.insert(b"b").unwrap();
         sp.insert(b"c").unwrap();
         sp.delete(b).unwrap();
-        let collected: Vec<(u16, Vec<u8>)> =
-            sp.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        let collected: Vec<(u16, Vec<u8>)> = sp.iter().map(|(s, r)| (s, r.to_vec())).collect();
         assert_eq!(
             collected,
             vec![(0u16, b"a".to_vec()), (2u16, b"c".to_vec())]

@@ -179,7 +179,8 @@ impl LogFs {
     fn log_op(&mut self, op: &FsOp) -> usize {
         let mut body = BytesMut::new();
         op.encode(&mut body);
-        self.log.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.log
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
         self.log.extend_from_slice(&body);
         self.apply(op);
         4 + body.len()
@@ -363,10 +364,7 @@ mod tests {
             hw_busy += hw.insert(at, (i % 16) as usize, bytes).cpu_busy;
             at += SimTime::from_ns(300.0);
         }
-        assert!(
-            hw_busy * 2u64 < sw_busy,
-            "hw={hw_busy} sw={sw_busy}"
-        );
+        assert!(hw_busy * 2u64 < sw_busy, "hw={hw_busy} sw={sw_busy}");
         assert_eq!(fs.read(fid).unwrap().len(), 27 * 1000);
     }
 }

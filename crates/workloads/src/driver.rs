@@ -84,7 +84,87 @@ pub fn run(
     }
 
     let committed = engine.stats.committed - committed_before;
-    let elapsed = engine.stats.last_completion.saturating_sub(start_completion);
+    let elapsed = engine
+        .stats
+        .last_completion
+        .saturating_sub(start_completion);
+    let energy = engine.platform.energy.since(&energy_before);
+    WorkloadReport {
+        submitted: engine.stats.submitted - submitted_before,
+        committed,
+        aborted: engine.stats.aborted - aborted_before,
+        throughput_per_sec: if elapsed.is_zero() {
+            0.0
+        } else {
+            committed as f64 / elapsed.as_secs()
+        },
+        latency: engine.stats.latency.summary(),
+        breakdown: engine.breakdown.since(&breakdown_before),
+        joules_per_txn: if committed == 0 {
+            0.0
+        } else {
+            energy.total().as_j() / committed as f64
+        },
+        energy: energy.snapshot(),
+        per_type,
+        per_type_latency: per_type_hist
+            .into_iter()
+            .map(|(k, h)| (k, h.summary()))
+            .collect(),
+    }
+}
+
+/// Like [`run`], but transactions are handed to the engine in groups of
+/// `batch_size` through [`Engine::submit_batch`], so same-table probes
+/// within a group share their index descents (PALM-style amortization).
+/// Arrival times, commit/abort outcomes, and all functional state match
+/// [`run`] exactly; only probe pricing differs. `batch_size == 1`
+/// degenerates to per-transaction submission.
+pub fn run_batched(
+    engine: &mut Engine,
+    n: u64,
+    inter_arrival: SimTime,
+    batch_size: usize,
+    mut next: impl FnMut() -> (&'static str, TxnProgram),
+) -> WorkloadReport {
+    let batch_size = batch_size.max(1);
+    let breakdown_before = engine.breakdown.clone();
+    let energy_before = engine.platform.energy.clone();
+    let committed_before = engine.stats.committed;
+    let submitted_before = engine.stats.submitted;
+    let aborted_before = engine.stats.aborted;
+
+    let mut per_type: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut per_type_hist: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let mut at = SimTime::ZERO;
+    let start_completion = engine.stats.last_completion;
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = (remaining as usize).min(batch_size);
+        let mut labels = Vec::with_capacity(take);
+        let mut programs = Vec::with_capacity(take);
+        for _ in 0..take {
+            let (label, prog) = next();
+            *per_type.entry(label).or_insert(0) += 1;
+            labels.push(label);
+            programs.push(prog);
+        }
+        let outcomes = engine.submit_batch(&programs, start_completion + at, inter_arrival);
+        for (label, outcome) in labels.iter().zip(&outcomes) {
+            per_type_hist
+                .entry(label)
+                .or_default()
+                .record(outcome.latency());
+        }
+        at += inter_arrival * take as u64;
+        remaining -= take as u64;
+    }
+
+    let committed = engine.stats.committed - committed_before;
+    let elapsed = engine
+        .stats
+        .last_completion
+        .saturating_sub(start_completion);
     let energy = engine.platform.energy.since(&energy_before);
     WorkloadReport {
         submitted: engine.stats.submitted - submitted_before,
@@ -138,6 +218,40 @@ mod tests {
         let table = report.summary_table();
         assert!(table.contains("throughput"));
         assert!(table.contains("Btree"));
+    }
+
+    #[test]
+    fn batched_run_matches_outcomes_and_amortizes_probes() {
+        let make = || {
+            let cfg = TatpConfig::small();
+            let mut e = Engine::new(EngineConfig::software().with_agents(8));
+            let tables = tatp::load(&mut e, &cfg);
+            (e, TatpGenerator::new(cfg, tables))
+        };
+        let (mut serial, mut gs) = make();
+        let rs = run(&mut serial, 600, SimTime::from_us(5.0), || {
+            let (t, p) = gs.next();
+            (t.label(), p)
+        });
+        let (mut batched, mut gb) = make();
+        let rb = run_batched(&mut batched, 600, SimTime::from_us(5.0), 64, || {
+            let (t, p) = gb.next();
+            (t.label(), p)
+        });
+        // Functional behavior is identical: same commit/abort decisions.
+        assert_eq!(rs.submitted, rb.submitted);
+        assert_eq!(rs.committed, rb.committed);
+        assert_eq!(rs.aborted, rb.aborted);
+        assert_eq!(rs.per_type, rb.per_type);
+        // PALM amortization: strictly fewer index nodes charged per probe.
+        let nodes_per_probe =
+            |e: &Engine| e.stats.probe_nodes_visited as f64 / e.stats.probes.max(1) as f64;
+        assert!(
+            nodes_per_probe(&batched) < nodes_per_probe(&serial),
+            "batched {:.2} vs serial {:.2}",
+            nodes_per_probe(&batched),
+            nodes_per_probe(&serial)
+        );
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod driver;
 pub mod tatp;
 pub mod tpcc;
 
-pub use driver::{run, WorkloadReport};
+pub use driver::{run, run_batched, WorkloadReport};
 pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

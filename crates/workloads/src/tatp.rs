@@ -151,8 +151,7 @@ pub fn sub_nbr(s_id: i64) -> i64 {
 /// Load the TATP schema and population into an engine.
 pub fn load(engine: &mut Engine, cfg: &TatpConfig) -> TatpTables {
     let tables = TatpTables {
-        subscriber: engine
-            .create_table_with_secondary("SUBSCRIBER", layout::SUB_NBR),
+        subscriber: engine.create_table_with_secondary("SUBSCRIBER", layout::SUB_NBR),
         access_info: engine.create_table("ACCESS_INFO"),
         special_facility: engine.create_table("SPECIAL_FACILITY"),
         call_forwarding: engine.create_table("CALL_FORWARDING"),
@@ -164,8 +163,7 @@ pub fn load(engine: &mut Engine, cfg: &TatpConfig) -> TatpTables {
         body[layout::SUB_VLR_LOCATION - 8..layout::SUB_VLR_LOCATION]
             .copy_from_slice(&rng.gen_range(0i64..1 << 31).to_le_bytes());
         // The record image is key(8) || body, so body offsets are -8.
-        body[layout::SUB_NBR - 8..layout::SUB_NBR]
-            .copy_from_slice(&sub_nbr(s_id).to_le_bytes());
+        body[layout::SUB_NBR - 8..layout::SUB_NBR].copy_from_slice(&sub_nbr(s_id).to_le_bytes());
         engine.load(tables.subscriber, s_id, &body);
 
         // 1..=4 ACCESS_INFO rows with distinct ai_types.
@@ -513,10 +511,7 @@ mod tests {
         }
         let abort_rate = e.stats.aborted as f64 / n as f64;
         // P(sf_type present) = E[n_sf]/4 = 62.5% -> ~37.5% abort.
-        assert!(
-            (abort_rate - 0.375).abs() < 0.06,
-            "abort_rate={abort_rate}"
-        );
+        assert!((abort_rate - 0.375).abs() < 0.06, "abort_rate={abort_rate}");
     }
 
     #[test]
@@ -546,7 +541,10 @@ mod tests {
             vec![Action::new(
                 3,
                 cf_key,
-                vec![Op::Delete { table: 3, key: cf_key }],
+                vec![Op::Delete {
+                    table: 3,
+                    key: cf_key,
+                }],
             )],
         );
         e.submit(&del, bionic_sim::SimTime::ZERO);
@@ -563,7 +561,9 @@ mod tests {
                 }],
             )],
         );
-        assert!(e.submit(&ins, bionic_sim::SimTime::from_ms(1.0)).is_committed());
+        assert!(e
+            .submit(&ins, bionic_sim::SimTime::from_ms(1.0))
+            .is_committed());
         assert_eq!(e.row_count(3), before + 1);
     }
 }

@@ -11,7 +11,10 @@ use bionic_sim::darksilicon::{
 };
 
 fn main() {
-    for (label, cores) in [("(a) 2011, 64 cores", 64u64), ("(b) 2018, 1024 cores", 1024)] {
+    for (label, cores) in [
+        ("(a) 2011, 64 cores", 64u64),
+        ("(b) 2018, 1024 cores", 1024),
+    ] {
         println!("=== Figure 1{label} ===");
         print!("{:>8}", "cores");
         for s in FIGURE1_SERIAL_FRACTIONS {
@@ -42,7 +45,10 @@ fn main() {
     println!("=== serial-fraction budget to keep 90% of the powered chip busy ===");
     for cores in [64u64, 256, 1024, 4096] {
         let s = serial_budget_for_utilization(0.9, cores).unwrap();
-        println!("{cores:>6} cores: serial work must be below {:.5}%", s * 100.0);
+        println!(
+            "{cores:>6} cores: serial work must be below {:.5}%",
+            s * 100.0
+        );
     }
 
     println!("\n=== the post-2018 outlook (usable fraction -40%/generation) ===");

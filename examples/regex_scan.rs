@@ -53,11 +53,21 @@ fn main() {
     let mut p_sw = Platform::hc2();
     let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
     let mut p_hw = Platform::hc2();
-    let hw = scan_enhanced(&mut p_hw, &table, &req, SimTime::ZERO, &ScannerConfig::default());
+    let hw = scan_enhanced(
+        &mut p_hw,
+        &table,
+        &req,
+        SimTime::ZERO,
+        &ScannerConfig::default(),
+    );
     assert_eq!(sw.matches, hw.matches);
 
     let gb = (rows * 32) as f64 / 1e9;
-    println!("\nscan of {rows} rows ({:.2} GB of tags), {} matches:", gb, sw.matches.len());
+    println!(
+        "\nscan of {rows} rows ({:.2} GB of tags), {} matches:",
+        gb,
+        sw.matches.len()
+    );
     println!(
         "  software NFA : {:>8.2} ms  {:>6.2} GB/s  {:>8.4} J",
         sw.done.as_ms(),

@@ -33,11 +33,30 @@ fn run(label: &str, cfg: EngineConfig) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let (sw_tput, sw_j, sw_lat) = run("software DORA (conventional multicore)", EngineConfig::software());
-    let (hw_tput, hw_j, hw_lat) = run("bionic (probe + log + queue + overlay on FPGA)", EngineConfig::bionic());
+    let (sw_tput, sw_j, sw_lat) = run(
+        "software DORA (conventional multicore)",
+        EngineConfig::software(),
+    );
+    let (hw_tput, hw_j, hw_lat) = run(
+        "bionic (probe + log + queue + overlay on FPGA)",
+        EngineConfig::bionic(),
+    );
 
     println!("=== verdict ===");
-    println!("throughput: {:.0} -> {:.0} txn/s ({:+.0}%)", sw_tput, hw_tput, 100.0 * (hw_tput / sw_tput - 1.0));
-    println!("joules/txn: {:.3e} -> {:.3e} ({:.1}x less energy)", sw_j, hw_j, sw_j / hw_j);
-    println!("median latency: {:.1}us -> {:.1}us (asynchrony is not free)", sw_lat, hw_lat);
+    println!(
+        "throughput: {:.0} -> {:.0} txn/s ({:+.0}%)",
+        sw_tput,
+        hw_tput,
+        100.0 * (hw_tput / sw_tput - 1.0)
+    );
+    println!(
+        "joules/txn: {:.3e} -> {:.3e} ({:.1}x less energy)",
+        sw_j,
+        hw_j,
+        sw_j / hw_j
+    );
+    println!(
+        "median latency: {:.1}us -> {:.1}us (asynchrony is not free)",
+        sw_lat, hw_lat
+    );
 }

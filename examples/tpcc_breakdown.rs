@@ -38,7 +38,10 @@ fn main() {
     let tables = tatp::load(&mut engine, &wl);
     let mut generator = TatpGenerator::new(wl, tables);
     let report = bionic_workloads::run(&mut engine, 5_000, SimTime::from_us(2.0), || {
-        ("UpdSubData", generator.program(TatpTxn::UpdateSubscriberData))
+        (
+            "UpdSubData",
+            generator.program(TatpTxn::UpdateSubscriberData),
+        )
     });
     print_breakdown(
         &format!(

@@ -60,3 +60,50 @@ fn workload_seed_changes_everything() {
     let b = run(1, 3);
     assert_ne!((a.1, a.3.to_bits()), (b.1, b.3.to_bits()));
 }
+
+/// The parallel figure harness must not leak scheduling order into
+/// results: running an E4/E12 subset with 4 workers produces the same CSV
+/// bytes as running it serially. `harness_timing.csv` is the single file
+/// allowed to differ (it reports wall-clock, which is the point of the
+/// parallelism).
+#[test]
+fn harness_results_are_independent_of_job_count() {
+    use bionic_bench::experiments::{build, Scale};
+    use bionic_bench::harness;
+
+    let base = std::env::temp_dir().join(format!("bionic_determinism_{}", std::process::id()));
+    let mut per_jobs: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        let experiments = ["e4", "e12"]
+            .into_iter()
+            .map(|id| build(id, Scale::Smoke).expect("known id"))
+            .collect();
+        let timing = harness::run(experiments, jobs, &dir);
+        timing.table().save_and_print(&dir, "harness_timing");
+        let mut csvs = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).expect("results dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name == "harness_timing.csv" {
+                continue;
+            }
+            csvs.insert(name, std::fs::read(&path).expect("read csv"));
+        }
+        assert!(!csvs.is_empty(), "harness produced no CSVs");
+        per_jobs.push(csvs);
+    }
+    let (a, b) = (&per_jobs[0], &per_jobs[1]);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "same set of CSV files for any --jobs"
+    );
+    for (name, bytes) in a {
+        assert_eq!(
+            bytes, &b[name],
+            "{name} must be byte-identical across --jobs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -164,14 +164,18 @@ fn tpcc_money_conservation_and_row_accounting() {
     );
     let neworders = engine.row_count(tables.neworder);
     assert!(
-        neworders
-            <= initial_neworders + committed_neworders as usize,
+        neworders <= initial_neworders + committed_neworders as usize,
         "deliveries must drain the new-order table"
     );
-    assert!(committed_deliveries == 0 || neworders < initial_neworders + committed_neworders as usize);
+    assert!(
+        committed_deliveries == 0 || neworders < initial_neworders + committed_neworders as usize
+    );
 
     // History rows match committed payments exactly.
-    assert_eq!(engine.row_count(tables.history), committed_payments as usize);
+    assert_eq!(
+        engine.row_count(tables.history),
+        committed_payments as usize
+    );
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`, covering the API subset this
+//! workspace's benches use: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of statistical sampling it smoke-runs each benchmark a small
+//! fixed number of iterations and reports mean wall-clock time. That keeps
+//! `cargo bench` (and any asserts inside bench bodies) working with no
+//! network access, while staying fast enough to run in CI.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Number of timed iterations per benchmark (upstream samples adaptively).
+const ITERS: u32 = 10;
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes sample count; the smoke runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Run a parameterized benchmark within this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name / parameter pair.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.nanos = start.elapsed().as_nanos();
+        self.iters = ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher { nanos: 0, iters: 1 };
+    f(&mut b);
+    let mean = b.nanos / u128::from(b.iters.max(1));
+    println!(
+        "bench {name}: {mean} ns/iter (smoke run, {} iters)",
+        b.iters
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.sample_size(30);
+        for n in [4u64, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).map(black_box).sum::<u64>())
+            });
+        }
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
