@@ -89,6 +89,23 @@ fn bench_recovery(c: &mut Criterion) {
             black_box(outcome.redone)
         });
     });
+
+    // Same crashed state, but the last 4 KiB of the log image are torn off
+    // mid-record: times the validating tail scan plus the now-larger undo
+    // pass (commits whose records were torn become losers).
+    let torn_image = {
+        let mut img = image.clone();
+        img.truncate(img.len().saturating_sub(4096));
+        img
+    };
+    c.bench_function("recovery_torn_tail_4k", |b| {
+        b.iter(|| {
+            let mut lm = LogManager::from_image(torn_image.clone());
+            let mut pool = BufferPool::new(1024, disk.clone());
+            let outcome = recover(&mut lm, &mut pool);
+            black_box((outcome.redone, outcome.torn_bytes_skipped))
+        });
+    });
 }
 
 criterion_group!(benches, bench_encode_decode, bench_append, bench_recovery);

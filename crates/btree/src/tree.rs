@@ -1349,9 +1349,9 @@ mod tests {
     #[test]
     fn batch_get_edge_cases() {
         let t: BTree<i64> = BTree::new();
-        let (r, _) = t.batch_get(&mut vec![]);
+        let (r, _) = t.batch_get(&mut []);
         assert!(r.is_empty());
-        let (r, _) = t.batch_get(&mut vec![5, 5, 5]);
+        let (r, _) = t.batch_get(&mut [5, 5, 5]);
         assert_eq!(r, vec![(5, None)]); // deduplicated, absent
     }
 

@@ -1,0 +1,163 @@
+//! `chaos` — long-running randomized crash-torture driver.
+//!
+//! ```text
+//! chaos [--seeds N] [--start-seed S] [--plan FILE] [--shrink] [--out DIR]
+//! ```
+//!
+//! * `--seeds N` — run N consecutive seeds (default 64)
+//! * `--start-seed S` — first seed of the sweep (default 0)
+//! * `--plan FILE` — instead of a sweep, re-run serialized plans from FILE
+//!   (one `chaosplan v1 ...` line each) — the byte-identical repro path
+//! * `--shrink` — on failure, minimize the plan before reporting
+//! * `--out DIR` — where failing plans are written (default `target/chaos`)
+//!
+//! Exit status is 0 iff every run's oracle held.
+
+use bionic_chaos::{run_plan_catching, shrink, FaultPlan};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    plan_file: Option<PathBuf>,
+    do_shrink: bool,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 64,
+        start_seed: 0,
+        plan_file: None,
+        do_shrink: false,
+        out_dir: PathBuf::from("target/chaos"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--plan" => args.plan_file = Some(PathBuf::from(value("--plan")?)),
+            "--shrink" => args.do_shrink = true,
+            "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!("chaos [--seeds N] [--start-seed S] [--plan FILE] [--shrink] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let plans: Vec<FaultPlan> = match &args.plan_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("chaos: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let mut plans = Vec::new();
+            for (lineno, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match FaultPlan::parse(line) {
+                    Some(p) => plans.push(p),
+                    None => {
+                        eprintln!(
+                            "chaos: {}:{}: malformed plan line",
+                            path.display(),
+                            lineno + 1
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            plans
+        }
+        None => (args.start_seed..args.start_seed + args.seeds)
+            .map(FaultPlan::from_seed)
+            .collect(),
+    };
+
+    let mut failures = 0u32;
+    for plan in &plans {
+        match run_plan_catching(plan) {
+            Ok(report) => {
+                println!(
+                    "ok   seed={:<6} {:<4} txns={:<3} committed={:<3} durable={:<3} \
+                     interrupted={} torn_skipped={:<3} state={:016x}",
+                    plan.seed,
+                    plan.workload.label(),
+                    report.submitted,
+                    report.committed,
+                    report.durable_committed,
+                    u8::from(report.interrupted),
+                    report.torn_bytes_skipped,
+                    report.state_digest,
+                );
+            }
+            Err(msg) => {
+                failures += 1;
+                eprintln!("FAIL seed={} — {msg}", plan.seed);
+                eprintln!("     plan: {}", plan.serialize());
+                let reported = if args.do_shrink {
+                    eprintln!("     shrinking...");
+                    let min = shrink(plan, |candidate| run_plan_catching(candidate).is_err());
+                    eprintln!("     minimal repro: {}", min.serialize());
+                    min
+                } else {
+                    plan.clone()
+                };
+                if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+                    eprintln!("chaos: cannot create {}: {e}", args.out_dir.display());
+                } else {
+                    let file = args.out_dir.join(format!("fail-seed-{}.plan", plan.seed));
+                    let mut body = String::new();
+                    body.push_str("# original failing plan\n");
+                    body.push_str(&plan.serialize());
+                    body.push('\n');
+                    if args.do_shrink {
+                        body.push_str("# shrunk minimal repro\n");
+                        body.push_str(&reported.serialize());
+                        body.push('\n');
+                    }
+                    if let Err(e) = std::fs::write(&file, body) {
+                        eprintln!("chaos: cannot write {}: {e}", file.display());
+                    } else {
+                        eprintln!("     plan written to {}", file.display());
+                        eprintln!(
+                            "     reproduce with: cargo run -p bionic-chaos --bin chaos -- \
+                             --plan {}",
+                            file.display()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    println!("chaos: {} plans, {} failures", plans.len(), failures);
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,423 @@
+//! The crash-torture harness: run a [`FaultPlan`] end to end and check the
+//! survived state against the differential oracle.
+//!
+//! One run is: load the workload, snapshot a pristine [`RefDb`], drive the
+//! transaction stream through `submit_batch` with the crash fuse armed,
+//! then crash — apply the plan's post-crash faults to the surviving log
+//! image — restart, recover, and verify:
+//!
+//! 1. **Pre-crash differential**: every completed transaction's
+//!    commit/abort decision (and abort reason) matches a replay through the
+//!    reference model.
+//! 2. **Durable-commit set**: scanning the faulted log image with the
+//!    validating record iterator yields exactly the transactions recovery
+//!    must preserve; checkpoint-covered commits are durable via the disk
+//!    image even when the log no longer mentions them.
+//! 3. **Committed durability + in-flight undo**: the recovered engine's
+//!    tables equal a pristine reference model that replayed *only* the
+//!    durably-committed programs, in order — so every durable commit
+//!    survived and every in-flight or torn-commit transaction was fully
+//!    undone.
+//! 4. **Index consistency**: every recovered table passes the engine's own
+//!    integrity check, and secondary indexes match the reference both ways.
+//! 5. **Loser hygiene**: recovery's loser set is disjoint from the durable
+//!    commits, and its winner set is exactly the log-scan commit set.
+//!
+//! Every step is deterministic from the plan, so the [`RunReport`] digests
+//! are byte-identical across reruns — the property the torture suite
+//! asserts and the shrinker relies on.
+
+use crate::plan::FaultPlan;
+use crate::refmodel::RefDb;
+use bionic_core::config::EngineConfig;
+use bionic_core::ops::TxnProgram;
+use bionic_core::{Engine, TxnOutcome};
+use bionic_sim::rng::SplitMix64;
+use bionic_sim::time::SimTime;
+use bionic_wal::manager::LogIter;
+use bionic_wal::record::LogBody;
+use bionic_wal::TxnId;
+use bionic_workloads::AnyWorkload;
+use std::collections::BTreeSet;
+
+/// What a successful torture run reports (all fields deterministic from
+/// the plan; reruns must match exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// The (normalized) plan that ran.
+    pub plan: FaultPlan,
+    /// Transactions the engine accepted before the crash.
+    pub submitted: u64,
+    /// ... of which committed.
+    pub committed: u64,
+    /// Committed transactions that wrote (only these leave a Commit record
+    /// in the log and carry a durability obligation; read-only commits
+    /// have no state to preserve).
+    pub committed_writers: u64,
+    /// ... of which aborted.
+    pub aborted: u64,
+    /// Did the crash fuse blow mid-transaction?
+    pub interrupted: bool,
+    /// Transactions the oracle holds durable after the faults.
+    pub durable_committed: u64,
+    /// Torn bytes recovery reported skipping off the log tail.
+    pub torn_bytes_skipped: u64,
+    /// FNV-1a digest of the faulted log image as recovery saw it.
+    pub log_digest: u64,
+    /// FNV-1a digest of the post-recovery database state.
+    pub state_digest: u64,
+}
+
+/// Does this program contain any state-mutating op? Only writers append a
+/// Commit record (the engine skips logging for read-only transactions), so
+/// only writers enter the durable-commit oracle.
+fn writes(program: &TxnProgram) -> bool {
+    use bionic_core::ops::Op;
+    program.phases.iter().flatten().any(|action| {
+        action.ops.iter().any(|op| {
+            matches!(
+                op,
+                Op::Update { .. } | Op::Insert { .. } | Op::Delete { .. }
+            )
+        })
+    })
+}
+
+/// FNV-1a 64-bit over a byte slice (the repro-digest primitive).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run one plan; `Err` is an oracle violation (a recovery bug, or an
+/// engine/model divergence), with enough context to debug from.
+pub fn run_plan(plan: &FaultPlan) -> Result<RunReport, String> {
+    let mut plan = plan.clone();
+    plan.normalize();
+
+    let cfg = EngineConfig::software().with_agents(8).with_seed(plan.seed);
+    let mut engine = Engine::new(cfg.clone());
+    let workload_seed = SplitMix64::new(plan.seed ^ 0x5EED_F00D_0000_0001).next_u64();
+    let mut workload = AnyWorkload::load_small(&mut engine, plan.workload, workload_seed);
+    let baseline = RefDb::snapshot(&mut engine);
+
+    if let Some(appends) = plan.crash_after_appends {
+        engine.crash_at(appends);
+    }
+
+    // ---- drive the stream in submit_batch groups ------------------------
+    let mut recorded: Vec<(TxnId, TxnProgram, TxnOutcome)> = Vec::new();
+    let mut ckpt_watermark: TxnId = engine.next_txn_id();
+    let inter = SimTime::from_us(5.0);
+    let mut at = SimTime::ZERO;
+    let mut submitted = 0u32;
+    let mut since_ckpt = 0u32;
+    while submitted < plan.txns {
+        let n = plan.group.min(plan.txns - submitted) as usize;
+        let programs: Vec<TxnProgram> = (0..n).map(|_| workload.next_program().1).collect();
+        let id0 = engine.next_txn_id();
+        let outcomes = engine.submit_batch(&programs, at, inter);
+        at = at + inter * n as u64 + SimTime::from_us(50.0);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            recorded.push((id0 + i as TxnId, programs[i].clone(), *outcome));
+        }
+        submitted += n as u32;
+        if engine.fuse_blown() {
+            break;
+        }
+        since_ckpt += n as u32;
+        if plan.checkpoint_every > 0 && since_ckpt >= plan.checkpoint_every {
+            since_ckpt = 0;
+            engine.checkpoint(at);
+            // Everything committed so far is now durable via the disk
+            // image, independent of what later befalls the log.
+            ckpt_watermark = engine.next_txn_id();
+        }
+    }
+    let interrupted = engine.fuse_blown();
+
+    // ---- oracle 1: pre-crash differential -------------------------------
+    let mut model = baseline.clone();
+    for (id, program, outcome) in &recorded {
+        match outcome {
+            TxnOutcome::Committed { .. } => {
+                if let Err(reason) = model.replay(program) {
+                    return Err(format!(
+                        "txn {id} ({}) committed in the engine but the reference \
+                         model aborts it with {reason:?}",
+                        program.name
+                    ));
+                }
+            }
+            TxnOutcome::Aborted { reason, .. } => match model.replay(program) {
+                Err(model_reason) if model_reason == *reason => {}
+                Err(model_reason) => {
+                    return Err(format!(
+                        "txn {id} ({}) aborted with {reason:?} but the reference \
+                         model says {model_reason:?}",
+                        program.name
+                    ));
+                }
+                Ok(()) => {
+                    return Err(format!(
+                        "txn {id} ({}) aborted with {reason:?} but the reference \
+                         model commits it",
+                        program.name
+                    ));
+                }
+            },
+            // The crash left this one unresolved; recovery decides below.
+            TxnOutcome::Interrupted => {}
+        }
+    }
+    let committed = recorded.iter().filter(|(_, _, o)| o.is_committed()).count() as u64;
+    let aborted = recorded
+        .iter()
+        .filter(|(_, _, o)| matches!(o, TxnOutcome::Aborted { .. }))
+        .count() as u64;
+    if engine.stats.committed != committed || engine.stats.aborted != aborted {
+        return Err(format!(
+            "stats drift: engine says {}c/{}a, outcomes say {committed}c/{aborted}a",
+            engine.stats.committed, engine.stats.aborted
+        ));
+    }
+
+    // ---- crash + fault injection ----------------------------------------
+    if plan.flush_pool_pages > 0 {
+        // Write-ahead rule: the covering log must be stable before any
+        // page write-back (normalize() guarantees no log faults here).
+        engine.os_flush_log();
+        engine.flush_pool_pages(plan.flush_pool_pages as usize);
+    } else if plan.flush_log_tail {
+        engine.os_flush_log();
+    }
+    let mut image = engine.crash();
+    {
+        let log = image.log_mut();
+        let tear = (plan.torn_tail_bytes as usize).min(log.len());
+        log.truncate(log.len() - tear);
+        for &(offset, mask) in &plan.bit_flips {
+            if !log.is_empty() {
+                let i = (offset % log.len() as u64) as usize;
+                log[i] ^= mask;
+            }
+        }
+    }
+    let faulted_log = image.log_bytes().to_vec();
+    let log_digest = fnv64(&faulted_log);
+
+    // ---- oracle 2: the durable-commit set -------------------------------
+    // Exactly what recovery will see: walk the faulted image with the
+    // validating iterator (stops at the first torn/corrupt record).
+    let mut log_commits: BTreeSet<TxnId> = BTreeSet::new();
+    for rec in LogIter::over(&faulted_log, 0) {
+        if matches!(rec.body, LogBody::Commit) {
+            log_commits.insert(rec.txn);
+        }
+    }
+    for id in &log_commits {
+        let known = recorded.iter().any(|(rid, _, o)| {
+            rid == id && matches!(o, TxnOutcome::Committed { .. } | TxnOutcome::Interrupted)
+        });
+        if !known {
+            return Err(format!(
+                "log image has a Commit record for txn {id}, which the engine \
+                 never reported committed or interrupted"
+            ));
+        }
+    }
+    let durable: Vec<(TxnId, &TxnProgram)> = recorded
+        .iter()
+        .filter(|(id, program, outcome)| match outcome {
+            // Read-only commits leave no log trace and no state; writers
+            // are durable if checkpoint-covered (disk image) or if their
+            // Commit record survives in the log.
+            TxnOutcome::Committed { .. } => {
+                writes(program) && (*id < ckpt_watermark || log_commits.contains(id))
+            }
+            // Torn-commit window: the engine died before acking, but the
+            // Commit record reached stable storage — recovery keeps it.
+            TxnOutcome::Interrupted => log_commits.contains(id),
+            TxnOutcome::Aborted { .. } => false,
+        })
+        .map(|(id, program, _)| (*id, program))
+        .collect();
+
+    // ---- restart + recover ----------------------------------------------
+    let (mut engine2, recovery) = Engine::restart(image, cfg);
+
+    // ---- oracle 5: winner/loser hygiene ---------------------------------
+    let winners: BTreeSet<TxnId> = recovery.winners.iter().copied().collect();
+    if winners != log_commits {
+        return Err(format!(
+            "recovery winners {winners:?} != log-scan commit set {log_commits:?}"
+        ));
+    }
+    let durable_ids: BTreeSet<TxnId> = durable.iter().map(|(id, _)| *id).collect();
+    for loser in &recovery.losers {
+        if durable_ids.contains(loser) {
+            return Err(format!(
+                "txn {loser} is durably committed yet recovery undid it as a loser"
+            ));
+        }
+    }
+
+    // ---- oracle 3: replay the durable subset through a pristine model ---
+    let mut model2 = baseline.clone();
+    for (id, program) in &durable {
+        if let Err(reason) = model2.replay(program) {
+            return Err(format!(
+                "durable txn {id} ({}) fails to replay in the reference model: \
+                 {reason:?}",
+                program.name
+            ));
+        }
+    }
+
+    // ---- oracle 3+4: recovered state == reference state -----------------
+    for t in 0..engine2.table_count() as u32 {
+        let name = engine2.table_name(t).to_string();
+        engine2
+            .verify_table_integrity(t)
+            .map_err(|e| format!("post-recovery integrity: {e}"))?;
+        let got = engine2.scan_table(t);
+        let want: Vec<(i64, Vec<u8>)> = model2.tables[t as usize]
+            .rows
+            .iter()
+            .map(|(k, r)| (*k, r.clone()))
+            .collect();
+        if got != want {
+            let first_bad = got
+                .iter()
+                .zip(&want)
+                .find(|(g, w)| g != w)
+                .map(|(g, w)| format!("first divergence: got key {}, want key {}", g.0, w.0))
+                .unwrap_or_else(|| "divergence at the tail".into());
+            return Err(format!(
+                "{name}: recovered {} rows, reference has {} — {first_bad}",
+                got.len(),
+                want.len()
+            ));
+        }
+        if engine2.secondary_offset(t).is_some() {
+            let got_sec = engine2.scan_secondary(t);
+            let want_sec: Vec<(i64, i64)> = model2.tables[t as usize]
+                .secondary
+                .iter()
+                .map(|(s, p)| (*s, *p))
+                .collect();
+            if got_sec != want_sec {
+                return Err(format!(
+                    "{name}: recovered secondary has {} entries, reference {}",
+                    got_sec.len(),
+                    want_sec.len()
+                ));
+            }
+        }
+    }
+
+    let committed_writers = recorded
+        .iter()
+        .filter(|(_, program, o)| o.is_committed() && writes(program))
+        .count() as u64;
+    Ok(RunReport {
+        submitted: recorded.len() as u64,
+        committed,
+        committed_writers,
+        aborted,
+        interrupted,
+        durable_committed: durable.len() as u64,
+        torn_bytes_skipped: recovery.torn_bytes_skipped,
+        log_digest,
+        state_digest: model2.digest(),
+        plan,
+    })
+}
+
+/// [`run_plan`], but panics inside the engine (slotted-page assertions,
+/// index invariants, ...) are caught and reported as failures too — a
+/// crash-torture harness must treat "the engine died" as a finding, not as
+/// a test-infrastructure error.
+pub fn run_plan_catching(plan: &FaultPlan) -> Result<RunReport, String> {
+    let plan = plan.clone();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || run_plan(&plan))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            Err(format!("panic during torture run: {msg}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_workloads::WorkloadKind;
+
+    fn quiet_plan(kind: WorkloadKind) -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            workload: kind,
+            txns: 30,
+            group: 4,
+            crash_after_appends: None,
+            flush_log_tail: false,
+            flush_pool_pages: 0,
+            torn_tail_bytes: 0,
+            bit_flips: Vec::new(),
+            checkpoint_every: 0,
+        }
+    }
+
+    #[test]
+    fn clean_shutdown_keeps_every_commit() {
+        for kind in [WorkloadKind::Tatp, WorkloadKind::Tpcc] {
+            let report = run_plan(&quiet_plan(kind)).expect("oracle holds");
+            assert!(!report.interrupted);
+            assert_eq!(report.submitted, 30);
+            assert_eq!(
+                report.durable_committed, report.committed_writers,
+                "no faults: every writing commit is durable ({kind:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_transaction_crash_is_detected_and_survived() {
+        let plan = FaultPlan {
+            crash_after_appends: Some(40),
+            ..quiet_plan(WorkloadKind::Tpcc)
+        };
+        let report = run_plan(&plan).expect("oracle holds");
+        assert!(report.interrupted, "40 appends land mid-stream");
+        assert!(report.submitted < 30, "the batch loop stopped early");
+    }
+
+    #[test]
+    fn torn_tail_loses_exactly_the_unflushed_suffix() {
+        let plan = FaultPlan {
+            torn_tail_bytes: 64,
+            ..quiet_plan(WorkloadKind::Tatp)
+        };
+        let report = run_plan(&plan).expect("oracle holds");
+        // Tearing 64 bytes lands mid-record; recovery must report skipping
+        // the ragged remainder.
+        assert!(report.durable_committed <= report.committed);
+    }
+
+    #[test]
+    fn reports_are_rerun_identical() {
+        let plan = FaultPlan::from_seed(5);
+        let a = run_plan(&plan).expect("oracle holds");
+        let b = run_plan(&plan).expect("oracle holds");
+        assert_eq!(a, b, "byte-identical repro");
+    }
+}

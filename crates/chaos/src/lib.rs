@@ -1,0 +1,32 @@
+//! Deterministic fault-injection and crash-torture framework with a
+//! differential recovery oracle.
+//!
+//! The bionic DBMS argues for pushing database function into specialized
+//! hardware; the one thing that must *never* regress while the engine is
+//! rearranged around accelerators is recovery correctness. This crate
+//! turns recovery testing into a seeded, reproducible search problem:
+//!
+//! * [`plan::FaultPlan`] — a one-line-serializable schedule of everything
+//!   a torture run does: workload, batch shape, where the crash fuse
+//!   blows, which post-crash corruptions hit the log, which dirty pages a
+//!   background writer managed to write back.
+//! * [`refmodel::RefDb`] — the differential oracle's reference model: an
+//!   in-memory mirror with the engine's exact commit/abort semantics.
+//! * [`harness::run_plan`] — drive the plan, crash, corrupt, recover, and
+//!   check committed-durability, in-flight undo, and secondary-index
+//!   consistency against the model.
+//! * [`shrink::shrink`] — greedily minimize a failing plan to a one-line
+//!   repro.
+//!
+//! The `chaos` binary runs long randomized seed sweeps; the torture test
+//! suite (`tests/torture.rs`) pins a fixed 64-seed matrix in CI.
+
+pub mod harness;
+pub mod plan;
+pub mod refmodel;
+pub mod shrink;
+
+pub use harness::{fnv64, run_plan, run_plan_catching, RunReport};
+pub use plan::FaultPlan;
+pub use refmodel::{RefDb, RefTable};
+pub use shrink::shrink;

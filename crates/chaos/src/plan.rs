@@ -1,0 +1,282 @@
+//! Fault plans: the seeded, fully serializable schedule of one torture run.
+//!
+//! A [`FaultPlan`] pins down *everything* a crash-torture run does — the
+//! workload, the transaction count, the batch grouping, where the crash
+//! fuse blows, which post-crash corruptions hit the durable log, which
+//! buffer-pool pages get written back — so a failing run reproduces
+//! byte-identically from its one-line serialization.
+//!
+//! ## Physical coherence
+//!
+//! Not every knob combination is a fault a correct system can experience,
+//! and [`FaultPlan::normalize`] enforces the coupling a real machine has:
+//!
+//! * Writing back dirty pages implies the covering log is stable first
+//!   (the write-ahead rule), so `flush_pool_pages > 0` forces
+//!   `flush_log_tail = true` and forbids tearing or flipping the log —
+//!   losing acknowledged log bytes *under* surviving page writes would be
+//!   media failure, which ARIES does not claim to survive.
+//! * Torn tails and bit flips model the OS/device losing or garbling the
+//!   unsynced suffix at crash time; they combine freely with checkpoints
+//!   and with log-tail flushing, because pages carrying the affected
+//!   transactions were never written back.
+
+use bionic_sim::rng::SplitMix64;
+use bionic_workloads::WorkloadKind;
+
+/// One deterministic torture schedule. See the module docs for the
+/// coherence rules between fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Master seed: workload population, transaction stream, and every
+    /// fault below derive from it.
+    pub seed: u64,
+    /// Which benchmark drives the run.
+    pub workload: WorkloadKind,
+    /// Transactions to submit (the crash fuse usually cuts the run short).
+    pub txns: u32,
+    /// Batch size handed to `submit_batch` (exercises the PALM path).
+    pub group: u32,
+    /// Blow the crash fuse after this many priced log appends
+    /// ([`bionic_core::engine::Engine::crash_at`]); `None` crashes at
+    /// quiescence, after the full stream ran.
+    pub crash_after_appends: Option<u64>,
+    /// Model the OS page cache pushing the buffered log tail to disk at
+    /// crash time (the unsynced suffix survives).
+    pub flush_log_tail: bool,
+    /// Write back up to this many dirty buffer-pool pages before the crash
+    /// (a background writer racing the failure).
+    pub flush_pool_pages: u32,
+    /// Tear this many bytes off the end of the surviving log image.
+    pub torn_tail_bytes: u32,
+    /// Bit flips applied to the surviving log image: `(offset, mask)`,
+    /// offset taken modulo the image length, mask XORed in (never 0).
+    pub bit_flips: Vec<(u64, u8)>,
+    /// Take a sharp checkpoint every this many transactions (0 = never).
+    pub checkpoint_every: u32,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a seed. Even seeds run TATP, odd seeds TPC-C, so
+    /// any contiguous seed range alternates workloads; everything else
+    /// comes from split SplitMix64 substreams of the seed.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let workload = if seed.is_multiple_of(2) {
+            WorkloadKind::Tatp
+        } else {
+            WorkloadKind::Tpcc
+        };
+        let mut shape = rng.split();
+        let mut crash = rng.split();
+        let mut faults = rng.split();
+
+        let txns = 40 + shape.below(120) as u32;
+        let group = 1 + shape.below(8) as u32;
+        let checkpoint_every = if shape.chance(0.4) {
+            10 + shape.below(40) as u32
+        } else {
+            0
+        };
+        let crash_after_appends = if crash.chance(0.85) {
+            Some(1 + crash.below(600))
+        } else {
+            None
+        };
+
+        let mut plan = FaultPlan {
+            seed,
+            workload,
+            txns,
+            group,
+            crash_after_appends,
+            flush_log_tail: false,
+            flush_pool_pages: 0,
+            torn_tail_bytes: 0,
+            bit_flips: Vec::new(),
+            checkpoint_every,
+        };
+        if faults.chance(0.4) {
+            // Page-flush family: a background writer raced the crash.
+            plan.flush_pool_pages = 1 + faults.below(16) as u32;
+            plan.flush_log_tail = true;
+        } else {
+            // Log-corruption family: the unsynced tail is lost or garbled.
+            plan.flush_log_tail = faults.chance(0.5);
+            if faults.chance(0.7) {
+                plan.torn_tail_bytes = faults.below(200) as u32;
+            }
+            for _ in 0..faults.below(3) {
+                let offset = faults.below(1 << 20);
+                let mask = (faults.below(255) + 1) as u8;
+                plan.bit_flips.push((offset, mask));
+            }
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Enforce the physical-coherence rules (see module docs). Idempotent;
+    /// called by [`FaultPlan::from_seed`], [`FaultPlan::parse`], and after
+    /// every shrinking step.
+    pub fn normalize(&mut self) {
+        self.txns = self.txns.max(1);
+        self.group = self.group.max(1);
+        self.bit_flips.retain(|&(_, mask)| mask != 0);
+        if self.flush_pool_pages > 0 {
+            // Write-ahead rule: page write-back implies a stable log, and
+            // the stable log cannot then lose bytes.
+            self.flush_log_tail = true;
+            self.torn_tail_bytes = 0;
+            self.bit_flips.clear();
+        }
+    }
+
+    /// One-line text serialization — the artifact a failing run prints, and
+    /// the only thing needed to reproduce it.
+    pub fn serialize(&self) -> String {
+        let crash = match self.crash_after_appends {
+            Some(n) => n.to_string(),
+            None => "-".into(),
+        };
+        let flips = if self.bit_flips.is_empty() {
+            "-".into()
+        } else {
+            self.bit_flips
+                .iter()
+                .map(|(o, m)| format!("{o}:{m}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "chaosplan v1 seed={} workload={} txns={} group={} crash={} \
+             flush_log={} flush_pages={} torn={} ckpt={} flips={}",
+            self.seed,
+            self.workload.label(),
+            self.txns,
+            self.group,
+            crash,
+            u8::from(self.flush_log_tail),
+            self.flush_pool_pages,
+            self.torn_tail_bytes,
+            self.checkpoint_every,
+            flips,
+        )
+    }
+
+    /// Parse a [`FaultPlan::serialize`] line back. Returns `None` on any
+    /// malformed field (never panics: plan files are external input).
+    pub fn parse(line: &str) -> Option<FaultPlan> {
+        let mut fields = line.split_whitespace();
+        if fields.next()? != "chaosplan" || fields.next()? != "v1" {
+            return None;
+        }
+        let mut plan = FaultPlan {
+            seed: 0,
+            workload: WorkloadKind::Tatp,
+            txns: 1,
+            group: 1,
+            crash_after_appends: None,
+            flush_log_tail: false,
+            flush_pool_pages: 0,
+            torn_tail_bytes: 0,
+            bit_flips: Vec::new(),
+            checkpoint_every: 0,
+        };
+        for field in fields {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "seed" => plan.seed = value.parse().ok()?,
+                "workload" => plan.workload = WorkloadKind::parse(value)?,
+                "txns" => plan.txns = value.parse().ok()?,
+                "group" => plan.group = value.parse().ok()?,
+                "crash" => {
+                    plan.crash_after_appends = if value == "-" {
+                        None
+                    } else {
+                        Some(value.parse().ok()?)
+                    }
+                }
+                "flush_log" => plan.flush_log_tail = value.parse::<u8>().ok()? != 0,
+                "flush_pages" => plan.flush_pool_pages = value.parse().ok()?,
+                "torn" => plan.torn_tail_bytes = value.parse().ok()?,
+                "ckpt" => plan.checkpoint_every = value.parse().ok()?,
+                "flips" => {
+                    if value != "-" {
+                        for pair in value.split(',') {
+                            let (o, m) = pair.split_once(':')?;
+                            plan.bit_flips.push((o.parse().ok()?, m.parse().ok()?));
+                        }
+                    }
+                }
+                _ => return None,
+            }
+        }
+        plan.normalize();
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_alternates_workloads() {
+        for seed in 0..32 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            let expect = if seed % 2 == 0 {
+                WorkloadKind::Tatp
+            } else {
+                WorkloadKind::Tpcc
+            };
+            assert_eq!(a.workload, expect);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        for seed in 0..64 {
+            let plan = FaultPlan::from_seed(seed);
+            let line = plan.serialize();
+            assert_eq!(FaultPlan::parse(&line), Some(plan), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(FaultPlan::parse(""), None);
+        assert_eq!(FaultPlan::parse("chaosplan v2 seed=1"), None);
+        assert_eq!(FaultPlan::parse("chaosplan v1 seed=x"), None);
+        assert_eq!(FaultPlan::parse("chaosplan v1 bogus=1"), None);
+        assert_eq!(FaultPlan::parse("chaosplan v1 flips=3"), None);
+    }
+
+    #[test]
+    fn normalize_enforces_the_write_ahead_coupling() {
+        let mut plan = FaultPlan::from_seed(0);
+        plan.flush_pool_pages = 4;
+        plan.flush_log_tail = false;
+        plan.torn_tail_bytes = 99;
+        plan.bit_flips = vec![(10, 3)];
+        plan.normalize();
+        assert!(plan.flush_log_tail);
+        assert_eq!(plan.torn_tail_bytes, 0);
+        assert!(plan.bit_flips.is_empty());
+    }
+
+    #[test]
+    fn seeds_cover_both_fault_families() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| p.flush_pool_pages > 0), "page family");
+        assert!(plans.iter().any(|p| p.torn_tail_bytes > 0), "torn tails");
+        assert!(plans.iter().any(|p| !p.bit_flips.is_empty()), "bit flips");
+        assert!(plans.iter().any(|p| p.checkpoint_every > 0), "checkpoints");
+        assert!(
+            plans.iter().any(|p| p.crash_after_appends.is_none()),
+            "quiescent crashes"
+        );
+    }
+}

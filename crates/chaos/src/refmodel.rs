@@ -1,0 +1,348 @@
+//! The differential oracle's reference model: a plain in-memory database
+//! that replays transaction programs with exactly the engine's semantics —
+//! same abort reasons, same first-failure ordering, same secondary-index
+//! maintenance — but none of its machinery (no WAL, no buffer pool, no
+//! recovery). After a crash, replaying only the durably-committed programs
+//! through a pristine model must produce the exact table and secondary
+//! contents the recovered engine exposes.
+
+use bionic_core::ops::{Op, TxnProgram};
+use bionic_core::table::make_record;
+use bionic_core::AbortReason;
+use std::collections::BTreeMap;
+
+/// One mirrored table: full record images by primary key, plus the
+/// secondary mapping when the table has one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefTable {
+    /// Table name (diagnostics only).
+    pub name: String,
+    /// Byte offset of the secondary i64 field in the record image.
+    pub secondary_offset: Option<usize>,
+    /// `primary key → full record image` (the `key || body` layout).
+    pub rows: BTreeMap<i64, Vec<u8>>,
+    /// `secondary key → primary key`.
+    pub secondary: BTreeMap<i64, i64>,
+}
+
+impl RefTable {
+    fn secondary_key(&self, record: &[u8]) -> Option<i64> {
+        self.secondary_offset
+            .map(|off| i64::from_le_bytes(record[off..off + 8].try_into().expect("field fits")))
+    }
+}
+
+/// Undo journal entry for one mirrored mutation (replayed in reverse on
+/// abort, mirroring the engine's WAL-undo + index compensations).
+enum Undo {
+    RowRestore {
+        table: u32,
+        key: i64,
+        before: Option<Vec<u8>>,
+    },
+    SecondaryReinsert {
+        table: u32,
+        skey: i64,
+        pkey: i64,
+    },
+    SecondaryRemove {
+        table: u32,
+        skey: i64,
+    },
+}
+
+/// The reference database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefDb {
+    /// Tables in engine id order.
+    pub tables: Vec<RefTable>,
+}
+
+impl RefDb {
+    /// Snapshot a reference model from a live engine (used right after the
+    /// load phase, before any measured transaction runs).
+    pub fn snapshot(engine: &mut bionic_core::Engine) -> RefDb {
+        let mut tables = Vec::with_capacity(engine.table_count());
+        for t in 0..engine.table_count() as u32 {
+            tables.push(RefTable {
+                name: engine.table_name(t).to_string(),
+                secondary_offset: engine.secondary_offset(t),
+                rows: engine.scan_table(t).into_iter().collect(),
+                secondary: engine.scan_secondary(t).into_iter().collect(),
+            });
+        }
+        RefDb { tables }
+    }
+
+    /// Replay one program with the engine's exact decision semantics:
+    /// `Ok(())` iff the engine would commit it, `Err(reason)` with the
+    /// engine's first-failure abort reason otherwise. On abort the model is
+    /// left untouched (the journal is unwound), mirroring rollback.
+    pub fn replay(&mut self, program: &TxnProgram) -> Result<(), AbortReason> {
+        let mut journal: Vec<Undo> = Vec::new();
+        for phase in &program.phases {
+            for action in phase {
+                for op in &action.ops {
+                    if let Err(reason) =
+                        self.apply_op(op, program.abort_on_missing_read, &mut journal)
+                    {
+                        self.unwind(journal);
+                        return Err(reason);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_op(
+        &mut self,
+        op: &Op,
+        abort_on_missing_read: bool,
+        journal: &mut Vec<Undo>,
+    ) -> Result<(), AbortReason> {
+        match op {
+            Op::Compute { .. } | Op::ReadRange { .. } => Ok(()),
+            Op::Read { table, key } => {
+                if !self.tables[*table as usize].rows.contains_key(key) && abort_on_missing_read {
+                    return Err(AbortReason::MissingKey);
+                }
+                Ok(())
+            }
+            Op::SecondaryRead { table, skey } => {
+                if !self.tables[*table as usize].secondary.contains_key(skey)
+                    && abort_on_missing_read
+                {
+                    return Err(AbortReason::MissingKey);
+                }
+                Ok(())
+            }
+            Op::Update { table, key, patch } => {
+                let t = &mut self.tables[*table as usize];
+                let Some(before) = t.rows.get(key).cloned() else {
+                    return Err(AbortReason::MissingKey);
+                };
+                let mut after = before.clone();
+                if patch.apply(&mut after).is_err() {
+                    return Err(AbortReason::PatchFailed);
+                }
+                t.rows.insert(*key, after.clone());
+                journal.push(Undo::RowRestore {
+                    table: *table,
+                    key: *key,
+                    before: Some(before.clone()),
+                });
+                self.maintain_secondary(*table, *key, Some(&before), Some(&after), journal);
+                Ok(())
+            }
+            Op::Insert { table, key, record } => {
+                let t = &mut self.tables[*table as usize];
+                if t.rows.contains_key(key) {
+                    return Err(AbortReason::DuplicateKey);
+                }
+                let full = make_record(*key, record);
+                t.rows.insert(*key, full.clone());
+                journal.push(Undo::RowRestore {
+                    table: *table,
+                    key: *key,
+                    before: None,
+                });
+                self.maintain_secondary(*table, *key, None, Some(&full), journal);
+                Ok(())
+            }
+            Op::Delete { table, key } => {
+                let t = &mut self.tables[*table as usize];
+                let Some(before) = t.rows.remove(key) else {
+                    return Err(AbortReason::MissingKey);
+                };
+                journal.push(Undo::RowRestore {
+                    table: *table,
+                    key: *key,
+                    before: Some(before.clone()),
+                });
+                self.maintain_secondary(*table, *key, Some(&before), None, journal);
+                Ok(())
+            }
+        }
+    }
+
+    /// Mirror of the engine's `maintain_secondary`: only acts when the
+    /// secondary field actually changes; removal/insertion order and the
+    /// insert-replaces semantics of the B+tree are preserved.
+    fn maintain_secondary(
+        &mut self,
+        table: u32,
+        key: i64,
+        before: Option<&[u8]>,
+        after: Option<&[u8]>,
+        journal: &mut Vec<Undo>,
+    ) {
+        let t = &mut self.tables[table as usize];
+        if t.secondary_offset.is_none() {
+            return;
+        }
+        let old_skey = before.and_then(|r| t.secondary_key(r));
+        let new_skey = after.and_then(|r| t.secondary_key(r));
+        if old_skey == new_skey {
+            return;
+        }
+        if let Some(skey) = old_skey {
+            t.secondary.remove(&skey);
+            journal.push(Undo::SecondaryReinsert {
+                table,
+                skey,
+                pkey: key,
+            });
+        }
+        if let Some(skey) = new_skey {
+            t.secondary.insert(skey, key);
+            journal.push(Undo::SecondaryRemove { table, skey });
+        }
+    }
+
+    fn unwind(&mut self, journal: Vec<Undo>) {
+        for entry in journal.into_iter().rev() {
+            match entry {
+                Undo::RowRestore { table, key, before } => {
+                    let t = &mut self.tables[table as usize];
+                    match before {
+                        Some(rec) => t.rows.insert(key, rec),
+                        None => t.rows.remove(&key),
+                    };
+                }
+                Undo::SecondaryReinsert { table, skey, pkey } => {
+                    self.tables[table as usize].secondary.insert(skey, pkey);
+                }
+                Undo::SecondaryRemove { table, skey } => {
+                    self.tables[table as usize].secondary.remove(&skey);
+                }
+            }
+        }
+    }
+
+    /// Order-independent state digest (FNV-1a over every table's sorted
+    /// rows and secondary pairs): two runs of the same plan must produce
+    /// identical digests — the byte-identical-repro check.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for t in &self.tables {
+            eat(t.name.as_bytes());
+            for (k, rec) in &t.rows {
+                eat(&k.to_le_bytes());
+                eat(rec);
+            }
+            for (sk, pk) in &t.secondary {
+                eat(&sk.to_le_bytes());
+                eat(&pk.to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_core::ops::{Action, Patch};
+
+    fn db() -> RefDb {
+        let mut rows = BTreeMap::new();
+        rows.insert(1, make_record(1, &[10u8; 16]));
+        rows.insert(2, make_record(2, &[20u8; 16]));
+        let secondary = rows
+            .iter()
+            .map(|(k, r)| (i64::from_le_bytes(r[8..16].try_into().unwrap()), *k))
+            .collect();
+        RefDb {
+            tables: vec![RefTable {
+                name: "T".into(),
+                secondary_offset: Some(8),
+                rows,
+                secondary,
+            }],
+        }
+    }
+
+    fn prog(ops: Vec<Op>, abort_on_missing_read: bool) -> TxnProgram {
+        TxnProgram {
+            name: "test",
+            phases: vec![vec![Action::new(0, 0, ops)]],
+            abort_on_missing_read,
+        }
+    }
+
+    #[test]
+    fn abort_unwinds_every_effect_including_secondary() {
+        let mut d = db();
+        let before = d.clone();
+        // Insert a row (with a secondary entry), then hit a duplicate.
+        let p = prog(
+            vec![
+                Op::Insert {
+                    table: 0,
+                    key: 3,
+                    record: vec![30u8; 16],
+                },
+                Op::Update {
+                    table: 0,
+                    key: 1,
+                    patch: Patch::Splice {
+                        offset: 8,
+                        bytes: vec![9; 8],
+                    },
+                },
+                Op::Insert {
+                    table: 0,
+                    key: 2,
+                    record: vec![0u8; 4],
+                },
+            ],
+            true,
+        );
+        assert_eq!(d.replay(&p), Err(AbortReason::DuplicateKey));
+        assert_eq!(d, before, "abort must leave no trace");
+    }
+
+    #[test]
+    fn commit_applies_and_digest_tracks_state() {
+        let mut d = db();
+        let d0 = d.digest();
+        let p = prog(vec![Op::Delete { table: 0, key: 2 }], true);
+        assert_eq!(d.replay(&p), Ok(()));
+        assert!(!d.tables[0].rows.contains_key(&2));
+        assert_eq!(d.tables[0].secondary.len(), 1, "secondary entry removed");
+        assert_ne!(d.digest(), d0);
+    }
+
+    #[test]
+    fn missing_read_aborts_only_when_the_program_says_so() {
+        let mut d = db();
+        let strict = prog(vec![Op::Read { table: 0, key: 99 }], true);
+        let lax = prog(vec![Op::Read { table: 0, key: 99 }], false);
+        assert_eq!(d.replay(&strict), Err(AbortReason::MissingKey));
+        assert_eq!(d.replay(&lax), Ok(()));
+    }
+
+    #[test]
+    fn patch_out_of_bounds_mirrors_the_engine() {
+        let mut d = db();
+        let p = prog(
+            vec![Op::Update {
+                table: 0,
+                key: 1,
+                patch: Patch::Splice {
+                    offset: 1000,
+                    bytes: vec![1],
+                },
+            }],
+            true,
+        );
+        assert_eq!(d.replay(&p), Err(AbortReason::PatchFailed));
+    }
+}

@@ -1,0 +1,167 @@
+//! Greedy fault-plan shrinking: given a failing plan and a predicate that
+//! re-runs it, strip the plan down to a minimal schedule that still fails.
+//!
+//! Because a [`FaultPlan`] is small and every field is independent-ish, a
+//! round of greedy simplification passes run to fixpoint gets within one or
+//! two knobs of minimal in practice — and every candidate is normalized
+//! first, so the shrinker can never wander into physically-incoherent
+//! territory that the harness would misjudge.
+
+use crate::plan::FaultPlan;
+
+/// Shrink `plan` against `still_fails` (returns `true` while the candidate
+/// still reproduces the failure). The input plan must itself fail; the
+/// result is the smallest plan found, which is guaranteed to still fail.
+pub fn shrink<F: FnMut(&FaultPlan) -> bool>(plan: &FaultPlan, mut still_fails: F) -> FaultPlan {
+    let mut best = plan.clone();
+    best.normalize();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if candidate != best && still_fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break; // restart the pass list from the simplest edits
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Candidate simplifications, cheapest/most-aggressive first. Each is
+/// normalized so coherence holds no matter which field was touched.
+fn candidates(base: &FaultPlan) -> Vec<FaultPlan> {
+    let mut out = Vec::new();
+    let mut push = |mut p: FaultPlan| {
+        p.normalize();
+        out.push(p);
+    };
+
+    // Drop whole fault dimensions first.
+    if base.checkpoint_every != 0 {
+        push(FaultPlan {
+            checkpoint_every: 0,
+            ..base.clone()
+        });
+    }
+    if !base.bit_flips.is_empty() {
+        push(FaultPlan {
+            bit_flips: Vec::new(),
+            ..base.clone()
+        });
+        for i in 0..base.bit_flips.len() {
+            let mut flips = base.bit_flips.clone();
+            flips.remove(i);
+            push(FaultPlan {
+                bit_flips: flips,
+                ..base.clone()
+            });
+        }
+    }
+    if base.torn_tail_bytes != 0 {
+        push(FaultPlan {
+            torn_tail_bytes: 0,
+            ..base.clone()
+        });
+        push(FaultPlan {
+            torn_tail_bytes: base.torn_tail_bytes / 2,
+            ..base.clone()
+        });
+    }
+    if base.flush_pool_pages != 0 {
+        push(FaultPlan {
+            flush_pool_pages: 0,
+            ..base.clone()
+        });
+        push(FaultPlan {
+            flush_pool_pages: base.flush_pool_pages / 2,
+            ..base.clone()
+        });
+    }
+    if base.flush_log_tail && base.flush_pool_pages == 0 {
+        push(FaultPlan {
+            flush_log_tail: false,
+            ..base.clone()
+        });
+    }
+    if let Some(n) = base.crash_after_appends {
+        push(FaultPlan {
+            crash_after_appends: None,
+            ..base.clone()
+        });
+        if n > 1 {
+            push(FaultPlan {
+                crash_after_appends: Some(n / 2),
+                ..base.clone()
+            });
+        }
+    }
+    // Then shrink the stream itself.
+    if base.txns > 1 {
+        push(FaultPlan {
+            txns: base.txns / 2,
+            ..base.clone()
+        });
+        push(FaultPlan {
+            txns: base.txns - 1,
+            ..base.clone()
+        });
+    }
+    if base.group > 1 {
+        push(FaultPlan {
+            group: 1,
+            ..base.clone()
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_core() {
+        // Synthetic bug: "fails whenever torn_tail_bytes >= 10 and
+        // txns >= 5" — everything else is noise the shrinker must remove.
+        let mut noisy = FaultPlan::from_seed(2);
+        noisy.torn_tail_bytes = 170;
+        noisy.txns = 120;
+        noisy.group = 7;
+        noisy.checkpoint_every = 25;
+        noisy.crash_after_appends = Some(500);
+        noisy.flush_pool_pages = 0;
+        noisy.bit_flips = vec![(5, 1), (7, 2)];
+        noisy.flush_log_tail = true;
+        noisy.normalize();
+        let fails = |p: &FaultPlan| p.torn_tail_bytes >= 10 && p.txns >= 5;
+        assert!(fails(&noisy));
+        let min = shrink(&noisy, fails);
+        assert!(fails(&min), "the shrunk plan must still fail");
+        assert_eq!(min.checkpoint_every, 0);
+        assert!(min.bit_flips.is_empty());
+        assert_eq!(min.crash_after_appends, None);
+        assert!(!min.flush_log_tail);
+        assert_eq!(min.group, 1);
+        assert!(min.torn_tail_bytes < 20, "halved to just above threshold");
+        assert!(min.txns < 10, "halved to just above threshold");
+    }
+
+    #[test]
+    fn already_minimal_plan_is_a_fixpoint() {
+        let mut minimal = FaultPlan::from_seed(4);
+        minimal.txns = 1;
+        minimal.group = 1;
+        minimal.checkpoint_every = 0;
+        minimal.crash_after_appends = None;
+        minimal.flush_log_tail = false;
+        minimal.flush_pool_pages = 0;
+        minimal.torn_tail_bytes = 0;
+        minimal.bit_flips.clear();
+        minimal.normalize();
+        let shrunk = shrink(&minimal, |_| true);
+        assert_eq!(shrunk, minimal);
+    }
+}

@@ -119,6 +119,35 @@ pub struct CrashImage {
     pub(crate) heap_pages: Vec<Vec<u64>>,
 }
 
+impl CrashImage {
+    /// The surviving durable log bytes (read access, e.g. for an oracle
+    /// scanning the commit records that actually reached stable storage).
+    pub fn log_bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Mutable access to the surviving log bytes — the fault-injection
+    /// layer uses this to tear the tail or flip bits "on disk" between
+    /// crash and restart.
+    pub fn log_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.log
+    }
+
+    /// LSN of the first surviving log byte.
+    pub fn log_base(&self) -> bionic_wal::Lsn {
+        self.log_base
+    }
+}
+
+/// A deterministic crash fuse (see [`Engine::crash_at`]): counts priced log
+/// appends down to zero, then "blows" — execution halts at the next
+/// interruption point exactly as if the process died there.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CrashFuse {
+    pub(crate) remaining: u64,
+    pub(crate) blown: bool,
+}
+
 /// The engine.
 pub struct Engine {
     /// Configuration (fixed at construction).
@@ -152,6 +181,8 @@ pub struct Engine {
     pub(crate) merge_marks: Vec<u64>,
     /// Amortized probe shares for an in-flight [`Engine::submit_batch`].
     pub(crate) batch_plan: crate::exec::BatchPlan,
+    /// Armed crash fuse, if any (see [`Engine::crash_at`]).
+    pub(crate) fuse: Option<CrashFuse>,
 }
 
 impl Engine {
@@ -217,9 +248,33 @@ impl Engine {
             write_seq: 1,
             merge_marks: Vec::new(),
             batch_plan: crate::exec::BatchPlan::default(),
+            fuse: None,
             platform: fabric_platform,
             cfg,
         }
+    }
+
+    /// Arm the crash fuse: the engine will simulate dying mid-execution
+    /// after `appends` more priced log appends (Begin/Insert/Update/Delete/
+    /// Commit records — the writes a transaction's forward path makes).
+    /// Once blown, in-flight work stops at the next interruption point:
+    /// [`crate::exec::TxnOutcome::Interrupted`] is returned, no rollback or
+    /// commit processing runs, and the caller is expected to
+    /// [`Engine::crash`] the engine. `appends == 0` blows immediately.
+    ///
+    /// This is the event-granular crash point the fault-injection harness
+    /// schedules: it lands *inside* a transaction (between its log writes),
+    /// not at the clean submit boundaries every other test path uses.
+    pub fn crash_at(&mut self, appends: u64) {
+        self.fuse = Some(CrashFuse {
+            remaining: appends,
+            blown: appends == 0,
+        });
+    }
+
+    /// Has an armed crash fuse blown? (Always false when never armed.)
+    pub fn fuse_blown(&self) -> bool {
+        self.fuse.is_some_and(|f| f.blown)
     }
 
     /// Create a table; returns its id.
@@ -394,6 +449,163 @@ impl Engine {
     /// The write-ahead log (read access, e.g. for verification).
     pub fn log(&self) -> &LogManager {
         &self.log
+    }
+
+    /// The next transaction id [`crate::exec::Engine::submit`] will assign.
+    pub fn next_txn_id(&self) -> TxnId {
+        self.next_txn
+    }
+
+    /// Model the OS page cache writing the buffered log tail back at crash
+    /// time (no timing or energy is charged — this is a fault-injection
+    /// knob, not a transaction-path flush). After this, [`Engine::crash`]'s
+    /// image includes everything appended so far.
+    pub fn os_flush_log(&mut self) {
+        self.log.flush();
+    }
+
+    /// Write back up to `n` dirty buffer-pool pages (ascending page-id
+    /// order). Fault-injection knob modeling a partial background
+    /// write-back racing the crash; untimed.
+    pub fn flush_pool_pages(&mut self, n: usize) -> u64 {
+        self.pool.flush_some(n)
+    }
+
+    /// Name of a table.
+    pub fn table_name(&self, table: u32) -> &str {
+        &self.tables[table as usize].name
+    }
+
+    /// Secondary-index field offset of a table, if it has one.
+    pub fn secondary_offset(&self, table: u32) -> Option<usize> {
+        self.tables[table as usize].secondary_offset
+    }
+
+    /// Full contents of a table as `(key, record_image)` pairs in key
+    /// order, read through the primary index (untimed; for differential
+    /// verification).
+    pub fn scan_table(&mut self, table: u32) -> Vec<(i64, Vec<u8>)> {
+        let mut pairs: Vec<(i64, u64)> = Vec::new();
+        self.tables[table as usize]
+            .index
+            .scan_all(|k, v| pairs.push((*k, v)));
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let mut out = Vec::with_capacity(pairs.len());
+        for (key, rid) in pairs {
+            let rec = self.tables[table as usize]
+                .heap
+                .get(
+                    &mut self.pool,
+                    bionic_storage::page::RecordId::from_u64(rid),
+                )
+                .0
+                .unwrap_or_else(|| panic!("index of {table} points at dead rid for key {key}"));
+            out.push((key, rec));
+        }
+        out
+    }
+
+    /// Secondary-index point lookup: secondary key → primary key (untimed).
+    pub fn secondary_lookup(&mut self, table: u32, skey: i64) -> Option<i64> {
+        self.tables[table as usize]
+            .secondary
+            .get(&skey)
+            .0
+            .map(|p| p as i64)
+    }
+
+    /// All `(secondary_key, primary_key)` pairs of a table's secondary
+    /// index in secondary-key order (untimed; for verification).
+    pub fn scan_secondary(&self, table: u32) -> Vec<(i64, i64)> {
+        let mut pairs: Vec<(i64, i64)> = Vec::new();
+        self.tables[table as usize]
+            .secondary
+            .scan_all(|k, v| pairs.push((*k, v as i64)));
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Check a table's internal consistency: every index entry points at a
+    /// live heap record embedding that key; every heap record is indexed;
+    /// when a secondary index exists, it maps exactly the secondary fields
+    /// of the live records back to their primary keys (both directions).
+    pub fn verify_table_integrity(&mut self, table: u32) -> Result<(), String> {
+        let t = &mut self.tables[table as usize];
+        let name = t.name.clone();
+        t.index
+            .check_invariants()
+            .map_err(|e| format!("{name}: primary index invariant: {e}"))?;
+        let mut index_pairs: Vec<(i64, u64)> = Vec::new();
+        t.index.scan_all(|k, v| index_pairs.push((*k, v)));
+
+        // Heap side: collect every live record.
+        let mut heap_rows: std::collections::BTreeMap<i64, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        let mut heap_rids: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+        let mut dup: Option<i64> = None;
+        t.heap.scan(&mut self.pool, |rid, rec| {
+            let key = crate::table::record_key(rec);
+            if heap_rows.insert(key, rec.to_vec()).is_some() {
+                dup = Some(key);
+            }
+            heap_rids.insert(key, rid.to_u64());
+        });
+        if let Some(key) = dup {
+            return Err(format!("{name}: duplicate heap record for key {key}"));
+        }
+        if index_pairs.len() != heap_rows.len() {
+            return Err(format!(
+                "{name}: index has {} entries but heap has {} live records",
+                index_pairs.len(),
+                heap_rows.len()
+            ));
+        }
+        for (key, rid) in &index_pairs {
+            match heap_rids.get(key) {
+                None => return Err(format!("{name}: index key {key} has no heap record")),
+                Some(actual) if actual != rid => {
+                    return Err(format!(
+                        "{name}: index key {key} points at rid {rid} but record lives at {actual}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Secondary side, both directions.
+        let t = &self.tables[table as usize];
+        if t.secondary_offset.is_some() {
+            let mut sec_pairs: Vec<(i64, i64)> = Vec::new();
+            t.secondary.scan_all(|k, v| sec_pairs.push((*k, v as i64)));
+            for (skey, pkey) in &sec_pairs {
+                let Some(rec) = heap_rows.get(pkey) else {
+                    return Err(format!(
+                        "{name}: secondary {skey} -> {pkey} but primary key is gone"
+                    ));
+                };
+                let actual = t.secondary_key(rec).expect("offset configured");
+                if actual != *skey {
+                    return Err(format!(
+                        "{name}: secondary {skey} -> {pkey} but record's field is {actual}"
+                    ));
+                }
+            }
+            let mut expect: Vec<(i64, i64)> = heap_rows
+                .iter()
+                .map(|(k, rec)| (t.secondary_key(rec).expect("offset configured"), *k))
+                .collect();
+            expect.sort_unstable();
+            let mut got = sec_pairs;
+            got.sort_unstable();
+            if got != expect {
+                return Err(format!(
+                    "{name}: secondary index has {} entries, live records imply {}",
+                    got.len(),
+                    expect.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Committed-writes version counter: the NEXT version a write will be

@@ -50,6 +50,11 @@ pub enum TxnOutcome {
         /// Arrival → rollback-complete latency.
         latency: SimTime,
     },
+    /// The crash fuse blew mid-execution ([`Engine::crash_at`]): the
+    /// transaction neither committed nor rolled back — exactly the state a
+    /// real crash leaves, for recovery to resolve. No latency is defined
+    /// (the process "died").
+    Interrupted,
 }
 
 impl TxnOutcome {
@@ -58,10 +63,16 @@ impl TxnOutcome {
         matches!(self, TxnOutcome::Committed { .. })
     }
 
-    /// End-to-end latency.
+    /// Was the transaction cut short by a blown crash fuse?
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, TxnOutcome::Interrupted)
+    }
+
+    /// End-to-end latency ([`SimTime::ZERO`] for interrupted transactions).
     pub fn latency(&self) -> SimTime {
         match self {
             TxnOutcome::Committed { latency } | TxnOutcome::Aborted { latency, .. } => *latency,
+            TxnOutcome::Interrupted => SimTime::ZERO,
         }
     }
 }
@@ -354,6 +365,12 @@ impl Engine {
     }
 
     /// Append + price a log record. Returns `(cpu, buffered_at, lsn)`.
+    ///
+    /// This is also where the crash fuse ticks: every priced append counts
+    /// down, and the fuse blows *after* the Nth append lands in the
+    /// volatile log — the record exists in memory but nothing later (flush,
+    /// rollback, further ops) will run, exactly like a process death
+    /// between two store instructions.
     fn log_write(
         &mut self,
         txn: TxnId,
@@ -362,6 +379,14 @@ impl Engine {
         now: SimTime,
     ) -> (SimTime, SimTime, Lsn) {
         let (rec, bytes) = self.log.append(txn, body);
+        if let Some(f) = self.fuse.as_mut() {
+            if !f.blown {
+                f.remaining = f.remaining.saturating_sub(1);
+                if f.remaining == 0 {
+                    f.blown = true;
+                }
+            }
+        }
         let timing = self.log_path.insert(now, agent, bytes as u64);
         let cpu = self.cpu_time(Category::Log, timing.cpu_busy);
         self.platform.charge_fpga(timing.energy);
@@ -962,6 +987,10 @@ impl Engine {
 
     /// Execute one transaction arriving at `arrive`.
     pub fn submit(&mut self, program: &TxnProgram, arrive: SimTime) -> TxnOutcome {
+        if self.fuse_blown() {
+            // The "process" is already dead: nothing runs, nothing counts.
+            return TxnOutcome::Interrupted;
+        }
         self.stats.submitted += 1;
         let txn = self.next_txn;
         self.next_txn += 1;
@@ -984,6 +1013,7 @@ impl Engine {
         let mut wrote = false;
         let mut logged_begin = false;
         let mut abort: Option<AbortReason> = None;
+        let mut interrupted = false;
         let mut last_agent = 0usize;
         let mut locks_taken = 0u64;
 
@@ -1046,10 +1076,16 @@ impl Engine {
                         abort = Some(reason);
                         break;
                     }
+                    // Crash fuse blown by one of this op's log appends: die
+                    // here — no further ops, no rollback, no commit.
+                    if self.fuse_blown() {
+                        interrupted = true;
+                        break;
+                    }
                 }
                 let (_, agent_done) = self.agents[agent_idx].submit(start_hint, cost.cpu);
                 completions.push(agent_done + cost.asy);
-                if abort.is_some() {
+                if abort.is_some() || interrupted {
                     t = completions.iter().copied().max().unwrap_or(t);
                     break 'phases;
                 }
@@ -1061,6 +1097,9 @@ impl Engine {
             }
         }
 
+        if interrupted {
+            return TxnOutcome::Interrupted;
+        }
         let outcome = match abort {
             Some(reason) => {
                 let rb_cpu = self.rollback(txn, undo, last_agent, t);
@@ -1084,6 +1123,12 @@ impl Engine {
                 let done = if wrote {
                     let (log_cpu, buffered, _) =
                         self.log_write(txn, LogBody::Commit, last_agent, t + commit_cpu);
+                    // Torn-commit window: the Commit record is in the
+                    // volatile log but the fuse blew before the flush — the
+                    // transaction is NOT durable and must lose at recovery.
+                    if self.fuse_blown() {
+                        return TxnOutcome::Interrupted;
+                    }
                     commit_cpu += log_cpu;
                     let bytes = self.log.unflushed_bytes().max(1);
                     let (durable, e) = self.group_commit.durable_at(buffered, bytes);
@@ -1133,7 +1178,14 @@ impl Engine {
         let mut out = Vec::with_capacity(programs.len());
         let mut at = arrive;
         for program in programs {
-            out.push(self.submit(program, at));
+            let outcome = self.submit(program, at);
+            let stop = outcome.is_interrupted();
+            out.push(outcome);
+            if stop {
+                // Crash fuse blew mid-group: the rest of the batch never
+                // ran. Callers see a short outcome vector.
+                break;
+            }
             at += inter;
         }
         // Shares left by aborted tails are dropped: the planner's aggregate

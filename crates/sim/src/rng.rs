@@ -41,6 +41,16 @@ impl SplitMix64 {
         self.next_f64() < p
     }
 
+    /// Split off an independent generator (the "splittable" in SplitMix64):
+    /// the child is seeded from the parent's next draw, so parent and child
+    /// streams stay decorrelated and both remain fully deterministic. The
+    /// fault-injection planner uses this to derive per-concern substreams
+    /// (workload shape, crash point, corruption sites) from one plan seed.
+    #[inline]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
     /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
@@ -86,6 +96,21 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
         let frac = hits as f64 / 100_000.0;
         assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut ca = a.split();
+        let mut cb = b.split();
+        for _ in 0..50 {
+            assert_eq!(ca.next_u64(), cb.next_u64(), "same seed, same child");
+        }
+        // Child and parent streams differ.
+        let mut p = SplitMix64::new(7);
+        let mut c = p.split();
+        assert_ne!(p.next_u64(), c.next_u64());
     }
 
     #[test]

@@ -49,6 +49,7 @@ struct Frame {
     page: Page,
     dirty: bool,
     referenced: bool,
+    pins: u32,
 }
 
 /// A CLOCK-replacement buffer pool over a [`DiskManager`].
@@ -83,10 +84,21 @@ impl BufferPool {
     }
 
     fn evict_victim(&mut self) -> (usize, bool) {
-        // CLOCK: sweep until an unreferenced frame is found.
+        // CLOCK: sweep until an unreferenced, unpinned frame is found.
+        // Pinned frames are never victims; two full sweeps without a
+        // candidate means every frame is pinned, which is a caller bug.
+        let mut steps = 0;
         loop {
+            assert!(
+                steps < 2 * self.frames.len() + 1,
+                "all {} frames pinned: cannot evict",
+                self.frames.len()
+            );
+            steps += 1;
             let f = &mut self.frames[self.hand];
-            if f.referenced {
+            if f.pins > 0 {
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else if f.referenced {
                 f.referenced = false;
                 self.hand = (self.hand + 1) % self.frames.len();
             } else {
@@ -125,6 +137,7 @@ impl BufferPool {
                 page,
                 dirty: false,
                 referenced: true,
+                pins: 0,
             });
             self.frames.len() - 1
         } else {
@@ -135,6 +148,7 @@ impl BufferPool {
                 page,
                 dirty: false,
                 referenced: true,
+                pins: 0,
             };
             idx
         };
@@ -159,6 +173,34 @@ impl BufferPool {
         let frame = &mut self.frames[idx];
         frame.dirty = true;
         (f(&mut frame.page), access)
+    }
+
+    /// Pin a page: fault it in and exempt it from eviction until every pin
+    /// is released. Pins nest; each `pin` needs a matching [`BufferPool::unpin`].
+    pub fn pin(&mut self, id: PageId) -> Access {
+        let access = self.fault_in(id);
+        let idx = self.map[&id];
+        self.frames[idx].pins += 1;
+        access
+    }
+
+    /// Release one pin on a resident page. Panics on unbalanced unpin —
+    /// that is a latching bug, not a recoverable condition.
+    pub fn unpin(&mut self, id: PageId) {
+        let idx = *self.map.get(&id).expect("unpin of non-resident page");
+        let f = &mut self.frames[idx];
+        assert!(f.pins > 0, "unpin of unpinned page {id:?}");
+        f.pins -= 1;
+    }
+
+    /// Current pin count of a page (0 if not resident).
+    pub fn pin_count(&self, id: PageId) -> u32 {
+        self.map.get(&id).map_or(0, |&idx| self.frames[idx].pins)
+    }
+
+    /// Is the page currently held in a frame?
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
     }
 
     /// Flush one page if resident and dirty. Returns true if a write happened.
@@ -188,6 +230,39 @@ impl BufferPool {
             self.flush(id);
         }
         n
+    }
+
+    /// Flush at most `n` dirty pages, chosen deterministically in ascending
+    /// [`PageId`] order (the fault-injection harness uses this to model a
+    /// partial background write-back before a crash). Returns the number
+    /// actually written.
+    pub fn flush_some(&mut self, n: usize) -> u64 {
+        let mut dirty_ids: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_id)
+            .collect();
+        dirty_ids.sort_unstable();
+        let mut written = 0;
+        for id in dirty_ids.into_iter().take(n) {
+            if self.flush(id) {
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Page ids of all currently dirty frames, ascending.
+    pub fn dirty_page_ids(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Pool statistics.
@@ -306,6 +381,65 @@ mod tests {
         p.with_page_mut(ids[0], |pg| pg.bytes_mut()[10] = 42);
         let mut disk = p.into_disk();
         assert_eq!(disk.read(ids[0]).bytes()[10], 42);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let (mut p, ids) = pool(2, 2);
+        p.pin(ids[0]);
+        p.with_page_mut(ids[0], |pg| pg.bytes_mut()[0] = 9);
+        // Push many pages through the other frame: ids[0] must stay put.
+        for _ in 0..8 {
+            p.allocate_page();
+            assert!(p.is_resident(ids[0]), "pinned page evicted");
+        }
+        assert_eq!(p.pin_count(ids[0]), 1);
+        p.unpin(ids[0]);
+        assert_eq!(p.pin_count(ids[0]), 0);
+        // Now it is evictable again.
+        p.allocate_page();
+        p.allocate_page();
+        assert!(!p.is_resident(ids[0]), "unpinned page should cycle out");
+        // ... and its dirty content was written back on eviction.
+        let (byte, _) = p.with_page(ids[0], |pg| pg.bytes()[0]);
+        assert_eq!(byte, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "all 2 frames pinned")]
+    fn fully_pinned_pool_panics_on_eviction() {
+        let (mut p, ids) = pool(2, 2);
+        p.pin(ids[0]);
+        p.pin(ids[1]);
+        p.allocate_page(); // needs a frame; none evictable
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of unpinned page")]
+    fn unbalanced_unpin_panics() {
+        let (mut p, ids) = pool(2, 1);
+        p.unpin(ids[0]);
+    }
+
+    #[test]
+    fn flush_some_writes_in_ascending_page_order() {
+        let (mut p, ids) = pool(8, 4);
+        for id in &ids {
+            p.with_page_mut(*id, |pg| pg.bytes_mut()[0] = 1);
+        }
+        assert_eq!(p.dirty_page_ids(), {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        });
+        assert_eq!(p.flush_some(2), 2);
+        // The two lowest page ids are clean now, the rest still dirty.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(p.dirty_page_ids(), sorted[2..].to_vec());
+        let mut disk_check = p.crash();
+        assert_eq!(disk_check.read(sorted[0]).bytes()[0], 1);
+        assert_eq!(disk_check.read(sorted[3]).bytes()[0], 0);
     }
 
     #[test]

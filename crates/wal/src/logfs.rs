@@ -12,6 +12,7 @@
 //! [`GroupCommit`]: crate::timing::GroupCommit
 //! [`LogInsertModel`]: crate::timing::LogInsertModel
 
+use crate::record::fnv1a;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 
@@ -70,36 +71,63 @@ impl FsOp {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> FsOp {
-        match buf.get_u8() {
+    /// Decode one op, or `None` on any malformed bytes (never panics —
+    /// replay treats a failed decode as end-of-valid-log).
+    fn decode(buf: &mut Bytes) -> Option<FsOp> {
+        if buf.remaining() == 0 {
+            return None;
+        }
+        Some(match buf.get_u8() {
             0 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
                 let n = buf.get_u32_le() as usize;
-                let name = String::from_utf8(buf[..n].to_vec()).expect("utf8 name");
+                if buf.remaining() < n {
+                    return None;
+                }
+                let name = String::from_utf8(buf[..n].to_vec()).ok()?;
                 buf.advance(n);
                 FsOp::Create { name }
             }
             1 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
                 let fid = buf.get_u64_le();
                 let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n {
+                    return None;
+                }
                 let data = buf[..n].to_vec();
                 buf.advance(n);
                 FsOp::Append { fid, data }
             }
-            2 => FsOp::Truncate {
-                fid: buf.get_u64_le(),
-            },
-            3 => FsOp::Remove {
-                fid: buf.get_u64_le(),
-            },
-            k => panic!("corrupt fs log op {k}"),
-        }
+            2 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                FsOp::Truncate {
+                    fid: buf.get_u64_le(),
+                }
+            }
+            3 => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                FsOp::Remove {
+                    fid: buf.get_u64_le(),
+                }
+            }
+            _ => return None,
+        })
     }
 
     /// Encoded length in bytes (what an insert costs the log path).
     pub fn encoded_len(&self) -> usize {
         let mut b = BytesMut::new();
         self.encode(&mut b);
-        4 + b.len()
+        8 + b.len()
     }
 }
 
@@ -144,6 +172,9 @@ pub struct LogFs {
     next_fid: Fid,
     names: HashMap<String, Fid>,
     contents: HashMap<Fid, Vec<u8>>,
+    /// Bytes dropped from the replayed image's tail by record validation
+    /// (torn write or corruption). Zero for a filesystem built fresh.
+    torn_bytes: u64,
 }
 
 impl LogFs {
@@ -181,9 +212,10 @@ impl LogFs {
         op.encode(&mut body);
         self.log
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.log.extend_from_slice(&fnv1a(&body).to_le_bytes());
         self.log.extend_from_slice(&body);
         self.apply(op);
-        4 + body.len()
+        8 + body.len()
     }
 
     /// Create a file; returns its fid and the logged bytes.
@@ -259,24 +291,46 @@ impl LogFs {
         self.log[..self.durable].to_vec()
     }
 
-    /// Rebuild a filesystem by replaying a log image.
+    /// Bytes the last [`LogFs::replay`] dropped from the tail of its image
+    /// because they failed validation (torn write or corruption). Surfaced
+    /// so callers can observe the skip instead of it vanishing silently.
+    pub fn torn_bytes(&self) -> u64 {
+        self.torn_bytes
+    }
+
+    /// Rebuild a filesystem by replaying a log image. Replay stops at the
+    /// first torn or corrupt record; the invalid tail is *discarded* from
+    /// the rebuilt log (so future appends extend valid state, not garbage)
+    /// and its size is reported by [`LogFs::torn_bytes`].
     pub fn replay(image: Vec<u8>) -> Self {
         let mut fs = LogFs {
-            durable: image.len(),
             log: image,
             ..Default::default()
         };
         let mut at = 0usize;
-        while at + 4 <= fs.log.len() {
+        loop {
+            if at + 8 > fs.log.len() {
+                break;
+            }
             let len = u32::from_le_bytes(fs.log[at..at + 4].try_into().unwrap()) as usize;
-            if at + 4 + len > fs.log.len() {
+            if at + 8 + len > fs.log.len() {
                 break; // truncated tail
             }
-            let mut buf = Bytes::copy_from_slice(&fs.log[at + 4..at + 4 + len]);
-            let op = FsOp::decode(&mut buf);
+            let csum = u32::from_le_bytes(fs.log[at + 4..at + 8].try_into().unwrap());
+            let payload = &fs.log[at + 8..at + 8 + len];
+            if fnv1a(payload) != csum {
+                break; // corrupt record
+            }
+            let mut buf = Bytes::copy_from_slice(payload);
+            let Some(op) = FsOp::decode(&mut buf) else {
+                break;
+            };
             fs.apply(&op);
-            at += 4 + len;
+            at += 8 + len;
         }
+        fs.torn_bytes = (fs.log.len() - at) as u64;
+        fs.log.truncate(at);
+        fs.durable = at;
         fs
     }
 }
@@ -334,7 +388,7 @@ mod tests {
     }
 
     #[test]
-    fn replay_tolerates_torn_tail() {
+    fn replay_tolerates_torn_tail_and_surfaces_it() {
         let mut fs = LogFs::new();
         let (a, _) = fs.create("a").unwrap();
         fs.append(a, b"whole").unwrap();
@@ -344,6 +398,30 @@ mod tests {
         image.extend_from_slice(&[200, 0, 0, 0, 1, 2, 3]);
         let replayed = LogFs::replay(image);
         assert_eq!(replayed.read(a).unwrap(), b"whole");
+        assert_eq!(replayed.torn_bytes(), 7, "skip is surfaced, not silent");
+        // The garbage is gone from the rebuilt log: a further append and
+        // re-replay must still round-trip.
+        let mut replayed = replayed;
+        replayed.append(a, b" again").unwrap();
+        replayed.flush();
+        let twice = LogFs::replay(replayed.crash_image());
+        assert_eq!(twice.read(a).unwrap(), b"whole again");
+        assert_eq!(twice.torn_bytes(), 0);
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_record() {
+        let mut fs = LogFs::new();
+        let (a, _) = fs.create("a").unwrap();
+        fs.append(a, b"first").unwrap();
+        fs.append(a, b"later").unwrap();
+        fs.flush();
+        let mut image = fs.crash_image();
+        let n = image.len();
+        image[n - 2] ^= 0x08; // bit flip inside the last append's payload
+        let replayed = LogFs::replay(image);
+        assert_eq!(replayed.read(a).unwrap(), b"first");
+        assert!(replayed.torn_bytes() > 0);
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct LogManager {
     last_lsn: HashMap<TxnId, Lsn>,
     last_checkpoint: Option<Lsn>,
     flushes: u64,
+    /// Bytes discarded from the tail of a crash image because they did not
+    /// decode as a valid record (torn write or corruption). Zero except on
+    /// managers rebuilt via [`LogManager::from_image_at`].
+    torn_bytes: u64,
 }
 
 impl LogManager {
@@ -37,10 +41,16 @@ impl LogManager {
 
     /// Rebuild from a crash image whose first byte sits at `base_lsn`
     /// (non-zero when the pre-crash log had been truncated).
+    ///
+    /// The scan stops at the first byte run that does not decode as a valid
+    /// record — a torn write or corrupted tail — and *discards* those bytes
+    /// from the rebuilt log, so later appends (recovery CLRs) land on a
+    /// clean record boundary instead of after garbage that a second crash
+    /// would resurrect. The count is reported via
+    /// [`LogManager::torn_bytes_dropped`].
     pub fn from_image_at(image: Vec<u8>, base_lsn: Lsn) -> Self {
         let mut lm = LogManager {
             base_lsn,
-            durable_lsn: base_lsn + image.len() as Lsn,
             buf: image,
             ..Default::default()
         };
@@ -58,7 +68,17 @@ impl LogManager {
             }
             at = next;
         }
+        lm.torn_bytes = lm.buf.len() as Lsn - at;
+        lm.buf.truncate(at as usize);
+        lm.durable_lsn = base_lsn + at;
         lm
+    }
+
+    /// Bytes dropped from the tail of the crash image this manager was
+    /// rebuilt from because they failed record validation (torn or
+    /// corrupted). Zero for logs that shut down cleanly.
+    pub fn torn_bytes_dropped(&self) -> u64 {
+        self.torn_bytes
     }
 
     /// Next LSN to be assigned (current end of log).
@@ -364,6 +384,52 @@ mod tests {
         assert_eq!(recs[0].lsn, keep.lsn);
         // prev_lsn chains stay coherent across the rebase.
         assert_eq!(recs[1].prev_lsn, keep.lsn);
+    }
+
+    #[test]
+    fn torn_image_tail_is_dropped_and_counted() {
+        let mut lm = LogManager::new();
+        lm.append(1, LogBody::Begin);
+        let (c, _) = lm.append(1, LogBody::Commit);
+        lm.flush();
+        let mut image = lm.crash_image();
+        let clean_len = image.len();
+        // A torn write: half of a record made it to disk.
+        let torn = LogRecord {
+            lsn: 0,
+            txn: 2,
+            prev_lsn: NULL_LSN,
+            body: LogBody::Insert {
+                table: 0,
+                rid: 1,
+                after: vec![7; 40],
+            },
+        }
+        .encode();
+        image.extend_from_slice(&torn[..torn.len() / 2]);
+        let torn_len = (image.len() - clean_len) as u64;
+
+        let restored = LogManager::from_image(image);
+        assert_eq!(restored.torn_bytes_dropped(), torn_len);
+        assert_eq!(restored.tail_lsn(), clean_len as Lsn);
+        assert_eq!(restored.durable_lsn(), clean_len as Lsn);
+        // Appends after restore land on a clean boundary and decode back.
+        let mut restored = restored;
+        let (e, _) = restored.append(1, LogBody::End);
+        assert_eq!(e.lsn, clean_len as Lsn);
+        assert_eq!(e.prev_lsn, c.lsn);
+        let recs: Vec<LogRecord> = restored.iter_from(0).collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].body, LogBody::End);
+    }
+
+    #[test]
+    fn clean_image_reports_zero_torn_bytes() {
+        let mut lm = LogManager::new();
+        lm.append(1, LogBody::Begin);
+        lm.flush();
+        let restored = LogManager::from_image(lm.crash_image());
+        assert_eq!(restored.torn_bytes_dropped(), 0);
     }
 
     #[test]

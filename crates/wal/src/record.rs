@@ -5,6 +5,12 @@
 //! The encoding is a plain length-prefixed binary layout — a log is the one
 //! place where bytes on disk *are* the contract, so the format is explicit
 //! rather than derived.
+//!
+//! Every record carries an FNV-1a checksum over its payload. [`LogRecord::decode`]
+//! treats any violation — short length, bad checksum, unknown kind or CLR
+//! action tag — as end-of-valid-log and returns `None`; it never panics on
+//! log bytes, however mangled. That is what lets recovery stop cleanly at a
+//! torn or bit-flipped tail instead of taking the process down.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -142,15 +148,33 @@ fn put_image(buf: &mut BytesMut, img: &[u8]) {
     buf.put_slice(img);
 }
 
-fn get_image(buf: &mut Bytes) -> Vec<u8> {
+fn get_image(buf: &mut Bytes) -> Option<Vec<u8>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
     let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
     let img = buf[..len].to_vec();
     buf.advance(len);
-    img
+    Some(img)
+}
+
+/// 32-bit FNV-1a over a byte slice — the per-record payload checksum.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 impl LogRecord {
-    /// Encode to bytes: `u32 total_len | u8 kind | u64 txn | u64 prev | payload`.
+    /// Encode to bytes:
+    /// `u32 payload_len | u32 fnv1a(payload) | payload`, where the payload is
+    /// `u8 kind | u64 txn | u64 prev | body`.
     /// The LSN itself is implicit (it is the record's offset).
     pub fn encode(&self) -> Vec<u8> {
         let mut body = BytesMut::with_capacity(64);
@@ -205,24 +229,35 @@ impl LogRecord {
                 }
             }
         }
-        let mut out = Vec::with_capacity(4 + body.len());
+        let mut out = Vec::with_capacity(8 + body.len());
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&body).to_le_bytes());
         out.extend_from_slice(&body);
         out
     }
 
     /// Decode the record starting at offset `lsn` in `log`. Returns the
-    /// record and the offset of the next one. `None` on a truncated tail.
+    /// record and the offset of the next one. `None` on a truncated tail or
+    /// any corruption (checksum mismatch, invalid kind/action tag, payload
+    /// shorter than its fields claim) — decode never panics on log bytes.
     pub fn decode(log: &[u8], lsn: Lsn) -> Option<(LogRecord, Lsn)> {
         let off = lsn as usize;
-        if off + 4 > log.len() {
+        if off + 8 > log.len() {
             return None;
         }
         let body_len = u32::from_le_bytes(log[off..off + 4].try_into().unwrap()) as usize;
-        if off + 4 + body_len > log.len() {
+        if off + 8 + body_len > log.len() {
             return None;
         }
-        let mut buf = Bytes::copy_from_slice(&log[off + 4..off + 4 + body_len]);
+        let csum = u32::from_le_bytes(log[off + 4..off + 8].try_into().unwrap());
+        let payload = &log[off + 8..off + 8 + body_len];
+        if fnv1a(payload) != csum {
+            return None;
+        }
+        let mut buf = Bytes::copy_from_slice(payload);
+        if buf.remaining() < 17 {
+            return None;
+        }
         let kind = buf.get_u8();
         let txn = buf.get_u64_le();
         let prev_lsn = buf.get_u64_le();
@@ -232,19 +267,25 @@ impl LogRecord {
             2 => LogBody::Abort,
             3 => LogBody::End,
             4 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
                 let table = buf.get_u32_le();
                 let rid = buf.get_u64_le();
                 LogBody::Insert {
                     table,
                     rid,
-                    after: get_image(&mut buf),
+                    after: get_image(&mut buf)?,
                 }
             }
             5 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
                 let table = buf.get_u32_le();
                 let rid = buf.get_u64_le();
-                let before = get_image(&mut buf);
-                let after = get_image(&mut buf);
+                let before = get_image(&mut buf)?;
+                let after = get_image(&mut buf)?;
                 LogBody::Update {
                     table,
                     rid,
@@ -253,38 +294,56 @@ impl LogRecord {
                 }
             }
             6 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
                 let table = buf.get_u32_le();
                 let rid = buf.get_u64_le();
                 LogBody::Delete {
                     table,
                     rid,
-                    before: get_image(&mut buf),
+                    before: get_image(&mut buf)?,
                 }
             }
             7 => {
+                if buf.remaining() < 9 {
+                    return None;
+                }
                 let undo_next = buf.get_u64_le();
                 let action = match buf.get_u8() {
                     0 => {
+                        if buf.remaining() < 12 {
+                            return None;
+                        }
                         let table = buf.get_u32_le();
                         let rid = buf.get_u64_le();
                         ClrAction::Install {
                             table,
                             rid,
-                            image: get_image(&mut buf),
+                            image: get_image(&mut buf)?,
                         }
                     }
                     1 => {
+                        if buf.remaining() < 12 {
+                            return None;
+                        }
                         let table = buf.get_u32_le();
                         let rid = buf.get_u64_le();
                         ClrAction::Remove { table, rid }
                     }
-                    k => panic!("corrupt CLR action kind {k}"),
+                    _ => return None,
                 };
                 LogBody::Clr { undo_next, action }
             }
             8 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
                 let redo_from = buf.get_u64_le();
                 let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n.checked_mul(16)? {
+                    return None;
+                }
                 let mut active = Vec::with_capacity(n);
                 for _ in 0..n {
                     let t = buf.get_u64_le();
@@ -293,7 +352,7 @@ impl LogRecord {
                 }
                 LogBody::Checkpoint { active, redo_from }
             }
-            k => panic!("corrupt log record kind {k}"),
+            _ => return None,
         };
         Some((
             LogRecord {
@@ -302,7 +361,7 @@ impl LogRecord {
                 prev_lsn,
                 body,
             },
-            lsn + 4 + body_len as u64,
+            lsn + 8 + body_len as u64,
         ))
     }
 
@@ -417,6 +476,68 @@ mod tests {
             at = next;
         }
         assert_eq!(seen, lsns);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let rec = LogRecord {
+            lsn: 0,
+            txn: 9,
+            prev_lsn: 17,
+            body: LogBody::Update {
+                table: 2,
+                rid: 5,
+                before: b"aaaa".to_vec(),
+                after: b"bbbbbb".to_vec(),
+            },
+        };
+        let clean = rec.encode();
+        assert!(LogRecord::decode(&clean, 0).is_some());
+        // Flip every bit of the payload and checksum: decode must reject
+        // each mutant (return None), never panic, never mis-decode.
+        for byte in 4..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                match LogRecord::decode(&bad, 0) {
+                    None => {}
+                    Some((got, _)) => panic!(
+                        "flip at byte {byte} bit {bit} decoded as {got:?} instead of being rejected"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_kind_tag_with_valid_checksum_is_rejected() {
+        // Hand-build a record whose checksum is correct but whose kind tag
+        // is out of range: validation must catch the tag, not just the sum.
+        for kind in [9u8, 42, 0xFF] {
+            let mut payload = vec![kind];
+            payload.extend_from_slice(&7u64.to_le_bytes());
+            payload.extend_from_slice(&NULL_LSN.to_le_bytes());
+            let mut log = (payload.len() as u32).to_le_bytes().to_vec();
+            log.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            log.extend_from_slice(&payload);
+            assert!(
+                LogRecord::decode(&log, 0).is_none(),
+                "kind {kind} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_clr_action_tag_with_valid_checksum_is_rejected() {
+        let mut payload = vec![7u8]; // CLR kind
+        payload.extend_from_slice(&3u64.to_le_bytes()); // txn
+        payload.extend_from_slice(&NULL_LSN.to_le_bytes()); // prev
+        payload.extend_from_slice(&NULL_LSN.to_le_bytes()); // undo_next
+        payload.push(2); // invalid action tag
+        let mut log = (payload.len() as u32).to_le_bytes().to_vec();
+        log.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        log.extend_from_slice(&payload);
+        assert!(LogRecord::decode(&log, 0).is_none());
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct RecoveryOutcome {
     /// `(table, pages)` population discovered, for rebuilding heap/catalog
     /// metadata and indexes.
     pub table_pages: HashMap<u32, Vec<u64>>,
+    /// Bytes dropped from the log tail because they failed record
+    /// validation (torn write at crash, or corruption) — surfaced from
+    /// [`LogManager::torn_bytes_dropped`] so callers see the skip instead of
+    /// it vanishing silently.
+    pub torn_bytes_skipped: u64,
 }
 
 /// Install `image` at `rid`, stamping `lsn` on the page.
@@ -155,7 +160,10 @@ pub fn undo_txn(lm: &mut LogManager, pool: &mut BufferPool, txn: TxnId) -> u64 {
 /// Run full restart recovery over `lm` (typically built with
 /// [`LogManager::from_image`] from the crash image) against `pool`.
 pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
-    let mut out = RecoveryOutcome::default();
+    let mut out = RecoveryOutcome {
+        torn_bytes_skipped: lm.torn_bytes_dropped(),
+        ..RecoveryOutcome::default()
+    };
 
     // ---- Analysis ------------------------------------------------------
     // Start from the last checkpoint if any; seed with its active set.
@@ -482,6 +490,63 @@ mod tests {
         // Analysis started at the checkpoint: it scanned far fewer records
         // than the redo pass did (which always scans from 0).
         assert!(out.records_scanned > 0);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_surfaced_to_callers() {
+        let mut h = Harness::new();
+        h.begin(1);
+        let rid = h.insert(1, b"safe");
+        h.commit(1);
+        // Torn write: an insert record only half of which reached disk.
+        let mut image = h.lm.crash_image();
+        let clean_len = image.len();
+        let torn = LogRecord {
+            lsn: 0,
+            txn: 2,
+            prev_lsn: NULL_LSN,
+            body: LogBody::Insert {
+                table: 0,
+                rid: 99,
+                after: vec![0xAB; 64],
+            },
+        }
+        .encode();
+        image.extend_from_slice(&torn[..torn.len() - 5]);
+        let torn_len = (image.len() - clean_len) as u64;
+
+        let disk = h.pool.crash();
+        let mut pool = BufferPool::new(128, disk);
+        let mut lm = LogManager::from_image(image);
+        let out = recover(&mut lm, &mut pool);
+        assert_eq!(out.torn_bytes_skipped, torn_len, "skip must be surfaced");
+        assert_eq!(out.winners, vec![1]);
+        assert!(out.losers.is_empty(), "torn record never became durable");
+        assert_eq!(read(&mut pool, rid).unwrap(), b"safe");
+    }
+
+    #[test]
+    fn bitflipped_tail_is_cut_at_the_corrupt_record() {
+        let mut h = Harness::new();
+        h.begin(1);
+        let rid = h.insert(1, b"good");
+        h.commit(1);
+        h.begin(2);
+        h.insert(2, b"flipped");
+        h.lm.flush();
+        let mut image = h.lm.crash_image();
+        // Corrupt one byte inside txn 2's insert payload (past txn 1's
+        // records): validation must cut the log there, so txn 2's Begin may
+        // survive but its insert does not.
+        let n = image.len();
+        image[n - 3] ^= 0x40;
+        let disk = h.pool.crash();
+        let mut pool = BufferPool::new(128, disk);
+        let mut lm = LogManager::from_image(image);
+        let out = recover(&mut lm, &mut pool);
+        assert!(out.torn_bytes_skipped > 0);
+        assert_eq!(out.winners, vec![1]);
+        assert_eq!(read(&mut pool, rid).unwrap(), b"good");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Property tests for the WAL record codec: round-trips over arbitrary
+//! bodies (including empty and page-sized images), tag validation, and
+//! corruption rejection. These back the fault-injection framework — the
+//! chaos harness bit-flips log bytes and relies on `decode` rejecting every
+//! mutant instead of panicking or mis-decoding.
+
+use bionic_wal::record::{fnv1a, ClrAction, LogBody, LogRecord, Lsn, NULL_LSN};
+use proptest::prelude::*;
+
+/// Largest image a record may carry in these tests: a full page, the
+/// natural upper bound for physical before/after images.
+const MAX_IMAGE: usize = 4096;
+
+fn image() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        Just(Vec::new()),                               // empty image
+        Just(vec![0xEE; MAX_IMAGE]),                    // max-size image
+        prop::collection::vec(any::<u8>(), 0..512),     // typical
+        prop::collection::vec(any::<u8>(), 4000..4097), // near-max
+    ]
+}
+
+fn body() -> impl Strategy<Value = LogBody> {
+    prop_oneof![
+        Just(LogBody::Begin),
+        Just(LogBody::Commit),
+        Just(LogBody::Abort),
+        Just(LogBody::End),
+        (any::<u32>(), any::<u64>(), image()).prop_map(|(table, rid, after)| LogBody::Insert {
+            table,
+            rid,
+            after
+        }),
+        (any::<u32>(), any::<u64>(), image(), image()).prop_map(|(table, rid, before, after)| {
+            LogBody::Update {
+                table,
+                rid,
+                before,
+                after,
+            }
+        }),
+        (any::<u32>(), any::<u64>(), image()).prop_map(|(table, rid, before)| LogBody::Delete {
+            table,
+            rid,
+            before
+        }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), image()).prop_map(
+            |(undo_next, table, rid, img)| LogBody::Clr {
+                undo_next,
+                action: ClrAction::Install {
+                    table,
+                    rid,
+                    image: img,
+                },
+            }
+        ),
+        (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(undo_next, table, rid)| {
+            LogBody::Clr {
+                undo_next,
+                action: ClrAction::Remove { table, rid },
+            }
+        }),
+        (
+            prop::collection::vec((any::<u64>(), any::<u64>()), 0..20),
+            any::<u64>()
+        )
+            .prop_map(|(active, redo_from)| LogBody::Checkpoint { active, redo_from }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_body_round_trips(
+        body in body(),
+        txn in any::<u64>(),
+        prev in any::<u64>(),
+        pad in 0usize..64,
+    ) {
+        let rec = LogRecord { lsn: pad as Lsn, txn, prev_lsn: prev, body };
+        let mut log = vec![0u8; pad];
+        log.extend(rec.encode());
+        let (decoded, next) = LogRecord::decode(&log, pad as Lsn).expect("valid record decodes");
+        prop_assert_eq!(&decoded, &rec);
+        prop_assert_eq!(next as usize, log.len());
+        // Every strict prefix of the record is rejected as truncated.
+        for cut in [pad, pad + 1, pad + 7, pad + 8, log.len() - 1] {
+            prop_assert!(LogRecord::decode(&log[..cut], pad as Lsn).is_none());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_to_a_different_record(
+        body in body(),
+        txn in any::<u64>(),
+        at in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let rec = LogRecord { lsn: 0, txn, prev_lsn: NULL_LSN, body };
+        let clean = rec.encode();
+        let mut bad = clean.clone();
+        let i = at % bad.len();
+        bad[i] ^= flip;
+        match LogRecord::decode(&bad, 0) {
+            // Rejection is the expected outcome for payload corruption; a
+            // length-field flip may leave a shorter-but-valid view only if
+            // it re-frames to the identical record (impossible: the bytes
+            // differ), so any successful decode must equal the original —
+            // which the checksum makes unreachable for payload bytes.
+            None => {}
+            Some((got, _)) => prop_assert_eq!(got, rec, "corrupt bytes mis-decoded"),
+        }
+    }
+
+    #[test]
+    fn invalid_kind_tags_are_rejected(
+        kind in 9u8..=255,
+        txn in any::<u64>(),
+        prev in any::<u64>(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Hand-build a record with a correct checksum but an out-of-range
+        // kind: validation must catch the tag itself.
+        let mut payload = vec![kind];
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&prev.to_le_bytes());
+        payload.extend_from_slice(&junk);
+        let mut log = (payload.len() as u32).to_le_bytes().to_vec();
+        log.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        log.extend_from_slice(&payload);
+        prop_assert!(LogRecord::decode(&log, 0).is_none());
+    }
+
+    #[test]
+    fn back_to_back_records_decode_sequentially(
+        bodies in prop::collection::vec(body(), 1..16),
+    ) {
+        let mut log = Vec::new();
+        let mut expect = Vec::new();
+        for (i, b) in bodies.into_iter().enumerate() {
+            let rec = LogRecord {
+                lsn: log.len() as Lsn,
+                txn: i as u64,
+                prev_lsn: NULL_LSN,
+                body: b,
+            };
+            log.extend(rec.encode());
+            expect.push(rec);
+        }
+        let mut at: Lsn = 0;
+        let mut got = Vec::new();
+        while let Some((rec, next)) = LogRecord::decode(&log, at) {
+            got.push(rec);
+            at = next;
+        }
+        prop_assert_eq!(at as usize, log.len(), "walk consumes the whole log");
+        prop_assert_eq!(got, expect);
+    }
+}

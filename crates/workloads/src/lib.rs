@@ -13,10 +13,12 @@
 
 #![warn(missing_docs)]
 
+pub mod anywork;
 pub mod driver;
 pub mod tatp;
 pub mod tpcc;
 
+pub use anywork::{AnyWorkload, WorkloadKind};
 pub use driver::{run, run_batched, WorkloadReport};
 pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

@@ -1,0 +1,26 @@
+//! Cross-crate smoke test: a handful of crash-torture schedules must pass
+//! the differential recovery oracle from the umbrella package, proving the
+//! chaos harness composes with the released engine surface. The heavy
+//! 64-seed matrix lives in `crates/chaos/tests/torture.rs`; this keeps a
+//! tier-1 canary over the same machinery.
+
+use bionic_chaos::{run_plan, run_plan_catching, FaultPlan};
+
+#[test]
+fn torture_canary_seeds_hold_the_oracle() {
+    // One seed per interesting corner: TATP + TPC-C, mid-transaction
+    // crash, torn tail, checkpointing, and a quiescent no-crash run.
+    for seed in [0u64, 1, 2, 3, 8, 13] {
+        let plan = FaultPlan::from_seed(seed);
+        run_plan_catching(&plan)
+            .unwrap_or_else(|msg| panic!("seed {seed}: {msg}\n  plan: {}", plan.serialize()));
+    }
+}
+
+#[test]
+fn a_seed_reruns_byte_identically() {
+    let plan = FaultPlan::from_seed(2);
+    let a = run_plan(&plan).expect("oracle holds");
+    let b = run_plan(&plan).expect("oracle holds");
+    assert_eq!(a, b);
+}
