@@ -1,0 +1,66 @@
+//! Does a *disabled* telemetry recorder cost anything on the submit path?
+//!
+//! The design budget (DESIGN.md, "Telemetry") is one `bool` check and zero
+//! allocation per instrumentation point when tracing is off, so
+//! `disabled` must sit within noise of pre-telemetry baselines, and well
+//! under `enabled`. The benchmark also pins the functional contract:
+//! identical commit decisions with the recorder on, off, or enabled.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn engine_and_generator() -> (Engine, TatpGenerator) {
+    let wl = TatpConfig {
+        subscribers: 10_000,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(EngineConfig::bionic());
+    let tables = tatp::load(&mut engine, &wl);
+    let generator = TatpGenerator::new(wl, tables);
+    (engine, generator)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    // Functional guard first: tracing must not change a single outcome.
+    {
+        let run = |trace: bool| {
+            let (mut e, mut g) = engine_and_generator();
+            if trace {
+                e.enable_telemetry(1 << 16);
+            }
+            let mut at = SimTime::ZERO;
+            (0..500)
+                .map(|_| {
+                    let (_, prog) = g.next();
+                    at += SimTime::from_us(1.0);
+                    e.submit(&prog, at).is_committed()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true), "tracing changed an outcome");
+    }
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for (name, trace) in [("disabled", false), ("enabled", true)] {
+        let (mut engine, mut generator) = engine_and_generator();
+        if trace {
+            // Large ring: measure recording cost, not wrap-around churn.
+            engine.enable_telemetry(1 << 20);
+        }
+        let mut at = SimTime::ZERO;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, prog) = generator.next();
+                at += SimTime::from_us(1.0);
+                black_box(engine.submit(&prog, at).is_committed())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

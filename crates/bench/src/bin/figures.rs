@@ -5,6 +5,7 @@
 //! cargo run --release -p bionic-bench --bin figures f3 e8       # a subset
 //! cargo run --release -p bionic-bench --bin figures --jobs 8    # 8 workers
 //! cargo run --release -p bionic-bench --bin figures --list      # list ids
+//! cargo run --release -p bionic-bench --bin figures --trace out # traced runs
 //! ```
 //!
 //! Each experiment prints its tables and writes `results/<id>_*.csv`.
@@ -23,7 +24,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--jobs N] [--list] [ids...]   ids: {}",
+        "usage: figures [--jobs N] [--list] [--trace DIR] [ids...]   ids: {}",
         experiments::IDS.join(" ")
     );
     exit(2);
@@ -32,6 +33,7 @@ fn usage() -> ! {
 fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut ids: Vec<String> = Vec::new();
+    let mut trace_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,8 +50,32 @@ fn main() {
                     usage();
                 }
             }
+            "--trace" => {
+                let d = args.next().unwrap_or_else(|| usage());
+                trace_dir = Some(PathBuf::from(d));
+            }
             s if s.starts_with('-') => usage(),
             s => ids.push(s.to_string()),
+        }
+    }
+
+    if let Some(dir) = &trace_dir {
+        // Traced TATP + TPC-C streams: Perfetto trace, windowed unit/core
+        // utilization, and a metrics snapshot per benchmark. Runs instead
+        // of the experiment grid when invoked without ids.
+        match bionic_bench::trace::run_traced(dir, jobs) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                exit(1);
+            }
+        }
+        if ids.is_empty() {
+            return;
         }
     }
     if ids.is_empty() {

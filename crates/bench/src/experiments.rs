@@ -805,6 +805,7 @@ fn e8(scale: Scale) -> Experiment {
                     "engine",
                     "workload",
                     "capacity_txn_s",
+                    "min_us_at_70pct",
                     "p50_us_at_70pct",
                     "p99_us_at_70pct",
                     "joules_per_txn",
@@ -815,6 +816,7 @@ fn e8(scale: Scale) -> Experiment {
                     name.into(),
                     workload.into(),
                     f(capacity),
+                    f(report.latency.min.as_us()),
                     f(report.latency.p50.as_us()),
                     f(report.latency.p99.as_us()),
                     f(report.joules_per_txn),
@@ -835,12 +837,13 @@ fn e8(scale: Scale) -> Experiment {
             // ~40k txn/s: below both engines' capacity, so the table shows
             // transaction shape, not queueing.
             let report = run_tpcc(cfg, scale.pick(6_000, 1_000), SimTime::from_us(25.0));
-            let mut t = Table::new(&["engine", "txn_type", "count", "p50_us", "p99_us"]);
+            let mut t = Table::new(&["engine", "txn_type", "count", "min_us", "p50_us", "p99_us"]);
             for (ty, summary) in &report.per_type_latency {
                 t.row(vec![
                     name.into(),
                     (*ty).into(),
                     summary.count.to_string(),
+                    f(summary.min.as_us()),
                     f(summary.p50.as_us()),
                     f(summary.p99.as_us()),
                 ]);
@@ -901,12 +904,14 @@ fn e8(scale: Scale) -> Experiment {
                 "offloads",
                 "capacity_txn_s",
                 "joules_per_txn",
+                "min_us_at_70pct",
                 "p50_us_at_70pct",
             ]);
             t.row(vec![
                 name.into(),
                 f(capacity),
                 f(report.joules_per_txn),
+                f(report.latency.min.as_us()),
                 f(report.latency.p50.as_us()),
             ]);
             CellOut::table("e8_ablation", t)

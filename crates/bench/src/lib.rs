@@ -5,6 +5,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod trace;
 
 use std::fmt::Write as _;
 use std::path::Path;

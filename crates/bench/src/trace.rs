@@ -1,0 +1,153 @@
+//! Traced figure runs: short TATP and TPC-C streams executed with the
+//! telemetry recorder on, exported as Perfetto-loadable Chrome traces plus
+//! windowed utilization and metrics CSVs.
+//!
+//! Cells follow the same determinism contract as the experiment harness
+//! (no I/O inside a cell, per-cell seeds, assembly in fixed cell order), so
+//! every artifact written by [`run_traced`] is byte-identical for any
+//! `jobs` value — the root-level `trace_determinism` test enforces this.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_telemetry::validate_chrome_trace;
+use bionic_workloads::{AnyWorkload, WorkloadKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Transactions per traced stream — long enough for every unit to light up,
+/// short enough that tracing adds seconds, not minutes, to a figures run.
+pub const TRACED_TXNS: u64 = 300;
+
+/// Ring capacity for traced runs: comfortably above the span volume of
+/// [`TRACED_TXNS`] transactions, so nothing is dropped.
+const RING_CAPACITY: usize = 1 << 18;
+
+/// Occupancy window width for the utilization report.
+const UTIL_WINDOW_US: f64 = 50.0;
+
+/// Everything one traced stream produces, as plain bytes (cells do no I/O).
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// Which benchmark ran.
+    pub kind: WorkloadKind,
+    /// Chrome trace-event JSON, schema-validated.
+    pub trace_json: String,
+    /// Windowed busy/idle occupancy per track.
+    pub utilization_csv: String,
+    /// Flat counter/gauge snapshot.
+    pub metrics_csv: String,
+    /// Spans dropped at the ring boundary (should be zero).
+    pub dropped: u64,
+}
+
+/// Run one traced stream of `kind` and export its artifacts. Pure —
+/// everything is derived from the fixed seed and simulated time.
+pub fn trace_cell(kind: WorkloadKind) -> TraceArtifacts {
+    let mut engine = Engine::new(EngineConfig::bionic().with_agents(8));
+    let mut workload = AnyWorkload::load_small(&mut engine, kind, 0xb10c + kind as u64);
+    engine.enable_telemetry(RING_CAPACITY);
+
+    let inter = SimTime::from_us(2.0);
+    let mut at = SimTime::ZERO;
+    for _ in 0..TRACED_TXNS {
+        let (_, program) = workload.next_program();
+        engine.submit(&program, at);
+        at += inter;
+    }
+    engine.collect_metrics();
+
+    let trace_json = engine.tel.export_chrome_trace();
+    validate_chrome_trace(&trace_json)
+        .unwrap_or_else(|e| panic!("{} trace failed schema validation: {e}", kind.label()));
+    TraceArtifacts {
+        kind,
+        trace_json,
+        utilization_csv: engine.tel.utilization_csv(SimTime::from_us(UTIL_WINDOW_US)),
+        metrics_csv: engine.tel.metrics().to_csv(),
+        dropped: engine.tel.dropped(),
+    }
+}
+
+/// Run the traced TATP + TPC-C cells (in parallel when `jobs > 1`) and
+/// write the artifacts under `dir`:
+///
+/// * `trace_<kind>.json` — Chrome trace-event JSON, one per benchmark;
+/// * `utilization_<kind>.csv` — windowed occupancy for every track;
+/// * `metrics_<kind>.csv` — flat counter/gauge snapshot.
+///
+/// Returns the written paths, in fixed order.
+pub fn run_traced(dir: &Path, jobs: usize) -> io::Result<Vec<PathBuf>> {
+    let kinds = [WorkloadKind::Tatp, WorkloadKind::Tpcc];
+    let cells: Vec<TraceArtifacts> = if jobs > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = kinds
+                .iter()
+                .map(|&k| s.spawn(move || trace_cell(k)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trace cell panicked"))
+                .collect()
+        })
+    } else {
+        kinds.iter().map(|&k| trace_cell(k)).collect()
+    };
+
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for art in &cells {
+        assert_eq!(art.dropped, 0, "{} trace dropped spans", art.kind.label());
+        for (stem, body) in [
+            (format!("trace_{}.json", art.kind.label()), &art.trace_json),
+            (
+                format!("utilization_{}.csv", art.kind.label()),
+                &art.utilization_csv,
+            ),
+            (
+                format!("metrics_{}.csv", art.kind.label()),
+                &art.metrics_csv,
+            ),
+        ] {
+            let path = dir.join(stem);
+            fs::write(&path, body)?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_tatp_covers_all_five_units_in_utilization() {
+        let art = trace_cell(WorkloadKind::Tatp);
+        assert_eq!(art.dropped, 0);
+        for unit in bionic_telemetry::UNIT_NAMES {
+            assert!(
+                art.utilization_csv
+                    .lines()
+                    .any(|l| l.starts_with(&format!("fpga/{unit},"))),
+                "utilization rows missing for {unit}"
+            );
+        }
+        // The trace itself mentions every track name as thread metadata.
+        for unit in bionic_telemetry::UNIT_NAMES {
+            assert!(art.trace_json.contains(&format!("fpga/{unit}")));
+        }
+        assert!(art.trace_json.contains("core-0"));
+        assert!(art.trace_json.contains("dispatch"));
+    }
+
+    #[test]
+    fn trace_cell_is_deterministic() {
+        let a = trace_cell(WorkloadKind::Tpcc);
+        let b = trace_cell(WorkloadKind::Tpcc);
+        assert_eq!(a.trace_json, b.trace_json);
+        assert_eq!(a.utilization_csv, b.utilization_csv);
+        assert_eq!(a.metrics_csv, b.metrics_csv);
+    }
+}

@@ -126,6 +126,17 @@ fn main() -> ExitCode {
                 } else {
                     plan.clone()
                 };
+                // Re-run the reported (shrunk) plan with telemetry on: the
+                // counter snapshot goes to the console, the sim-time trace
+                // of everything that ran before the crash goes next to the
+                // plan file.
+                let mut tel = None;
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    bionic_chaos::run_plan_traced(&reported, &mut tel)
+                }));
+                if let Some(t) = &tel {
+                    eprintln!("     {}", t.counter_line());
+                }
                 if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
                     eprintln!("chaos: cannot create {}: {e}", args.out_dir.display());
                 } else {
@@ -139,6 +150,9 @@ fn main() -> ExitCode {
                         body.push_str(&reported.serialize());
                         body.push('\n');
                     }
+                    if let Some(t) = &tel {
+                        body.push_str(&format!("# {}\n", t.counter_line()));
+                    }
                     if let Err(e) = std::fs::write(&file, body) {
                         eprintln!("chaos: cannot write {}: {e}", file.display());
                     } else {
@@ -148,6 +162,20 @@ fn main() -> ExitCode {
                              --plan {}",
                             file.display()
                         );
+                    }
+                    if let Some(t) = tel {
+                        let trace_file = args
+                            .out_dir
+                            .join(format!("fail-seed-{}.trace.json", plan.seed));
+                        match std::fs::write(&trace_file, &t.trace_json) {
+                            Ok(()) => eprintln!(
+                                "     pre-crash trace written to {} (open in Perfetto)",
+                                trace_file.display()
+                            ),
+                            Err(e) => {
+                                eprintln!("chaos: cannot write {}: {e}", trace_file.display())
+                            }
+                        }
                     }
                 }
             }

@@ -68,6 +68,47 @@ pub struct RunReport {
     pub state_digest: u64,
 }
 
+/// Telemetry captured from a traced torture run, snapshotted at the crash
+/// point (so it is available even when the oracle then fails — the whole
+/// point of attaching a trace to a failing plan).
+#[derive(Debug, Clone)]
+pub struct TortureTelemetry {
+    /// Transactions submitted before the crash.
+    pub submitted: u64,
+    /// ... committed.
+    pub committed: u64,
+    /// ... aborted.
+    pub aborted: u64,
+    /// ... left unresolved by the blown fuse.
+    pub interrupted: u64,
+    /// WAL bytes appended during the run.
+    pub wal_bytes: u64,
+    /// Torn bytes the traced engine's recovery-time scan dropped
+    /// (non-zero only when the run replayed a faulted image at load).
+    pub torn_bytes_dropped: u64,
+    /// Chrome trace-event JSON of the pre-crash execution.
+    pub trace_json: String,
+    /// Flat counter/gauge snapshot.
+    pub metrics_csv: String,
+}
+
+impl TortureTelemetry {
+    /// The one-glance counter line the `chaos` binary prints next to a
+    /// failing plan.
+    pub fn counter_line(&self) -> String {
+        format!(
+            "txns: {} submitted, {} committed, {} aborted, {} interrupted; \
+             wal_bytes={} torn_bytes_dropped={}",
+            self.submitted,
+            self.committed,
+            self.aborted,
+            self.interrupted,
+            self.wal_bytes,
+            self.torn_bytes_dropped,
+        )
+    }
+}
+
 /// Does this program contain any state-mutating op? Only writers append a
 /// Commit record (the engine skips logging for read-only transactions), so
 /// only writers enter the durable-commit oracle.
@@ -96,6 +137,24 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 /// Run one plan; `Err` is an oracle violation (a recovery bug, or an
 /// engine/model divergence), with enough context to debug from.
 pub fn run_plan(plan: &FaultPlan) -> Result<RunReport, String> {
+    run_plan_impl(plan, None)
+}
+
+/// [`run_plan`] with the telemetry recorder on: `tel` receives a counter
+/// snapshot plus the pre-crash Chrome trace, captured at the crash point so
+/// it survives oracle failures. This is how a shrunk failing plan gets a
+/// trace attached.
+pub fn run_plan_traced(
+    plan: &FaultPlan,
+    tel: &mut Option<TortureTelemetry>,
+) -> Result<RunReport, String> {
+    run_plan_impl(plan, Some(tel))
+}
+
+fn run_plan_impl(
+    plan: &FaultPlan,
+    tel_out: Option<&mut Option<TortureTelemetry>>,
+) -> Result<RunReport, String> {
     let mut plan = plan.clone();
     plan.normalize();
 
@@ -103,6 +162,9 @@ pub fn run_plan(plan: &FaultPlan) -> Result<RunReport, String> {
     let mut engine = Engine::new(cfg.clone());
     let workload_seed = SplitMix64::new(plan.seed ^ 0x5EED_F00D_0000_0001).next_u64();
     let mut workload = AnyWorkload::load_small(&mut engine, plan.workload, workload_seed);
+    if tel_out.is_some() {
+        engine.enable_telemetry(1 << 18);
+    }
     let baseline = RefDb::snapshot(&mut engine);
 
     if let Some(appends) = plan.crash_after_appends {
@@ -139,6 +201,26 @@ pub fn run_plan(plan: &FaultPlan) -> Result<RunReport, String> {
         }
     }
     let interrupted = engine.fuse_blown();
+
+    // Snapshot telemetry at the crash point, before any oracle can bail:
+    // a failing plan's trace must cover everything that ran.
+    if let Some(out) = tel_out {
+        engine.collect_metrics();
+        let m = engine.tel.metrics();
+        let submitted = m.counter_value("engine", "submitted");
+        let committed = m.counter_value("engine", "committed");
+        let aborted = m.counter_value("engine", "aborted");
+        *out = Some(TortureTelemetry {
+            submitted,
+            committed,
+            aborted,
+            interrupted: submitted - committed - aborted,
+            wal_bytes: m.counter_value("wal", "tail_lsn"),
+            torn_bytes_dropped: m.counter_value("wal", "torn_bytes_dropped"),
+            trace_json: engine.tel.export_chrome_trace(),
+            metrics_csv: m.to_csv(),
+        });
+    }
 
     // ---- oracle 1: pre-crash differential -------------------------------
     let mut model = baseline.clone();
@@ -419,5 +501,27 @@ mod tests {
         let a = run_plan(&plan).expect("oracle holds");
         let b = run_plan(&plan).expect("oracle holds");
         assert_eq!(a, b, "byte-identical repro");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_snapshots_counters() {
+        let plan = FaultPlan {
+            crash_after_appends: Some(40),
+            ..quiet_plan(WorkloadKind::Tatp)
+        };
+        let plain = run_plan(&plan).expect("oracle holds");
+        let mut tel = None;
+        let traced = run_plan_traced(&plan, &mut tel).expect("oracle holds");
+        // Tracing is pure observation: identical report, digests included.
+        assert_eq!(plain, traced);
+        let tel = tel.expect("telemetry captured");
+        assert_eq!(tel.submitted, traced.submitted);
+        assert_eq!(tel.committed, traced.committed);
+        assert_eq!(tel.aborted, traced.aborted);
+        assert!(tel.interrupted <= 1, "at most the fuse victim");
+        assert!(tel.wal_bytes > 0);
+        assert!(!tel.trace_json.is_empty());
+        assert!(tel.metrics_csv.contains("engine,submitted,"));
+        assert!(tel.counter_line().contains("submitted"));
     }
 }

@@ -26,7 +26,9 @@ pub mod plan;
 pub mod refmodel;
 pub mod shrink;
 
-pub use harness::{fnv64, run_plan, run_plan_catching, RunReport};
+pub use harness::{
+    fnv64, run_plan, run_plan_catching, run_plan_traced, RunReport, TortureTelemetry,
+};
 pub use plan::FaultPlan;
 pub use refmodel::{RefDb, RefTable};
 pub use shrink::shrink;

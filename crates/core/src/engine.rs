@@ -30,6 +30,7 @@ use bionic_sim::stats::Histogram;
 use bionic_sim::time::SimTime;
 use bionic_storage::bufferpool::BufferPool;
 use bionic_storage::disk::DiskManager;
+use bionic_telemetry::Telemetry;
 use bionic_wal::manager::LogManager;
 use bionic_wal::recovery::{recover, RecoveryOutcome};
 use bionic_wal::timing::{
@@ -174,6 +175,9 @@ pub struct Engine {
     pub(crate) result_cache: ResultCache,
     /// Figure-3 CPU time accounting.
     pub breakdown: TimeBreakdown,
+    /// Sim-time span recorder and metrics (disabled by default; see
+    /// [`Engine::enable_telemetry`]).
+    pub tel: Telemetry,
     /// Run statistics.
     pub stats: EngineStats,
     pub(crate) next_txn: TxnId,
@@ -243,6 +247,7 @@ impl Engine {
             root_latches: Vec::new(),
             result_cache: ResultCache::new(16 << 20),
             breakdown: TimeBreakdown::new(),
+            tel: Telemetry::disabled(),
             stats: EngineStats::new(),
             next_txn: 1,
             write_seq: 1,
@@ -336,6 +341,88 @@ impl Engine {
         self.breakdown = TimeBreakdown::new();
         self.platform.energy.reset();
         self.stats = EngineStats::new();
+        self.tel.reset_run();
+    }
+
+    /// Turn the sim-time span recorder on with the standard track layout:
+    /// one dispatcher track, one per agent, and one per §5 functional unit.
+    /// `capacity` bounds the span ring buffer. The recorder stays enabled
+    /// across [`Engine::finish_load`] (which clears recorded data).
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        let agents = self.cfg.agents;
+        self.tel.enable(agents, capacity);
+    }
+
+    /// Pull a metrics snapshot from every layer into the telemetry
+    /// registry (engine, WAL, bufferpool, queues, probe engine, fabric,
+    /// PCIe, SG-DRAM, host caches, energy domains). Cold-path: call at the
+    /// end of a run or at a failure capture point, not per transaction.
+    pub fn collect_metrics(&mut self) {
+        let counters = self.platform.counters();
+        let pool = self.pool.stats();
+        let probe = self.probe_hw.as_ref().map(|p| p.stats());
+        let energy = self.platform.energy.snapshot();
+        let m = self.tel.metrics_mut();
+
+        m.counter("engine", "submitted", self.stats.submitted);
+        m.counter("engine", "committed", self.stats.committed);
+        m.counter("engine", "aborted", self.stats.aborted);
+        m.counter("engine", "merges", self.stats.merges);
+        m.counter("engine", "probes", self.stats.probes);
+        m.counter("engine", "probe_misses", self.stats.probe_misses);
+        m.counter(
+            "engine",
+            "probe_nodes_visited",
+            self.stats.probe_nodes_visited,
+        );
+        m.gauge(
+            "engine",
+            "last_completion_us",
+            self.stats.last_completion.as_us(),
+        );
+
+        m.counter("wal", "appends", self.log.appends());
+        m.counter("wal", "flushes", self.log.flushes());
+        m.counter("wal", "group_commit_flushes", self.group_commit.flushes());
+        m.counter("wal", "tail_lsn", self.log.tail_lsn());
+        m.counter("wal", "unflushed_bytes", self.log.unflushed_bytes());
+        m.counter("wal", "torn_bytes_dropped", self.log.torn_bytes_dropped());
+
+        m.counter("bufferpool", "hits", pool.hits);
+        m.counter("bufferpool", "misses", pool.misses);
+        m.counter("bufferpool", "dirty_evictions", pool.dirty_evictions);
+        m.counter("bufferpool", "flushes", pool.flushes);
+
+        m.counter("queue", "sw_ops", self.queue_sw.ops());
+        m.counter(
+            "queue",
+            "hw_ops",
+            self.queue_hw.as_ref().map_or(0, |q| q.ops()),
+        );
+
+        if let Some(p) = probe {
+            m.counter("fpga/tree-probe", "completed", p.completed);
+            m.counter("fpga/tree-probe", "aborted", p.aborted);
+            m.counter("fpga/tree-probe", "sg_reads", p.sg_reads);
+        }
+        m.counter("fabric", "used_slices", counters.fabric_used_slices);
+        m.counter("fabric", "total_slices", counters.fabric_total_slices);
+        m.gauge("fabric", "occupancy", self.platform.fabric.occupancy());
+
+        m.counter("link/pcie", "bytes", counters.pcie_bytes);
+        m.counter("link/pcie", "transfers", counters.pcie_transfers);
+        m.gauge("link/pcie", "busy_us", counters.pcie_busy.as_us());
+        m.counter("sg-dram", "accesses", counters.sg_dram_accesses);
+        for (class, n) in bionic_sim::mem::AccessClass::ALL
+            .iter()
+            .zip(counters.cpu_mem_accesses)
+        {
+            m.counter("cpu-mem", class.label(), n);
+        }
+
+        for (domain, e) in energy {
+            m.gauge("energy", domain.label(), e.as_j());
+        }
     }
 
     /// Direct read of a row (untimed; for tests and verification). The

@@ -12,7 +12,7 @@
 
 use crate::breakdown::Category;
 use crate::config::ExecModel;
-use crate::engine::Engine;
+use crate::engine::{Engine, LogPath};
 use crate::ops::{Action, Op, TxnProgram};
 use bionic_btree::probe::ProbeOutcome;
 use bionic_btree::tree::Footprint;
@@ -103,6 +103,25 @@ impl OpCost {
 }
 
 const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+// §5 unit indices into [`bionic_telemetry::UNIT_NAMES`].
+const U_PROBE: usize = 0;
+const U_LOG: usize = 1;
+const U_QUEUE: usize = 2;
+const U_OVERLAY: usize = 3;
+
+/// Trace label for one op (span names must be `&'static str`).
+fn op_span(op: &Op) -> (&'static str, &'static str) {
+    match op {
+        Op::Read { .. } => ("read", Category::Btree.label()),
+        Op::ReadRange { .. } => ("range-read", Category::Btree.label()),
+        Op::Update { .. } => ("update", Category::Btree.label()),
+        Op::Insert { .. } => ("insert", Category::Btree.label()),
+        Op::Delete { .. } => ("delete", Category::Btree.label()),
+        Op::Compute { .. } => ("compute", Category::Other.label()),
+        Op::SecondaryRead { .. } => ("secondary-read", Category::Btree.label()),
+    }
+}
 
 /// Amortized probe pricing for an in-flight [`Engine::submit_batch`].
 ///
@@ -264,6 +283,13 @@ impl Engine {
             probe.submit(at_fpga, levels, 1, &mut self.platform.sg_dram)
         };
         self.platform.charge_fpga(outcome.energy());
+        self.tel.unit_busy(
+            U_PROBE,
+            "probe",
+            Category::Btree.label(),
+            at_fpga,
+            outcome.time(),
+        );
         let mut done = self.platform.pcie_send(outcome.time(), 16);
         let mut cpu_total = cpu;
         if let ProbeOutcome::Aborted { .. } = outcome {
@@ -278,6 +304,13 @@ impl Engine {
             let probe = self.probe_hw.as_mut().expect("checked above");
             let retry = probe.submit(at2, levels, 1, &mut self.platform.sg_dram);
             self.platform.charge_fpga(retry.energy());
+            self.tel.unit_busy(
+                U_PROBE,
+                "probe-retry",
+                Category::Btree.label(),
+                at2,
+                retry.time(),
+            );
             done = self.platform.pcie_send(retry.time(), 16);
             cpu_total += fetch_cpu;
         }
@@ -358,6 +391,13 @@ impl Engine {
     fn overlay_write_cost(&mut self, now: SimTime) -> OpCost {
         let cpu = self.sw_work(Category::Bpool, 30, 1, AccessClass::Hot);
         let done = self.platform.pcie_send(now + cpu, 64);
+        self.tel.unit_busy(
+            U_OVERLAY,
+            "delta-write",
+            Category::Bpool.label(),
+            done,
+            done + SimTime::from_ns(400.0),
+        );
         OpCost {
             cpu,
             asy: (done + SimTime::from_ns(400.0)).saturating_sub(now + cpu),
@@ -388,6 +428,15 @@ impl Engine {
             }
         }
         let timing = self.log_path.insert(now, agent, bytes as u64);
+        if matches!(self.log_path, LogPath::Hardware(_)) {
+            self.tel.unit_busy(
+                U_LOG,
+                "log-insert",
+                Category::Log.label(),
+                now,
+                timing.buffered_at,
+            );
+        }
         let cpu = self.cpu_time(Category::Log, timing.cpu_busy);
         self.platform.charge_fpga(timing.energy);
         (cpu, timing.buffered_at, rec.lsn)
@@ -848,6 +897,15 @@ impl Engine {
         // Price each CLR like a small logged update.
         for _ in 0..undone {
             let timing = self.log_path.insert(now + cpu, agent, 120);
+            if matches!(self.log_path, LogPath::Hardware(_)) {
+                self.tel.unit_busy(
+                    U_LOG,
+                    "clr-insert",
+                    Category::Log.label(),
+                    now + cpu,
+                    timing.buffered_at,
+                );
+            }
             cpu += self.cpu_time(Category::Log, timing.cpu_busy);
             self.platform.charge_fpga(timing.energy);
             cpu += self.sw_work(Category::Xct, 180, 4, AccessClass::PointerChase);
@@ -994,10 +1052,14 @@ impl Engine {
         self.stats.submitted += 1;
         let txn = self.next_txn;
         self.next_txn += 1;
+        self.tel.set_txn(txn);
 
         // Front-end: admission + routing on the dispatcher.
         let fe_cpu = self.sw_work(Category::FrontEnd, 300, 5, AccessClass::Hot);
-        let (_, t0) = self.router.submit(arrive, fe_cpu);
+        let (fe_start, t0) = self.router.submit(arrive, fe_cpu);
+        let track = self.tel.dispatch_track();
+        self.tel
+            .span(track, "dispatch", Category::FrontEnd.label(), fe_start, t0);
         let mut t = t0 + self.sw_work(Category::Xct, 120, 2, AccessClass::Hot);
 
         let conventional_agent = if self.cfg.exec == ExecModel::Conventional {
@@ -1016,6 +1078,9 @@ impl Engine {
         let mut interrupted = false;
         let mut last_agent = 0usize;
         let mut locks_taken = 0u64;
+        // Per-op sub-span marks, as CPU offsets into the action's busy
+        // interval; only collected when tracing is on.
+        let mut op_marks: Vec<(&'static str, &'static str, SimTime, SimTime)> = Vec::new();
 
         'phases: for phase in &program.phases {
             let mut completions: Vec<SimTime> = Vec::with_capacity(phase.len());
@@ -1027,16 +1092,25 @@ impl Engine {
                     // Action creation + queue hand-off (Dora mechanics).
                     let create = self.sw_work(Category::Dora, 100, 2, AccessClass::Hot);
                     let cross = self.socket_of(agent_idx) != 0;
-                    let (enq, deq) = if let Some(hw) = self.queue_hw.as_mut() {
+                    let (enq, deq, hw_op) = if let Some(hw) = self.queue_hw.as_mut() {
+                        let lat = hw.op_latency();
                         let e = hw.enqueue(t);
                         let d = hw.dequeue(t);
                         self.platform.charge_fpga(e.energy + d.energy);
-                        (e.cpu_busy, d.cpu_busy)
+                        (e.cpu_busy, d.cpu_busy, Some(lat))
                     } else {
                         let e = self.queue_sw.enqueue(cross);
                         let d = self.queue_sw.dequeue(cross);
-                        (e.cpu_busy, d.cpu_busy)
+                        (e.cpu_busy, d.cpu_busy, None)
                     };
+                    if let Some(lat) = hw_op {
+                        // The fabric serves the enqueue/dequeue pair
+                        // back-to-back; trace them as consecutive marks.
+                        let dora = Category::Dora.label();
+                        self.tel.unit_busy(U_QUEUE, "enqueue", dora, t, t + lat);
+                        self.tel
+                            .unit_busy(U_QUEUE, "dequeue", dora, t + lat, t + lat + lat);
+                    }
                     self.cpu_time(Category::Dora, enq + deq);
                     hand_off = create + enq + deq;
                 } else {
@@ -1048,8 +1122,10 @@ impl Engine {
                 // rendezvous, exactly the latency-hiding §5 argues for.
                 let mut cost = OpCost::default();
                 let start_hint = t + hand_off;
+                op_marks.clear();
                 for op in &action.ops {
                     let was_write = op.is_write();
+                    let cpu_before = cost.cpu;
                     let (c, res) = self.exec_op(
                         txn,
                         op,
@@ -1062,6 +1138,10 @@ impl Engine {
                     );
                     cost.cpu += c.cpu;
                     cost.asy = cost.asy.max(c.asy);
+                    if self.tel.enabled() {
+                        let (name, cat) = op_span(op);
+                        op_marks.push((name, cat, cpu_before, cost.cpu));
+                    }
                     if was_write && res.is_ok() {
                         if let Op::Update { table, .. }
                         | Op::Insert { table, .. }
@@ -1083,7 +1163,22 @@ impl Engine {
                         break;
                     }
                 }
-                let (_, agent_done) = self.agents[agent_idx].submit(start_hint, cost.cpu);
+                let (astart, agent_done) = self.agents[agent_idx].submit(start_hint, cost.cpu);
+                if self.tel.enabled() {
+                    // Outer span = the action's agent occupancy; op marks
+                    // nest inside it at their CPU offsets.
+                    let track = self.tel.core_track(agent_idx);
+                    self.tel.span(
+                        track,
+                        program.name,
+                        Category::Xct.label(),
+                        astart,
+                        agent_done,
+                    );
+                    for &(name, cat, lo, hi) in &op_marks {
+                        self.tel.span(track, name, cat, astart + lo, astart + hi);
+                    }
+                }
                 completions.push(agent_done + cost.asy);
                 if abort.is_some() || interrupted {
                     t = completions.iter().copied().max().unwrap_or(t);
@@ -1103,7 +1198,10 @@ impl Engine {
         let outcome = match abort {
             Some(reason) => {
                 let rb_cpu = self.rollback(txn, undo, last_agent, t);
-                let (_, done) = self.agents[last_agent].submit(t, rb_cpu);
+                let (rstart, done) = self.agents[last_agent].submit(t, rb_cpu);
+                let track = self.tel.core_track(last_agent);
+                self.tel
+                    .span(track, "rollback", Category::Xct.label(), rstart, done);
                 self.stats.aborted += 1;
                 let latency = done - arrive;
                 self.stats.last_completion = self.stats.last_completion.max(done);
@@ -1135,10 +1233,16 @@ impl Engine {
                     self.platform.energy.charge(EnergyDomain::Storage, e);
                     self.log.flush();
                     self.log.append(txn, LogBody::End);
-                    let (_, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    let track = self.tel.core_track(last_agent);
+                    self.tel
+                        .span(track, "commit", Category::Log.label(), cstart, agent_done);
                     agent_done.max(durable)
                 } else {
-                    let (_, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                    let track = self.tel.core_track(last_agent);
+                    self.tel
+                        .span(track, "commit", Category::Xct.label(), cstart, agent_done);
                     agent_done
                 };
                 for t in &written_tables {

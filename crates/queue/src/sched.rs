@@ -84,6 +84,9 @@ pub struct ChainReport {
     pub spin_waste: SimTime,
     /// Core time doing useful work.
     pub useful_busy: SimTime,
+    /// Useful busy time per stage, in chain order — the per-agent
+    /// utilization series telemetry exports.
+    pub stage_busy: Vec<SimTime>,
 }
 
 /// Simulate `items` arrivals (spaced `inter_arrival`, with every
@@ -135,6 +138,7 @@ pub fn simulate_chain(
         wakes: agents.iter().map(|a| a.wakes).sum(),
         spin_waste: agents.iter().map(|a| a.spin_waste).sum(),
         useful_busy: agents.iter().map(|a| a.busy).sum(),
+        stage_busy: agents.iter().map(|a| a.busy).collect(),
         latency,
     }
 }
@@ -247,5 +251,7 @@ mod tests {
         assert_eq!(r.items, 100);
         // Uncontended: latency == service.
         assert_eq!(r.latency.max().as_ns(), 100.0);
+        assert_eq!(r.stage_busy.len(), 1);
+        assert_eq!(r.stage_busy[0], r.useful_busy);
     }
 }

@@ -176,6 +176,12 @@ impl HwQueueTiming {
     pub fn ops(&self) -> u64 {
         self.unit.ops()
     }
+
+    /// Fabric-side service time of one queue operation — the busy interval
+    /// telemetry attributes to the queue engine per enqueue/dequeue.
+    pub fn op_latency(&self) -> SimTime {
+        self.unit.op_latency()
+    }
 }
 
 #[cfg(test)]

@@ -168,6 +168,11 @@ impl FpgaFabric {
         ))
     }
 
+    /// Total slice budget of the part.
+    pub fn total_slices(&self) -> u64 {
+        self.total_slices
+    }
+
     /// Slices still free.
     pub fn free_slices(&self) -> u64 {
         self.total_slices - self.used_slices

@@ -18,6 +18,7 @@ pub struct Link {
     free_at: SimTime,
     bytes_moved: u64,
     transfers: u64,
+    busy: SimTime,
 }
 
 impl Link {
@@ -32,6 +33,7 @@ impl Link {
             free_at: SimTime::ZERO,
             bytes_moved: 0,
             transfers: 0,
+            busy: SimTime::ZERO,
         }
     }
 
@@ -60,10 +62,9 @@ impl Link {
     pub fn transfer_unqueued(&mut self, arrive: SimTime, bytes: u64) -> (SimTime, Energy) {
         self.bytes_moved += bytes;
         self.transfers += 1;
-        (
-            arrive + self.wire_time(bytes) + self.latency,
-            self.energy_per_byte * bytes,
-        )
+        let wire = self.wire_time(bytes);
+        self.busy += wire;
+        (arrive + wire + self.latency, self.energy_per_byte * bytes)
     }
 
     /// Transfer `bytes` starting no earlier than `arrive`; returns the time
@@ -74,6 +75,7 @@ impl Link {
         self.free_at = start + busy;
         self.bytes_moved += bytes;
         self.transfers += 1;
+        self.busy += busy;
         (start + busy + self.latency, self.energy_per_byte * bytes)
     }
 
@@ -102,6 +104,13 @@ impl Link {
     /// Number of transfers so far.
     pub fn transfers(&self) -> u64 {
         self.transfers
+    }
+
+    /// Accumulated wire-busy time: the sum of clock-out times of every
+    /// transfer (queued or not), excluding propagation latency. Divide by a
+    /// horizon for wire utilization.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
     }
 
     /// Achieved bandwidth over `[0, horizon]` in bytes/second.
@@ -141,6 +150,8 @@ mod tests {
         assert!((d2.as_us() - 3.0).abs() < 1e-9);
         assert_eq!(l.bytes_moved(), 8000);
         assert_eq!(l.transfers(), 2);
+        // Two 1us clock-outs of wire-busy, latency excluded.
+        assert!((l.busy_time().as_us() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -38,6 +38,16 @@ impl AccessClass {
         AccessClass::PointerChase,
         AccessClass::Sequential,
     ];
+
+    /// Short stable label for reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessClass::Hot => "hot",
+            AccessClass::Index => "index",
+            AccessClass::PointerChase => "pointer-chase",
+            AccessClass::Sequential => "sequential",
+        }
+    }
 }
 
 /// Which level of the hierarchy served an access.

@@ -202,6 +202,42 @@ impl Platform {
     pub fn total_cores(&self) -> usize {
         self.cfg.sockets * self.cfg.cores_per_socket
     }
+
+    /// Snapshot of the platform's activity counters, in a plain struct so
+    /// observability layers above `bionic-sim` can export them without
+    /// reaching into each component.
+    pub fn counters(&self) -> PlatformCounters {
+        PlatformCounters {
+            pcie_bytes: self.pcie.bytes_moved(),
+            pcie_transfers: self.pcie.transfers(),
+            pcie_busy: self.pcie.busy_time(),
+            sg_dram_accesses: self.sg_dram.accesses(),
+            cpu_mem_accesses: AccessClass::ALL
+                .map(|c| self.cpu_mem.hit_counts(c).iter().sum::<u64>()),
+            fabric_used_slices: self.fabric.total_slices() - self.fabric.free_slices(),
+            fabric_total_slices: self.fabric.total_slices(),
+        }
+    }
+}
+
+/// Activity counters of every modeled path, as captured by
+/// [`Platform::counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformCounters {
+    /// Payload bytes moved over PCIe.
+    pub pcie_bytes: u64,
+    /// PCIe transfers (bulk + control).
+    pub pcie_transfers: u64,
+    /// Accumulated PCIe wire-busy time (clock-out only, no propagation).
+    pub pcie_busy: SimTime,
+    /// SG-DRAM requests served.
+    pub sg_dram_accesses: u64,
+    /// Host cache-hierarchy accesses, per [`AccessClass::ALL`] order.
+    pub cpu_mem_accesses: [u64; 4],
+    /// Fabric slices consumed by placed units.
+    pub fabric_used_slices: u64,
+    /// Fabric slice budget.
+    pub fabric_total_slices: u64,
 }
 
 #[cfg(test)]
@@ -247,6 +283,21 @@ mod tests {
         assert!(p.energy.domain(EnergyDomain::Storage) > Energy::ZERO);
         assert!(p.energy.domain(EnergyDomain::Fpga) > Energy::ZERO);
         assert_eq!(p.energy.domain(EnergyDomain::CpuCore), Energy::ZERO);
+    }
+
+    #[test]
+    fn counters_snapshot_tracks_activity() {
+        let mut p = Platform::hc2();
+        assert_eq!(p.counters().pcie_transfers, 0);
+        p.pcie_send(SimTime::ZERO, 64);
+        p.sg_access(SimTime::ZERO);
+        p.cpu_mem_access(AccessClass::Index, 3);
+        let c = p.counters();
+        assert_eq!(c.pcie_transfers, 1);
+        assert_eq!(c.pcie_bytes, 64);
+        assert_eq!(c.sg_dram_accesses, 1);
+        assert_eq!(c.cpu_mem_accesses[1], 3, "Index is ALL[1]");
+        assert_eq!(c.fabric_total_slices, 150_000);
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl Histogram {
         SimTime::from_ps(self.max_ps)
     }
 
-    /// Smallest recorded sample (zero when empty).
+    /// Smallest recorded sample. An empty histogram reports zero — including
+    /// one built only from `merge`s of empty histograms, where the internal
+    /// minimum is still the `u64::MAX` sentinel.
     pub fn min(&self) -> SimTime {
         if self.total == 0 {
             SimTime::ZERO
@@ -114,11 +116,12 @@ impl Histogram {
         self.max()
     }
 
-    /// Condensed five-number summary, the unit most experiments print.
+    /// Condensed summary, the unit most experiments print.
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.total,
             mean: self.mean(),
+            min: self.min(),
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
@@ -144,13 +147,16 @@ impl Default for Histogram {
     }
 }
 
-/// Five-number latency summary.
+/// Condensed latency summary: count, mean, and the min/p50/p95/p99/max
+/// order statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,
     /// Arithmetic mean.
     pub mean: SimTime,
+    /// Minimum (zero when empty, matching [`Histogram::min`]).
+    pub min: SimTime,
     /// Median.
     pub p50: SimTime,
     /// 95th percentile.
@@ -165,8 +171,8 @@ impl core::fmt::Display for Summary {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p95={} p99={} max={}",
-            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+            "n={} mean={} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
         )
     }
 }
@@ -202,7 +208,13 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, SimTime::ZERO);
         assert_eq!(s.p99, SimTime::ZERO);
+        assert_eq!(s.min, SimTime::ZERO);
         assert_eq!(h.min(), SimTime::ZERO);
+        // Merging empty histograms must not leak the u64::MAX min sentinel.
+        let mut merged = Histogram::new();
+        merged.merge(&h);
+        assert_eq!(merged.min(), SimTime::ZERO);
+        assert_eq!(merged.summary().min, SimTime::ZERO);
     }
 
     #[test]
@@ -212,6 +224,7 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 1);
         assert_eq!(s.mean.as_ns(), 100.0);
+        assert_eq!(s.min.as_ns(), 100.0);
         assert_eq!(s.max.as_ns(), 100.0);
         // bucket floor within 1.6% of the true value
         assert!((s.p50.as_ns() - 100.0).abs() / 100.0 < 0.017);

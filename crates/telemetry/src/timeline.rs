@@ -1,0 +1,127 @@
+//! Busy/idle interval accounting per track.
+//!
+//! Every span recorded through [`crate::Telemetry`] also lands here as a
+//! raw `[start, end)` picosecond interval on its track. At export time the
+//! intervals are union-merged (pipelined units overlap; double-counting
+//! would report >100% occupancy) and sliced into fixed windows to produce
+//! Figure-1-style occupancy series. All arithmetic is integer picoseconds.
+
+/// Per-track busy intervals, indexed by [`crate::tracer::TrackId`].
+#[derive(Debug, Default, Clone)]
+pub struct Timelines {
+    tracks: Vec<Vec<(u64, u64)>>,
+}
+
+impl Timelines {
+    /// No tracks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `n` empty tracks.
+    pub fn with_tracks(n: usize) -> Self {
+        Timelines {
+            tracks: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Are there no tracks?
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Record a busy interval `[start_ps, end_ps)` on `track`. Out-of-range
+    /// tracks and empty intervals are ignored.
+    pub fn add(&mut self, track: usize, start_ps: u64, end_ps: u64) {
+        if end_ps <= start_ps {
+            return;
+        }
+        if let Some(ivs) = self.tracks.get_mut(track) {
+            ivs.push((start_ps, end_ps));
+        }
+    }
+
+    /// The union-merged busy intervals of `track`, sorted by start.
+    pub fn merged(&self, track: usize) -> Vec<(u64, u64)> {
+        let mut ivs = match self.tracks.get(track) {
+            Some(v) => v.clone(),
+            None => return Vec::new(),
+        };
+        ivs.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(ivs.len());
+        for (s, e) in ivs {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        out
+    }
+
+    /// Total busy picoseconds on `track` after union-merging overlaps.
+    pub fn busy_ps(&self, track: usize) -> u64 {
+        self.merged(track).iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The latest interval end across all tracks (the traced horizon).
+    pub fn horizon_ps(&self) -> u64 {
+        self.tracks
+            .iter()
+            .flatten()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Busy picoseconds of `track` that fall inside `[win_start, win_end)`,
+    /// computed on the merged intervals.
+    pub fn busy_in_window(&self, track: usize, win_start: u64, win_end: u64) -> u64 {
+        self.merged(track)
+            .iter()
+            .map(|&(s, e)| e.min(win_end).saturating_sub(s.max(win_start)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapping_intervals_union_merge() {
+        let mut tl = Timelines::with_tracks(1);
+        tl.add(0, 10, 20);
+        tl.add(0, 15, 30); // overlaps previous
+        tl.add(0, 30, 40); // adjacent — merges too
+        tl.add(0, 50, 60);
+        assert_eq!(tl.merged(0), vec![(10, 40), (50, 60)]);
+        assert_eq!(tl.busy_ps(0), 40);
+    }
+
+    #[test]
+    fn windowed_busy_clips_at_boundaries() {
+        let mut tl = Timelines::with_tracks(1);
+        tl.add(0, 5, 25);
+        assert_eq!(tl.busy_in_window(0, 0, 10), 5);
+        assert_eq!(tl.busy_in_window(0, 10, 20), 10);
+        assert_eq!(tl.busy_in_window(0, 20, 30), 5);
+        assert_eq!(tl.busy_in_window(0, 30, 40), 0);
+    }
+
+    #[test]
+    fn empty_and_out_of_range_are_safe() {
+        let mut tl = Timelines::with_tracks(2);
+        tl.add(0, 7, 7); // empty — ignored
+        tl.add(9, 0, 10); // no such track — ignored
+        assert_eq!(tl.busy_ps(0), 0);
+        assert_eq!(tl.busy_ps(9), 0);
+        assert_eq!(tl.horizon_ps(), 0);
+        tl.add(1, 0, 100);
+        assert_eq!(tl.horizon_ps(), 100);
+    }
+}

@@ -1,0 +1,415 @@
+//! Chrome trace-event schema validation — the check CI runs on every
+//! exported trace.
+//!
+//! The crate has no JSON dependency (the workspace is offline), so this
+//! module carries a small recursive-descent JSON parser sufficient for the
+//! whole trace-event grammar, then checks the event stream:
+//!
+//! 1. the document is well-formed JSON: an object with a `traceEvents`
+//!    array (or a bare array, which the format also allows);
+//! 2. every event is an object with a string `ph`, and every `B`/`E`/`X`
+//!    event carries numeric `ts`, `pid`, and `tid`;
+//! 3. per `(pid, tid)` track, `ts` is non-decreasing in file order and
+//!    `B`/`E` pairs match like brackets (same name, fully nested);
+//! 4. every `X` event carries a numeric `dur`.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (just enough for trace files).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 scalar. The input came from &str,
+                    // so boundaries are valid; decode just this scalar —
+                    // re-validating the whole remaining slice per char
+                    // would make parsing quadratic.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc2..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing garbage after document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Validate `text` against the Chrome trace-event schema (see module docs
+/// for the exact checks). Returns `Ok(())` or the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = Parser::new(text).document()?;
+    let events = match &doc {
+        Json::Arr(items) => items,
+        Json::Obj(_) => match doc.get("traceEvents") {
+            Some(Json::Arr(items)) => items,
+            Some(_) => return Err("traceEvents is not an array".to_string()),
+            None => return Err("top-level object lacks traceEvents".to_string()),
+        },
+        _ => return Err("document is neither an object nor an array".to_string()),
+    };
+
+    // Per (pid, tid): (last ts seen, stack of open B names).
+    let mut tracks: BTreeMap<(i64, i64), (f64, Vec<String>)> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        if !matches!(ph, "B" | "E" | "X") {
+            continue; // metadata and counter events carry no timeline state
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric pid"))? as i64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric tid"))? as i64;
+
+        let (last_ts, stack) = tracks
+            .entry((pid, tid))
+            .or_insert((f64::NEG_INFINITY, Vec::new()));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i}: ts {ts} decreases on track pid={pid} tid={tid} (prev {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+
+        match ph {
+            "B" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: B without a name"))?;
+                stack.push(name.to_string());
+            }
+            "E" => {
+                let opened = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E with no open B on tid={tid}"))?;
+                if let Some(name) = ev.get("name").and_then(Json::as_str) {
+                    if name != opened {
+                        return Err(format!(
+                            "event {i}: E name {name:?} does not match open B {opened:?}"
+                        ));
+                    }
+                }
+            }
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: X without numeric dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    for ((pid, tid), (_, stack)) in &tracks {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "unclosed B {name:?} at end of trace on pid={pid} tid={tid}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_minimal_valid_trace() {
+        let t = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"core-0"}},
+            {"name":"a","cat":"Xct","ph":"B","ts":1.0,"pid":0,"tid":0},
+            {"name":"b","cat":"Xct","ph":"B","ts":2.0,"pid":0,"tid":0},
+            {"name":"b","ph":"E","ts":3.0,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":4.0,"pid":0,"tid":0},
+            {"name":"probe","cat":"Btree","ph":"X","ts":1.5,"dur":0.5,"pid":0,"tid":1}
+        ]}"#;
+        validate_chrome_trace(t).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]} trailing").is_err());
+        assert!(validate_chrome_trace("42").is_err());
+    }
+
+    #[test]
+    fn rejects_decreasing_ts_on_a_track() {
+        let t = r#"[
+            {"name":"a","ph":"B","ts":5.0,"pid":0,"tid":0},
+            {"name":"a","ph":"E","ts":4.0,"pid":0,"tid":0}
+        ]"#;
+        let err = validate_chrome_trace(t).unwrap_err();
+        assert!(err.contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unmatched_pairs() {
+        let open = r#"[{"name":"a","ph":"B","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(open)
+            .unwrap_err()
+            .contains("unclosed"));
+
+        let stray = r#"[{"name":"a","ph":"E","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(stray)
+            .unwrap_err()
+            .contains("no open B"));
+
+        let crossed = r#"[
+            {"name":"a","ph":"B","ts":1.0,"pid":0,"tid":0},
+            {"name":"b","ph":"E","ts":2.0,"pid":0,"tid":0}
+        ]"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn separate_tracks_are_independent() {
+        let t = r#"[
+            {"name":"a","ph":"B","ts":5.0,"pid":0,"tid":0},
+            {"name":"u","ph":"X","ts":1.0,"dur":1.0,"pid":0,"tid":1},
+            {"name":"a","ph":"E","ts":6.0,"pid":0,"tid":0}
+        ]"#;
+        validate_chrome_trace(t).unwrap();
+    }
+
+    #[test]
+    fn rejects_x_without_dur() {
+        let t = r#"[{"name":"u","ph":"X","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(t).unwrap_err().contains("dur"));
+    }
+}

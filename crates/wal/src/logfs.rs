@@ -175,6 +175,7 @@ pub struct LogFs {
     /// Bytes dropped from the replayed image's tail by record validation
     /// (torn write or corruption). Zero for a filesystem built fresh.
     torn_bytes: u64,
+    appended_bytes: u64,
 }
 
 impl LogFs {
@@ -215,6 +216,7 @@ impl LogFs {
         self.log.extend_from_slice(&fnv1a(&body).to_le_bytes());
         self.log.extend_from_slice(&body);
         self.apply(op);
+        self.appended_bytes += 8 + body.len() as u64;
         8 + body.len()
     }
 
@@ -273,6 +275,12 @@ impl LogFs {
     /// Number of live files.
     pub fn file_count(&self) -> usize {
         self.contents.len()
+    }
+
+    /// Total log bytes written through this instance (headers included),
+    /// not counting bytes inherited from a replayed image.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
     }
 
     /// Mark everything logged so far as durable (the caller has timed the

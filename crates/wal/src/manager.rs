@@ -19,6 +19,7 @@ pub struct LogManager {
     last_lsn: HashMap<TxnId, Lsn>,
     last_checkpoint: Option<Lsn>,
     flushes: u64,
+    appends: u64,
     /// Bytes discarded from the tail of a crash image because they did not
     /// decode as a valid record (torn write or corruption). Zero except on
     /// managers rebuilt via [`LogManager::from_image_at`].
@@ -125,6 +126,12 @@ impl LogManager {
         self.flushes
     }
 
+    /// Number of records appended through this manager (not counting
+    /// records inherited from a crash image).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
     /// LSN of the most recent checkpoint record, if any.
     pub fn last_checkpoint(&self) -> Option<Lsn> {
         self.last_checkpoint
@@ -154,6 +161,7 @@ impl LogManager {
         };
         let bytes = rec.encode();
         self.buf.extend_from_slice(&bytes);
+        self.appends += 1;
         match rec.body {
             LogBody::End => {
                 self.last_lsn.remove(&txn);

@@ -6,5 +6,6 @@ pub use bionic_queue as queue;
 pub use bionic_scan as scan;
 pub use bionic_sim as sim;
 pub use bionic_storage as storage;
+pub use bionic_telemetry as telemetry;
 pub use bionic_wal as wal;
 pub use bionic_workloads as workloads;

@@ -107,3 +107,47 @@ fn harness_results_are_independent_of_job_count() {
     }
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// The telemetry layer must share the harness's guarantee: trace JSON,
+/// utilization, and metrics artifacts are byte-identical whether the
+/// traced cells ran serially or on 4 worker threads. Sim-time-only
+/// timestamps and fully specified export ordering make this hold.
+#[test]
+fn trace_artifacts_are_independent_of_job_count() {
+    use bionic_bench::trace::run_traced;
+
+    let base = std::env::temp_dir().join(format!("bionic_trace_det_{}", std::process::id()));
+    let mut per_jobs: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        let written = run_traced(&dir, jobs).expect("trace export");
+        assert!(!written.is_empty());
+        let mut files = std::collections::BTreeMap::new();
+        for path in written {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            files.insert(name, std::fs::read(&path).expect("read artifact"));
+        }
+        per_jobs.push(files);
+    }
+    let (a, b) = (&per_jobs[0], &per_jobs[1]);
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "same artifact set for any --jobs"
+    );
+    for (name, bytes) in a {
+        assert_eq!(
+            bytes, &b[name],
+            "{name} must be byte-identical across --jobs"
+        );
+    }
+    // Spot-check the shape: the trace is Perfetto-loadable JSON and the
+    // utilization CSV names every §5 unit.
+    let trace = std::str::from_utf8(&a["trace_tatp.json"]).unwrap();
+    bionic_telemetry::validate_chrome_trace(trace).expect("schema-valid");
+    let util = std::str::from_utf8(&a["utilization_tatp.csv"]).unwrap();
+    for unit in bionic_telemetry::UNIT_NAMES {
+        assert!(util.contains(&format!("fpga/{unit},")), "missing {unit}");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
