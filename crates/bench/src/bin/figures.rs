@@ -25,7 +25,7 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--jobs N] [--list] [--trace DIR] [ids...]   ids: {}",
-        experiments::IDS.join(" ")
+        experiments::ids().collect::<Vec<_>>().join(" ")
     );
     exit(2);
 }
@@ -38,7 +38,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => {
-                for id in experiments::IDS {
+                for id in experiments::ids() {
                     println!("{id}");
                 }
                 return;
@@ -79,7 +79,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
+        ids = experiments::ids().map(str::to_string).collect();
     }
 
     let mut selected = Vec::new();

@@ -413,6 +413,24 @@ impl Engine {
         m.counter("link/pcie", "transfers", counters.pcie_transfers);
         m.gauge("link/pcie", "busy_us", counters.pcie_busy.as_us());
         m.counter("sg-dram", "accesses", counters.sg_dram_accesses);
+        if let Some(c) = &self.platform.contention {
+            for (scope, arb) in [("arbiter/sg", &c.sg), ("arbiter/link", &c.link)] {
+                for client in [
+                    bionic_sim::arbiter::BwClient::Oltp,
+                    bionic_sim::arbiter::BwClient::Olap,
+                ] {
+                    m.counter(
+                        scope,
+                        &format!("{}_bytes", client.label()),
+                        arb.client_bytes(client.index()),
+                    );
+                }
+                m.counter(scope, "requests", arb.requests());
+                m.gauge(scope, "max_fill_frac", arb.max_fill_frac());
+                m.gauge(scope, "mean_fill_frac", arb.mean_fill_frac());
+                m.gauge(scope, "queued_total_us", arb.queued_total().as_us());
+            }
+        }
         for (class, n) in bionic_sim::mem::AccessClass::ALL
             .iter()
             .zip(counters.cpu_mem_accesses)

@@ -16,6 +16,7 @@ use crate::engine::{Engine, LogPath};
 use crate::ops::{Action, Op, TxnProgram};
 use bionic_btree::probe::ProbeOutcome;
 use bionic_btree::tree::Footprint;
+use bionic_sim::arbiter::BwClient;
 use bionic_sim::energy::EnergyDomain;
 use bionic_sim::mem::AccessClass;
 use bionic_sim::stats::Summary;
@@ -275,7 +276,16 @@ impl Engine {
         let levels = fp.nodes_visited().max(1);
         let miss =
             self.cfg.offloads.overlay && self.overlays[table as usize].probe_would_miss(&key);
-        let at_fpga = self.platform.pcie_send(now + cpu, 64);
+        // Under the hybrid engine, the doorbell/response and the probe's
+        // node reads contend with concurrent analytics on the link and on
+        // SG-DRAM; when contention is off both delays are zero.
+        let link_wait = self
+            .platform
+            .link_contention_delay(BwClient::Oltp, now + cpu, 64 + 16);
+        let sg_wait =
+            self.platform
+                .sg_contention_delay(BwClient::Oltp, now + cpu, levels as u64 * 64);
+        let at_fpga = self.platform.pcie_send(now + cpu + link_wait + sg_wait, 64);
         let probe = self.probe_hw.as_mut().expect("checked above");
         let outcome = if miss {
             probe.submit_with_miss(at_fpga, (levels / 2).max(1), 1, &mut self.platform.sg_dram)
@@ -351,7 +361,16 @@ impl Engine {
             let rounds = bytes.div_ceil(64) as u64;
             let e = self.platform.sg_dram.charge_accesses(rounds * 8);
             self.platform.energy.charge(EnergyDomain::SgDram, e);
-            let asy = SimTime::from_ns(400.0) + self.platform.pcie.wire_time(bytes as u64);
+            let sg_wait = self
+                .platform
+                .sg_contention_delay(BwClient::Oltp, now + cpu, rounds * 64);
+            let link_wait =
+                self.platform
+                    .link_contention_delay(BwClient::Oltp, now + cpu, bytes as u64);
+            let asy = SimTime::from_ns(400.0)
+                + self.platform.pcie.wire_time(bytes as u64)
+                + sg_wait
+                + link_wait;
             return OpCost { cpu, asy };
         }
         let mut cpu = self.sw_work(Category::Bpool, 90, 3, AccessClass::Hot);
@@ -390,7 +409,10 @@ impl Engine {
     /// Overlay delta-write cost (the FPGA overlay manager of Figure 4).
     fn overlay_write_cost(&mut self, now: SimTime) -> OpCost {
         let cpu = self.sw_work(Category::Bpool, 30, 1, AccessClass::Hot);
-        let done = self.platform.pcie_send(now + cpu, 64);
+        let link_wait = self
+            .platform
+            .link_contention_delay(BwClient::Oltp, now + cpu, 64);
+        let done = self.platform.pcie_send(now + cpu + link_wait, 64);
         self.tel.unit_busy(
             U_OVERLAY,
             "delta-write",
@@ -652,6 +674,9 @@ impl Engine {
                     cost.asy += SimTime::from_ns(400.0) * extra_leaves;
                     let e = self.platform.sg_dram.charge_accesses(extra_leaves * 8);
                     self.platform.energy.charge(EnergyDomain::SgDram, e);
+                    cost.asy +=
+                        self.platform
+                            .sg_contention_delay(BwClient::Oltp, now, extra_leaves * 64);
                 } else {
                     cost.cpu +=
                         self.sw_work(Category::Btree, 4 * rids.len() as u64, 0, AccessClass::Hot);

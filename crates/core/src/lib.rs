@@ -34,7 +34,7 @@
 //! assert!(outcome.is_committed());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod breakdown;
 pub mod config;

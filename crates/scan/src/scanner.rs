@@ -11,6 +11,7 @@
 //! test-enforced); they differ in bytes moved, time, and joules.
 
 use crate::predicate::ScanRequest;
+use bionic_sim::arbiter::BwClient;
 use bionic_sim::energy::{Energy, EnergyDomain};
 use bionic_sim::platform::Platform;
 use bionic_sim::time::SimTime;
@@ -133,7 +134,13 @@ pub fn scan_enhanced(
         filter_rate = filter_rate.min(nfa_rate);
     }
     let stream_secs = pred_bytes as f64 / filter_rate;
-    let filtered_at = start + SimTime::from_secs(stream_secs) + SimTime::from_ns(400.0);
+    // When the platform arbitrates shared bandwidth (the hybrid engine),
+    // the stream contends with transactional SG-DRAM traffic: the arbiter
+    // books the streamed bytes for the OLAP client and returns whatever
+    // the scan lost to round-robin sharing. On a contention-free platform
+    // the delay is zero and this path prices exactly as before.
+    let sg_wait = platform.sg_contention_delay(BwClient::Olap, start, pred_bytes);
+    let filtered_at = start + SimTime::from_secs(stream_secs) + SimTime::from_ns(400.0) + sg_wait;
     platform.charge_fpga(cfg.energy_per_row * rows);
     platform.charge_fpga(cfg.nfa_energy_per_state_byte * (str_bytes * req.nfa_states() as u64));
     // SG-DRAM consumption (energy + counters) for the streamed bytes.
@@ -147,7 +154,8 @@ pub fn scan_enhanced(
 
     let proj_bytes = matches.len() as u64 * req.projection_width(table) as u64;
     let done = if proj_bytes > 0 {
-        platform.pcie_transfer(filtered_at, proj_bytes)
+        let link_wait = platform.link_contention_delay(BwClient::Olap, filtered_at, proj_bytes);
+        platform.pcie_transfer(filtered_at + link_wait, proj_bytes)
     } else {
         filtered_at
     };

@@ -10,6 +10,8 @@
 //! * [`time::SimTime`] — picosecond-resolution simulated time;
 //! * [`events::EventQueue`] — a deterministic discrete-event queue;
 //! * [`server`] — analytic FIFO servers and pipelined units;
+//! * [`arbiter::SharedBandwidth`] — weighted arbitration of one path
+//!   between contending clients (the hybrid-engine contention model);
 //! * [`link::Link`] — bandwidth/latency paths (PCIe);
 //! * [`mem`] — the host cache hierarchy and the FPGA's SG-DRAM;
 //! * [`cpu::CpuModel`] / [`fpga`] — compute cost models for both sides;
@@ -23,8 +25,9 @@
 //! Nothing here knows about databases; the DBMS crates charge their work to
 //! these models and the models decide when it completes and what it costs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod arbiter;
 pub mod cpu;
 pub mod darksilicon;
 pub mod dev;

@@ -15,6 +15,7 @@
 //!   CPU ─── SSD         500 MB/s / 20 µs   (log files)
 //! ```
 
+use crate::arbiter::{BwClient, SharedBandwidth};
 use crate::cpu::CpuModel;
 use crate::dev::BlockDevice;
 use crate::energy::{Energy, EnergyDomain, EnergyMeter};
@@ -69,6 +70,37 @@ pub struct Platform {
     pub fabric: FpgaFabric,
     /// Energy accounting for every domain.
     pub energy: EnergyMeter,
+    /// Opt-in shared-bandwidth arbitration between the transaction engine
+    /// and concurrent analytics. `None` (the default) preserves the
+    /// independent per-caller pricing every single-workload experiment
+    /// uses; the hybrid driver enables it so both sides observe each
+    /// other's queueing delay on SG-DRAM and the PCIe bridge.
+    pub contention: Option<Contention>,
+}
+
+/// The contended shared paths of the hybrid engine: one arbiter for
+/// SG-DRAM, one for the CPU↔FPGA link, both keyed by [`BwClient`].
+#[derive(Debug, Clone)]
+pub struct Contention {
+    /// SG-DRAM bandwidth arbiter (80 GB/s on the HC-2 preset).
+    pub sg: SharedBandwidth,
+    /// PCIe bridge bandwidth arbiter (4 GB/s on the HC-2 preset).
+    pub link: SharedBandwidth,
+}
+
+impl Contention {
+    /// Arbitration window for both paths: long enough that a window holds
+    /// meaningful traffic (400 KB of SG-DRAM, 20 KB of PCIe), short enough
+    /// that cross-client delay stays below transaction latencies.
+    pub const WINDOW: SimTime = SimTime::from_ps(5_000_000); // 5 us
+
+    /// Equal-weight OLTP/OLAP arbitration over the HC-2 paths.
+    pub fn hc2() -> Self {
+        Contention {
+            sg: SharedBandwidth::two_client(80e9, Self::WINDOW),
+            link: SharedBandwidth::two_client(4e9, Self::WINDOW),
+        }
+    }
 }
 
 impl Platform {
@@ -90,6 +122,44 @@ impl Platform {
             ssd: BlockDevice::ssd(),
             fabric: FpgaFabric::hc2(),
             energy: EnergyMeter::new(),
+            contention: None,
+        }
+    }
+
+    /// Turn on shared-bandwidth arbitration (equal OLTP/OLAP weights).
+    /// Idempotent: an already-enabled platform keeps its ledgers.
+    pub fn enable_contention(&mut self) {
+        if self.contention.is_none() {
+            self.contention = Some(Contention::hc2());
+        }
+    }
+
+    /// Arbitration delay for `bytes` of SG-DRAM traffic by `client`
+    /// arriving at `arrive`. Zero when contention is disabled — every
+    /// pre-hybrid call site prices exactly as before.
+    pub fn sg_contention_delay(
+        &mut self,
+        client: BwClient,
+        arrive: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        match &mut self.contention {
+            Some(c) => c.sg.request(client.index(), arrive, bytes).queued,
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Arbitration delay for `bytes` crossing the CPU↔FPGA link by
+    /// `client` at `arrive`. Zero when contention is disabled.
+    pub fn link_contention_delay(
+        &mut self,
+        client: BwClient,
+        arrive: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        match &mut self.contention {
+            Some(c) => c.link.request(client.index(), arrive, bytes).queued,
+            None => SimTime::ZERO,
         }
     }
 

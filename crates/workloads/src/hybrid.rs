@@ -1,0 +1,362 @@
+//! The hybrid OLTP/OLAP driver — Figure 4 end-to-end.
+//!
+//! Everything before this module exercised the bionic engine one side at a
+//! time: transactions (F3/E4–E9) or analytics (E10/E11) in isolation. The
+//! paper's Figure 4, however, draws a *single* machine where the DORA
+//! engine and the enhanced scanner run concurrently against the same
+//! SG-DRAM and the same CPU↔FPGA link. This driver interleaves a TATP
+//! transaction stream with a periodic enhanced-scanner stream over a
+//! columnar analytics table, with [shared-bandwidth
+//! arbitration](bionic_sim::arbiter) enabled so each side observes the
+//! other's queueing delay.
+//!
+//! The analytics knob is *scan pressure*: the fraction of SG-DRAM
+//! bandwidth the scan stream offers. At pressure `p`, scans of `B` bytes
+//! are launched every `B / (p × 80 GB/s)` of simulated time; experiment
+//! E13 sweeps `p` from 0 to 1 and watches transaction throughput, latency,
+//! and joules respond (EXPERIMENTS.md, "how to read the contention knee").
+//!
+//! Interleaving is deterministic: transaction and scan arrivals are merged
+//! in simulated-time order (ties go to the transaction), so a hybrid run
+//! is a pure function of its config — the property every figure relies on.
+
+use crate::driver::WorkloadReport;
+use crate::tatp::{self, TatpConfig, TatpGenerator};
+use bionic_core::engine::Engine;
+use bionic_scan::predicate::{CmpOp, ColPredicate, ScanRequest};
+use bionic_scan::scanner::{scan_enhanced, ScannerConfig};
+use bionic_sim::stats::{Histogram, Summary};
+use bionic_sim::time::SimTime;
+use bionic_storage::columnar::{Column, ColumnarTable};
+use std::collections::BTreeMap;
+
+/// Configuration of one hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// TATP sizing (subscribers, workload seed).
+    pub tatp: TatpConfig,
+    /// Transactions to submit.
+    pub txns: u64,
+    /// Open-loop transaction inter-arrival time.
+    pub inter_arrival: SimTime,
+    /// Offered scan load as a fraction of SG-DRAM bandwidth (0 disables
+    /// the analytic stream entirely; 1.0 offers the full 80 GB/s).
+    pub scan_pressure: f64,
+    /// Rows in the columnar analytics table each scan sweeps.
+    pub scan_rows: usize,
+    /// Issue one [`Engine::query_range`] through the result cache after
+    /// every scan (exercises cache invalidation under concurrent updates).
+    pub range_queries: bool,
+}
+
+impl HybridConfig {
+    /// A small deterministic default used by tests and Smoke-scale E13.
+    pub fn small(scan_pressure: f64) -> Self {
+        HybridConfig {
+            tatp: TatpConfig {
+                subscribers: 2_000,
+                ..Default::default()
+            },
+            txns: 800,
+            inter_arrival: SimTime::from_us(2.0),
+            scan_pressure,
+            scan_rows: 200_000,
+            range_queries: true,
+        }
+    }
+}
+
+/// Everything a hybrid run produces: the transactional report plus the
+/// analytic stream's outcome and the arbiter's occupancy accounting.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// The transaction side, measured exactly like [`crate::run`].
+    pub oltp: WorkloadReport,
+    /// Engine table ids of the TATP schema this run loaded, so callers can
+    /// keep querying the same engine after the run (see the result-cache
+    /// staleness regression test).
+    pub tatp_tables: tatp::TatpTables,
+    /// Scans completed.
+    pub scans: u64,
+    /// Rows matched across all scans (functional check: selectivity is a
+    /// property of the data, not of contention).
+    pub scan_matches: u64,
+    /// Scan latency (arrival → last projected byte delivered).
+    pub scan_latency: Summary,
+    /// Achieved analytic throughput in bytes of predicate column streamed
+    /// per second of simulated time, over the scan stream's active span.
+    pub scan_bytes_per_sec: f64,
+    /// Range queries issued through the result cache.
+    pub queries: u64,
+    /// Range queries answered from the result cache.
+    pub query_cache_hits: u64,
+    /// SG-DRAM bytes granted to the transaction engine.
+    pub sg_oltp_bytes: u64,
+    /// SG-DRAM bytes granted to the scan stream.
+    pub sg_olap_bytes: u64,
+    /// Peak SG-DRAM window fill (fraction of capacity; ≤ 1 when the
+    /// conservation invariant holds).
+    pub sg_max_fill_frac: f64,
+    /// Mean SG-DRAM window fill across touched windows.
+    pub sg_mean_fill_frac: f64,
+    /// Total arbitration delay handed to SG-DRAM clients.
+    pub sg_queued: SimTime,
+    /// PCIe-link bytes granted to the transaction engine.
+    pub link_oltp_bytes: u64,
+    /// PCIe-link bytes granted to the scan stream.
+    pub link_olap_bytes: u64,
+    /// Peak PCIe-link window fill (fraction of capacity).
+    pub link_max_fill_frac: f64,
+}
+
+/// Build the columnar table the analytic stream scans: a deterministic
+/// lineitem-like layout whose `qty` column drives selectivity.
+pub fn analytics_table(rows: usize) -> ColumnarTable {
+    let mut t = ColumnarTable::new();
+    t.add_column("key", Column::I64((0..rows as i64).collect()));
+    t.add_column(
+        "qty",
+        Column::I64((0..rows as i64).map(|i| i % 1000).collect()),
+    );
+    t.add_column(
+        "price",
+        Column::I64((0..rows as i64).map(|i| i * 7 % 10_000).collect()),
+    );
+    t
+}
+
+/// The scan every analytic arrival runs: 1 % selectivity over `qty`,
+/// projecting key and price — the Netezza-style filter of §5.2.
+fn scan_request() -> ScanRequest {
+    ScanRequest {
+        predicates: vec![ColPredicate::new(1, CmpOp::Lt, 10)],
+        projection: vec![0, 2],
+        ..Default::default()
+    }
+}
+
+/// Run the hybrid workload on `engine`. Enables shared-bandwidth
+/// arbitration on the engine's platform, loads TATP, then merges the
+/// transaction and scan arrival streams in simulated-time order.
+pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
+    assert!(
+        (0.0..=1.0).contains(&cfg.scan_pressure),
+        "scan pressure is a fraction of SG-DRAM bandwidth"
+    );
+    engine.platform.enable_contention();
+    let tables = tatp::load(engine, &cfg.tatp);
+    let subscriber_table = tables.subscriber;
+    let mut generator = TatpGenerator::new(cfg.tatp.clone(), tables);
+    let scan_table = analytics_table(cfg.scan_rows);
+    let req = scan_request();
+    let scanner_cfg = ScannerConfig::default();
+
+    // Offered load p × 80 GB/s: one scan of `pred_bytes` every
+    // `pred_bytes / (p × bw)`. Pressure 0 pushes the first scan past the
+    // end of the run.
+    let pred_bytes = cfg.scan_rows as u64 * req.predicate_width(&scan_table) as u64;
+    let sg_bw = 80e9f64;
+    let scan_period = if cfg.scan_pressure > 0.0 {
+        SimTime::from_secs(pred_bytes as f64 / (cfg.scan_pressure * sg_bw))
+    } else {
+        SimTime::MAX
+    };
+
+    // Measurement baselines, mirroring `driver::run`.
+    let breakdown_before = engine.breakdown.clone();
+    let energy_before = engine.platform.energy.clone();
+    let committed_before = engine.stats.committed;
+    let submitted_before = engine.stats.submitted;
+    let aborted_before = engine.stats.aborted;
+    let cache_before = engine.result_cache_stats();
+    let base = engine.stats.last_completion;
+
+    let mut per_type: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut per_type_hist: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    let mut scan_hist = Histogram::default();
+    let mut scans = 0u64;
+    let mut scan_matches = 0u64;
+    let mut last_scan_done = SimTime::ZERO;
+    let mut queries = 0u64;
+
+    let mut txn_i = 0u64;
+    let mut scan_i = 0u64;
+    while txn_i < cfg.txns {
+        let txn_at = cfg.inter_arrival * txn_i;
+        let scan_at = if scan_period == SimTime::MAX {
+            SimTime::MAX
+        } else {
+            scan_period * scan_i
+        };
+        if txn_at <= scan_at {
+            let (ty, prog) = generator.next();
+            *per_type.entry(ty.label()).or_insert(0) += 1;
+            let outcome = engine.submit(&prog, base + txn_at);
+            per_type_hist
+                .entry(ty.label())
+                .or_default()
+                .record(outcome.latency());
+            txn_i += 1;
+        } else {
+            let out = scan_enhanced(
+                &mut engine.platform,
+                &scan_table,
+                &req,
+                base + scan_at,
+                &scanner_cfg,
+            );
+            scan_hist.record(out.done - (base + scan_at));
+            scans += 1;
+            scan_matches += out.matches.len() as u64;
+            last_scan_done = last_scan_done.max(out.done);
+            scan_i += 1;
+            if cfg.range_queries {
+                // A Figure-4 "query engine" read over live transactional
+                // state: range over the subscriber table, through the
+                // result cache the update stream keeps invalidating.
+                let lo = (scan_i as i64 * 37) % cfg.tatp.subscribers;
+                let hi = (lo + 64).min(cfg.tatp.subscribers);
+                engine.query_range(subscriber_table, lo, hi, None, out.done);
+                queries += 1;
+            }
+        }
+    }
+
+    let committed = engine.stats.committed - committed_before;
+    let elapsed = engine.stats.last_completion.saturating_sub(base);
+    let energy = engine.platform.energy.since(&energy_before);
+    let oltp = WorkloadReport {
+        submitted: engine.stats.submitted - submitted_before,
+        committed,
+        aborted: engine.stats.aborted - aborted_before,
+        throughput_per_sec: if elapsed.is_zero() {
+            0.0
+        } else {
+            committed as f64 / elapsed.as_secs()
+        },
+        latency: engine.stats.latency.summary(),
+        breakdown: engine.breakdown.since(&breakdown_before),
+        joules_per_txn: if committed == 0 {
+            0.0
+        } else {
+            energy.total().as_j() / committed as f64
+        },
+        energy: energy.snapshot(),
+        per_type,
+        per_type_latency: per_type_hist
+            .into_iter()
+            .map(|(k, h)| (k, h.summary()))
+            .collect(),
+    };
+
+    let contention = engine
+        .platform
+        .contention
+        .as_ref()
+        .expect("enabled at entry");
+    let scan_span = last_scan_done.saturating_sub(base);
+    let cache = engine.result_cache_stats();
+    HybridReport {
+        oltp,
+        tatp_tables: tables,
+        scans,
+        scan_matches,
+        scan_latency: scan_hist.summary(),
+        scan_bytes_per_sec: if scan_span.is_zero() {
+            0.0
+        } else {
+            (scans * pred_bytes) as f64 / scan_span.as_secs()
+        },
+        queries,
+        query_cache_hits: cache.hits - cache_before.hits,
+        sg_oltp_bytes: contention.sg.client_bytes(0),
+        sg_olap_bytes: contention.sg.client_bytes(1),
+        sg_max_fill_frac: contention.sg.max_fill_frac(),
+        sg_mean_fill_frac: contention.sg.mean_fill_frac(),
+        sg_queued: contention.sg.queued_total(),
+        link_oltp_bytes: contention.link.client_bytes(0),
+        link_olap_bytes: contention.link.client_bytes(1),
+        link_max_fill_frac: contention.link.max_fill_frac(),
+    }
+}
+
+/// Check the arbiter conservation invariant on a platform after a hybrid
+/// run: no bandwidth created or lost across contending clients, on either
+/// shared path. Returns the first violation found.
+pub fn check_conservation(engine: &Engine) -> Result<(), String> {
+    match &engine.platform.contention {
+        Some(c) => {
+            c.sg.check_conservation().map_err(|e| format!("sg: {e}"))?;
+            c.link
+                .check_conservation()
+                .map_err(|e| format!("link: {e}"))
+        }
+        None => Err("contention is not enabled on this platform".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_core::config::EngineConfig;
+
+    fn run_at(pressure: f64) -> (HybridReport, Engine) {
+        let mut engine = Engine::new(EngineConfig::bionic());
+        let cfg = HybridConfig {
+            scan_rows: 100_000,
+            txns: 400,
+            ..HybridConfig::small(pressure)
+        };
+        let report = run_hybrid(&mut engine, &cfg);
+        (report, engine)
+    }
+
+    #[test]
+    fn pressure_zero_runs_no_scans() {
+        let (r, engine) = run_at(0.0);
+        assert_eq!(r.scans, 0);
+        assert_eq!(r.sg_olap_bytes, 0);
+        assert!(r.oltp.committed > 0);
+        check_conservation(&engine).unwrap();
+    }
+
+    #[test]
+    fn scan_pressure_slows_transactions_not_their_function() {
+        let (calm, e0) = run_at(0.0);
+        let (loaded, e1) = run_at(0.8);
+        // Functional outcomes are contention-independent...
+        assert_eq!(calm.oltp.committed, loaded.oltp.committed);
+        assert_eq!(calm.oltp.aborted, loaded.oltp.aborted);
+        // ...but the loaded run's transactions waited for bandwidth.
+        assert!(
+            loaded.oltp.latency.p99 > calm.oltp.latency.p99,
+            "p99 {} should exceed {}",
+            loaded.oltp.latency.p99,
+            calm.oltp.latency.p99
+        );
+        assert!(loaded.sg_olap_bytes > 0);
+        assert!(loaded.sg_queued > SimTime::ZERO);
+        check_conservation(&e0).unwrap();
+        check_conservation(&e1).unwrap();
+    }
+
+    #[test]
+    fn scans_return_correct_matches_under_contention() {
+        let (r, engine) = run_at(0.5);
+        assert!(r.scans > 0);
+        // 1% selectivity over `qty % 1000 < 10`.
+        assert_eq!(r.scan_matches, r.scans * 1_000);
+        assert!(r.sg_max_fill_frac <= 1.0 + 1e-12);
+        check_conservation(&engine).unwrap();
+    }
+
+    #[test]
+    fn hybrid_runs_are_deterministic() {
+        let (a, _) = run_at(0.6);
+        let (b, _) = run_at(0.6);
+        assert_eq!(a.oltp.committed, b.oltp.committed);
+        assert_eq!(a.oltp.latency.p99, b.oltp.latency.p99);
+        assert_eq!(a.sg_oltp_bytes, b.sg_oltp_bytes);
+        assert_eq!(a.scan_latency.p50, b.scan_latency.p50);
+    }
+}

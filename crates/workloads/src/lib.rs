@@ -9,16 +9,20 @@
 //!   warehouses, and the 1 % NewOrder rollback; StockLevel is the paper's
 //!   index-bound exhibit;
 //! * [`driver`] — runs a stream against an engine and reports throughput,
-//!   latency, joules/txn, and the Figure-3 breakdown.
+//!   latency, joules/txn, and the Figure-3 breakdown;
+//! * [`hybrid`] — the Figure-4 mixed driver: TATP transactions interleaved
+//!   with enhanced-scanner analytics under shared-bandwidth arbitration.
 
 #![warn(missing_docs)]
 
 pub mod anywork;
 pub mod driver;
+pub mod hybrid;
 pub mod tatp;
 pub mod tpcc;
 
 pub use anywork::{AnyWorkload, WorkloadKind};
 pub use driver::{run, run_batched, WorkloadReport};
+pub use hybrid::{run_hybrid, HybridConfig, HybridReport};
 pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

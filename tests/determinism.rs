@@ -62,10 +62,12 @@ fn workload_seed_changes_everything() {
 }
 
 /// The parallel figure harness must not leak scheduling order into
-/// results: running an E4/E12 subset with 4 workers produces the same CSV
-/// bytes as running it serially. `harness_timing.csv` is the single file
-/// allowed to differ (it reports wall-clock, which is the point of the
-/// parallelism).
+/// results: running an E4/E12/E13 subset with 4 workers produces the same
+/// CSV bytes as running it serially. E13 is the interesting member: its
+/// cells each carry a private contention arbiter, so any shared mutable
+/// state would show up here as a byte diff in `e13_hybrid.csv`.
+/// `harness_timing.csv` is the single file allowed to differ (it reports
+/// wall-clock, which is the point of the parallelism).
 #[test]
 fn harness_results_are_independent_of_job_count() {
     use bionic_bench::experiments::{build, Scale};
@@ -75,7 +77,7 @@ fn harness_results_are_independent_of_job_count() {
     let mut per_jobs: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
     for jobs in [1usize, 4] {
         let dir = base.join(format!("jobs{jobs}"));
-        let experiments = ["e4", "e12"]
+        let experiments = ["e4", "e12", "e13"]
             .into_iter()
             .map(|id| build(id, Scale::Smoke).expect("known id"))
             .collect();
@@ -91,6 +93,10 @@ fn harness_results_are_independent_of_job_count() {
             csvs.insert(name, std::fs::read(&path).expect("read csv"));
         }
         assert!(!csvs.is_empty(), "harness produced no CSVs");
+        assert!(
+            csvs.contains_key("e13_hybrid.csv"),
+            "E13 must write e13_hybrid.csv"
+        );
         per_jobs.push(csvs);
     }
     let (a, b) = (&per_jobs[0], &per_jobs[1]);
