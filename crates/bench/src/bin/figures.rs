@@ -6,6 +6,7 @@
 //! cargo run --release -p bionic-bench --bin figures --jobs 8    # 8 workers
 //! cargo run --release -p bionic-bench --bin figures --list      # list ids
 //! cargo run --release -p bionic-bench --bin figures --trace out # traced runs
+//! cargo run --release -p bionic-bench --bin figures --smoke e14 # CI-sized run
 //! ```
 //!
 //! Each experiment prints its tables and writes `results/<id>_*.csv`.
@@ -24,7 +25,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--jobs N] [--list] [--trace DIR] [ids...]   ids: {}",
+        "usage: figures [--jobs N] [--list] [--smoke] [--out DIR] [--trace DIR] [ids...]   ids: {}",
         experiments::ids().collect::<Vec<_>>().join(" ")
     );
     exit(2);
@@ -34,6 +35,8 @@ fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut ids: Vec<String> = Vec::new();
     let mut trace_dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut scale = Scale::Full;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,6 +56,15 @@ fn main() {
             "--trace" => {
                 let d = args.next().unwrap_or_else(|| usage());
                 trace_dir = Some(PathBuf::from(d));
+            }
+            // CI-sized cells: same code paths and determinism guarantees
+            // as Full, seconds instead of minutes. Published CSVs always
+            // come from a Full run, so smoke output defaults away from
+            // results/ (override with --out).
+            "--smoke" => scale = Scale::Smoke,
+            "--out" => {
+                let d = args.next().unwrap_or_else(|| usage());
+                out_dir = Some(PathBuf::from(d));
             }
             s if s.starts_with('-') => usage(),
             s => ids.push(s.to_string()),
@@ -84,7 +96,7 @@ fn main() {
 
     let mut selected = Vec::new();
     for id in &ids {
-        match experiments::build(id, Scale::Full) {
+        match experiments::build(id, scale) {
             Some(e) => selected.push(e),
             None => {
                 eprintln!("unknown experiment id: {id}");
@@ -93,7 +105,12 @@ fn main() {
         }
     }
 
-    let results = PathBuf::from("results");
+    let results = out_dir.unwrap_or_else(|| {
+        PathBuf::from(match scale {
+            Scale::Full => "results",
+            Scale::Smoke => "target/smoke-results",
+        })
+    });
     let timing = harness::run(selected, jobs, &results);
     timing.table().save_and_print(&results, "harness_timing");
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chaos [--seeds N] [--start-seed S] [--plan FILE] [--shrink] [--out DIR]
+//!       [--force-degraded]
 //! ```
 //!
 //! * `--seeds N` — run N consecutive seeds (default 64)
@@ -10,10 +11,16 @@
 //!   (one `chaosplan v1 ...` line each) — the byte-identical repro path
 //! * `--shrink` — on failure, minimize the plan before reporting
 //! * `--out DIR` — where failing plans are written (default `target/chaos`)
+//! * `--force-degraded` — saturate every hardware unit so each offloaded
+//!   op class goes timeout → retry → software fallback; the recovery
+//!   oracle must hold all the same
 //!
 //! Exit status is 0 iff every run's oracle held.
 
-use bionic_chaos::{run_plan_catching, shrink, FaultPlan};
+use bionic_chaos::{
+    run_plan_catching, run_plan_forced_degraded_catching, run_plan_forced_degraded_traced,
+    run_plan_traced, shrink, FaultPlan, RunReport, TortureTelemetry,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,6 +30,7 @@ struct Args {
     plan_file: Option<PathBuf>,
     do_shrink: bool,
     out_dir: PathBuf,
+    force_degraded: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         plan_file: None,
         do_shrink: false,
         out_dir: PathBuf::from("target/chaos"),
+        force_degraded: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,8 +53,12 @@ fn parse_args() -> Result<Args, String> {
             "--plan" => args.plan_file = Some(PathBuf::from(value("--plan")?)),
             "--shrink" => args.do_shrink = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--force-degraded" => args.force_degraded = true,
             "--help" | "-h" => {
-                println!("chaos [--seeds N] [--start-seed S] [--plan FILE] [--shrink] [--out DIR]");
+                println!(
+                    "chaos [--seeds N] [--start-seed S] [--plan FILE] [--shrink] [--out DIR] \
+                     [--force-degraded]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -97,13 +110,25 @@ fn main() -> ExitCode {
             .collect(),
     };
 
+    let run_catching: fn(&FaultPlan) -> Result<RunReport, String> = if args.force_degraded {
+        run_plan_forced_degraded_catching
+    } else {
+        run_plan_catching
+    };
+    let run_traced: fn(&FaultPlan, &mut Option<TortureTelemetry>) -> Result<RunReport, String> =
+        if args.force_degraded {
+            run_plan_forced_degraded_traced
+        } else {
+            run_plan_traced
+        };
+
     let mut failures = 0u32;
     for plan in &plans {
-        match run_plan_catching(plan) {
+        match run_catching(plan) {
             Ok(report) => {
                 println!(
                     "ok   seed={:<6} {:<4} txns={:<3} committed={:<3} durable={:<3} \
-                     interrupted={} torn_skipped={:<3} state={:016x}",
+                     interrupted={} torn_skipped={:<3} fallbacks={:<4} state={:016x}",
                     plan.seed,
                     plan.workload.label(),
                     report.submitted,
@@ -111,6 +136,7 @@ fn main() -> ExitCode {
                     report.durable_committed,
                     u8::from(report.interrupted),
                     report.torn_bytes_skipped,
+                    report.hw_fallbacks.iter().sum::<u64>(),
                     report.state_digest,
                 );
             }
@@ -120,7 +146,7 @@ fn main() -> ExitCode {
                 eprintln!("     plan: {}", plan.serialize());
                 let reported = if args.do_shrink {
                     eprintln!("     shrinking...");
-                    let min = shrink(plan, |candidate| run_plan_catching(candidate).is_err());
+                    let min = shrink(plan, |candidate| run_catching(candidate).is_err());
                     eprintln!("     minimal repro: {}", min.serialize());
                     min
                 } else {
@@ -132,7 +158,7 @@ fn main() -> ExitCode {
                 // plan file.
                 let mut tel = None;
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    bionic_chaos::run_plan_traced(&reported, &mut tel)
+                    run_traced(&reported, &mut tel)
                 }));
                 if let Some(t) = &tel {
                     eprintln!("     {}", t.counter_line());
@@ -157,9 +183,14 @@ fn main() -> ExitCode {
                         eprintln!("chaos: cannot write {}: {e}", file.display());
                     } else {
                         eprintln!("     plan written to {}", file.display());
+                        let forced = if args.force_degraded {
+                            " --force-degraded"
+                        } else {
+                            ""
+                        };
                         eprintln!(
                             "     reproduce with: cargo run -p bionic-chaos --bin chaos -- \
-                             --plan {}",
+                             --plan {}{forced}",
                             file.display()
                         );
                     }

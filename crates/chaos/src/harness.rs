@@ -30,8 +30,10 @@
 use crate::plan::FaultPlan;
 use crate::refmodel::RefDb;
 use bionic_core::config::EngineConfig;
+use bionic_core::degrade::UNIT_COUNT;
 use bionic_core::ops::TxnProgram;
 use bionic_core::{Engine, TxnOutcome};
+use bionic_sim::fault::{FaultRates, HwFaultConfig};
 use bionic_sim::rng::SplitMix64;
 use bionic_sim::time::SimTime;
 use bionic_wal::manager::LogIter;
@@ -66,6 +68,13 @@ pub struct RunReport {
     pub log_digest: u64,
     /// FNV-1a digest of the post-recovery database state.
     pub state_digest: u64,
+    /// Per-hardware-unit software fallbacks taken before the crash, in
+    /// telemetry unit order (tree-probe, log-insert, queue, overlay,
+    /// scanner); all zero when the plan leaves the units healthy.
+    pub hw_fallbacks: [u64; UNIT_COUNT],
+    /// Total hardware retries across all units (the attempts that backed
+    /// off and tried again before succeeding or falling back).
+    pub hw_retries: u64,
 }
 
 /// Telemetry captured from a traced torture run, snapshotted at the crash
@@ -137,7 +146,7 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 /// Run one plan; `Err` is an oracle violation (a recovery bug, or an
 /// engine/model divergence), with enough context to debug from.
 pub fn run_plan(plan: &FaultPlan) -> Result<RunReport, String> {
-    run_plan_impl(plan, None)
+    run_plan_impl(plan, None, false)
 }
 
 /// [`run_plan`] with the telemetry recorder on: `tel` receives a counter
@@ -148,17 +157,59 @@ pub fn run_plan_traced(
     plan: &FaultPlan,
     tel: &mut Option<TortureTelemetry>,
 ) -> Result<RunReport, String> {
-    run_plan_impl(plan, Some(tel))
+    run_plan_impl(plan, Some(tel), false)
+}
+
+/// [`run_plan`] with every hardware unit saturated regardless of the
+/// plan's own rates ([`HwFaultConfig::saturated`]): every offloaded op
+/// class goes through timeout → retry → software fallback, the circuit
+/// breakers quarantine the units, and the full differential oracle must
+/// still hold — fallback is a pricing decision, never a functional one.
+pub fn run_plan_forced_degraded(plan: &FaultPlan) -> Result<RunReport, String> {
+    run_plan_impl(plan, None, true)
+}
+
+/// [`run_plan_forced_degraded`] with the telemetry recorder on (see
+/// [`run_plan_traced`]).
+pub fn run_plan_forced_degraded_traced(
+    plan: &FaultPlan,
+    tel: &mut Option<TortureTelemetry>,
+) -> Result<RunReport, String> {
+    run_plan_impl(plan, Some(tel), true)
 }
 
 fn run_plan_impl(
     plan: &FaultPlan,
     tel_out: Option<&mut Option<TortureTelemetry>>,
+    force_degraded: bool,
 ) -> Result<RunReport, String> {
     let mut plan = plan.clone();
     plan.normalize();
 
-    let cfg = EngineConfig::software().with_agents(8).with_seed(plan.seed);
+    // Healthy-unit plans run the plain software configuration — exactly
+    // the pre-hardware-fault harness. Armed (or forced) plans run the full
+    // bionic configuration so every offload path is in play, with the
+    // degraded-mode layer wired to the plan's rates. Offloads and their
+    // fallbacks are pricing-only, so every functional oracle below is
+    // config-independent.
+    let rates = FaultRates {
+        stall_bp: plan.hw_stall,
+        transient_bp: plan.hw_transient,
+        ecc_bp: plan.hw_ecc,
+    };
+    let cfg = if force_degraded || !rates.is_zero() {
+        let hw = if force_degraded {
+            HwFaultConfig::saturated()
+        } else {
+            HwFaultConfig::from_rates(rates)
+        };
+        EngineConfig::bionic()
+            .with_agents(8)
+            .with_seed(plan.seed)
+            .with_hw_faults(hw)
+    } else {
+        EngineConfig::software().with_agents(8).with_seed(plan.seed)
+    };
     let mut engine = Engine::new(cfg.clone());
     let workload_seed = SplitMix64::new(plan.seed ^ 0x5EED_F00D_0000_0001).next_u64();
     let mut workload = AnyWorkload::load_small(&mut engine, plan.workload, workload_seed);
@@ -201,6 +252,18 @@ fn run_plan_impl(
         }
     }
     let interrupted = engine.fuse_blown();
+
+    // Snapshot the degraded-mode layer before the crash consumes the
+    // engine: the report carries how often each unit fell back to software
+    // (all zero on the healthy software configuration).
+    let mut hw_fallbacks = [0u64; UNIT_COUNT];
+    let mut hw_retries = 0u64;
+    if let Some(report) = engine.fault_report() {
+        for (i, unit) in report.iter().enumerate() {
+            hw_fallbacks[i] = unit.stats.fallbacks;
+            hw_retries += unit.stats.retries;
+        }
+    }
 
     // Snapshot telemetry at the crash point, before any oracle can bail:
     // a failing plan's trace must cover everything that ran.
@@ -416,6 +479,8 @@ fn run_plan_impl(
         torn_bytes_skipped: recovery.torn_bytes_skipped,
         log_digest,
         state_digest: model2.digest(),
+        hw_fallbacks,
+        hw_retries,
         plan,
     })
 }
@@ -425,8 +490,20 @@ fn run_plan_impl(
 /// crash-torture harness must treat "the engine died" as a finding, not as
 /// a test-infrastructure error.
 pub fn run_plan_catching(plan: &FaultPlan) -> Result<RunReport, String> {
+    run_catching(plan, false)
+}
+
+/// [`run_plan_forced_degraded`] with panic catching (see
+/// [`run_plan_catching`]).
+pub fn run_plan_forced_degraded_catching(plan: &FaultPlan) -> Result<RunReport, String> {
+    run_catching(plan, true)
+}
+
+fn run_catching(plan: &FaultPlan, force_degraded: bool) -> Result<RunReport, String> {
     let plan = plan.clone();
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || run_plan(&plan))) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run_plan_impl(&plan, None, force_degraded)
+    })) {
         Ok(result) => result,
         Err(payload) => {
             let msg = payload
@@ -456,6 +533,9 @@ mod tests {
             torn_tail_bytes: 0,
             bit_flips: Vec::new(),
             checkpoint_every: 0,
+            hw_stall: 0,
+            hw_transient: 0,
+            hw_ecc: 0,
         }
     }
 
@@ -501,6 +581,45 @@ mod tests {
         let a = run_plan(&plan).expect("oracle holds");
         let b = run_plan(&plan).expect("oracle holds");
         assert_eq!(a, b, "byte-identical repro");
+    }
+
+    #[test]
+    fn healthy_plan_reports_no_hardware_activity() {
+        let report = run_plan(&quiet_plan(WorkloadKind::Tatp)).expect("oracle holds");
+        assert_eq!(report.hw_fallbacks, [0; UNIT_COUNT]);
+        assert_eq!(report.hw_retries, 0);
+    }
+
+    #[test]
+    fn forced_degraded_run_falls_back_yet_commits_identically() {
+        let plan = quiet_plan(WorkloadKind::Tatp);
+        let healthy = run_plan(&plan).expect("oracle holds");
+        let degraded = run_plan_forced_degraded(&plan).expect("oracle holds under saturation");
+        // Pricing-only: the commit/abort stream and the recovered state
+        // are byte-identical to the healthy run.
+        assert_eq!(healthy.committed, degraded.committed);
+        assert_eq!(healthy.aborted, degraded.aborted);
+        assert_eq!(healthy.durable_committed, degraded.durable_committed);
+        assert_eq!(healthy.state_digest, degraded.state_digest);
+        // ...but the OLTP offloads really did exhaust retries and fall
+        // back (the scanner unit idles: torture workloads run no scans).
+        for (i, &n) in degraded.hw_fallbacks.iter().enumerate().take(4) {
+            assert!(n > 0, "unit {i} never fell back");
+        }
+        assert!(degraded.hw_retries > 0);
+    }
+
+    #[test]
+    fn armed_plan_rates_reach_the_degraded_layer() {
+        let plan = FaultPlan {
+            hw_transient: 2_500,
+            ..quiet_plan(WorkloadKind::Tpcc)
+        };
+        let report = run_plan(&plan).expect("oracle holds");
+        assert!(
+            report.hw_retries > 0,
+            "a 25%-per-attempt transient rate must trigger retries"
+        );
     }
 
     #[test]

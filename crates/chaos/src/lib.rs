@@ -14,12 +14,19 @@
 //!   in-memory mirror with the engine's exact commit/abort semantics.
 //! * [`harness::run_plan`] — drive the plan, crash, corrupt, recover, and
 //!   check committed-durability, in-flight undo, and secondary-index
-//!   consistency against the model.
+//!   consistency against the model. Plans may also arm the hardware-unit
+//!   fault families (stall / transient CRC / SG-DRAM ECC rates), running
+//!   the bionic configuration with the degraded-mode layer live;
+//!   [`harness::run_plan_forced_degraded`] saturates every unit so each
+//!   offloaded op class exercises its timeout → retry → software-fallback
+//!   cycle under the same oracle.
 //! * [`shrink::shrink`] — greedily minimize a failing plan to a one-line
 //!   repro.
 //!
 //! The `chaos` binary runs long randomized seed sweeps; the torture test
 //! suite (`tests/torture.rs`) pins a fixed 64-seed matrix in CI.
+
+#![deny(missing_docs)]
 
 pub mod harness;
 pub mod plan;
@@ -27,8 +34,10 @@ pub mod refmodel;
 pub mod shrink;
 
 pub use harness::{
-    fnv64, run_plan, run_plan_catching, run_plan_traced, RunReport, TortureTelemetry,
+    fnv64, run_plan, run_plan_catching, run_plan_forced_degraded,
+    run_plan_forced_degraded_catching, run_plan_forced_degraded_traced, run_plan_traced, RunReport,
+    TortureTelemetry,
 };
-pub use plan::FaultPlan;
+pub use plan::{FaultPlan, NumericField};
 pub use refmodel::{RefDb, RefTable};
 pub use shrink::shrink;

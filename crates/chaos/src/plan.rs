@@ -54,9 +54,87 @@ pub struct FaultPlan {
     pub bit_flips: Vec<(u64, u8)>,
     /// Take a sharp checkpoint every this many transactions (0 = never).
     pub checkpoint_every: u32,
+    /// Per-attempt hardware-unit stall probability in basis points of 1%
+    /// (a hang the watchdog must time out; see [`bionic_sim::fault`]).
+    /// All three rates 0 leaves the degraded-mode layer unarmed and the
+    /// run on the plain software configuration.
+    pub hw_stall: u32,
+    /// Per-attempt transient CRC-detected transfer-error probability (bp).
+    pub hw_transient: u32,
+    /// Per-attempt SG-DRAM uncorrectable-ECC word probability (bp).
+    pub hw_ecc: u32,
+}
+
+/// One shrinkable numeric knob on a [`FaultPlan`]. The shrinker walks
+/// [`FaultPlan::SHRINK_FIELDS`] generically, so a new fault family gets
+/// minimization by adding a row to that table — `shrink.rs` stays
+/// untouched.
+pub struct NumericField {
+    /// Knob name (diagnostics only).
+    pub name: &'static str,
+    /// Shrinking stops at this value (1 for stream-shape knobs, else 0).
+    pub floor: u64,
+    /// Read the knob.
+    pub get: fn(&FaultPlan) -> u64,
+    /// Write the knob back; [`FaultPlan::normalize`] runs afterwards.
+    pub set: fn(&mut FaultPlan, u64),
 }
 
 impl FaultPlan {
+    /// The shrinkable numeric knobs, most-disposable first: fault-family
+    /// knobs before stream shape, so a minimal repro keeps the workload
+    /// intact until the faults themselves stop mattering.
+    pub const SHRINK_FIELDS: &'static [NumericField] = &[
+        NumericField {
+            name: "ckpt",
+            floor: 0,
+            get: |p| p.checkpoint_every as u64,
+            set: |p, v| p.checkpoint_every = v as u32,
+        },
+        NumericField {
+            name: "torn",
+            floor: 0,
+            get: |p| p.torn_tail_bytes as u64,
+            set: |p, v| p.torn_tail_bytes = v as u32,
+        },
+        NumericField {
+            name: "flush_pages",
+            floor: 0,
+            get: |p| p.flush_pool_pages as u64,
+            set: |p, v| p.flush_pool_pages = v as u32,
+        },
+        NumericField {
+            name: "stall",
+            floor: 0,
+            get: |p| p.hw_stall as u64,
+            set: |p, v| p.hw_stall = v as u32,
+        },
+        NumericField {
+            name: "transient",
+            floor: 0,
+            get: |p| p.hw_transient as u64,
+            set: |p, v| p.hw_transient = v as u32,
+        },
+        NumericField {
+            name: "ecc",
+            floor: 0,
+            get: |p| p.hw_ecc as u64,
+            set: |p, v| p.hw_ecc = v as u32,
+        },
+        NumericField {
+            name: "txns",
+            floor: 1,
+            get: |p| p.txns as u64,
+            set: |p, v| p.txns = v as u32,
+        },
+        NumericField {
+            name: "group",
+            floor: 1,
+            get: |p| p.group as u64,
+            set: |p, v| p.group = v as u32,
+        },
+    ];
+
     /// Derive a plan from a seed. Even seeds run TATP, odd seeds TPC-C, so
     /// any contiguous seed range alternates workloads; everything else
     /// comes from split SplitMix64 substreams of the seed.
@@ -70,6 +148,9 @@ impl FaultPlan {
         let mut shape = rng.split();
         let mut crash = rng.split();
         let mut faults = rng.split();
+        // Split AFTER the original three so pre-hardware fields keep the
+        // exact values they had before the hardware families existed.
+        let mut hw = rng.split();
 
         let txns = 40 + shape.below(120) as u32;
         let group = 1 + shape.below(8) as u32;
@@ -84,6 +165,23 @@ impl FaultPlan {
             None
         };
 
+        // Half the seeds leave the hardware units healthy; the rest arm
+        // the degraded-mode layer, mostly at light per-attempt rates, with
+        // an occasional near-saturated family so the fixed matrix also
+        // exercises retry exhaustion and breaker quarantine.
+        fn hw_rate(hw: &mut SplitMix64) -> u32 {
+            if hw.chance(0.15) {
+                4_000 + hw.below(6_000) as u32
+            } else {
+                hw.below(400) as u32
+            }
+        }
+        let (hw_stall, hw_transient, hw_ecc) = if hw.chance(0.5) {
+            (hw_rate(&mut hw), hw_rate(&mut hw), hw_rate(&mut hw))
+        } else {
+            (0, 0, 0)
+        };
+
         let mut plan = FaultPlan {
             seed,
             workload,
@@ -95,6 +193,9 @@ impl FaultPlan {
             torn_tail_bytes: 0,
             bit_flips: Vec::new(),
             checkpoint_every,
+            hw_stall,
+            hw_transient,
+            hw_ecc,
         };
         if faults.chance(0.4) {
             // Page-flush family: a background writer raced the crash.
@@ -123,6 +224,11 @@ impl FaultPlan {
         self.txns = self.txns.max(1);
         self.group = self.group.max(1);
         self.bit_flips.retain(|&(_, mask)| mask != 0);
+        // 10_000 bp = a fault on every attempt; anything above is the same
+        // physical situation, so clamp for a canonical serialization.
+        self.hw_stall = self.hw_stall.min(10_000);
+        self.hw_transient = self.hw_transient.min(10_000);
+        self.hw_ecc = self.hw_ecc.min(10_000);
         if self.flush_pool_pages > 0 {
             // Write-ahead rule: page write-back implies a stable log, and
             // the stable log cannot then lose bytes.
@@ -150,7 +256,8 @@ impl FaultPlan {
         };
         format!(
             "chaosplan v1 seed={} workload={} txns={} group={} crash={} \
-             flush_log={} flush_pages={} torn={} ckpt={} flips={}",
+             flush_log={} flush_pages={} torn={} ckpt={} flips={} \
+             stall={} transient={} ecc={}",
             self.seed,
             self.workload.label(),
             self.txns,
@@ -161,6 +268,9 @@ impl FaultPlan {
             self.torn_tail_bytes,
             self.checkpoint_every,
             flips,
+            self.hw_stall,
+            self.hw_transient,
+            self.hw_ecc,
         )
     }
 
@@ -182,6 +292,9 @@ impl FaultPlan {
             torn_tail_bytes: 0,
             bit_flips: Vec::new(),
             checkpoint_every: 0,
+            hw_stall: 0,
+            hw_transient: 0,
+            hw_ecc: 0,
         };
         for field in fields {
             let (key, value) = field.split_once('=')?;
@@ -201,6 +314,11 @@ impl FaultPlan {
                 "flush_pages" => plan.flush_pool_pages = value.parse().ok()?,
                 "torn" => plan.torn_tail_bytes = value.parse().ok()?,
                 "ckpt" => plan.checkpoint_every = value.parse().ok()?,
+                // Hardware-fault keys default to 0, so plan lines written
+                // before these families existed still parse.
+                "stall" => plan.hw_stall = value.parse().ok()?,
+                "transient" => plan.hw_transient = value.parse().ok()?,
+                "ecc" => plan.hw_ecc = value.parse().ok()?,
                 "flips" => {
                     if value != "-" {
                         for pair in value.split(',') {
@@ -278,5 +396,63 @@ mod tests {
             plans.iter().any(|p| p.crash_after_appends.is_none()),
             "quiescent crashes"
         );
+    }
+
+    #[test]
+    fn seeds_cover_every_hardware_fault_family_and_leave_half_unarmed() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| p.hw_stall > 0), "stall family");
+        assert!(plans.iter().any(|p| p.hw_transient > 0), "transient family");
+        assert!(plans.iter().any(|p| p.hw_ecc > 0), "ecc family");
+        let unarmed = plans
+            .iter()
+            .filter(|p| p.hw_stall == 0 && p.hw_transient == 0 && p.hw_ecc == 0)
+            .count();
+        assert!(
+            (16..=48).contains(&unarmed),
+            "~half the matrix must stay on the healthy path, got {unarmed}/64"
+        );
+    }
+
+    #[test]
+    fn pre_hardware_plan_lines_still_parse_with_units_healthy() {
+        let line = "chaosplan v1 seed=7 workload=tpcc txns=50 group=2 crash=120 \
+                    flush_log=1 flush_pages=0 torn=33 ckpt=0 flips=10:3";
+        let plan = FaultPlan::parse(line).expect("old line parses");
+        assert_eq!((plan.hw_stall, plan.hw_transient, plan.hw_ecc), (0, 0, 0));
+        assert_eq!(plan.torn_tail_bytes, 33);
+    }
+
+    #[test]
+    fn normalize_clamps_hardware_rates_at_saturation() {
+        let mut plan = FaultPlan::from_seed(0);
+        plan.hw_stall = 60_000;
+        plan.hw_transient = 10_001;
+        plan.normalize();
+        assert_eq!(plan.hw_stall, 10_000);
+        assert_eq!(plan.hw_transient, 10_000);
+    }
+
+    #[test]
+    fn shrink_table_reaches_every_numeric_knob() {
+        // Writing floor through every table row must produce a plan whose
+        // every numeric knob is at its floor — i.e. the table is complete
+        // enough that the shrinker can fully strip a plan.
+        let mut plan = FaultPlan::from_seed(1);
+        plan.torn_tail_bytes = 99;
+        plan.hw_stall = 500;
+        plan.hw_transient = 500;
+        plan.hw_ecc = 500;
+        plan.flush_pool_pages = 3;
+        for field in FaultPlan::SHRINK_FIELDS {
+            (field.set)(&mut plan, field.floor);
+            plan.normalize();
+            assert_eq!((field.get)(&plan), field.floor, "{}", field.name);
+        }
+        assert_eq!(plan.checkpoint_every, 0);
+        assert_eq!(plan.torn_tail_bytes, 0);
+        assert_eq!(plan.flush_pool_pages, 0);
+        assert_eq!((plan.hw_stall, plan.hw_transient, plan.hw_ecc), (0, 0, 0));
+        assert_eq!((plan.txns, plan.group), (1, 1));
     }
 }

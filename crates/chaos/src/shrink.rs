@@ -32,6 +32,12 @@ pub fn shrink<F: FnMut(&FaultPlan) -> bool>(plan: &FaultPlan, mut still_fails: F
 
 /// Candidate simplifications, cheapest/most-aggressive first. Each is
 /// normalized so coherence holds no matter which field was touched.
+///
+/// Structured fields (the flip list, the crash fuse, the flush-tail flag)
+/// get bespoke passes below; every *numeric* knob — including any fault
+/// family added later — shrinks through the generic
+/// [`FaultPlan::SHRINK_FIELDS`] table, so this file does not change when a
+/// new family lands.
 fn candidates(base: &FaultPlan) -> Vec<FaultPlan> {
     let mut out = Vec::new();
     let mut push = |mut p: FaultPlan| {
@@ -39,13 +45,7 @@ fn candidates(base: &FaultPlan) -> Vec<FaultPlan> {
         out.push(p);
     };
 
-    // Drop whole fault dimensions first.
-    if base.checkpoint_every != 0 {
-        push(FaultPlan {
-            checkpoint_every: 0,
-            ..base.clone()
-        });
-    }
+    // Drop the structured fault dimensions first.
     if !base.bit_flips.is_empty() {
         push(FaultPlan {
             bit_flips: Vec::new(),
@@ -59,26 +59,6 @@ fn candidates(base: &FaultPlan) -> Vec<FaultPlan> {
                 ..base.clone()
             });
         }
-    }
-    if base.torn_tail_bytes != 0 {
-        push(FaultPlan {
-            torn_tail_bytes: 0,
-            ..base.clone()
-        });
-        push(FaultPlan {
-            torn_tail_bytes: base.torn_tail_bytes / 2,
-            ..base.clone()
-        });
-    }
-    if base.flush_pool_pages != 0 {
-        push(FaultPlan {
-            flush_pool_pages: 0,
-            ..base.clone()
-        });
-        push(FaultPlan {
-            flush_pool_pages: base.flush_pool_pages / 2,
-            ..base.clone()
-        });
     }
     if base.flush_log_tail && base.flush_pool_pages == 0 {
         push(FaultPlan {
@@ -98,22 +78,22 @@ fn candidates(base: &FaultPlan) -> Vec<FaultPlan> {
             });
         }
     }
-    // Then shrink the stream itself.
-    if base.txns > 1 {
-        push(FaultPlan {
-            txns: base.txns / 2,
-            ..base.clone()
-        });
-        push(FaultPlan {
-            txns: base.txns - 1,
-            ..base.clone()
-        });
-    }
-    if base.group > 1 {
-        push(FaultPlan {
-            group: 1,
-            ..base.clone()
-        });
+    // Every numeric knob: try its floor, the midpoint toward the floor,
+    // and one step down. The table orders fault knobs before stream shape.
+    for field in FaultPlan::SHRINK_FIELDS {
+        let v = (field.get)(base);
+        if v <= field.floor {
+            continue;
+        }
+        let mut vals = vec![field.floor, field.floor + (v - field.floor) / 2, v - 1];
+        vals.dedup();
+        for val in vals {
+            if val < v {
+                let mut p = base.clone();
+                (field.set)(&mut p, val);
+                push(p);
+            }
+        }
     }
     out
 }
@@ -150,6 +130,24 @@ mod tests {
     }
 
     #[test]
+    fn hardware_rates_shrink_through_the_generic_table() {
+        // The hardware families have no bespoke pass in candidates();
+        // minimizing them must work purely via FaultPlan::SHRINK_FIELDS.
+        let mut noisy = FaultPlan::from_seed(6);
+        noisy.hw_stall = 3_000;
+        noisy.hw_transient = 2_000;
+        noisy.hw_ecc = 1_500;
+        noisy.normalize();
+        let fails = |p: &FaultPlan| p.hw_transient >= 100;
+        assert!(fails(&noisy));
+        let min = shrink(&noisy, fails);
+        assert_eq!(min.hw_stall, 0, "irrelevant family stripped");
+        assert_eq!(min.hw_ecc, 0, "irrelevant family stripped");
+        assert_eq!(min.hw_transient, 100, "driven exactly to the threshold");
+        assert_eq!(min.txns, 1);
+    }
+
+    #[test]
     fn already_minimal_plan_is_a_fixpoint() {
         let mut minimal = FaultPlan::from_seed(4);
         minimal.txns = 1;
@@ -160,6 +158,9 @@ mod tests {
         minimal.flush_pool_pages = 0;
         minimal.torn_tail_bytes = 0;
         minimal.bit_flips.clear();
+        minimal.hw_stall = 0;
+        minimal.hw_transient = 0;
+        minimal.hw_ecc = 0;
         minimal.normalize();
         let shrunk = shrink(&minimal, |_| true);
         assert_eq!(shrunk, minimal);

@@ -1,0 +1,82 @@
+//! Round-trip property test for the one-line `chaosplan v1` serialization.
+//!
+//! The serialized plan is the *only* artifact a failing torture run leaves
+//! behind, so parse(serialize(p)) == p must hold for every normalized plan
+//! across every fault family — crash fuse, torn tails, bit flips, page
+//! flushes, checkpoints, and the hardware-unit rate knobs.
+
+use bionic_chaos::FaultPlan;
+use bionic_workloads::WorkloadKind;
+use proptest::prelude::*;
+
+// An arbitrary plan touching every field, including values normalize()
+// must repair (over-saturated rates, zero flip masks, incoherent
+// page-flush + log-corruption combinations).
+fn plan() -> impl Strategy<Value = FaultPlan> {
+    let shape = (any::<u64>(), any::<bool>(), 0u32..400, 0u32..12, 0u32..64);
+    let crash = (
+        any::<bool>(),
+        0u64..2_000,
+        any::<bool>(),
+        0u32..32,
+        0u32..4_096,
+    );
+    let hw = (
+        prop::collection::vec((0u64..1_048_576, 0u32..256), 0..4),
+        0u32..12_000,
+        0u32..12_000,
+        0u32..12_000,
+    );
+    (shape, crash, hw).prop_map(
+        |(
+            (seed, tpcc, txns, group, checkpoint_every),
+            (has_crash, crash_n, flush_log_tail, flush_pool_pages, torn_tail_bytes),
+            (flips, hw_stall, hw_transient, hw_ecc),
+        )| FaultPlan {
+            seed,
+            workload: if tpcc {
+                WorkloadKind::Tpcc
+            } else {
+                WorkloadKind::Tatp
+            },
+            txns,
+            group,
+            crash_after_appends: has_crash.then_some(crash_n),
+            flush_log_tail,
+            flush_pool_pages,
+            torn_tail_bytes,
+            bit_flips: flips.into_iter().map(|(o, m)| (o, m as u8)).collect(),
+            checkpoint_every,
+            hw_stall,
+            hw_transient,
+            hw_ecc,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_normalized_plan_round_trips(raw in plan()) {
+        let mut plan = raw;
+        plan.normalize();
+        let line = plan.serialize();
+        // One line, no tabs: the artifact must survive a plan file.
+        prop_assert!(!line.contains('\n') && !line.contains('\t'), "{}", line);
+        prop_assert_eq!(FaultPlan::parse(&line), Some(plan), "{}", line);
+    }
+
+    #[test]
+    fn parse_is_normalizing(raw in plan()) {
+        // Even an un-normalized plan's line parses back to a coherent
+        // plan: parse() runs normalize(), so a hand-edited plan file can
+        // never smuggle in a physically-incoherent schedule.
+        let line = raw.serialize();
+        if let Some(parsed) = FaultPlan::parse(&line) {
+            let mut renorm = parsed.clone();
+            renorm.normalize();
+            prop_assert_eq!(parsed, renorm);
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! secondary-index consistency — and rerunning any seed must be
 //! byte-identical.
 
-use bionic_chaos::{run_plan, run_plan_catching, FaultPlan};
+use bionic_chaos::{run_plan, run_plan_catching, run_plan_forced_degraded_catching, FaultPlan};
 
 fn run_seed_range(range: std::ops::Range<u64>) {
     let mut failures = Vec::new();
@@ -41,6 +41,51 @@ fn torture_seeds_32_to_47() {
 #[test]
 fn torture_seeds_48_to_63() {
     run_seed_range(48..64);
+}
+
+#[test]
+fn forced_fallback_matrix_survives_every_seed() {
+    // Every seed reruns with all five hardware units saturated: each
+    // offloaded op goes timeout → retry → software fallback, the breakers
+    // quarantine the units, and the full differential oracle must still
+    // hold — fallback is a pricing decision and can never change committed
+    // results. Units are asserted in aggregate because a plan whose crash
+    // fuse blows on the first append may legitimately never reach, say,
+    // the overlay; across 64 seeds every OLTP op class must fall back.
+    // (The scanner unit idles here — torture workloads run no scans; it is
+    // covered by the hybrid workload tests and experiment E14.)
+    let mut failures = Vec::new();
+    let mut unit_fallbacks = [0u64; 5];
+    for seed in 0..64u64 {
+        let plan = FaultPlan::from_seed(seed);
+        match run_plan_forced_degraded_catching(&plan) {
+            Ok(report) => {
+                for (total, n) in unit_fallbacks.iter_mut().zip(report.hw_fallbacks) {
+                    *total += n;
+                }
+                if report.hw_fallbacks.iter().take(4).sum::<u64>() == 0 {
+                    failures.push(format!(
+                        "seed {seed}: saturated units yet nothing fell back"
+                    ));
+                }
+            }
+            Err(msg) => {
+                failures.push(format!("seed {seed}: {msg}\n  plan: {}", plan.serialize()));
+            }
+        }
+    }
+    for (unit, &total) in ["tree-probe", "log-insert", "queue", "overlay"]
+        .iter()
+        .zip(&unit_fallbacks)
+    {
+        assert!(total > 0, "unit {unit} never exercised its fallback path");
+    }
+    assert!(
+        failures.is_empty(),
+        "{} oracle violations under forced degradation:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! Engine configuration: execution model and per-component offload choices.
 
+use bionic_sim::fault::HwFaultConfig;
 use bionic_sim::time::SimTime;
 
 /// Which engine architecture executes transactions.
@@ -91,6 +92,10 @@ pub struct EngineConfig {
     pub cpu_nj_per_instr: f64,
     /// SG-DRAM energy per 64-bit access, nanojoules.
     pub sg_nj_per_access: f64,
+    /// Hardware fault injection and degraded-mode policy. `None` (the
+    /// default) means the fault layer does not exist: no RNG draws, no
+    /// watchdogs, byte-identical results to a build without it.
+    pub hw_faults: Option<HwFaultConfig>,
 }
 
 impl EngineConfig {
@@ -108,6 +113,7 @@ impl EngineConfig {
             seed: 0xB10_01C,
             cpu_nj_per_instr: 2.0,
             sg_nj_per_access: 2.0,
+            hw_faults: None,
         }
     }
 
@@ -138,6 +144,12 @@ impl EngineConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style hardware-fault layer override.
+    pub fn with_hw_faults(mut self, faults: HwFaultConfig) -> Self {
+        self.hw_faults = Some(faults);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +173,8 @@ mod tests {
         let c = EngineConfig::software().with_agents(4).with_seed(7);
         assert_eq!(c.agents, 4);
         assert_eq!(c.seed, 7);
+        assert!(c.hw_faults.is_none(), "faults are strictly opt-in");
+        let f = EngineConfig::bionic().with_hw_faults(HwFaultConfig::uniform(100));
+        assert_eq!(f.hw_faults.unwrap().rates.stall_bp, 100);
     }
 }

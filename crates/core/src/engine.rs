@@ -19,6 +19,7 @@
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::{EngineConfig, LogImpl};
+use crate::degrade::{FaultLayer, FaultUnitReport};
 use crate::table::Table;
 use bionic_btree::probe::ProbeEngine;
 use bionic_overlay::overlay::OverlayIndex;
@@ -187,6 +188,13 @@ pub struct Engine {
     pub(crate) batch_plan: crate::exec::BatchPlan,
     /// Armed crash fuse, if any (see [`Engine::crash_at`]).
     pub(crate) fuse: Option<CrashFuse>,
+    /// Degraded-mode layer (watchdog/retry/breaker per unit); `None`
+    /// unless [`EngineConfig::hw_faults`] is set.
+    pub(crate) faults: Option<FaultLayer>,
+    /// Software log-insert model used when a hardware log insert falls
+    /// back (constructed with the same parameters as the `Latched` path,
+    /// so fallback pricing matches the software baseline).
+    pub(crate) log_fallback: LatchedLog,
 }
 
 impl Engine {
@@ -254,6 +262,11 @@ impl Engine {
             merge_marks: Vec::new(),
             batch_plan: crate::exec::BatchPlan::default(),
             fuse: None,
+            faults: cfg
+                .hw_faults
+                .as_ref()
+                .map(|fc| FaultLayer::new(fc, cfg.seed)),
+            log_fallback: LatchedLog::new(sw_log_params),
             platform: fabric_platform,
             cfg,
         }
@@ -441,6 +454,24 @@ impl Engine {
         for (domain, e) in energy {
             m.gauge("energy", domain.label(), e.as_j());
         }
+
+        if let Some(layer) = &self.faults {
+            let now = self.stats.last_completion;
+            for r in layer.report(now) {
+                let scope = format!("fault/{}", r.unit);
+                m.counter(&scope, "ops", r.stats.ops);
+                m.counter(&scope, "hw_ok", r.stats.hw_ok);
+                m.counter(&scope, "retries", r.stats.retries);
+                m.counter(&scope, "fallbacks", r.stats.fallbacks);
+                m.counter(&scope, "stalls", r.stats.stalls);
+                m.counter(&scope, "crc_errors", r.stats.crc_errors);
+                m.counter(&scope, "ecc_errors", r.stats.ecc_errors);
+                m.counter(&scope, "breaker_opens", r.breaker_opens);
+                m.counter(&scope, "breaker_closes", r.breaker_closes);
+                m.gauge(&scope, "breaker_state", f64::from(r.breaker_state.as_u8()));
+                m.gauge(&scope, "time_degraded_us", r.time_degraded.as_us());
+            }
+        }
     }
 
     /// Direct read of a row (untimed; for tests and verification). The
@@ -549,6 +580,26 @@ impl Engine {
         } else {
             busy.iter().cloned().fold(0.0, f64::max) / mean
         }
+    }
+
+    /// Split borrow for the scan path: the platform plus the scanner's
+    /// degraded-mode unit (when the fault layer is armed). Lets a caller
+    /// price a scan against the platform while consulting the scanner's
+    /// watchdog/breaker, without a double mutable borrow of the engine.
+    pub fn scan_parts(&mut self) -> (&mut Platform, Option<&mut bionic_sim::fault::DegradedUnit>) {
+        (
+            &mut self.platform,
+            self.faults
+                .as_mut()
+                .map(|f| f.unit_mut(crate::exec::U_SCAN)),
+        )
+    }
+
+    /// Per-unit degraded-mode report, stamped at the latest completion
+    /// time. `None` when the fault layer is off.
+    pub fn fault_report(&self) -> Option<Vec<FaultUnitReport>> {
+        let now = self.stats.last_completion;
+        self.faults.as_ref().map(|f| f.report(now))
     }
 
     /// The write-ahead log (read access, e.g. for verification).

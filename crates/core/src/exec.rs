@@ -24,6 +24,7 @@ use bionic_sim::time::SimTime;
 use bionic_storage::page::RecordId;
 use bionic_storage::slotted::SlottedPage;
 use bionic_wal::record::{LogBody, Lsn, TxnId};
+use bionic_wal::timing::LogInsertModel;
 
 /// Why a transaction rolled back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +111,7 @@ const U_PROBE: usize = 0;
 const U_LOG: usize = 1;
 const U_QUEUE: usize = 2;
 const U_OVERLAY: usize = 3;
+pub(crate) const U_SCAN: usize = 4;
 
 /// Trace label for one op (span names must be `&'static str`).
 fn op_span(op: &Op) -> (&'static str, &'static str) {
@@ -220,6 +222,29 @@ impl Engine {
         t
     }
 
+    /// Degraded-mode gate for one offloaded op on `unit`: consult the
+    /// fault layer (when armed) and return `(delay, go)`. `delay` is the
+    /// fault time the op absorbs as agent-occupying wait — watchdog
+    /// expiries, CRC/ECC detection latency, retry backoff — charged to
+    /// `Other` with *no* CPU energy (the core is stalled waiting, not
+    /// computing; that is exactly why energy trends toward the software
+    /// baseline under brownout while throughput degrades). `go` says
+    /// whether the hardware path runs or this one op falls back to
+    /// software. With the layer off this is `(ZERO, true)` and costs
+    /// nothing: no RNG draw, no branch into the fault machinery.
+    fn hw_gate(&mut self, unit: usize, cat: &'static str, now: SimTime) -> (SimTime, bool) {
+        let Some(layer) = self.faults.as_mut() else {
+            return (SimTime::ZERO, true);
+        };
+        let d = layer.unit_mut(unit).try_hw(now);
+        if !d.delay.is_zero() {
+            let mark = if d.hw { "hw-retry" } else { "hw-fallback" };
+            self.tel.unit_busy(unit, mark, cat, now, now + d.delay);
+            self.breakdown.charge(Category::Other, d.delay);
+        }
+        (d.delay, d.hw)
+    }
+
     fn socket_of(&self, agent: usize) -> usize {
         agent / self.platform.cfg.cores_per_socket.max(1)
     }
@@ -251,8 +276,16 @@ impl Engine {
     fn probe_cost(&mut self, table: u32, key: i64, fp: &Footprint, now: SimTime) -> OpCost {
         self.stats.probes += 1;
         self.stats.probe_nodes_visited += fp.nodes_visited() as u64;
-        if self.probe_hw.is_none() {
-            let mut cpu = self.sw_probe_cost(fp);
+        // Degraded mode: a faulting probe engine reroutes this one probe
+        // to the software descent (plus whatever watchdog/retry time the
+        // failed attempts burned).
+        let (gate, go) = if self.probe_hw.is_some() {
+            self.hw_gate(U_PROBE, Category::Btree.label(), now)
+        } else {
+            (SimTime::ZERO, true)
+        };
+        if self.probe_hw.is_none() || !go {
+            let mut cpu = gate + self.sw_probe_cost(fp);
             if self.cfg.exec == ExecModel::Conventional {
                 // Latch coupling: ~10 instructions + contention at the root.
                 cpu += self.sw_work(
@@ -272,7 +305,7 @@ impl Engine {
             };
         }
         // Hardware path: doorbell + PCIe request, pipelined probe, response.
-        let cpu = self.sw_work(Category::Btree, 40, 1, AccessClass::Hot);
+        let cpu = gate + self.sw_work(Category::Btree, 40, 1, AccessClass::Hot);
         let levels = fp.nodes_visited().max(1);
         let miss =
             self.cfg.offloads.overlay && self.overlays[table as usize].probe_would_miss(&key);
@@ -408,7 +441,20 @@ impl Engine {
 
     /// Overlay delta-write cost (the FPGA overlay manager of Figure 4).
     fn overlay_write_cost(&mut self, now: SimTime) -> OpCost {
-        let cpu = self.sw_work(Category::Bpool, 30, 1, AccessClass::Hot);
+        let (gate, go) = self.hw_gate(U_OVERLAY, Category::Bpool.label(), now);
+        if !go {
+            // Software fallback: the delta goes through the buffer-pool
+            // write path instead — the same pool part
+            // [`Engine::record_write_cost`] charges when the overlay is
+            // off. The functional overlay put at the call site is
+            // unaffected (pricing-only reroute).
+            let cpu = gate + self.sw_work(Category::Bpool, 110, 3, AccessClass::Hot);
+            return OpCost {
+                cpu,
+                asy: SimTime::ZERO,
+            };
+        }
+        let cpu = gate + self.sw_work(Category::Bpool, 30, 1, AccessClass::Hot);
         let link_wait = self
             .platform
             .link_contention_delay(BwClient::Oltp, now + cpu, 64);
@@ -449,17 +495,30 @@ impl Engine {
                 }
             }
         }
-        let timing = self.log_path.insert(now, agent, bytes as u64);
-        if matches!(self.log_path, LogPath::Hardware(_)) {
+        let is_hw = matches!(self.log_path, LogPath::Hardware(_));
+        let (gate, go) = if is_hw {
+            self.hw_gate(U_LOG, Category::Log.label(), now)
+        } else {
+            (SimTime::ZERO, true)
+        };
+        let timing = if go {
+            self.log_path.insert(now + gate, agent, bytes as u64)
+        } else {
+            // Fallback: the record goes through the latch-serialized
+            // software buffer (functional append already happened above —
+            // only the insertion pricing reroutes).
+            self.log_fallback.insert(now + gate, agent, bytes as u64)
+        };
+        if is_hw && go {
             self.tel.unit_busy(
                 U_LOG,
                 "log-insert",
                 Category::Log.label(),
-                now,
+                now + gate,
                 timing.buffered_at,
             );
         }
-        let cpu = self.cpu_time(Category::Log, timing.cpu_busy);
+        let cpu = gate + self.cpu_time(Category::Log, timing.cpu_busy);
         self.platform.charge_fpga(timing.energy);
         (cpu, timing.buffered_at, rec.lsn)
     }
@@ -921,8 +980,19 @@ impl Engine {
         let undone = bionic_wal::recovery::undo_txn(&mut self.log, &mut self.pool, txn);
         // Price each CLR like a small logged update.
         for _ in 0..undone {
-            let timing = self.log_path.insert(now + cpu, agent, 120);
-            if matches!(self.log_path, LogPath::Hardware(_)) {
+            let is_hw = matches!(self.log_path, LogPath::Hardware(_));
+            let (gate, go) = if is_hw {
+                self.hw_gate(U_LOG, Category::Log.label(), now + cpu)
+            } else {
+                (SimTime::ZERO, true)
+            };
+            cpu += gate;
+            let timing = if go {
+                self.log_path.insert(now + cpu, agent, 120)
+            } else {
+                self.log_fallback.insert(now + cpu, agent, 120)
+            };
+            if is_hw && go {
                 self.tel.unit_busy(
                     U_LOG,
                     "clr-insert",
@@ -1117,27 +1187,36 @@ impl Engine {
                     // Action creation + queue hand-off (Dora mechanics).
                     let create = self.sw_work(Category::Dora, 100, 2, AccessClass::Hot);
                     let cross = self.socket_of(agent_idx) != 0;
-                    let (enq, deq, hw_op) = if let Some(hw) = self.queue_hw.as_mut() {
-                        let lat = hw.op_latency();
-                        let e = hw.enqueue(t);
-                        let d = hw.dequeue(t);
-                        self.platform.charge_fpga(e.energy + d.energy);
-                        (e.cpu_busy, d.cpu_busy, Some(lat))
+                    let (gate, go) = if self.queue_hw.is_some() {
+                        self.hw_gate(U_QUEUE, Category::Dora.label(), t)
                     } else {
-                        let e = self.queue_sw.enqueue(cross);
-                        let d = self.queue_sw.dequeue(cross);
-                        (e.cpu_busy, d.cpu_busy, None)
+                        (SimTime::ZERO, true)
+                    };
+                    let tq = t + gate;
+                    let (enq, deq, hw_op) = match self.queue_hw.as_mut() {
+                        Some(hw) if go => {
+                            let lat = hw.op_latency();
+                            let e = hw.enqueue(tq);
+                            let d = hw.dequeue(tq);
+                            self.platform.charge_fpga(e.energy + d.energy);
+                            (e.cpu_busy, d.cpu_busy, Some(lat))
+                        }
+                        _ => {
+                            let e = self.queue_sw.enqueue(cross);
+                            let d = self.queue_sw.dequeue(cross);
+                            (e.cpu_busy, d.cpu_busy, None)
+                        }
                     };
                     if let Some(lat) = hw_op {
                         // The fabric serves the enqueue/dequeue pair
                         // back-to-back; trace them as consecutive marks.
                         let dora = Category::Dora.label();
-                        self.tel.unit_busy(U_QUEUE, "enqueue", dora, t, t + lat);
+                        self.tel.unit_busy(U_QUEUE, "enqueue", dora, tq, tq + lat);
                         self.tel
-                            .unit_busy(U_QUEUE, "dequeue", dora, t + lat, t + lat + lat);
+                            .unit_busy(U_QUEUE, "dequeue", dora, tq + lat, tq + lat + lat);
                     }
                     self.cpu_time(Category::Dora, enq + deq);
-                    hand_off = create + enq + deq;
+                    hand_off = gate + create + enq + deq;
                 } else {
                     locks_taken += action.ops.len() as u64;
                 }

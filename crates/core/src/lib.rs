@@ -13,7 +13,11 @@
 //! * the seven-category time-breakdown profiler of Figure 3 and
 //!   joules-per-transaction accounting (§2's metric);
 //! * full write-ahead logging with ARIES restart recovery wired through
-//!   [`engine::Engine::crash`] / [`engine::Engine::restart`].
+//!   [`engine::Engine::crash`] / [`engine::Engine::restart`];
+//! * a degraded-mode layer ([`degrade`]) wrapping every offloaded op in a
+//!   watchdog + bounded retry + per-unit circuit breaker, with automatic
+//!   per-op fallback to the software path (opt-in via
+//!   [`config::EngineConfig::hw_faults`]).
 //!
 //! ```
 //! use bionic_core::config::EngineConfig;
@@ -38,6 +42,7 @@
 
 pub mod breakdown;
 pub mod config;
+pub mod degrade;
 pub mod engine;
 pub mod exec;
 pub mod ops;
@@ -45,6 +50,7 @@ pub mod table;
 
 pub use breakdown::{Category, TimeBreakdown};
 pub use config::{EngineConfig, ExecModel, LogImpl, Offloads};
+pub use degrade::{FaultLayer, FaultUnitReport};
 pub use engine::{CrashImage, Engine, EngineStats};
 pub use exec::{AbortReason, TxnOutcome};
 pub use ops::{Action, Op, Patch, TxnProgram};

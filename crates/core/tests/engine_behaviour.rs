@@ -714,3 +714,102 @@ fn disabled_telemetry_records_nothing_and_changes_nothing() {
     // Tracing is pure observation: identical simulated timings.
     assert_eq!(lat_off, lat_on);
 }
+
+// ---- degraded-mode layer (hardware faults, watchdogs, fallbacks) ---------
+
+fn run_updates(e: &mut Engine, t: u32, n: i64) -> SimTime {
+    let mut at = SimTime::ZERO;
+    for k in 0..n {
+        assert!(e.submit(&update_txn(t, k % 100, 1), at).is_committed());
+        at += SimTime::from_us(2.0);
+    }
+    e.stats.last_completion
+}
+
+#[test]
+fn armed_zero_rate_fault_layer_is_invisible() {
+    use bionic_sim::fault::HwFaultConfig;
+    // Arming the layer with all rates at zero must cost nothing: no RNG
+    // draws, no timing perturbation — byte-identical to an unarmed engine.
+    let (mut plain, tp) = loaded_engine(EngineConfig::bionic(), 100);
+    let (mut armed, ta) = loaded_engine(
+        EngineConfig::bionic().with_hw_faults(HwFaultConfig::uniform(0)),
+        100,
+    );
+    let done_plain = run_updates(&mut plain, tp, 200);
+    let done_armed = run_updates(&mut armed, ta, 200);
+    assert_eq!(done_plain, done_armed, "zero-rate layer perturbed timing");
+    assert_eq!(
+        plain.platform.energy.total().as_j(),
+        armed.platform.energy.total().as_j()
+    );
+    let report = armed.fault_report().expect("layer is armed");
+    assert!(report.iter().all(|r| r.stats.fallbacks == 0));
+    assert!(report.iter().any(|r| r.stats.ops > 0), "gates consulted");
+}
+
+#[test]
+fn saturated_faults_fall_back_everywhere_but_change_no_results() {
+    use bionic_sim::fault::HwFaultConfig;
+    let (mut clean, tc) = loaded_engine(EngineConfig::bionic(), 100);
+    let (mut broken, tb) = loaded_engine(
+        EngineConfig::bionic().with_hw_faults(HwFaultConfig::saturated()),
+        100,
+    );
+    let done_clean = run_updates(&mut clean, tc, 200);
+    let done_broken = run_updates(&mut broken, tb, 200);
+    // Every transaction committed (asserted in run_updates) and the final
+    // state is identical: fallbacks are pricing-only.
+    assert_eq!(clean.scan_table(tc), broken.scan_table(tb));
+    // But the brownout is real: watchdogs and retries cost time.
+    assert!(
+        done_broken > done_clean,
+        "saturated faults should slow the run ({done_broken} vs {done_clean})"
+    );
+    let report = broken.fault_report().expect("layer armed");
+    for r in &report {
+        if r.unit == "scanner" {
+            continue; // no scans in this workload
+        }
+        assert!(r.stats.ops > 0, "{} never consulted", r.unit);
+        assert!(r.stats.fallbacks > 0, "{} never fell back", r.unit);
+        assert!(r.breaker_opens > 0, "{} breaker never opened", r.unit);
+        assert!(
+            r.time_degraded > SimTime::ZERO,
+            "{} accrued no degraded time",
+            r.unit
+        );
+    }
+    // All three fault families were exercised across the units.
+    let stalls: u64 = report.iter().map(|r| r.stats.stalls).sum();
+    let crc: u64 = report.iter().map(|r| r.stats.crc_errors).sum();
+    let ecc: u64 = report.iter().map(|r| r.stats.ecc_errors).sum();
+    assert!(stalls > 0 && crc > 0 && ecc > 0, "{stalls}/{crc}/{ecc}");
+}
+
+#[test]
+fn fault_counters_flow_into_the_metrics_registry() {
+    use bionic_sim::fault::HwFaultConfig;
+    let (mut e, t) = loaded_engine(
+        EngineConfig::bionic().with_hw_faults(HwFaultConfig::uniform(2_000)),
+        100,
+    );
+    run_updates(&mut e, t, 100);
+    e.collect_metrics();
+    let m = e.tel.metrics_mut();
+    assert!(m.counter_value("fault/tree-probe", "ops") > 0);
+    assert!(m.counter_value("fault/log-insert", "ops") > 0);
+    let total_faults: u64 = ["tree-probe", "log-insert", "queue", "overlay"]
+        .iter()
+        .map(|u| {
+            let s = format!("fault/{u}");
+            m.counter_value(&s, "stalls")
+                + m.counter_value(&s, "crc_errors")
+                + m.counter_value(&s, "ecc_errors")
+        })
+        .sum();
+    assert!(
+        total_faults > 0,
+        "2000bp over 100 txns must fault sometimes"
+    );
+}

@@ -166,6 +166,35 @@ pub fn scan_enhanced(
     }
 }
 
+/// Degraded-mode scan dispatch: route one scan through the enhanced
+/// (FPGA) path or the software path, consulting the scanner's
+/// watchdog/retry/breaker unit when the engine's fault layer is armed.
+///
+/// With `degrade` absent (`None`) this is exactly [`scan_enhanced`] — the
+/// fault layer costs nothing when it does not exist. With a unit present,
+/// the scan first absorbs whatever watchdog/retry time the failed
+/// hardware attempts burned (`delay`), then runs on the surviving path.
+/// Both paths return identical matches (test-enforced above), so the
+/// reroute is pricing-only and can never change query results.
+pub fn scan_dispatch(
+    platform: &mut Platform,
+    table: &ColumnarTable,
+    req: &ScanRequest,
+    start: SimTime,
+    cfg: &ScannerConfig,
+    degrade: Option<&mut bionic_sim::fault::DegradedUnit>,
+) -> ScanOutcome {
+    let Some(unit) = degrade else {
+        return scan_enhanced(platform, table, req, start, cfg);
+    };
+    let d = unit.try_hw(start);
+    if d.hw {
+        scan_enhanced(platform, table, req, start + d.delay, cfg)
+    } else {
+        scan_software(platform, table, req, start + d.delay)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +312,53 @@ mod tests {
             p1.energy.domain(EnergyDomain::CpuCore).as_j()
                 > p2.energy.domain(EnergyDomain::CpuCore).as_j()
         );
+    }
+
+    #[test]
+    fn dispatch_without_a_unit_is_exactly_the_enhanced_path() {
+        let t = lineitems(10_000);
+        let req = select_qty_below(10);
+        let mut p1 = Platform::hc2();
+        let mut p2 = Platform::hc2();
+        let direct = scan_enhanced(&mut p1, &t, &req, SimTime::ZERO, &ScannerConfig::default());
+        let routed = scan_dispatch(
+            &mut p2,
+            &t,
+            &req,
+            SimTime::ZERO,
+            &ScannerConfig::default(),
+            None,
+        );
+        assert_eq!(direct.matches, routed.matches);
+        assert_eq!(direct.pcie_bytes, routed.pcie_bytes);
+        assert_eq!(direct.done, routed.done);
+    }
+
+    #[test]
+    fn dispatch_falls_back_to_software_when_the_unit_is_dead() {
+        use bionic_sim::fault::{DegradedUnit, HwFaultConfig};
+        use bionic_sim::rng::SplitMix64;
+        let t = lineitems(10_000);
+        let req = select_qty_below(10);
+        let mut unit = DegradedUnit::new(&HwFaultConfig::saturated(), SplitMix64::new(3));
+        let mut p_routed = Platform::hc2();
+        let routed = scan_dispatch(
+            &mut p_routed,
+            &t,
+            &req,
+            SimTime::ZERO,
+            &ScannerConfig::default(),
+            Some(&mut unit),
+        );
+        assert_eq!(unit.stats.fallbacks, 1);
+        // Same matches as either direct path; bytes match the software
+        // path (predicate column shipped to the host).
+        let mut p_sw = Platform::hc2();
+        let sw = scan_software(&mut p_sw, &t, &req, SimTime::ZERO);
+        assert_eq!(routed.matches, sw.matches);
+        assert_eq!(routed.pcie_bytes, sw.pcie_bytes);
+        // The fallback scan started after the watchdog/retry delay.
+        assert!(routed.done > sw.done);
     }
 
     #[test]

@@ -1,0 +1,647 @@
+//! Deterministic hardware-fault injection and degraded-mode machinery.
+//!
+//! The bionic platform only makes sense if it survives its own
+//! accelerators: a system that wedges when the tree-probe unit stalls or
+//! the PCIe link drops a transfer is worse than the software baseline it
+//! replaces. This module supplies the three pieces the engine layers on
+//! top of every offloaded operation:
+//!
+//! * **Fault models** ([`FaultRates`], [`FaultInjector`]): three injectable
+//!   fault families, drawn per hardware attempt from a seeded
+//!   [`SplitMix64`] substream so every failure is replayable —
+//!   [`HwFault::Stall`] (the FPGA unit hangs; only a watchdog timeout
+//!   notices), [`HwFault::Transient`] (a CPU–FPGA link transfer arrives
+//!   with a bad CRC and is discarded), and [`HwFault::Ecc`] (SG-DRAM
+//!   returns an uncorrectable-ECC word; the access must be retried or
+//!   abandoned).
+//! * **Watchdog + retry policy** (fields of [`HwFaultConfig`]): a sim-time
+//!   timeout per attempt, bounded deterministic retries with exponential
+//!   backoff, and on exhaustion a per-op fallback to the corresponding
+//!   software path.
+//! * **A per-unit circuit breaker** ([`CircuitBreaker`]): Closed → Open →
+//!   HalfOpen with periodic recovery probes, so a persistently failing
+//!   unit is quarantined and the engine runs in a mixed hardware/software
+//!   configuration instead of paying a watchdog timeout per op.
+//!
+//! [`DegradedUnit`] bundles all three per functional unit and exposes one
+//! question — [`DegradedUnit::try_hw`]: "does this op run in hardware, and
+//! how much time did faults cost it?" The engine's hardware paths are pure
+//! *pricing* (functional results always come from the software-maintained
+//! structures), so a fallback can never change committed results — it only
+//! changes where the time and energy went. That is what lets the chaos
+//! oracle check fault-heavy runs against the same reference model.
+//!
+//! Everything here is deterministic: the injector consumes exactly one RNG
+//! draw per hardware attempt (and none when the rates are all zero), and
+//! the breaker is a pure function of the observed success/failure sequence
+//! and sim-time clock.
+
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+
+/// Basis points per attempt (1 bp = 0.01 %) for each fault family.
+/// `10_000` saturates: every hardware attempt faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Unit stall/hang probability (caught only by the watchdog timeout).
+    pub stall_bp: u32,
+    /// Transient link-transfer error probability (CRC-style detection).
+    pub transient_bp: u32,
+    /// SG-DRAM uncorrectable-ECC word probability.
+    pub ecc_bp: u32,
+}
+
+impl FaultRates {
+    /// No faults at all (the injector draws nothing from the RNG).
+    pub const ZERO: FaultRates = FaultRates {
+        stall_bp: 0,
+        transient_bp: 0,
+        ecc_bp: 0,
+    };
+
+    /// The same rate for every family.
+    pub fn uniform(bp: u32) -> Self {
+        FaultRates {
+            stall_bp: bp,
+            transient_bp: bp,
+            ecc_bp: bp,
+        }
+    }
+
+    /// Are all families disabled?
+    pub fn is_zero(&self) -> bool {
+        self.stall_bp == 0 && self.transient_bp == 0 && self.ecc_bp == 0
+    }
+
+    /// Sum of all families, saturating at 10 000 (every attempt faults).
+    pub fn total_bp(&self) -> u32 {
+        self.stall_bp
+            .saturating_add(self.transient_bp)
+            .saturating_add(self.ecc_bp)
+            .min(10_000)
+    }
+}
+
+/// One injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwFault {
+    /// The unit hung; nothing comes back until the watchdog fires.
+    Stall,
+    /// The transfer arrived but its CRC check failed; the payload is
+    /// discarded and the op retried.
+    Transient,
+    /// SG-DRAM returned an uncorrectable-ECC word for the accessed line.
+    Ecc,
+}
+
+/// Seeded per-attempt fault source. One [`SplitMix64`] draw per attempt;
+/// zero draws when the rates are all zero, so an armed-but-silent injector
+/// is bit-identical to no injector at all.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rates: FaultRates,
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// Build an injector over its own decorrelated RNG substream.
+    pub fn new(rates: FaultRates, rng: SplitMix64) -> Self {
+        FaultInjector { rates, rng }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Draw the fate of one hardware attempt.
+    pub fn draw(&mut self) -> Option<HwFault> {
+        if self.rates.is_zero() {
+            return None;
+        }
+        let r = self.rng.below(10_000) as u32;
+        if r < self.rates.stall_bp {
+            Some(HwFault::Stall)
+        } else if r < self.rates.stall_bp.saturating_add(self.rates.transient_bp) {
+            Some(HwFault::Transient)
+        } else if r < self.rates.total_bp() {
+            Some(HwFault::Ecc)
+        } else {
+            None
+        }
+    }
+}
+
+/// Circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: hardware attempts flow freely.
+    Closed,
+    /// Quarantined: every op falls back to software immediately (no
+    /// watchdog cost) until `open_duration` elapses.
+    Open,
+    /// Probing: attempts are allowed again; one failure re-opens, enough
+    /// consecutive successes close.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for metrics gauges (0/1/2).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive hardware-attempt failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Quarantine period before a recovery probe is allowed (Open →
+    /// HalfOpen).
+    pub open_duration: SimTime,
+    /// Consecutive HalfOpen successes required to close again.
+    pub halfopen_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 4,
+            open_duration: SimTime::from_us(200.0),
+            halfopen_successes: 2,
+        }
+    }
+}
+
+/// Per-unit circuit breaker: Closed → Open → HalfOpen, driven entirely by
+/// the observed success/failure sequence and the sim-time clock — no
+/// internal randomness, so transitions are deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    halfopen_successes: u32,
+    opened_at: SimTime,
+    opens: u64,
+    closes: u64,
+    time_open: SimTime,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            halfopen_successes: 0,
+            opened_at: SimTime::ZERO,
+            opens: 0,
+            closes: 0,
+            time_open: SimTime::ZERO,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a hardware attempt be issued at `now`? An Open breaker whose
+    /// quarantine has elapsed transitions to HalfOpen here (the periodic
+    /// recovery probe); an Open breaker mid-quarantine answers `false`.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + self.cfg.open_duration {
+                    self.time_open += now.saturating_sub(self.opened_at);
+                    self.state = BreakerState::HalfOpen;
+                    self.halfopen_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful hardware attempt.
+    pub fn record_success(&mut self, _now: SimTime) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.halfopen_successes += 1;
+                if self.halfopen_successes >= self.cfg.halfopen_successes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.closes += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed hardware attempt.
+    pub fn record_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.consecutive_failures = 0;
+        self.halfopen_successes = 0;
+        self.opens += 1;
+    }
+
+    /// Closed → Open transitions so far.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// HalfOpen → Closed recoveries so far.
+    pub fn closes(&self) -> u64 {
+        self.closes
+    }
+
+    /// Cumulative time spent quarantined (Open) up to `now`.
+    pub fn time_degraded(&self, now: SimTime) -> SimTime {
+        match self.state {
+            BreakerState::Open => self.time_open + now.saturating_sub(self.opened_at),
+            _ => self.time_open,
+        }
+    }
+}
+
+/// Everything the degraded-mode layer needs: injection rates, the
+/// watchdog/retry policy, and the breaker tuning. Attached (optionally) to
+/// an engine config; `None` means the fault layer does not exist at all —
+/// zero RNG draws, zero code-path changes, byte-identical pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwFaultConfig {
+    /// Per-attempt fault rates, applied to every hardware unit.
+    pub rates: FaultRates,
+    /// Watchdog timeout: how long a stalled attempt waits before the op is
+    /// declared dead (nothing shorter can catch a silent hang).
+    pub watchdog_timeout: SimTime,
+    /// Detection latency for CRC/ECC-flagged attempts (the error is
+    /// *reported*, so it costs far less than a watchdog expiry).
+    pub detect_latency: SimTime,
+    /// Base retry backoff; attempt `k` waits `backoff_base << k`.
+    pub backoff_base: SimTime,
+    /// Retries after the first attempt before falling back to software.
+    pub max_retries: u32,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl HwFaultConfig {
+    /// Default policy around the given per-family rate (the E14 sweep
+    /// knob): 25 µs watchdog, 3 µs detection, 5 µs backoff base, 3
+    /// retries, default breaker.
+    pub fn uniform(bp: u32) -> Self {
+        HwFaultConfig {
+            rates: FaultRates::uniform(bp),
+            watchdog_timeout: SimTime::from_us(25.0),
+            detect_latency: SimTime::from_us(3.0),
+            backoff_base: SimTime::from_us(5.0),
+            max_retries: 3,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// Explicit per-family rates with the default policy.
+    pub fn from_rates(rates: FaultRates) -> Self {
+        HwFaultConfig {
+            rates,
+            ..Self::uniform(0)
+        }
+    }
+
+    /// Every attempt faults, cycling through all three families — the
+    /// forced-fallback configuration the degradation torture shard uses to
+    /// push every op class through timeout → retry → fallback.
+    pub fn saturated() -> Self {
+        HwFaultConfig {
+            rates: FaultRates {
+                stall_bp: 3_400,
+                transient_bp: 3_300,
+                ecc_bp: 3_300,
+            },
+            ..Self::uniform(0)
+        }
+    }
+}
+
+/// Counters one [`DegradedUnit`] accumulates (all deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Ops that consulted this unit.
+    pub ops: u64,
+    /// Ops answered by hardware (possibly after retries).
+    pub hw_ok: u64,
+    /// Ops that fell back to the software path.
+    pub fallbacks: u64,
+    /// Failed hardware attempts that were retried.
+    pub retries: u64,
+    /// Watchdog expiries (stall/hang family).
+    pub stalls: u64,
+    /// CRC-detected transient transfer errors.
+    pub crc_errors: u64,
+    /// Uncorrectable-ECC words from SG-DRAM.
+    pub ecc_errors: u64,
+}
+
+/// The verdict for one offloaded op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwDecision {
+    /// Run the op in hardware? (`false` = take the software path.)
+    pub hw: bool,
+    /// Time spent on failed attempts before the verdict: watchdog waits,
+    /// error-detection latency, and retry backoff. The caller charges this
+    /// as agent-occupying wait time.
+    pub delay: SimTime,
+    /// Failed attempts that were retried for this op.
+    pub retries: u32,
+}
+
+/// One hardware unit wrapped in watchdog + retry + breaker. The engine
+/// keeps one per offloaded unit (probe, log, queue, overlay, scanner),
+/// each over its own decorrelated RNG substream.
+#[derive(Debug, Clone)]
+pub struct DegradedUnit {
+    injector: FaultInjector,
+    breaker: CircuitBreaker,
+    watchdog_timeout: SimTime,
+    detect_latency: SimTime,
+    backoff_base: SimTime,
+    max_retries: u32,
+    /// Accumulated counters.
+    pub stats: DegradeStats,
+}
+
+impl DegradedUnit {
+    /// Build one unit from the shared config and its private RNG stream.
+    pub fn new(cfg: &HwFaultConfig, rng: SplitMix64) -> Self {
+        DegradedUnit {
+            injector: FaultInjector::new(cfg.rates, rng),
+            breaker: CircuitBreaker::new(cfg.breaker),
+            watchdog_timeout: cfg.watchdog_timeout,
+            detect_latency: cfg.detect_latency,
+            backoff_base: cfg.backoff_base,
+            max_retries: cfg.max_retries,
+            stats: DegradeStats::default(),
+        }
+    }
+
+    /// The unit's breaker (read access for metrics/tests).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Decide the fate of one offloaded op issued at `now`: hardware
+    /// (possibly after deterministic retries) or software fallback, plus
+    /// the fault-time the op must absorb. A quarantined unit (breaker
+    /// Open) answers "software, zero delay" — the whole point of the
+    /// breaker is to stop paying watchdog timeouts per op.
+    pub fn try_hw(&mut self, now: SimTime) -> HwDecision {
+        self.stats.ops += 1;
+        if !self.breaker.allow(now) {
+            self.stats.fallbacks += 1;
+            return HwDecision {
+                hw: false,
+                delay: SimTime::ZERO,
+                retries: 0,
+            };
+        }
+        let mut delay = SimTime::ZERO;
+        let mut retries = 0u32;
+        loop {
+            match self.injector.draw() {
+                None => {
+                    self.breaker.record_success(now + delay);
+                    self.stats.hw_ok += 1;
+                    return HwDecision {
+                        hw: true,
+                        delay,
+                        retries,
+                    };
+                }
+                Some(fault) => {
+                    delay += match fault {
+                        HwFault::Stall => {
+                            self.stats.stalls += 1;
+                            self.watchdog_timeout
+                        }
+                        HwFault::Transient => {
+                            self.stats.crc_errors += 1;
+                            self.detect_latency
+                        }
+                        HwFault::Ecc => {
+                            self.stats.ecc_errors += 1;
+                            self.detect_latency
+                        }
+                    };
+                    self.breaker.record_failure(now + delay);
+                    if retries >= self.max_retries {
+                        self.stats.fallbacks += 1;
+                        return HwDecision {
+                            hw: false,
+                            delay,
+                            retries,
+                        };
+                    }
+                    // Exponential backoff before the next attempt; if the
+                    // breaker tripped on this failure, stop burning time.
+                    delay += self.backoff_base * (1u64 << retries.min(16));
+                    retries += 1;
+                    self.stats.retries += 1;
+                    if !self.breaker.allow(now + delay) {
+                        self.stats.fallbacks += 1;
+                        return HwDecision {
+                            hw: false,
+                            delay,
+                            retries,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(cfg: &HwFaultConfig, seed: u64) -> DegradedUnit {
+        DegradedUnit::new(cfg, SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn zero_rates_never_touch_the_rng() {
+        let mut a = FaultInjector::new(FaultRates::ZERO, SplitMix64::new(9));
+        for _ in 0..1000 {
+            assert_eq!(a.draw(), None);
+        }
+        // The RNG stream was never advanced.
+        let mut untouched = SplitMix64::new(9);
+        let mut b = FaultInjector::new(FaultRates::uniform(10_000), SplitMix64::new(9));
+        assert!(b.draw().is_some());
+        let _ = untouched.next_u64();
+        // (a's rng state equality is implied by zero draws: a fresh
+        // injector with the same seed produces the same first fault.)
+        let mut c = FaultInjector::new(FaultRates::uniform(10_000), a.rng);
+        let mut d = FaultInjector::new(FaultRates::uniform(10_000), SplitMix64::new(9));
+        assert_eq!(c.draw(), d.draw());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_family_rates_track() {
+        let rates = FaultRates {
+            stall_bp: 1_000,
+            transient_bp: 2_000,
+            ecc_bp: 500,
+        };
+        let mut a = FaultInjector::new(rates, SplitMix64::new(7));
+        let mut b = FaultInjector::new(rates, SplitMix64::new(7));
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let fa = a.draw();
+            assert_eq!(fa, b.draw());
+            match fa {
+                None => counts[0] += 1,
+                Some(HwFault::Stall) => counts[1] += 1,
+                Some(HwFault::Transient) => counts[2] += 1,
+                Some(HwFault::Ecc) => counts[3] += 1,
+            }
+        }
+        // 10% / 20% / 5% within generous tolerance.
+        assert!((counts[1] as f64 / 40_000.0 - 0.10).abs() < 0.02);
+        assert!((counts[2] as f64 / 40_000.0 - 0.20).abs() < 0.02);
+        assert!((counts[3] as f64 / 40_000.0 - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn breaker_trips_quarantines_and_recovers() {
+        let cfg = BreakerConfig {
+            failure_threshold: 3,
+            open_duration: SimTime::from_us(100.0),
+            halfopen_successes: 2,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // Mid-quarantine: denied.
+        assert!(!b.allow(t0 + SimTime::from_us(50.0)));
+        // Quarantine over: recovery probe allowed, state HalfOpen.
+        let probe_at = t0 + SimTime::from_us(150.0);
+        assert!(b.allow(probe_at));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(probe_at);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(probe_at);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes(), 1);
+        assert_eq!(b.time_degraded(probe_at), SimTime::from_us(150.0));
+    }
+
+    #[test]
+    fn halfopen_failure_reopens() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimTime::from_us(10.0),
+            halfopen_successes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.record_failure(SimTime::ZERO);
+        assert_eq!(b.state(), BreakerState::Open);
+        let probe_at = SimTime::from_us(20.0);
+        assert!(b.allow(probe_at));
+        b.record_failure(probe_at);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn saturated_unit_always_falls_back_and_opens_the_breaker() {
+        let cfg = HwFaultConfig::saturated();
+        let mut u = unit(&cfg, 3);
+        let d = u.try_hw(SimTime::ZERO);
+        assert!(!d.hw);
+        assert!(d.delay > SimTime::ZERO);
+        assert_eq!(u.stats.fallbacks, 1);
+        assert_eq!(u.breaker().state(), BreakerState::Open);
+        // Quarantined: the next op is an instant software fallback.
+        let d2 = u.try_hw(SimTime::from_us(1.0));
+        assert!(!d2.hw);
+        assert_eq!(d2.delay, SimTime::ZERO);
+        assert_eq!(u.stats.fallbacks, 2);
+    }
+
+    #[test]
+    fn clean_unit_stays_in_hardware_with_zero_delay() {
+        let cfg = HwFaultConfig::uniform(0);
+        let mut u = unit(&cfg, 5);
+        for i in 0..100u64 {
+            let d = u.try_hw(SimTime::from_us(i as f64));
+            assert!(d.hw);
+            assert_eq!(d.delay, SimTime::ZERO);
+        }
+        assert_eq!(u.stats.hw_ok, 100);
+        assert_eq!(u.stats.fallbacks, 0);
+        assert_eq!(u.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retry_delay_grows_exponentially() {
+        // transient-only faults, so the per-attempt cost is detect_latency.
+        let mut cfg = HwFaultConfig::from_rates(FaultRates {
+            stall_bp: 0,
+            transient_bp: 10_000,
+            ecc_bp: 0,
+        });
+        cfg.breaker.failure_threshold = 100; // keep the breaker out of it
+        let mut u = unit(&cfg, 1);
+        let d = u.try_hw(SimTime::ZERO);
+        assert!(!d.hw);
+        assert_eq!(d.retries, cfg.max_retries);
+        // 4 attempts × detect + backoff 1x+2x+4x of the base.
+        let expect = cfg.detect_latency * 4 + cfg.backoff_base * 7;
+        assert_eq!(d.delay, expect);
+    }
+
+    #[test]
+    fn unit_decisions_are_deterministic_per_seed() {
+        let cfg = HwFaultConfig::uniform(800);
+        let mut a = unit(&cfg, 42);
+        let mut b = unit(&cfg, 42);
+        for i in 0..500u64 {
+            let t = SimTime::from_us((i * 3) as f64);
+            assert_eq!(a.try_hw(t), b.try_hw(t));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+}

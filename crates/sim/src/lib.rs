@@ -20,6 +20,9 @@
 //!   joules/operation in the dark silicon regime");
 //! * [`darksilicon`] — the Amdahl/Hill-Marty/power-envelope analytics behind
 //!   Figure 1;
+//! * [`fault`] — deterministic hardware-fault injection (stall, transient
+//!   CRC, SG-DRAM ECC), watchdog/retry policy, and the per-unit circuit
+//!   breaker behind degraded-mode operation;
 //! * [`platform::Platform`] — everything assembled, with an `hc2()` preset.
 //!
 //! Nothing here knows about databases; the DBMS crates charge their work to
@@ -33,6 +36,7 @@ pub mod darksilicon;
 pub mod dev;
 pub mod energy;
 pub mod events;
+pub mod fault;
 pub mod fpga;
 pub mod link;
 pub mod mem;

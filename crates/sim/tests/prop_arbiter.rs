@@ -46,8 +46,8 @@ proptest! {
             prop_assert!(grant.queued >= SimTime::ZERO);
         }
         // Every offered byte was granted somewhere, to the right client.
-        for c in 0..3 {
-            prop_assert_eq!(arb.client_bytes(c), offered[c]);
+        for (c, bytes) in offered.iter().enumerate() {
+            prop_assert_eq!(arb.client_bytes(c), *bytes);
         }
         prop_assert_eq!(arb.total_bytes(), offered.iter().sum::<u64>());
         // No window overbooked, ledgers agree with the window sums.
@@ -66,7 +66,7 @@ proptest! {
         // window), but conservation must hold in both and total bytes per
         // client must match.
         let build = |order: &[Req]| {
-            let mut arb = SharedBandwidth::two_client(80e9, SimTime::from_us(5.0));
+            let arb = SharedBandwidth::two_client(80e9, SimTime::from_us(5.0));
             let mut at = SimTime::ZERO;
             let mut stamped: Vec<(usize, SimTime, u64)> = Vec::new();
             for r in order {

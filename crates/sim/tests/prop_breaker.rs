@@ -1,0 +1,164 @@
+//! Property tests for the circuit-breaker state machine in isolation.
+//!
+//! The breaker ([`bionic_sim::fault::CircuitBreaker`]) is the piece of the
+//! degraded-mode layer with actual state-machine surface: Closed → Open →
+//! HalfOpen driven by observed failures and the sim-time clock. Three
+//! properties pin it down:
+//!
+//! 1. **liveness** — a unit that turns healthy is never stuck Open forever:
+//!    once the quarantine elapses, probes are allowed and enough successes
+//!    close the breaker again;
+//! 2. **safety** — the breaker is never Closed while the trailing run of
+//!    failures meets the trip threshold;
+//! 3. **determinism** — the same event sequence produces the same state
+//!    trajectory, every time.
+
+use bionic_sim::fault::{BreakerConfig, BreakerState, CircuitBreaker};
+use bionic_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// One observed hardware-attempt outcome, `gap` picoseconds after the
+/// previous one.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    gap_ps: u64,
+    success: bool,
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (0u64..50_000_000, any::<bool>()).prop_map(|(gap_ps, success)| Event { gap_ps, success })
+}
+
+fn config() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..8, 1u64..500, 1u32..5).prop_map(|(failure_threshold, open_us, halfopen_successes)| {
+        BreakerConfig {
+            failure_threshold,
+            open_duration: SimTime::from_us(open_us as f64),
+            halfopen_successes,
+        }
+    })
+}
+
+/// Drive a breaker through a sequence exactly as the degraded-mode layer
+/// does: ask `allow` first, and only record an outcome when an attempt was
+/// actually issued. Returns the trajectory of (state-after, allowed).
+fn drive(cfg: BreakerConfig, events: &[Event]) -> Vec<(BreakerState, bool)> {
+    let mut b = CircuitBreaker::new(cfg);
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        now += SimTime::from_ps(e.gap_ps);
+        let allowed = b.allow(now);
+        if allowed {
+            if e.success {
+                b.record_success(now);
+            } else {
+                b.record_failure(now);
+            }
+        }
+        out.push((b.state(), allowed));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Whatever failure history came before, a healthy unit recovers: wait
+    // out the quarantine, then `halfopen_successes` successful probes are
+    // both *allowed* and sufficient to return the breaker to Closed.
+    #[test]
+    fn healthy_unit_is_never_stuck_open(
+        cfg in config(),
+        history in prop::collection::vec(event(), 0..120),
+    ) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = SimTime::ZERO;
+        for e in &history {
+            now += SimTime::from_ps(e.gap_ps);
+            if b.allow(now) {
+                if e.success {
+                    b.record_success(now);
+                } else {
+                    b.record_failure(now);
+                }
+            }
+        }
+        // The unit turns healthy. Jump past any possible quarantine.
+        now += cfg.open_duration + SimTime::from_ps(1);
+        for _ in 0..cfg.halfopen_successes {
+            prop_assert!(b.allow(now), "recovery probe denied after quarantine elapsed");
+            b.record_success(now);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    // The breaker must not report Closed while the trailing run of
+    // consecutive recorded failures has reached the trip threshold.
+    #[test]
+    fn never_closed_while_failures_exceed_threshold(
+        cfg in config(),
+        events in prop::collection::vec(event(), 1..200),
+    ) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = SimTime::ZERO;
+        let mut trailing_failures = 0u32;
+        for e in &events {
+            now += SimTime::from_ps(e.gap_ps);
+            if b.allow(now) {
+                if e.success {
+                    b.record_success(now);
+                    trailing_failures = 0;
+                } else {
+                    b.record_failure(now);
+                    trailing_failures += 1;
+                }
+            }
+            if trailing_failures >= cfg.failure_threshold {
+                prop_assert!(
+                    b.state() != BreakerState::Closed,
+                    "closed with {} trailing failures (threshold {})",
+                    trailing_failures,
+                    cfg.failure_threshold
+                );
+            }
+        }
+    }
+
+    // The machine has no hidden nondeterminism: replaying the same event
+    // sequence yields the same (state, allowed) trajectory.
+    #[test]
+    fn transitions_are_deterministic(
+        cfg in config(),
+        events in prop::collection::vec(event(), 0..200),
+    ) {
+        let a = drive(cfg, &events);
+        let b = drive(cfg, &events);
+        prop_assert_eq!(a, b);
+    }
+
+    // Open means open: between tripping and `open_duration` elapsing, every
+    // attempt is denied (the quarantine actually saves the watchdog cost).
+    #[test]
+    fn open_denies_until_quarantine_elapses(
+        cfg in config(),
+        probe_frac in 0.0f64..1.0,
+    ) {
+        let mut b = CircuitBreaker::new(cfg);
+        let t0 = SimTime::from_us(1.0);
+        for _ in 0..cfg.failure_threshold {
+            prop_assert!(b.allow(t0));
+            b.record_failure(t0);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        // A probe strictly inside the quarantine window is denied...
+        let inside = t0 + cfg.open_duration * probe_frac.min(0.999);
+        if inside < t0 + cfg.open_duration {
+            prop_assert!(!b.allow(inside));
+            prop_assert_eq!(b.state(), BreakerState::Open);
+        }
+        // ...and one at/after the boundary is allowed (HalfOpen).
+        prop_assert!(b.allow(t0 + cfg.open_duration));
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

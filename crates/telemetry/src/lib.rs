@@ -38,7 +38,7 @@
 //! `bool` and returns before touching the sink, constructing nothing. The
 //! `telemetry_overhead` criterion bench in `bionic-bench` guards this.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod metrics;

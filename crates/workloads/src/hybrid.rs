@@ -24,7 +24,7 @@ use crate::driver::WorkloadReport;
 use crate::tatp::{self, TatpConfig, TatpGenerator};
 use bionic_core::engine::Engine;
 use bionic_scan::predicate::{CmpOp, ColPredicate, ScanRequest};
-use bionic_scan::scanner::{scan_enhanced, ScannerConfig};
+use bionic_scan::scanner::{scan_dispatch, scan_software, ScannerConfig};
 use bionic_sim::stats::{Histogram, Summary};
 use bionic_sim::time::SimTime;
 use bionic_storage::columnar::{Column, ColumnarTable};
@@ -47,6 +47,12 @@ pub struct HybridConfig {
     /// Issue one [`Engine::query_range`] through the result cache after
     /// every scan (exercises cache invalidation under concurrent updates).
     pub range_queries: bool,
+    /// Run every scan on the software path ([`scan_software`]) instead of
+    /// the enhanced scanner. This is the all-software reference
+    /// configuration experiment E14's brownout curve degrades toward:
+    /// pair it with [`bionic_core::config::EngineConfig::software`] and
+    /// *nothing* in the run touches an accelerator.
+    pub software_scans: bool,
 }
 
 impl HybridConfig {
@@ -62,6 +68,7 @@ impl HybridConfig {
             scan_pressure,
             scan_rows: 200_000,
             range_queries: true,
+            software_scans: false,
         }
     }
 }
@@ -198,13 +205,24 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
                 .record(outcome.latency());
             txn_i += 1;
         } else {
-            let out = scan_enhanced(
-                &mut engine.platform,
-                &scan_table,
-                &req,
-                base + scan_at,
-                &scanner_cfg,
-            );
+            // Route through the degraded-mode dispatcher: with the fault
+            // layer off this is exactly `scan_enhanced`; with it armed the
+            // scanner unit may reroute this scan to the software path. The
+            // all-software reference configuration skips the dispatcher
+            // and scans on the host unconditionally.
+            let out = if cfg.software_scans {
+                scan_software(&mut engine.platform, &scan_table, &req, base + scan_at)
+            } else {
+                let (platform, scan_unit) = engine.scan_parts();
+                scan_dispatch(
+                    platform,
+                    &scan_table,
+                    &req,
+                    base + scan_at,
+                    &scanner_cfg,
+                    scan_unit,
+                )
+            };
             scan_hist.record(out.done - (base + scan_at));
             scans += 1;
             scan_matches += out.matches.len() as u64;
@@ -358,5 +376,52 @@ mod tests {
         assert_eq!(a.oltp.latency.p99, b.oltp.latency.p99);
         assert_eq!(a.sg_oltp_bytes, b.sg_oltp_bytes);
         assert_eq!(a.scan_latency.p50, b.scan_latency.p50);
+    }
+
+    #[test]
+    fn software_scan_reference_matches_enhanced_results() {
+        let (enhanced, _) = run_at(0.5);
+        let mut engine = Engine::new(EngineConfig::software());
+        let cfg = HybridConfig {
+            scan_rows: 100_000,
+            txns: 400,
+            software_scans: true,
+            ..HybridConfig::small(0.5)
+        };
+        let sw = run_hybrid(&mut engine, &cfg);
+        // The reference configuration is functionally identical: same scan
+        // count and selectivity, same commit/abort stream.
+        assert_eq!(sw.scans, enhanced.scans);
+        assert_eq!(sw.scan_matches, enhanced.scan_matches);
+        assert_eq!(sw.oltp.committed, enhanced.oltp.committed);
+        assert_eq!(sw.oltp.aborted, enhanced.oltp.aborted);
+        check_conservation(&engine).unwrap();
+    }
+
+    #[test]
+    fn faulting_scanner_falls_back_without_changing_scan_results() {
+        use bionic_sim::fault::HwFaultConfig;
+        let (clean, _) = run_at(0.5);
+        let mut engine =
+            Engine::new(EngineConfig::bionic().with_hw_faults(HwFaultConfig::saturated()));
+        let cfg = HybridConfig {
+            scan_rows: 100_000,
+            txns: 400,
+            ..HybridConfig::small(0.5)
+        };
+        let broken = run_hybrid(&mut engine, &cfg);
+        // Fallbacks are pricing-only: every scan still returns the same
+        // 1% selectivity, and the OLTP side commits everything it did.
+        assert_eq!(broken.scan_matches, broken.scans * 1_000);
+        assert_eq!(clean.oltp.committed, broken.oltp.committed);
+        assert_eq!(clean.oltp.aborted, broken.oltp.aborted);
+        // The scanner unit really was consulted and really fell back.
+        let report = engine.fault_report().expect("layer armed");
+        let scanner = report.iter().find(|r| r.unit == "scanner").unwrap();
+        assert!(scanner.stats.ops > 0);
+        assert!(scanner.stats.fallbacks > 0);
+        // Brownout: degraded scans (and OLTP watchdogs) cost time.
+        assert!(broken.oltp.latency.p99 > clean.oltp.latency.p99);
+        check_conservation(&engine).unwrap();
     }
 }

@@ -62,10 +62,13 @@ fn workload_seed_changes_everything() {
 }
 
 /// The parallel figure harness must not leak scheduling order into
-/// results: running an E4/E12/E13 subset with 4 workers produces the same
-/// CSV bytes as running it serially. E13 is the interesting member: its
-/// cells each carry a private contention arbiter, so any shared mutable
-/// state would show up here as a byte diff in `e13_hybrid.csv`.
+/// results: running an E4/E12/E13/E14 subset with 4 workers produces the
+/// same CSV bytes as running it serially. E13 is an interesting member:
+/// its cells each carry a private contention arbiter, so any shared
+/// mutable state would show up here as a byte diff in `e13_hybrid.csv`.
+/// E14 is the other: each of its cells owns a seeded fault injector and
+/// per-unit circuit breakers, so a nondeterministic RNG draw or a
+/// wall-clock leak into breaker timing would diff `e14_brownout.csv`.
 /// `harness_timing.csv` is the single file allowed to differ (it reports
 /// wall-clock, which is the point of the parallelism).
 #[test]
@@ -77,7 +80,7 @@ fn harness_results_are_independent_of_job_count() {
     let mut per_jobs: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
     for jobs in [1usize, 4] {
         let dir = base.join(format!("jobs{jobs}"));
-        let experiments = ["e4", "e12", "e13"]
+        let experiments = ["e4", "e12", "e13", "e14"]
             .into_iter()
             .map(|id| build(id, Scale::Smoke).expect("known id"))
             .collect();
@@ -96,6 +99,10 @@ fn harness_results_are_independent_of_job_count() {
         assert!(
             csvs.contains_key("e13_hybrid.csv"),
             "E13 must write e13_hybrid.csv"
+        );
+        assert!(
+            csvs.contains_key("e14_brownout.csv"),
+            "E14 must write e14_brownout.csv"
         );
         per_jobs.push(csvs);
     }
