@@ -1,0 +1,191 @@
+//! The headline throughput benchmark: simulator events per second on the
+//! E8 hot loop (pooled TATP batches through `run_batched_pooled`), for the
+//! software and bionic configurations plus the hybrid E13 loop.
+//!
+//! Criterion reports wall-clock per 1 000-transaction chunk, and the
+//! bench also prints explicit `headline_events_per_second,<config>,<n>`
+//! lines from a longer manual timing so CI's perf job can parse and gate
+//! the headline without scraping criterion output (see
+//! `.github/workflows/ci.yml`).
+//!
+//! Before measuring, the bench asserts the allocation budget that makes
+//! the headline stable: the steady-state loop must not allocate per event.
+//! Concretely, whole-loop churn (counted by a wrapping global allocator)
+//! must stay under one allocation per *transaction* — each transaction is
+//! many simulator events, so per-event amortized allocations are zero.
+//! The residual fraction is the abort path (~3 % of TATP transactions
+//! replay WAL undo records into freshly decoded values), which is not
+//! steady-state work.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Transactions per measured chunk; criterion's throughput axis, so the
+/// report reads directly in elements (transactions) per second.
+const CHUNK: u64 = 1_000;
+/// TATP batch size used by E8 itself.
+const BATCH: usize = 32;
+/// Steady-state allocation budget, in allocations per transaction. The
+/// commit path is zero-alloc; the budget leaves room only for the ~3 %
+/// abort path and incidental map growth.
+const ALLOC_BUDGET_PER_TXN: f64 = 1.0;
+
+fn rig(cfg: EngineConfig) -> (Engine, TatpGenerator) {
+    let wl = TatpConfig {
+        subscribers: 10_000,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(cfg);
+    let tables = tatp::load(&mut engine, &wl);
+    let generator = TatpGenerator::new(wl, tables);
+    (engine, generator)
+}
+
+/// Assert the zero-alloc-per-event budget on a warmed loop, outside any
+/// criterion measurement so the counter sees only simulator work.
+fn assert_alloc_budget(name: &str, cfg: EngineConfig) {
+    let (mut engine, mut generator) = rig(cfg);
+    // Warmup grows the skeleton pools, scratch arenas, and page maps.
+    bionic_workloads::run_batched_pooled(
+        &mut engine,
+        4_000,
+        SimTime::from_ns(100.0),
+        BATCH,
+        &mut generator,
+    );
+    let n = 20_000u64;
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let rep = bionic_workloads::run_batched_pooled(
+        &mut engine,
+        n,
+        SimTime::from_ns(100.0),
+        BATCH,
+        &mut generator,
+    );
+    let per_txn = (ALLOCS.load(Ordering::Relaxed) - a0) as f64 / n as f64;
+    assert!(rep.committed > 0, "{name}: loop committed nothing");
+    assert!(
+        per_txn < ALLOC_BUDGET_PER_TXN,
+        "{name}: steady-state loop allocates {per_txn:.2}/txn (budget {ALLOC_BUDGET_PER_TXN})"
+    );
+}
+
+fn bench_events_per_second(c: &mut Criterion) {
+    for (name, cfg) in [
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+    ] {
+        assert_alloc_budget(name, cfg);
+    }
+
+    let mut g = c.benchmark_group("sim_events_per_second");
+    for (name, cfg) in [
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+    ] {
+        let (mut engine, mut generator) = rig(cfg);
+        // Warm the pools so the measured loop is pure steady state.
+        bionic_workloads::run_batched_pooled(
+            &mut engine,
+            4_000,
+            SimTime::from_ns(100.0),
+            BATCH,
+            &mut generator,
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let rep = bionic_workloads::run_batched_pooled(
+                    &mut engine,
+                    CHUNK,
+                    SimTime::from_ns(100.0),
+                    BATCH,
+                    &mut generator,
+                );
+                black_box(rep.committed)
+            });
+        });
+    }
+    g.finish();
+
+    // The CI-parsed headline: a single longer timed run per config.
+    for (name, cfg) in [
+        ("software", EngineConfig::software()),
+        ("bionic", EngineConfig::bionic()),
+    ] {
+        let (mut engine, mut generator) = rig(cfg);
+        bionic_workloads::run_batched_pooled(
+            &mut engine,
+            4_000,
+            SimTime::from_ns(100.0),
+            BATCH,
+            &mut generator,
+        );
+        let n = 40_000u64;
+        let t0 = std::time::Instant::now();
+        let rep = bionic_workloads::run_batched_pooled(
+            &mut engine,
+            n,
+            SimTime::from_ns(100.0),
+            BATCH,
+            &mut generator,
+        );
+        let per_sec = n as f64 / t0.elapsed().as_secs_f64();
+        assert!(rep.committed > 0);
+        println!("headline_events_per_second,{name},{per_sec:.0}");
+    }
+}
+
+/// The E13 side of the headline: one hybrid OLTP + scan-pressure chunk.
+fn bench_hybrid_chunk(c: &mut Criterion) {
+    use bionic_workloads::hybrid::{run_hybrid, HybridConfig};
+    let mut g = c.benchmark_group("sim_hybrid_chunk");
+    g.sample_size(20);
+    g.bench_function("bionic", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(EngineConfig::bionic());
+            let cfg = HybridConfig {
+                tatp: TatpConfig {
+                    subscribers: 10_000,
+                    ..Default::default()
+                },
+                txns: CHUNK,
+                inter_arrival: SimTime::from_us(2.0),
+                scan_pressure: 0.5,
+                scan_rows: 100_000,
+                range_queries: true,
+                software_scans: false,
+            };
+            black_box(run_hybrid(&mut engine, &cfg).scans)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_events_per_second, bench_hybrid_chunk);
+criterion_main!(benches);

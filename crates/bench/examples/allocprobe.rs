@@ -1,0 +1,101 @@
+//! Quick allocation/throughput probe for the E8 hot loop (dev tool).
+//!
+//! Run with `cargo run --release -p bionic-bench --example allocprobe`.
+//! Prints events/s and allocations per transaction for the TATP batched
+//! loop under the software and bionic configurations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new as u64, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+
+fn probe(name: &str, cfg: EngineConfig, n: u64) {
+    let wl = TatpConfig {
+        subscribers: 100_000,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(cfg);
+    let tables = tatp::load(&mut engine, &wl);
+    let mut g = TatpGenerator::new(wl, tables);
+    // Warmup to fill caches/maps and grow the reusable pools.
+    bionic_workloads::run_batched_pooled(&mut engine, 2_000, SimTime::from_ns(100.0), 32, &mut g);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
+    let rep =
+        bionic_workloads::run_batched_pooled(&mut engine, n, SimTime::from_ns(100.0), 32, &mut g);
+    let dt = t0.elapsed().as_secs_f64();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    let db = BYTES.load(Ordering::Relaxed) - b0;
+    println!(
+        "{name}: {n} txns in {dt:.3}s = {:.0} txn/s | {:.1} allocs/txn, {:.0} B/txn | committed {}",
+        n as f64 / dt,
+        da as f64 / n as f64,
+        db as f64 / n as f64,
+        rep.committed
+    );
+}
+
+fn probe_hybrid(n: u64) {
+    use bionic_workloads::hybrid::{run_hybrid, HybridConfig};
+    let mut engine = Engine::new(EngineConfig::bionic());
+    let cfg = HybridConfig {
+        tatp: TatpConfig {
+            subscribers: 100_000,
+            ..Default::default()
+        },
+        txns: n,
+        inter_arrival: SimTime::from_us(2.0),
+        scan_pressure: 0.5,
+        scan_rows: 1_000_000,
+        range_queries: true,
+        software_scans: false,
+    };
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
+    let r = run_hybrid(&mut engine, &cfg);
+    let dt = t0.elapsed().as_secs_f64();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    println!(
+        "hybrid  : {n} txns in {dt:.3}s = {:.0} txn/s | {:.1} allocs/txn | scans {}",
+        n as f64 / dt,
+        da as f64 / n as f64,
+        r.scans
+    );
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    probe("software", EngineConfig::software(), n);
+    probe("bionic  ", EngineConfig::bionic(), n);
+    probe_hybrid(n.min(64_000));
+}

@@ -9,7 +9,9 @@
 //! [`Scale::Smoke`] shrinks workload sizes so integration tests can drive
 //! the same code paths quickly; published numbers use [`Scale::Full`].
 
-use crate::harness::{default_assemble, merge_tables, CellFn, CellOut, Experiment};
+use crate::harness::{
+    default_assemble, merge_tables, shard_items, Cell, CellFn, CellOut, Experiment,
+};
 use crate::{f, Table};
 use bionic_btree::probe::{ProbeEngine, ProbeEngineConfig};
 use bionic_btree::tree::BTree;
@@ -66,8 +68,12 @@ impl Scale {
 /// enough to stay far below any run's transaction count.
 const SUBMIT_BATCH: usize = 32;
 
-/// A registry entry: the experiment id and its scale-aware builder.
-pub type RegistryEntry = (&'static str, fn(Scale) -> Experiment);
+/// A registry entry: the experiment id and its scale- and shard-aware
+/// builder. `shards` is an upper bound on intra-cell parallelism: builders
+/// with exact shardable decompositions (independent sub-runs whose merged
+/// output reconstructs the serial one byte-for-byte) split their cells
+/// into up to that many shard closures; the rest ignore it.
+pub type RegistryEntry = (&'static str, fn(Scale, usize) -> Experiment);
 
 /// The experiment registry — the single source of truth for ids, run
 /// order, `figures --list`, and [`build`]. Adding an experiment here is
@@ -76,20 +82,20 @@ pub type RegistryEntry = (&'static str, fn(Scale) -> Experiment);
 /// this module and the builder match, which is how a new experiment could
 /// silently miss the CLI).
 pub const REGISTRY: [RegistryEntry; 14] = [
-    ("f1", |_| f1()),
-    ("f2", |_| f2()),
-    ("f3", f3),
-    ("e4", e4),
+    ("f1", |_, _| f1()),
+    ("f2", |_, _| f2()),
+    ("f3", |s, _| f3(s)),
+    ("e4", |s, _| e4(s)),
     ("e5", e5),
-    ("e6", e6),
+    ("e6", |s, _| e6(s)),
     ("e7", e7),
-    ("e8", e8),
-    ("e9", e9),
+    ("e8", |s, _| e8(s)),
+    ("e9", |s, _| e9(s)),
     ("e10", e10),
     ("e11", e11),
     ("e12", e12),
-    ("e13", e13),
-    ("e14", e14),
+    ("e13", |s, _| e13(s)),
+    ("e14", |s, _| e14(s)),
 ];
 
 /// All experiment ids in run order, derived from [`REGISTRY`].
@@ -97,19 +103,20 @@ pub fn ids() -> impl Iterator<Item = &'static str> {
     REGISTRY.iter().map(|(id, _)| *id)
 }
 
-/// Build one experiment by id (a [`REGISTRY`] lookup).
-pub fn build(id: &str, scale: Scale) -> Option<Experiment> {
+/// Build one experiment by id (a [`REGISTRY`] lookup) with up to `shards`
+/// intra-cell shards.
+pub fn build(id: &str, scale: Scale, shards: usize) -> Option<Experiment> {
     REGISTRY
         .iter()
         .find(|(rid, _)| *rid == id)
-        .map(|(_, f)| f(scale))
+        .map(|(_, f)| f(scale, shards.max(1)))
 }
 
 // ---------------------------------------------------------------- F1 ----
 
 /// Figure 1: fraction of chip utilized vs. parallelism, 2011 vs 2018.
 fn f1() -> Experiment {
-    let cell: CellFn = Box::new(|| {
+    let cell = Cell::one(|| {
         let mut out = CellOut::default();
         for (tag, cores) in [("2011_64cores", 64u64), ("2018_1024cores", 1024)] {
             let curves = figure1_curves(cores);
@@ -151,7 +158,7 @@ fn f1() -> Experiment {
 
 /// Figure 2: validate every modeled platform path against its label.
 fn f2() -> Experiment {
-    let cell: CellFn = Box::new(|| {
+    let cell = Cell::one(|| {
         let mut t = Table::new(&[
             "path",
             "configured_bw",
@@ -261,8 +268,8 @@ fn breakdown_rows(t: &mut Table, label: &str, b: &bionic_core::TimeBreakdown) {
 
 /// One F3 run: breakdown rows for the shared table plus
 /// `[btree_fraction, log_fraction, total_ns_per_txn]` for the claims.
-fn f3_cell(label: &'static str, bionic: bool, workload: &'static str, scale: Scale) -> CellFn {
-    Box::new(move || {
+fn f3_cell(label: &'static str, bionic: bool, workload: &'static str, scale: Scale) -> Cell {
+    Cell::one(move || {
         let cfg = if bionic {
             EngineConfig::bionic()
         } else {
@@ -310,6 +317,7 @@ fn f3_cell(label: &'static str, bionic: bool, workload: &'static str, scale: Sca
             notes: vec![],
         }
     })
+    .cost(40)
 }
 
 /// Figure 3: time breakdown of TATP-UpdSubData and TPCC-StockLevel on the
@@ -355,10 +363,10 @@ fn f3(scale: Scale) -> Experiment {
 /// string keys, and software-vs-hardware cost per probe.
 fn e4(scale: Scale) -> Experiment {
     // (a) One cell per outstanding-count: `[capacity, mean_latency_us]`.
-    let mut cells: Vec<CellFn> = [1usize, 2, 4, 8, 12, 16, 24, 32]
+    let mut cells: Vec<Cell> = [1usize, 2, 4, 8, 12, 16, 24, 32]
         .into_iter()
-        .map(|outstanding| -> CellFn {
-            Box::new(move || {
+        .map(|outstanding| -> Cell {
+            Cell::one(move || {
                 let mut fabric = FpgaFabric::hc2();
                 let mut eng = ProbeEngine::place(
                     &mut fabric,
@@ -391,7 +399,7 @@ fn e4(scale: Scale) -> Experiment {
 
     // (b) Per-probe cost: software vs hardware, int vs string keys.
     // Returns its table plus `[sw_energy_nJ, sw_cpu_ns, hw_energy_nJ]`.
-    cells.push(Box::new(move || {
+    cells.push(Cell::one(move || {
         let mut t = Table::new(&["path", "key", "latency_us", "cpu_busy_ns", "energy_nJ"]);
         let mut tree = BTree::with_order(256);
         for i in 0..tree_keys {
@@ -437,7 +445,7 @@ fn e4(scale: Scale) -> Experiment {
 
     // (c) The software counter-measure §5.3 cites: PALM-style batching
     // amortizes descents but cannot remove the leaf-level pointer chase.
-    cells.push(Box::new(move || {
+    cells.push(Cell::one(move || {
         let mut tree = BTree::with_order(256);
         for i in 0..tree_keys {
             tree.insert(i, i as u64);
@@ -499,37 +507,57 @@ fn e4(scale: Scale) -> Experiment {
 // ---------------------------------------------------------------- E5 ----
 
 /// §5.4: log insertion scalability — latched vs consolidated vs hardware.
-fn e5(scale: Scale) -> Experiment {
-    let cells: Vec<CellFn> = [1usize, 2, 4, 8, 16, 32, 64]
+///
+/// Each thread-count cell prices three independent log models. The models
+/// never share state (the two software models ignore the fabric and the
+/// hardware model places on a fresh one), so the cell shards the model
+/// range across workers; the merge reassembles the per-shard
+/// `[rate, cpu_ns]` pairs — in model order — into the one combined row
+/// the serial loop used to produce, byte for byte.
+fn e5(scale: Scale, shards: usize) -> Experiment {
+    let cells: Vec<Cell> = [1usize, 2, 4, 8, 16, 32, 64]
         .into_iter()
-        .map(|threads| -> CellFn {
-            Box::new(move || {
-                let bytes = 120u64;
-                let think = SimTime::from_ns(200.0);
-                let mut rates = Vec::new();
-                let mut cpu_ns = Vec::new();
-                let params = SwLogParams::default();
-                let mut fabric = FpgaFabric::hc2();
-                let mut models: Vec<Box<dyn LogInsertModel>> = vec![
-                    Box::new(LatchedLog::new(params)),
-                    Box::new(ConsolidatedLog::new(params)),
-                    Box::new(HwLog::hc2(&mut fabric).unwrap()),
-                ];
-                for m in models.iter_mut() {
-                    let mut clocks = vec![SimTime::ZERO; threads];
-                    let n = scale.pick(30_000, 6_000);
-                    let mut last = SimTime::ZERO;
-                    let mut busy = SimTime::ZERO;
-                    for i in 0..n {
-                        let th = (i % threads as u64) as usize;
-                        let out = m.insert(clocks[th] + think, th, bytes);
-                        clocks[th] = clocks[th] + think + out.cpu_busy;
-                        busy += out.cpu_busy;
-                        last = last.max(out.buffered_at);
-                    }
-                    rates.push(n as f64 / last.as_secs());
-                    cpu_ns.push(busy.as_ns() / n as f64);
-                }
+        .map(|threads| -> Cell {
+            let shard_fns: Vec<CellFn> = shard_items((0..3usize).collect(), shards)
+                .into_iter()
+                .map(|chunk| -> CellFn {
+                    Box::new(move || {
+                        let bytes = 120u64;
+                        let think = SimTime::from_ns(200.0);
+                        let params = SwLogParams::default();
+                        let mut values = Vec::new();
+                        for model in chunk {
+                            let mut fabric = FpgaFabric::hc2();
+                            let mut m: Box<dyn LogInsertModel> = match model {
+                                0 => Box::new(LatchedLog::new(params)),
+                                1 => Box::new(ConsolidatedLog::new(params)),
+                                _ => Box::new(HwLog::hc2(&mut fabric).unwrap()),
+                            };
+                            let mut clocks = vec![SimTime::ZERO; threads];
+                            let n = scale.pick(30_000, 6_000);
+                            let mut last = SimTime::ZERO;
+                            let mut busy = SimTime::ZERO;
+                            for i in 0..n {
+                                let th = (i % threads as u64) as usize;
+                                let out = m.insert(clocks[th] + think, th, bytes);
+                                clocks[th] = clocks[th] + think + out.cpu_busy;
+                                busy += out.cpu_busy;
+                                last = last.max(out.buffered_at);
+                            }
+                            values.push(n as f64 / last.as_secs());
+                            values.push(busy.as_ns() / n as f64);
+                        }
+                        CellOut {
+                            values,
+                            ..Default::default()
+                        }
+                    })
+                })
+                .collect();
+            Cell::sharded_merging(shard_fns, move |outs| {
+                // Concatenated in shard order = `[rate, cpu_ns]` per model
+                // in model order: latched, consolidated, hardware.
+                let v: Vec<f64> = outs.into_iter().flat_map(|o| o.values).collect();
                 let mut t = Table::new(&[
                     "threads",
                     "latched_ins_per_s",
@@ -540,11 +568,11 @@ fn e5(scale: Scale) -> Experiment {
                 ]);
                 t.row(vec![
                     threads.to_string(),
-                    f(rates[0]),
-                    f(rates[1]),
-                    f(rates[2]),
-                    f(cpu_ns[0]),
-                    f(cpu_ns[2]),
+                    f(v[0]),
+                    f(v[2]),
+                    f(v[4]),
+                    f(v[1]),
+                    f(v[5]),
                 ]);
                 CellOut::table("e5_log_scaling", t)
             })
@@ -574,7 +602,7 @@ fn e5(scale: Scale) -> Experiment {
 
 /// §5.5: queue costs and the scheduling problem hardware does not solve.
 fn e6(scale: Scale) -> Experiment {
-    let cell: CellFn = Box::new(move || {
+    let cell = Cell::one(move || {
         let mut out = CellOut::default();
         let mut t = Table::new(&[
             "op",
@@ -655,84 +683,105 @@ fn e6(scale: Scale) -> Experiment {
 // ---------------------------------------------------------------- E7 ----
 
 /// §5.6: the overlay database.
-fn e7(scale: Scale) -> Experiment {
-    let cell: CellFn = Box::new(move || {
-        let mut out = CellOut::default();
-        let rows = scale.pick(100_000, 20_000) as i64;
-
-        // (a) Read paths: delta hit vs main fallthrough vs non-resident miss.
-        let base: Vec<(i64, u64)> = (0..rows).map(|i| (i, i as u64)).collect();
-        let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
-        for i in 0..1_000i64.min(rows / 4) {
-            ov.put(i, 7, i as u64 + 1);
-        }
-        let mut t = Table::new(&["read_path", "nodes_visited", "note"]);
-        let (_, fp_hit) = ov.get_latest(&(rows / 200));
-        t.row(vec![
-            "delta hit".into(),
-            fp_hit.nodes_visited().to_string(),
-            "buffered write answered from delta".into(),
-        ]);
-        let (_, fp_miss) = ov.get_latest(&(rows / 2));
-        t.row(vec![
-            "main fallthrough".into(),
-            fp_miss.nodes_visited().to_string(),
-            "delta probe + main probe".into(),
-        ]);
-        let tight = OverlayIndex::new(base.clone(), 1 << 18);
-        let misses = (0..rows).filter(|k| tight.probe_would_miss(k)).count();
-        t.row(vec![
-            "non-resident".into(),
-            "-".into(),
-            format!(
-                "budget 256KiB -> {:.1}% probes abort to software+SAS",
-                100.0 * misses as f64 / rows as f64
-            ),
-        ]);
-        out.tables.push(("e7_read_paths".into(), t));
-
-        // (b) Merge amortization: bytes written back per buffered write.
-        let mut t = Table::new(&[
-            "delta_writes_before_merge",
-            "merge_bytes",
-            "bytes_per_write",
-            "retained",
-        ]);
-        for batch in [1_000u64, 5_000, 20_000, 50_000] {
-            let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
-            let mut v = 0;
-            for i in 0..batch {
-                v += 1;
-                ov.put((i as i64 * 17) % rows, i, v);
-            }
-            let report = ov.merge(v);
-            t.row(vec![
-                batch.to_string(),
-                report.bytes_written.to_string(),
-                f(report.bytes_written as f64 / batch as f64),
-                report.entries_retained.to_string(),
-            ]);
-        }
-        out.tables.push(("e7_merge_amortization".into(), t));
-
-        // (c) Historical patching: a query as-of an old version sees old data.
-        let mut ov = OverlayIndex::new(base, usize::MAX);
-        ov.put(42, 999, 10);
-        ov.delete(43, 11);
-        let mut rows_old = Vec::new();
-        ov.range_asof(&42, &45, 5, |k, v| rows_old.push((*k, v)));
-        let mut rows_new = Vec::new();
-        ov.range_asof(&42, &45, 11, |k, v| rows_new.push((*k, v)));
-        out.notes.push(format!(
-            "historical patching: asof v5 -> {rows_old:?}; asof v11 -> {rows_new:?} \
-             (HANA-style: updates patched into history on read)\n"
-        ));
-        out
-    });
+///
+/// One cell, six independent parts — the (a) read-path table, the four
+/// (b) merge-amortization batches, and the (c) historical-patching note —
+/// each rebuilding its own base table. The parts shard across workers;
+/// the default concat merge restores part order, so the output is
+/// byte-identical at any shard count.
+fn e7(scale: Scale, shards: usize) -> Experiment {
+    let rows = scale.pick(100_000, 20_000) as i64;
+    const MERGE_BATCHES: [u64; 4] = [1_000, 5_000, 20_000, 50_000];
+    let shard_fns: Vec<CellFn> = shard_items((0..6usize).collect(), shards)
+        .into_iter()
+        .map(|chunk| -> CellFn {
+            Box::new(move || {
+                let mut out = CellOut::default();
+                let base: Vec<(i64, u64)> = (0..rows).map(|i| (i, i as u64)).collect();
+                for part in chunk {
+                    match part {
+                        // (a) Read paths: delta hit vs main fallthrough vs
+                        // non-resident miss.
+                        0 => {
+                            let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
+                            for i in 0..1_000i64.min(rows / 4) {
+                                ov.put(i, 7, i as u64 + 1);
+                            }
+                            let mut t = Table::new(&["read_path", "nodes_visited", "note"]);
+                            let (_, fp_hit) = ov.get_latest(&(rows / 200));
+                            t.row(vec![
+                                "delta hit".into(),
+                                fp_hit.nodes_visited().to_string(),
+                                "buffered write answered from delta".into(),
+                            ]);
+                            let (_, fp_miss) = ov.get_latest(&(rows / 2));
+                            t.row(vec![
+                                "main fallthrough".into(),
+                                fp_miss.nodes_visited().to_string(),
+                                "delta probe + main probe".into(),
+                            ]);
+                            let tight = OverlayIndex::new(base.clone(), 1 << 18);
+                            let misses = (0..rows).filter(|k| tight.probe_would_miss(k)).count();
+                            t.row(vec![
+                                "non-resident".into(),
+                                "-".into(),
+                                format!(
+                                    "budget 256KiB -> {:.1}% probes abort to software+SAS",
+                                    100.0 * misses as f64 / rows as f64
+                                ),
+                            ]);
+                            out.tables.push(("e7_read_paths".into(), t));
+                        }
+                        // (b) Merge amortization: bytes written back per
+                        // buffered write, one batch size per part.
+                        1..=4 => {
+                            let batch = MERGE_BATCHES[part - 1];
+                            let mut t = Table::new(&[
+                                "delta_writes_before_merge",
+                                "merge_bytes",
+                                "bytes_per_write",
+                                "retained",
+                            ]);
+                            let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
+                            let mut v = 0;
+                            for i in 0..batch {
+                                v += 1;
+                                ov.put((i as i64 * 17) % rows, i, v);
+                            }
+                            let report = ov.merge(v);
+                            t.row(vec![
+                                batch.to_string(),
+                                report.bytes_written.to_string(),
+                                f(report.bytes_written as f64 / batch as f64),
+                                report.entries_retained.to_string(),
+                            ]);
+                            out.tables.push(("e7_merge_amortization".into(), t));
+                        }
+                        // (c) Historical patching: a query as-of an old
+                        // version sees old data.
+                        _ => {
+                            let mut ov = OverlayIndex::new(base.clone(), usize::MAX);
+                            ov.put(42, 999, 10);
+                            ov.delete(43, 11);
+                            let mut rows_old = Vec::new();
+                            ov.range_asof(&42, &45, 5, |k, v| rows_old.push((*k, v)));
+                            let mut rows_new = Vec::new();
+                            ov.range_asof(&42, &45, 11, |k, v| rows_new.push((*k, v)));
+                            out.notes.push(format!(
+                                "historical patching: asof v5 -> {rows_old:?}; asof v11 -> {rows_new:?} \
+                                 (HANA-style: updates patched into history on read)\n"
+                            ));
+                        }
+                    }
+                }
+                out
+            })
+        })
+        .collect();
     Experiment {
         id: "e7",
         title: "### E7 — §5.6: overlay database\n",
-        cells: vec![cell],
+        cells: vec![Cell::sharded(shard_fns).cost(7)],
         assemble: Box::new(default_assemble),
     }
 }
@@ -752,10 +801,7 @@ fn run_tatp(
     let mut engine = Engine::new(cfg);
     let tables = tatp::load(&mut engine, &wl);
     let mut g = TatpGenerator::new(wl, tables);
-    bionic_workloads::run_batched(&mut engine, n, inter, SUBMIT_BATCH, || {
-        let (t, p) = g.next();
-        (t.label(), p)
-    })
+    bionic_workloads::run_batched_pooled(&mut engine, n, inter, SUBMIT_BATCH, &mut g)
 }
 
 fn run_tpcc(cfg: EngineConfig, n: u64, inter: SimTime) -> bionic_workloads::WorkloadReport {
@@ -798,7 +844,14 @@ fn measure(
 
 /// §1/§3 headline: end-to-end software vs bionic (+ per-unit ablation).
 fn e8(scale: Scale) -> Experiment {
-    let mut cells: Vec<CellFn> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Cost hints (relative serial seconds, ~centisecond units): the TATP
+    // capacity+loaded measurements dominate the whole suite's makespan,
+    // so they must enter the work queue first.
+    const COST_MEASURE_TATP: u64 = 65;
+    const COST_MEASURE_TPCC: u64 = 30;
+    const COST_PER_TYPE: u64 = 10;
 
     // Grid: 3 engines x 2 workloads, one cell each.
     for (name, cfg) in [
@@ -808,40 +861,48 @@ fn e8(scale: Scale) -> Experiment {
     ] {
         for workload in ["tatp", "tpcc"] {
             let cfg = cfg.clone();
-            cells.push(Box::new(move || {
-                let (capacity, report) = measure(&cfg, workload, scale);
-                let energy = |d: EnergyDomain| {
-                    report
-                        .energy
-                        .iter()
-                        .find(|(dd, _)| *dd == d)
-                        .map(|(_, e)| e.as_j() * 1e3)
-                        .unwrap_or(0.0)
-                };
-                let mut t = Table::new(&[
-                    "engine",
-                    "workload",
-                    "capacity_txn_s",
-                    "min_us_at_70pct",
-                    "p50_us_at_70pct",
-                    "p99_us_at_70pct",
-                    "joules_per_txn",
-                    "cpu_mJ",
-                    "fpga_mJ",
-                ]);
-                t.row(vec![
-                    name.into(),
-                    workload.into(),
-                    f(capacity),
-                    f(report.latency.min.as_us()),
-                    f(report.latency.p50.as_us()),
-                    f(report.latency.p99.as_us()),
-                    f(report.joules_per_txn),
-                    f(energy(EnergyDomain::CpuCore)),
-                    f(energy(EnergyDomain::Fpga)),
-                ]);
-                CellOut::table("e8_end_to_end", t)
-            }));
+            let cost = if workload == "tatp" {
+                COST_MEASURE_TATP
+            } else {
+                COST_MEASURE_TPCC
+            };
+            cells.push(
+                Cell::one(move || {
+                    let (capacity, report) = measure(&cfg, workload, scale);
+                    let energy = |d: EnergyDomain| {
+                        report
+                            .energy
+                            .iter()
+                            .find(|(dd, _)| *dd == d)
+                            .map(|(_, e)| e.as_j() * 1e3)
+                            .unwrap_or(0.0)
+                    };
+                    let mut t = Table::new(&[
+                        "engine",
+                        "workload",
+                        "capacity_txn_s",
+                        "min_us_at_70pct",
+                        "p50_us_at_70pct",
+                        "p99_us_at_70pct",
+                        "joules_per_txn",
+                        "cpu_mJ",
+                        "fpga_mJ",
+                    ]);
+                    t.row(vec![
+                        name.into(),
+                        workload.into(),
+                        f(capacity),
+                        f(report.latency.min.as_us()),
+                        f(report.latency.p50.as_us()),
+                        f(report.latency.p99.as_us()),
+                        f(report.joules_per_txn),
+                        f(energy(EnergyDomain::CpuCore)),
+                        f(energy(EnergyDomain::Fpga)),
+                    ]);
+                    CellOut::table("e8_end_to_end", t)
+                })
+                .cost(cost),
+            );
         }
     }
 
@@ -850,23 +911,27 @@ fn e8(scale: Scale) -> Experiment {
         ("dora-software", EngineConfig::software()),
         ("bionic", EngineConfig::bionic()),
     ] {
-        cells.push(Box::new(move || {
-            // ~40k txn/s: below both engines' capacity, so the table shows
-            // transaction shape, not queueing.
-            let report = run_tpcc(cfg, scale.pick(6_000, 1_000), SimTime::from_us(25.0));
-            let mut t = Table::new(&["engine", "txn_type", "count", "min_us", "p50_us", "p99_us"]);
-            for (ty, summary) in &report.per_type_latency {
-                t.row(vec![
-                    name.into(),
-                    (*ty).into(),
-                    summary.count.to_string(),
-                    f(summary.min.as_us()),
-                    f(summary.p50.as_us()),
-                    f(summary.p99.as_us()),
-                ]);
-            }
-            CellOut::table("e8_per_type_latency", t)
-        }));
+        cells.push(
+            Cell::one(move || {
+                // ~40k txn/s: below both engines' capacity, so the table shows
+                // transaction shape, not queueing.
+                let report = run_tpcc(cfg, scale.pick(6_000, 1_000), SimTime::from_us(25.0));
+                let mut t =
+                    Table::new(&["engine", "txn_type", "count", "min_us", "p50_us", "p99_us"]);
+                for (ty, summary) in &report.per_type_latency {
+                    t.row(vec![
+                        name.into(),
+                        (*ty).into(),
+                        summary.count.to_string(),
+                        f(summary.min.as_us()),
+                        f(summary.p50.as_us()),
+                        f(summary.p99.as_us()),
+                    ]);
+                }
+                CellOut::table("e8_per_type_latency", t)
+            })
+            .cost(COST_PER_TYPE),
+        );
     }
 
     // Ablation: add one offload at a time on TATP.
@@ -911,28 +976,31 @@ fn e8(scale: Scale) -> Experiment {
         ("all", Offloads::all()),
     ];
     for (name, offloads) in variants {
-        cells.push(Box::new(move || {
-            let cfg = EngineConfig {
-                offloads,
-                ..EngineConfig::software()
-            };
-            let (capacity, report) = measure(&cfg, "tatp", scale);
-            let mut t = Table::new(&[
-                "offloads",
-                "capacity_txn_s",
-                "joules_per_txn",
-                "min_us_at_70pct",
-                "p50_us_at_70pct",
-            ]);
-            t.row(vec![
-                name.into(),
-                f(capacity),
-                f(report.joules_per_txn),
-                f(report.latency.min.as_us()),
-                f(report.latency.p50.as_us()),
-            ]);
-            CellOut::table("e8_ablation", t)
-        }));
+        cells.push(
+            Cell::one(move || {
+                let cfg = EngineConfig {
+                    offloads,
+                    ..EngineConfig::software()
+                };
+                let (capacity, report) = measure(&cfg, "tatp", scale);
+                let mut t = Table::new(&[
+                    "offloads",
+                    "capacity_txn_s",
+                    "joules_per_txn",
+                    "min_us_at_70pct",
+                    "p50_us_at_70pct",
+                ]);
+                t.row(vec![
+                    name.into(),
+                    f(capacity),
+                    f(report.joules_per_txn),
+                    f(report.latency.min.as_us()),
+                    f(report.latency.p50.as_us()),
+                ]);
+                CellOut::table("e8_ablation", t)
+            })
+            .cost(COST_MEASURE_TATP),
+        );
     }
 
     Experiment {
@@ -959,10 +1027,10 @@ fn e8(scale: Scale) -> Experiment {
 /// §2/§3: OLTP under dark silicon — scale-up and the power envelope.
 fn e9(scale: Scale) -> Experiment {
     const AGENTS: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
-    let cells: Vec<CellFn> = AGENTS
+    let cells: Vec<Cell> = AGENTS
         .into_iter()
-        .map(|agents| -> CellFn {
-            Box::new(move || {
+        .map(|agents| -> Cell {
+            Cell::one(move || {
                 let cfg = EngineConfig::software().with_agents(agents);
                 // Overload: arrivals far faster than service so agents
                 // saturate.
@@ -988,6 +1056,7 @@ fn e9(scale: Scale) -> Experiment {
                     notes: vec![],
                 }
             })
+            .cost(13)
         })
         .collect();
     Experiment {
@@ -1034,74 +1103,94 @@ fn e9(scale: Scale) -> Experiment {
 // --------------------------------------------------------------- E10 ----
 
 /// §5.2: Netezza-style FPGA filtering vs CPU scan, selectivity sweep.
-fn e10(scale: Scale) -> Experiment {
-    let cell: CellFn = Box::new(move || {
-        let rows = scale.pick(2_000_000, 200_000) as usize;
-        let mut table = ColumnarTable::new();
-        table.add_column("key", Column::I64((0..rows as i64).collect()));
-        table.add_column(
-            "val",
-            Column::I64((0..rows as i64).map(|i| i % 1000).collect()),
-        );
-        table.add_column(
-            "payload",
-            Column::I64((0..rows as i64).map(|i| i * 3).collect()),
-        );
+/// §5.2: Netezza-style FPGA filtering vs CPU scan, selectivity sweep.
+///
+/// The five selectivity points are independent (each builds fresh
+/// software/hardware platforms against an identical rebuilt column
+/// table), so the point range shards across workers; the concat merge
+/// restores sweep order, keeping `e10_scan.csv` byte-identical at any
+/// shard count.
+fn e10(scale: Scale, shards: usize) -> Experiment {
+    const SELECTIVITIES: [f64; 5] = [0.1, 1.0, 10.0, 50.0, 100.0];
+    let shard_fns: Vec<CellFn> = shard_items((0..SELECTIVITIES.len()).collect(), shards)
+        .into_iter()
+        .map(|chunk| -> CellFn {
+            Box::new(move || {
+                let rows = scale.pick(2_000_000, 200_000) as usize;
+                let mut table = ColumnarTable::new();
+                table.add_column("key", Column::I64((0..rows as i64).collect()));
+                table.add_column(
+                    "val",
+                    Column::I64((0..rows as i64).map(|i| i % 1000).collect()),
+                );
+                table.add_column(
+                    "payload",
+                    Column::I64((0..rows as i64).map(|i| i * 3).collect()),
+                );
 
-        let mut t = Table::new(&[
-            "selectivity_pct",
-            "sw_pcie_MB",
-            "hw_pcie_MB",
-            "bytes_ratio",
-            "sw_ms",
-            "hw_ms",
-            "sw_J",
-            "hw_J",
-        ]);
-        for sel_pct in [0.1f64, 1.0, 10.0, 50.0, 100.0] {
-            let threshold = (1000.0 * sel_pct / 100.0) as i64;
-            let req = ScanRequest {
-                predicates: vec![ColPredicate::new(1, CmpOp::Lt, threshold)],
-                projection: vec![0, 2],
-                ..Default::default()
-            };
-            let mut p_sw = Platform::hc2();
-            let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
-            let mut p_hw = Platform::hc2();
-            let hw = scan_enhanced(
-                &mut p_hw,
-                &table,
-                &req,
-                SimTime::ZERO,
-                &ScannerConfig::default(),
-            );
-            assert_eq!(sw.matches.len(), hw.matches.len());
-            t.row(vec![
-                f(sel_pct),
-                f(sw.pcie_bytes as f64 / 1e6),
-                f(hw.pcie_bytes as f64 / 1e6),
-                f(sw.pcie_bytes as f64 / hw.pcie_bytes.max(1) as f64),
-                f(sw.done.as_ms()),
-                f(hw.done.as_ms()),
-                f(p_sw.energy.total().as_j()),
-                f(p_hw.energy.total().as_j()),
-            ]);
-        }
-        CellOut {
-            tables: vec![("e10_scan".into(), t)],
-            values: vec![],
-            notes: vec![
-                "claims: at low selectivity the FPGA filter ships orders of magnitude \
+                let mut t = Table::new(&[
+                    "selectivity_pct",
+                    "sw_pcie_MB",
+                    "hw_pcie_MB",
+                    "bytes_ratio",
+                    "sw_ms",
+                    "hw_ms",
+                    "sw_J",
+                    "hw_J",
+                ]);
+                let last = chunk.last().copied();
+                for point in chunk {
+                    let sel_pct = SELECTIVITIES[point];
+                    let threshold = (1000.0 * sel_pct / 100.0) as i64;
+                    let req = ScanRequest {
+                        predicates: vec![ColPredicate::new(1, CmpOp::Lt, threshold)],
+                        projection: vec![0, 2],
+                        ..Default::default()
+                    };
+                    let mut p_sw = Platform::hc2();
+                    let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
+                    let mut p_hw = Platform::hc2();
+                    let hw = scan_enhanced(
+                        &mut p_hw,
+                        &table,
+                        &req,
+                        SimTime::ZERO,
+                        &ScannerConfig::default(),
+                    );
+                    assert_eq!(sw.matches.len(), hw.matches.len());
+                    t.row(vec![
+                        f(sel_pct),
+                        f(sw.pcie_bytes as f64 / 1e6),
+                        f(hw.pcie_bytes as f64 / 1e6),
+                        f(sw.pcie_bytes as f64 / hw.pcie_bytes.max(1) as f64),
+                        f(sw.done.as_ms()),
+                        f(hw.done.as_ms()),
+                        f(p_sw.energy.total().as_j()),
+                        f(p_hw.energy.total().as_j()),
+                    ]);
+                }
+                let notes = if last == Some(SELECTIVITIES.len() - 1) {
+                    vec![
+                        "claims: at low selectivity the FPGA filter ships orders of magnitude \
                  fewer bytes over the 4 GB/s bus; the advantage shrinks toward 100% \
                  selectivity but never inverts (the predicate column never ships)\n"
-                    .into(),
-            ],
-        }
-    });
+                            .into(),
+                    ]
+                } else {
+                    vec![]
+                };
+                CellOut {
+                    tables: vec![("e10_scan".into(), t)],
+                    values: vec![],
+                    notes,
+                }
+            })
+        })
+        .collect();
     Experiment {
         id: "e10",
         title: "### E10 — §5.2: enhanced scanner selectivity sweep\n",
-        cells: vec![cell],
+        cells: vec![Cell::sharded(shard_fns).cost(15)],
         assemble: Box::new(default_assemble),
     }
 }
@@ -1110,99 +1199,121 @@ fn e10(scale: Scale) -> Experiment {
 
 /// §4: control flow in hardware — NFA pattern matching, software
 /// active-set simulation vs skeleton-automata lanes \[13\].
-fn e11(scale: Scale) -> Experiment {
-    let cell: CellFn = Box::new(move || {
-        use bionic_scan::nfa::{Nfa, NfaEngine};
-        use bionic_scan::predicate::StrPredicate;
-        let mut out = CellOut::default();
+///
+/// Five independent parts — four (a) matcher patterns and the (b)
+/// scanner-integrated regex filter — shard across workers; each shard
+/// rebuilds its own input stream, and the concat merge restores pattern
+/// order for a byte-identical `e11_nfa_matcher.csv` at any shard count.
+fn e11(scale: Scale, shards: usize) -> Experiment {
+    const PATTERNS: [&str; 4] = ["needle", "a[bc]+d", "(a|ab)+c", "(a|aa)+(b|bb)+x"];
+    let shard_fns: Vec<CellFn> = shard_items((0..5usize).collect(), shards)
+        .into_iter()
+        .map(|chunk| -> CellFn {
+            Box::new(move || {
+                use bionic_scan::nfa::{Nfa, NfaEngine};
+                use bionic_scan::predicate::StrPredicate;
+                let mut out = CellOut::default();
 
-        // (a) Raw matcher: cost per byte as pattern nondeterminism grows.
-        let mut t = Table::new(&[
-            "pattern",
-            "nfa_states",
-            "sw_state_visits_per_byte",
-            "sw_ns_per_byte",
-            "hw_ns_per_byte",
-            "hw_energy_pJ_per_byte",
-        ]);
-        let input: Vec<u8> = (0..scale.pick(100_000, 20_000) as u32)
-            .map(|i| b"abcdefgh"[(i % 8) as usize])
-            .collect();
-        for pattern in ["needle", "a[bc]+d", "(a|ab)+c", "(a|aa)+(b|bb)+x"] {
-            let nfa = Nfa::compile(pattern).unwrap();
-            let (_, stats) = nfa.search_with_stats(&input);
-            let visits_per_byte = stats.state_visits as f64 / stats.bytes.max(1) as f64;
-            // Software: 4 instructions per state visit at 2.5 GHz.
-            let sw_ns = visits_per_byte * 4.0 * 0.4;
-            let mut fabric = FpgaFabric::hc2();
-            let mut eng = NfaEngine::place(&mut fabric, nfa.state_count()).unwrap();
-            let (done, energy) = eng.scan(SimTime::ZERO, &nfa, stats.bytes);
-            t.row(vec![
-                pattern.into(),
-                nfa.state_count().to_string(),
-                f(visits_per_byte),
-                f(sw_ns),
-                f(done.as_ns() / stats.bytes.max(1) as f64),
-                f(energy.as_j() * 1e12 / stats.bytes.max(1) as f64),
-            ]);
-        }
-        out.tables.push(("e11_nfa_matcher".into(), t));
+                // (a) Raw matcher: cost per byte as pattern nondeterminism
+                // grows. One part per pattern.
+                let patterns: Vec<&str> = chunk
+                    .iter()
+                    .filter(|&&part| part < PATTERNS.len())
+                    .map(|&part| PATTERNS[part])
+                    .collect();
+                if !patterns.is_empty() {
+                    let mut t = Table::new(&[
+                        "pattern",
+                        "nfa_states",
+                        "sw_state_visits_per_byte",
+                        "sw_ns_per_byte",
+                        "hw_ns_per_byte",
+                        "hw_energy_pJ_per_byte",
+                    ]);
+                    let input: Vec<u8> = (0..scale.pick(100_000, 20_000) as u32)
+                        .map(|i| b"abcdefgh"[(i % 8) as usize])
+                        .collect();
+                    for pattern in patterns {
+                        let nfa = Nfa::compile(pattern).unwrap();
+                        let (_, stats) = nfa.search_with_stats(&input);
+                        let visits_per_byte = stats.state_visits as f64 / stats.bytes.max(1) as f64;
+                        // Software: 4 instructions per state visit at 2.5 GHz.
+                        let sw_ns = visits_per_byte * 4.0 * 0.4;
+                        let mut fabric = FpgaFabric::hc2();
+                        let mut eng = NfaEngine::place(&mut fabric, nfa.state_count()).unwrap();
+                        let (done, energy) = eng.scan(SimTime::ZERO, &nfa, stats.bytes);
+                        t.row(vec![
+                            pattern.into(),
+                            nfa.state_count().to_string(),
+                            f(visits_per_byte),
+                            f(sw_ns),
+                            f(done.as_ns() / stats.bytes.max(1) as f64),
+                            f(energy.as_j() * 1e12 / stats.bytes.max(1) as f64),
+                        ]);
+                    }
+                    out.tables.push(("e11_nfa_matcher".into(), t));
+                }
+                if !chunk.contains(&PATTERNS.len()) {
+                    return out;
+                }
 
-        // (b) In the scanner: LIKE-style filter over a string column.
-        let rows = scale.pick(500_000, 100_000) as usize;
-        let mut data = Vec::with_capacity(rows * 24);
-        for i in 0..rows {
-            let mut tag = if i % 997 == 0 {
-                format!("evt{i:08}FATAL")
-            } else {
-                format!("evt{i:08}routine")
-            }
-            .into_bytes();
-            tag.resize(24, b'y');
-            data.extend_from_slice(&tag);
-        }
-        let mut table = ColumnarTable::new();
-        table.add_column("key", Column::I64((0..rows as i64).collect()));
-        table.add_column("tag", Column::FixedStr { width: 24, data });
-        let req = ScanRequest {
-            str_predicates: vec![StrPredicate::new(1, "FATAL|PANIC").unwrap()],
-            projection: vec![0],
-            ..Default::default()
-        };
-        let mut p_sw = Platform::hc2();
-        let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
-        let mut p_hw = Platform::hc2();
-        let hw = scan_enhanced(
-            &mut p_hw,
-            &table,
-            &req,
-            SimTime::ZERO,
-            &ScannerConfig::default(),
-        );
-        assert_eq!(sw.matches.len(), hw.matches.len());
-        let mut t = Table::new(&["path", "matches", "ms", "GB_per_s", "joules"]);
-        let bytes = (rows * 24) as f64;
-        for (name, o, p) in [("software", &sw, &p_sw), ("hardware", &hw, &p_hw)] {
-            t.row(vec![
-                name.into(),
-                o.matches.len().to_string(),
-                f(o.done.as_ms()),
-                f(bytes / o.done.as_secs() / 1e9),
-                f(p.energy.total().as_j()),
-            ]);
-        }
-        out.tables.push(("e11_regex_scan".into(), t));
-        out.notes.push(
-            "claims (§4): software cost grows with nondeterminism (state visits/byte); \
+                // (b) In the scanner: LIKE-style filter over a string column.
+                let rows = scale.pick(500_000, 100_000) as usize;
+                let mut data = Vec::with_capacity(rows * 24);
+                for i in 0..rows {
+                    let mut tag = if i % 997 == 0 {
+                        format!("evt{i:08}FATAL")
+                    } else {
+                        format!("evt{i:08}routine")
+                    }
+                    .into_bytes();
+                    tag.resize(24, b'y');
+                    data.extend_from_slice(&tag);
+                }
+                let mut table = ColumnarTable::new();
+                table.add_column("key", Column::I64((0..rows as i64).collect()));
+                table.add_column("tag", Column::FixedStr { width: 24, data });
+                let req = ScanRequest {
+                    str_predicates: vec![StrPredicate::new(1, "FATAL|PANIC").unwrap()],
+                    projection: vec![0],
+                    ..Default::default()
+                };
+                let mut p_sw = Platform::hc2();
+                let sw = scan_software(&mut p_sw, &table, &req, SimTime::ZERO);
+                let mut p_hw = Platform::hc2();
+                let hw = scan_enhanced(
+                    &mut p_hw,
+                    &table,
+                    &req,
+                    SimTime::ZERO,
+                    &ScannerConfig::default(),
+                );
+                assert_eq!(sw.matches.len(), hw.matches.len());
+                let mut t = Table::new(&["path", "matches", "ms", "GB_per_s", "joules"]);
+                let bytes = (rows * 24) as f64;
+                for (name, o, p) in [("software", &sw, &p_sw), ("hardware", &hw, &p_hw)] {
+                    t.row(vec![
+                        name.into(),
+                        o.matches.len().to_string(),
+                        f(o.done.as_ms()),
+                        f(bytes / o.done.as_secs() / 1e9),
+                        f(p.energy.total().as_j()),
+                    ]);
+                }
+                out.tables.push(("e11_regex_scan".into(), t));
+                out.notes.push(
+                    "claims (§4): software cost grows with nondeterminism (state visits/byte); \
              the skeleton-automata lanes are flat at 1 byte/cycle/lane regardless\n"
-                .into(),
-        );
-        out
-    });
+                        .into(),
+                );
+                out
+            })
+        })
+        .collect();
     Experiment {
         id: "e11",
         title: "### E11 — §4: NFA regex matching, software vs hardware\n",
-        cells: vec![cell],
+        cells: vec![Cell::sharded(shard_fns).cost(25)],
         assemble: Box::new(default_assemble),
     }
 }
@@ -1213,47 +1324,72 @@ fn e11(scale: Scale) -> Experiment {
 /// influential calibration constants? Sweeps CPU nJ/instruction and SG-DRAM
 /// nJ/access ±2x around the defaults and reports the bionic/software
 /// joules-per-txn ratio for each combination.
-fn e12(scale: Scale) -> Experiment {
-    let mut cells: Vec<CellFn> = Vec::new();
+fn e12(scale: Scale, shards: usize) -> Experiment {
+    let mut cells: Vec<Cell> = Vec::new();
     for cpu_nj in [1.0, 2.0, 4.0] {
         for sg_nj in [1.0, 2.0, 4.0] {
-            cells.push(Box::new(move || {
-                let mut joules = Vec::new();
-                for base in [EngineConfig::software(), EngineConfig::bionic()] {
-                    let cfg = EngineConfig {
-                        cpu_nj_per_instr: cpu_nj,
-                        sg_nj_per_access: sg_nj,
-                        ..base
-                    };
-                    let report = run_tatp(
-                        cfg,
-                        scale.subscribers(),
-                        scale.pick(8_000, 400),
-                        SimTime::from_us(2.0),
-                    );
-                    joules.push(report.joules_per_txn);
-                }
-                let ratio = joules[1] / joules[0];
-                let mut t = Table::new(&[
-                    "cpu_nj_per_instr",
-                    "sg_nj_per_access",
-                    "sw_joules_per_txn",
-                    "bionic_joules_per_txn",
-                    "ratio_bionic_over_sw",
-                ]);
-                t.row(vec![
-                    f(cpu_nj),
-                    f(sg_nj),
-                    f(joules[0]),
-                    f(joules[1]),
-                    f(ratio),
-                ]);
-                CellOut {
-                    tables: vec![("e12_sensitivity".into(), t)],
-                    values: vec![ratio],
-                    notes: vec![],
-                }
-            }));
+            // The software and bionic runs of one sensitivity point are
+            // fully independent engines, so they shard across workers;
+            // the merge reassembles the per-shard joules/txn values — in
+            // (software, bionic) order — into the row and ratio the
+            // serial loop used to produce.
+            let shard_fns: Vec<CellFn> = shard_items(vec![false, true], shards)
+                .into_iter()
+                .map(|chunk| -> CellFn {
+                    Box::new(move || {
+                        let mut values = Vec::new();
+                        for bionic in chunk {
+                            let base = if bionic {
+                                EngineConfig::bionic()
+                            } else {
+                                EngineConfig::software()
+                            };
+                            let cfg = EngineConfig {
+                                cpu_nj_per_instr: cpu_nj,
+                                sg_nj_per_access: sg_nj,
+                                ..base
+                            };
+                            let report = run_tatp(
+                                cfg,
+                                scale.subscribers(),
+                                scale.pick(8_000, 400),
+                                SimTime::from_us(2.0),
+                            );
+                            values.push(report.joules_per_txn);
+                        }
+                        CellOut {
+                            values,
+                            ..Default::default()
+                        }
+                    })
+                })
+                .collect();
+            cells.push(
+                Cell::sharded_merging(shard_fns, move |outs| {
+                    let joules: Vec<f64> = outs.into_iter().flat_map(|o| o.values).collect();
+                    let ratio = joules[1] / joules[0];
+                    let mut t = Table::new(&[
+                        "cpu_nj_per_instr",
+                        "sg_nj_per_access",
+                        "sw_joules_per_txn",
+                        "bionic_joules_per_txn",
+                        "ratio_bionic_over_sw",
+                    ]);
+                    t.row(vec![
+                        f(cpu_nj),
+                        f(sg_nj),
+                        f(joules[0]),
+                        f(joules[1]),
+                        f(ratio),
+                    ]);
+                    CellOut {
+                        tables: vec![("e12_sensitivity".into(), t)],
+                        values: vec![ratio],
+                        notes: vec![],
+                    }
+                })
+                .cost(12),
+            );
         }
     }
     Experiment {
@@ -1292,10 +1428,10 @@ fn e13(scale: Scale) -> Experiment {
         Scale::Full => &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
         Scale::Smoke => &[0, 25, 50, 75, 100],
     };
-    let cells: Vec<CellFn> = pressures
+    let cells: Vec<Cell> = pressures
         .iter()
-        .map(|&pct| -> CellFn {
-            Box::new(move || {
+        .map(|&pct| -> Cell {
+            Cell::one(move || {
                 let mut engine = Engine::new(EngineConfig::bionic());
                 let cfg = HybridConfig {
                     tatp: TatpConfig {
@@ -1348,6 +1484,7 @@ fn e13(scale: Scale) -> Experiment {
                     notes: vec![],
                 }
             })
+            .cost(50)
         })
         .collect();
     Experiment {
@@ -1490,12 +1627,12 @@ fn e14(scale: Scale) -> Experiment {
         Scale::Full => &[0, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000],
         Scale::Smoke => &[0, 500, 5_000, 10_000],
     };
-    let mut cells: Vec<CellFn> = rates_bp
+    let mut cells: Vec<Cell> = rates_bp
         .iter()
-        .map(|&bp| -> CellFn { Box::new(move || e14_cell(scale, "bionic", Some(bp))) })
+        .map(|&bp| -> Cell { Cell::one(move || e14_cell(scale, "bionic", Some(bp))).cost(30) })
         .collect();
     // The floor of the curve: no accelerators anywhere, scans on the host.
-    cells.push(Box::new(move || e14_cell(scale, "software", None)));
+    cells.push(Cell::one(move || e14_cell(scale, "software", None)).cost(30));
     Experiment {
         id: "e14",
         title: "### E14 — brownout: hardware fault rate vs hybrid throughput\n",
@@ -1562,10 +1699,29 @@ mod tests {
     #[test]
     fn every_id_builds() {
         for id in ids() {
-            assert!(build(id, Scale::Smoke).is_some(), "{id} must build");
-            assert!(build(id, Scale::Full).is_some(), "{id} must build");
+            assert!(build(id, Scale::Smoke, 1).is_some(), "{id} must build");
+            assert!(build(id, Scale::Full, 1).is_some(), "{id} must build");
         }
-        assert!(build("nope", Scale::Smoke).is_none());
+        assert!(build("nope", Scale::Smoke, 1).is_none());
+    }
+
+    /// Sharding is intra-cell: it may split a cell into more work units,
+    /// but the logical cell count every `assemble` step indexes into must
+    /// not move with `--shards` (that is what keeps `outs[i]` stable and
+    /// the CSVs byte-identical).
+    #[test]
+    fn shards_never_change_the_cell_count() {
+        for id in ids() {
+            let baseline = build(id, Scale::Smoke, 1).unwrap().cells.len();
+            for shards in [2usize, 3, 8, 64] {
+                let e = build(id, Scale::Smoke, shards).unwrap();
+                assert_eq!(
+                    e.cells.len(),
+                    baseline,
+                    "{id} cells moved at shards={shards}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1583,7 +1739,7 @@ mod tests {
     fn experiment_cell_counts_match_decomposition() {
         let counts: Vec<(&str, usize)> = ids()
             .map(|id| {
-                let e = build(id, Scale::Smoke).unwrap();
+                let e = build(id, Scale::Smoke, 1).unwrap();
                 (e.id, e.cells.len())
             })
             .collect();

@@ -3,19 +3,33 @@
 //! Every experiment is decomposed into independent **cells** — pure
 //! `FnOnce() -> CellOut` closures closed over nothing but their own
 //! configuration (each cell builds its own engine, generators, and seeds).
-//! A work-queue runner executes cells on `jobs` worker threads; results are
-//! collected **by cell index** and every table row, CSV byte, and printed
-//! line is produced by the experiment's `assemble` step on the main thread
-//! in fixed experiment/cell order. Consequently the contents of
-//! `results/*.csv` are byte-identical for every `jobs` value — parallelism
-//! only changes wall-clock time (reported separately in
+//! A cell may additionally be split into **shards**: sub-closures covering
+//! disjoint slices of the cell's parameter/seed range whose outputs are
+//! recombined by a deterministic merge (by default, concatenation in shard
+//! order). A work-queue runner executes every shard on `jobs` worker
+//! threads; results are collected **by (experiment, cell, shard) index**
+//! and every table row, CSV byte, and printed line is produced by the
+//! experiment's `assemble` step on the main thread in fixed
+//! experiment/cell order. Consequently the contents of `results/*.csv`
+//! are byte-identical for every `jobs` **and** `--shards` value —
+//! parallelism only changes wall-clock time (reported separately in
 //! `harness_timing.csv`, the one file that legitimately differs run to
 //! run).
 //!
-//! Determinism rules for cells (see DESIGN.md):
+//! Work units are enqueued in descending [`Cell::cost`] order (stable on
+//! ties), so the long E8/E13 measurement cells start immediately instead
+//! of queueing behind dozens of cheap cells and serializing the makespan
+//! as a straggler tail. The schedule is deterministic and, because
+//! collection is by index, it cannot affect output bytes.
+//!
+//! Determinism rules for cells and shards (see DESIGN.md):
 //! 1. no printing and no file I/O inside a cell;
-//! 2. no shared mutable state — all RNG seeding is per-cell and fixed;
-//! 3. all cross-cell derivation (baselines, ratios, claims) happens in
+//! 2. no shared mutable state — all RNG seeding is per-shard and fixed;
+//! 3. a sharded cell's decomposition must be exact: the shard outputs,
+//!    merged in shard order, must equal what one closure computing the
+//!    whole range would return (this is what keeps CSVs byte-identical
+//!    at any `--shards` value);
+//! 4. all cross-cell derivation (baselines, ratios, claims) happens in
 //!    `assemble` from the collected `values`.
 
 use crate::Table;
@@ -49,6 +63,84 @@ impl CellOut {
 /// A unit of parallel work.
 pub type CellFn = Box<dyn FnOnce() -> CellOut + Send>;
 
+/// Deterministic recombination of per-shard outputs into one cell output.
+pub type MergeFn = Box<dyn FnOnce(Vec<CellOut>) -> CellOut + Send>;
+
+/// One experiment cell: at least one shard closure, an optional custom
+/// shard merge (`None` ⇒ [`concat_outs`]), and a relative cost hint used
+/// only to order the work queue.
+pub struct Cell {
+    shards: Vec<CellFn>,
+    merge: Option<MergeFn>,
+    cost: u64,
+}
+
+impl Cell {
+    /// The common case: one closure, no sharding.
+    pub fn one(f: impl FnOnce() -> CellOut + Send + 'static) -> Self {
+        Cell {
+            shards: vec![Box::new(f)],
+            merge: None,
+            cost: 1,
+        }
+    }
+
+    /// A cell split into shard closures recombined by [`concat_outs`] —
+    /// correct whenever each shard emits the rows/values/notes its slice
+    /// of the range would have produced, in range order.
+    pub fn sharded(shards: Vec<CellFn>) -> Self {
+        assert!(!shards.is_empty(), "a cell needs at least one shard");
+        Cell {
+            shards,
+            merge: None,
+            cost: 1,
+        }
+    }
+
+    /// A sharded cell with a custom deterministic merge (e.g. combining
+    /// per-shard rates into one row, or per-shard `Histogram`s into one
+    /// `Summary`).
+    pub fn sharded_merging(
+        shards: Vec<CellFn>,
+        merge: impl FnOnce(Vec<CellOut>) -> CellOut + Send + 'static,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a cell needs at least one shard");
+        Cell {
+            shards,
+            merge: Some(Box::new(merge)),
+            cost: 1,
+        }
+    }
+
+    /// Attach a scheduling cost hint (arbitrary relative units; higher
+    /// runs earlier). Purely a wall-clock lever — never affects output.
+    pub fn cost(mut self, cost: u64) -> Self {
+        self.cost = cost.max(1);
+        self
+    }
+}
+
+/// Split `items` into at most `shards` contiguous, near-equal chunks,
+/// preserving order. `shards == 1` (or a single item) yields one chunk, so
+/// a sharded decomposition built on this degrades to the unsharded code
+/// path exactly.
+pub fn shard_items<T>(items: Vec<T>, shards: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let k = shards.max(1).min(n.max(1));
+    let (base, extra) = (n / k, n % k);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(k);
+    let mut it = items.into_iter();
+    for i in 0..k {
+        let take = base + usize::from(i < extra);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out.retain(|c| !c.is_empty());
+    if out.is_empty() {
+        out.push(Vec::new());
+    }
+    out
+}
+
 /// Final, serial step of an experiment: receives every cell's output in
 /// cell-index order and performs all printing and CSV writing.
 pub type AssembleFn = Box<dyn FnOnce(Vec<CellOut>, &Path) + Send>;
@@ -56,12 +148,12 @@ pub type AssembleFn = Box<dyn FnOnce(Vec<CellOut>, &Path) + Send>;
 /// One experiment: an id, a banner line, parallel cells, and the serial
 /// assembly step.
 pub struct Experiment {
-    /// Short id (`f1` … `e12`).
+    /// Short id (`f1` … `e14`).
     pub id: &'static str,
     /// Banner printed before the experiment's output.
     pub title: &'static str,
     /// Independent units of work.
-    pub cells: Vec<CellFn>,
+    pub cells: Vec<Cell>,
     /// Deterministic merge + print + save step.
     pub assemble: AssembleFn,
 }
@@ -84,6 +176,33 @@ pub fn merge_tables(outs: &[CellOut]) -> Vec<(String, Table)> {
     merged
 }
 
+/// The default shard merge: concatenate tables (fragment-wise, like
+/// [`merge_tables`]), values, and notes in shard order. With shards
+/// emitting their slice of the range in order, this reconstructs exactly
+/// the unsharded cell's output.
+pub fn concat_outs(shards: Vec<CellOut>) -> CellOut {
+    // Fold every fragment (including the first shard's) into a fresh
+    // accumulator so duplicate-named fragments *within* one shard are
+    // canonicalized the same way as fragments across shards — otherwise a
+    // later shard's rows could extend the first duplicate and jump ahead
+    // of the first shard's remaining fragments.
+    let mut acc = CellOut::default();
+    for s in shards {
+        for (name, frag) in s.tables {
+            match acc.tables.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, t)) => {
+                    assert_eq!(t.headers, frag.headers, "shard headers differ: {name}");
+                    t.rows.extend(frag.rows);
+                }
+                None => acc.tables.push((name, frag)),
+            }
+        }
+        acc.values.extend(s.values);
+        acc.notes.extend(s.notes);
+    }
+    acc
+}
+
 /// The assembly step most experiments need: merge table fragments, save
 /// and print each table, then print every note in cell order.
 pub fn default_assemble(outs: Vec<CellOut>, results_dir: &Path) {
@@ -102,11 +221,11 @@ pub fn default_assemble(outs: Vec<CellOut>, results_dir: &Path) {
 pub struct ExperimentTiming {
     /// Experiment id.
     pub id: &'static str,
-    /// Number of cells.
+    /// Number of scheduled work units (cell shards).
     pub cells: usize,
-    /// Sum of per-cell execution times (the serial cost).
+    /// Sum of per-unit execution times (the serial cost).
     pub serial_seconds: f64,
-    /// First-cell-start to last-cell-end (the parallel cost).
+    /// First-unit-start to last-unit-end (the parallel cost).
     pub makespan_seconds: f64,
 }
 
@@ -182,76 +301,115 @@ pub fn run(experiments: Vec<Experiment>, jobs: usize, results_dir: &Path) -> Run
     struct Done {
         exp: usize,
         cell: usize,
+        shard: usize,
         out: CellOut,
         started: f64,
         finished: f64,
     }
 
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, usize, CellFn)>();
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<Done>();
-
+    // Flatten cells into shard work units; remember each cell's shard
+    // count and merge so the outputs can be recombined afterwards.
     let mut assembles = Vec::with_capacity(experiments.len());
-    let mut total_cells = 0usize;
+    let mut merges: Vec<Vec<Option<MergeFn>>> = Vec::new();
+    let mut units: Vec<(u64, usize, usize, usize, CellFn)> = Vec::new();
+    let mut outs: Vec<Vec<Vec<Option<CellOut>>>> = Vec::new();
     for (ei, exp) in experiments.into_iter().enumerate() {
+        let mut cell_merges = Vec::with_capacity(exp.cells.len());
+        let mut cell_slots = Vec::with_capacity(exp.cells.len());
         for (ci, cell) in exp.cells.into_iter().enumerate() {
-            if work_tx.send((ei, ci, cell)).is_err() {
-                unreachable!("work queue closed before workers started");
+            cell_slots.push((0..cell.shards.len()).map(|_| None).collect::<Vec<_>>());
+            cell_merges.push(cell.merge);
+            for (si, work) in cell.shards.into_iter().enumerate() {
+                units.push((cell.cost, ei, ci, si, work));
             }
-            total_cells += 1;
         }
+        merges.push(cell_merges);
+        outs.push(cell_slots);
         assembles.push((exp.id, exp.title, exp.assemble));
+    }
+    let total_units = units.len();
+
+    // Longest-expected-first schedule: stable sort keeps ties in
+    // (experiment, cell, shard) order, so the queue is deterministic.
+    units.sort_by_key(|u| std::cmp::Reverse(u.0));
+
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, usize, usize, CellFn)>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<Done>();
+    for (_, ei, ci, si, work) in units {
+        if work_tx.send((ei, ci, si, work)).is_err() {
+            unreachable!("work queue closed before workers started");
+        }
     }
     drop(work_tx);
 
-    let mut outs: Vec<Vec<Option<CellOut>>> = Vec::new();
     let mut timing: Vec<ExperimentTiming> = assembles
         .iter()
-        .map(|(id, _, _)| {
-            outs.push(Vec::new());
-            ExperimentTiming {
-                id,
-                cells: 0,
-                serial_seconds: 0.0,
-                makespan_seconds: 0.0,
-            }
+        .map(|(id, _, _)| ExperimentTiming {
+            id,
+            cells: 0,
+            serial_seconds: 0.0,
+            makespan_seconds: 0.0,
         })
         .collect();
     let mut spans: Vec<(f64, f64)> = vec![(f64::MAX, 0.0); assembles.len()];
 
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let work_rx = work_rx.clone();
-            let done_tx = done_tx.clone();
-            scope.spawn(move || {
-                while let Ok((exp, cell, work)) = work_rx.recv() {
-                    let started = epoch.elapsed().as_secs_f64();
-                    let out = work();
-                    let finished = epoch.elapsed().as_secs_f64();
-                    let _ = done_tx.send(Done {
-                        exp,
-                        cell,
-                        out,
-                        started,
-                        finished,
-                    });
-                }
-            });
-        }
+    let mut record = |d: Done, outs: &mut Vec<Vec<Vec<Option<CellOut>>>>| {
+        outs[d.exp][d.cell][d.shard] = Some(d.out);
+        timing[d.exp].cells += 1;
+        timing[d.exp].serial_seconds += d.finished - d.started;
+        spans[d.exp].0 = spans[d.exp].0.min(d.started);
+        spans[d.exp].1 = spans[d.exp].1.max(d.finished);
+    };
+
+    if jobs == 1 {
+        // Single worker: run every unit inline on this thread, in queue
+        // order. Same results by construction, no thread machinery.
         drop(done_tx);
-        drop(work_rx);
-        for _ in 0..total_cells {
-            let d = done_rx.recv().expect("worker died with work pending");
-            let slot = &mut outs[d.exp];
-            if slot.len() <= d.cell {
-                slot.resize_with(d.cell + 1, || None);
-            }
-            slot[d.cell] = Some(d.out);
-            timing[d.exp].cells += 1;
-            timing[d.exp].serial_seconds += d.finished - d.started;
-            spans[d.exp].0 = spans[d.exp].0.min(d.started);
-            spans[d.exp].1 = spans[d.exp].1.max(d.finished);
+        while let Ok((exp, cell, shard, work)) = work_rx.try_recv() {
+            let started = epoch.elapsed().as_secs_f64();
+            let out = work();
+            let finished = epoch.elapsed().as_secs_f64();
+            record(
+                Done {
+                    exp,
+                    cell,
+                    shard,
+                    out,
+                    started,
+                    finished,
+                },
+                &mut outs,
+            );
         }
-    });
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((exp, cell, shard, work)) = work_rx.recv() {
+                        let started = epoch.elapsed().as_secs_f64();
+                        let out = work();
+                        let finished = epoch.elapsed().as_secs_f64();
+                        let _ = done_tx.send(Done {
+                            exp,
+                            cell,
+                            shard,
+                            out,
+                            started,
+                            finished,
+                        });
+                    }
+                });
+            }
+            drop(done_tx);
+            drop(work_rx);
+            for _ in 0..total_units {
+                let d = done_rx.recv().expect("worker died with work pending");
+                record(d, &mut outs);
+            }
+        });
+    }
     let wall_seconds = epoch.elapsed().as_secs_f64();
 
     for (t, (lo, hi)) in timing.iter_mut().zip(&spans) {
@@ -260,12 +418,24 @@ pub fn run(experiments: Vec<Experiment>, jobs: usize, results_dir: &Path) -> Run
         }
     }
 
-    // Deterministic serial assembly, in experiment order.
-    for ((id, title, assemble), cell_outs) in assembles.into_iter().zip(outs) {
+    // Deterministic serial shard-merge + assembly, in experiment order.
+    for (((id, title, assemble), cell_outs), cell_merges) in
+        assembles.into_iter().zip(outs).zip(merges)
+    {
         println!("{title}");
         let collected: Vec<CellOut> = cell_outs
             .into_iter()
-            .map(|o| o.unwrap_or_else(|| panic!("missing cell output for {id}")))
+            .zip(cell_merges)
+            .map(|(shard_outs, merge)| {
+                let shards: Vec<CellOut> = shard_outs
+                    .into_iter()
+                    .map(|o| o.unwrap_or_else(|| panic!("missing shard output for {id}")))
+                    .collect();
+                match merge {
+                    Some(m) => m(shards),
+                    None => concat_outs(shards),
+                }
+            })
             .collect();
         assemble(collected, results_dir);
     }
@@ -282,9 +452,11 @@ pub fn run(experiments: Vec<Experiment>, jobs: usize, results_dir: &Path) -> Run
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bionic_sim::stats::Histogram;
+    use bionic_sim::time::SimTime;
 
-    fn toy(idx: usize) -> CellFn {
-        Box::new(move || {
+    fn toy(idx: usize) -> Cell {
+        Cell::one(move || {
             let mut t = Table::new(&["i", "sq"]);
             t.row(vec![idx.to_string(), (idx * idx).to_string()]);
             CellOut {
@@ -293,6 +465,7 @@ mod tests {
                 notes: vec![],
             }
         })
+        .cost(idx as u64 % 3 + 1)
     }
 
     fn toy_experiment() -> Experiment {
@@ -319,6 +492,107 @@ mod tests {
         }
         assert_eq!(csvs[0], csvs[1], "CSV bytes must not depend on --jobs");
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A sharded experiment over a seed range: each shard simulates its
+    /// slice of seeds; the cell merge records each shard's samples into a
+    /// `Histogram`, folds the per-shard histograms together in shard order
+    /// via `Histogram::merge`, and reports the pooled `Summary`. The
+    /// resulting CSV must be byte-identical for any shards × jobs
+    /// combination — the core guarantee the figure suite's `--shards`
+    /// knob relies on.
+    fn seed_range_experiment(shards: usize) -> Experiment {
+        const SEEDS: u64 = 1000;
+        let chunks = shard_items((0..SEEDS).collect(), shards);
+        let shard_fns: Vec<CellFn> = chunks
+            .into_iter()
+            .map(|seeds| -> CellFn {
+                Box::new(move || CellOut {
+                    // Deterministic pseudo-latency per seed; exact as f64.
+                    values: seeds.iter().map(|s| (s * s % 7919 + 1) as f64).collect(),
+                    ..Default::default()
+                })
+            })
+            .collect();
+        Experiment {
+            id: "seeds",
+            title: "### seeds",
+            cells: vec![Cell::sharded_merging(shard_fns, |outs| {
+                let mut pooled = Histogram::new();
+                for o in &outs {
+                    let mut h = Histogram::new();
+                    for &ps in &o.values {
+                        h.record(SimTime::from_ps(ps as u64));
+                    }
+                    pooled.merge(&h);
+                }
+                let s = pooled.summary();
+                let mut t = Table::new(&["count", "mean_ps", "p50_ps", "p99_ps", "max_ps"]);
+                t.row(vec![
+                    s.count.to_string(),
+                    s.mean.as_ps().to_string(),
+                    s.p50.as_ps().to_string(),
+                    s.p99.as_ps().to_string(),
+                    s.max.as_ps().to_string(),
+                ]);
+                CellOut::table("seed_summary", t)
+            })],
+            assemble: Box::new(default_assemble),
+        }
+    }
+
+    #[test]
+    fn sharded_seed_range_is_byte_identical_for_any_shards_and_jobs() {
+        let base = std::env::temp_dir().join(format!("bionic_shard_test_{}", std::process::id()));
+        let mut csvs = Vec::new();
+        for (i, (shards, jobs)) in [(1usize, 1usize), (2, 4), (8, 4), (1000, 2), (5000, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            let dir = base.join(format!("v{i}"));
+            run(vec![seed_range_experiment(shards)], jobs, &dir);
+            csvs.push(std::fs::read(dir.join("seed_summary.csv")).expect("csv written"));
+        }
+        for c in &csvs[1..] {
+            assert_eq!(&csvs[0], c, "CSV bytes must not depend on shards or jobs");
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn concat_outs_reconstructs_the_unsharded_output() {
+        let row = |i: usize| {
+            let mut t = Table::new(&["i"]);
+            t.row(vec![i.to_string()]);
+            CellOut {
+                tables: vec![("x".into(), t)],
+                values: vec![i as f64],
+                notes: vec![format!("n{i}")],
+            }
+        };
+        let merged = concat_outs(vec![row(0), row(1), row(2)]);
+        assert_eq!(merged.tables.len(), 1);
+        assert_eq!(merged.tables[0].1.rows.len(), 3);
+        assert_eq!(merged.tables[0].1.rows[1][0], "1");
+        assert_eq!(merged.values, vec![0.0, 1.0, 2.0]);
+        assert_eq!(merged.notes, vec!["n0", "n1", "n2"]);
+    }
+
+    #[test]
+    fn shard_items_is_an_exact_ordered_partition() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 8, 200] {
+                let chunks = shard_items((0..n).collect::<Vec<_>>(), shards);
+                let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+                assert!(chunks.len() <= shards.max(1));
+                if n > 0 {
+                    let max = chunks.iter().map(Vec::len).max().unwrap();
+                    let min = chunks.iter().map(Vec::len).min().unwrap();
+                    assert!(max - min <= 1, "near-equal chunks: n={n} shards={shards}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,11 @@
 /// model of §5.3: integer compares are one operation, string compares cost
 /// one per 8-byte chunk.
 pub trait TreeKey: Ord + Clone {
+    /// `Some(n)` when every key of this type encodes to exactly `n` bytes.
+    /// Lets byte accounting (`BTree::approx_bytes`) run per-node instead of
+    /// per-key; the value must agree with [`TreeKey::encoded_len`].
+    const FIXED_ENCODED_LEN: Option<usize> = None;
+
     /// Encoded size in bytes when stored in a node.
     fn encoded_len(&self) -> usize;
 
@@ -21,6 +26,8 @@ pub trait TreeKey: Ord + Clone {
 }
 
 impl TreeKey for i64 {
+    const FIXED_ENCODED_LEN: Option<usize> = Some(8);
+
     fn encoded_len(&self) -> usize {
         8
     }
@@ -31,6 +38,8 @@ impl TreeKey for i64 {
 }
 
 impl TreeKey for u64 {
+    const FIXED_ENCODED_LEN: Option<usize> = Some(8);
+
     fn encoded_len(&self) -> usize {
         8
     }

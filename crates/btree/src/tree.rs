@@ -106,6 +106,10 @@ pub struct BTree<K> {
     height: u32,
     order: usize,
     len: usize,
+    /// Structural mutation counter: bumped by every `&mut self` entry
+    /// point, so callers can cache derived quantities (e.g. byte totals)
+    /// and recompute only when the tree has actually changed.
+    version: u64,
 }
 
 fn bsearch_steps(n: usize) -> u32 {
@@ -125,6 +129,7 @@ impl<K: TreeKey> BTree<K> {
             height: 1,
             order,
             len: 0,
+            version: 0,
         };
         t.root = t.alloc(Node::Leaf {
             keys: Vec::new(),
@@ -170,19 +175,25 @@ impl<K: TreeKey> BTree<K> {
     /// Approximate resident bytes of the index (key bytes + payload +
     /// child pointers) — what must fit in FPGA memory for hardware probes.
     pub fn approx_bytes(&self) -> usize {
+        let key_bytes = |keys: &[K]| match K::FIXED_ENCODED_LEN {
+            Some(n) => keys.len() * n,
+            None => keys.iter().map(TreeKey::encoded_len).sum::<usize>(),
+        };
         let mut total = 0;
         for n in &self.nodes {
             total += match n {
-                Node::Inner { keys, children } => {
-                    keys.iter().map(TreeKey::encoded_len).sum::<usize>() + children.len() * 4
-                }
-                Node::Leaf { keys, vals, .. } => {
-                    keys.iter().map(TreeKey::encoded_len).sum::<usize>() + vals.len() * 8 + 4
-                }
+                Node::Inner { keys, children } => key_bytes(keys) + children.len() * 4,
+                Node::Leaf { keys, vals, .. } => key_bytes(keys) + vals.len() * 8 + 4,
                 Node::Free(_) => 0,
             };
         }
         total
+    }
+
+    /// Structural mutation counter (see the field docs): equal values
+    /// guarantee the tree has not changed since the counter was read.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     fn min_keys(&self) -> usize {
@@ -242,6 +253,7 @@ impl<K: TreeKey> BTree<K> {
 
     /// Insert or replace; returns the previous value if any.
     pub fn insert(&mut self, k: K, v: u64) -> (Option<u64>, Footprint) {
+        self.version += 1;
         let mut fp = Footprint::default();
         let root = self.root;
         match self.insert_rec(root, k, v, &mut fp) {
@@ -375,6 +387,7 @@ impl<K: TreeKey> BTree<K> {
 
     /// Remove a key; returns its value if present.
     pub fn remove(&mut self, k: &K) -> (Option<u64>, Footprint) {
+        self.version += 1;
         let mut fp = Footprint::default();
         let root = self.root;
         let (old, _under) = self.remove_rec(root, k, &mut fp);
@@ -655,6 +668,51 @@ impl<K: TreeKey> BTree<K> {
         (out, fp)
     }
 
+    /// [`BTree::batch_get`] without materializing the results: same sort,
+    /// same descent, and an identical [`Footprint`] — for callers (the PALM
+    /// batch planner) that only price the shared descent. `sort_unstable`
+    /// is safe here because equal keys are interchangeable.
+    pub fn batch_footprint(&self, keys: &mut [K]) -> Footprint {
+        keys.sort_unstable();
+        let mut fp = Footprint::default();
+        if keys.is_empty() {
+            return fp;
+        }
+        self.batch_fp_rec(self.root, keys, &mut fp);
+        fp
+    }
+
+    fn batch_fp_rec(&self, id: u32, keys: &[K], fp: &mut Footprint) {
+        match &self.nodes[id as usize] {
+            Node::Leaf { keys: lk, .. } => {
+                fp.leaves_visited += 1;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 && keys[i - 1] == *k {
+                        continue;
+                    }
+                    fp.comparisons += Self::compare_cost_of(lk, k);
+                }
+            }
+            Node::Inner { keys: ik, children } => {
+                fp.inner_visited += 1;
+                let mut start = 0usize;
+                while start < keys.len() {
+                    fp.comparisons += Self::compare_cost_of(ik, &keys[start]);
+                    let child_idx = Self::locate_child(ik, &keys[start]);
+                    let end = if child_idx == ik.len() {
+                        keys.len()
+                    } else {
+                        let sep = &ik[child_idx];
+                        start + keys[start..].partition_point(|k| k < sep)
+                    };
+                    self.batch_fp_rec(children[child_idx], &keys[start..end], fp);
+                    start = end;
+                }
+            }
+            Node::Free(_) => unreachable!("descended into free node"),
+        }
+    }
+
     fn batch_rec(&self, id: u32, keys: &[K], out: &mut Vec<(K, Option<u64>)>, fp: &mut Footprint) {
         match &self.nodes[id as usize] {
             Node::Leaf { keys: lk, vals, .. } => {
@@ -901,7 +959,9 @@ impl<K: TreeKey> BTree<K> {
     pub fn reorganize(&mut self, fill: f64) {
         let mut pairs = Vec::with_capacity(self.len);
         self.scan_all(|k, v| pairs.push((k.clone(), v)));
+        let version = self.version + 1;
         *self = Self::bulk_load(pairs, self.order, fill);
+        self.version = version;
     }
 
     /// Verify every structural invariant; returns a description of the
@@ -1323,6 +1383,24 @@ mod tests {
             assert!(w[0].0 < w[1].0);
         }
         assert!(fp.nodes_visited() > 0);
+    }
+
+    #[test]
+    fn batch_footprint_matches_batch_get() {
+        let mut t = BTree::with_order(16);
+        for i in 0..5_000i64 {
+            t.insert(i * 2, i as u64);
+        }
+        for dup_stride in [1i64, 7, 100] {
+            let mut keys: Vec<i64> = (0..400).map(|i| i * 17 % dup_stride.max(40)).collect();
+            let mut keys2 = keys.clone();
+            let (_, fp) = t.batch_get(&mut keys);
+            let fp2 = t.batch_footprint(&mut keys2);
+            assert_eq!(fp, fp2, "dup_stride={dup_stride}");
+            assert_eq!(keys, keys2, "both sort the batch");
+        }
+        let mut empty: Vec<i64> = vec![];
+        assert_eq!(t.batch_footprint(&mut empty), t.batch_get(&mut []).1);
     }
 
     #[test]

@@ -195,6 +195,8 @@ pub struct Engine {
     /// back (constructed with the same parameters as the `Latched` path,
     /// so fallback pricing matches the software baseline).
     pub(crate) log_fallback: LatchedLog,
+    /// Reusable hot-path buffers (see [`crate::exec::ExecScratch`]).
+    pub(crate) scratch: crate::exec::ExecScratch,
 }
 
 impl Engine {
@@ -267,6 +269,7 @@ impl Engine {
                 .as_ref()
                 .map(|fc| FaultLayer::new(fc, cfg.seed)),
             log_fallback: LatchedLog::new(sw_log_params),
+            scratch: crate::exec::ExecScratch::default(),
             platform: fabric_platform,
             cfg,
         }
@@ -607,7 +610,7 @@ impl Engine {
         &self.log
     }
 
-    /// The next transaction id [`crate::exec::Engine::submit`] will assign.
+    /// The next transaction id [`Engine::submit`] will assign.
     pub fn next_txn_id(&self) -> TxnId {
         self.next_txn
     }

@@ -23,7 +23,7 @@ use bionic_sim::stats::Summary;
 use bionic_sim::time::SimTime;
 use bionic_storage::page::RecordId;
 use bionic_storage::slotted::SlottedPage;
-use bionic_wal::record::{LogBody, Lsn, TxnId};
+use bionic_wal::record::{LogBodyRef, Lsn, TxnId};
 use bionic_wal::timing::LogInsertModel;
 
 /// Why a transaction rolled back.
@@ -81,11 +81,31 @@ impl TxnOutcome {
 
 /// Volatile-index compensation for runtime aborts (the WAL undoes heap
 /// state; in-memory indexes and overlays are fixed by replaying these).
+#[derive(Debug)]
 enum IndexUndo {
     Remove { table: u32, key: i64 },
     Reinsert { table: u32, key: i64, rid: u64 },
     SecondaryRemove { table: u32, skey: i64 },
     SecondaryReinsert { table: u32, skey: i64, pkey: i64 },
+}
+
+/// Reusable scratch buffers for the transaction hot path. One instance
+/// lives on the [`Engine`]; [`Engine::submit`] and the batch planner check
+/// buffers out with `mem::take`, use them, and put them back, so the
+/// steady-state loop allocates nothing per transaction — buffers grow to
+/// the workload's high-water mark once and stay there.
+#[derive(Debug, Default)]
+pub(crate) struct ExecScratch {
+    undo: Vec<IndexUndo>,
+    written_tables: Vec<u32>,
+    op_marks: Vec<(&'static str, &'static str, SimTime, SimTime)>,
+    completions: Vec<SimTime>,
+    rec_before: Vec<u8>,
+    rec_after: Vec<u8>,
+    range_rids: Vec<u64>,
+    /// Batch-planner groups, kept sorted by table id so iteration matches
+    /// the `BTreeMap` order the planner used before buffer reuse.
+    plan_groups: Vec<(u32, Vec<i64>)>,
 }
 
 /// Cost of one op: agent-occupying CPU time plus asynchronous tail.
@@ -482,11 +502,11 @@ impl Engine {
     fn log_write(
         &mut self,
         txn: TxnId,
-        body: LogBody,
+        body: LogBodyRef<'_>,
         agent: usize,
         now: SimTime,
     ) -> (SimTime, SimTime, Lsn) {
-        let (rec, bytes) = self.log.append(txn, body);
+        let (lsn, bytes) = self.log.append_ref(txn, body);
         if let Some(f) = self.fuse.as_mut() {
             if !f.blown {
                 f.remaining = f.remaining.saturating_sub(1);
@@ -520,7 +540,7 @@ impl Engine {
         }
         let cpu = gate + self.cpu_time(Category::Log, timing.cpu_busy);
         self.platform.charge_fpga(timing.energy);
-        (cpu, timing.buffered_at, rec.lsn)
+        (cpu, timing.buffered_at, lsn)
     }
 
     fn stamp_page(&mut self, rid: RecordId, lsn: Lsn) {
@@ -652,7 +672,7 @@ impl Engine {
         let ensure_begin =
             |eng: &mut Engine, cost: &mut OpCost, logged_begin: &mut bool, t: SimTime| {
                 if !*logged_begin {
-                    let (cpu, _, _) = eng.log_write(txn, LogBody::Begin, agent, t);
+                    let (cpu, _, _) = eng.log_write(txn, LogBodyRef::Begin, agent, t);
                     cost.cpu += cpu;
                     *logged_begin = true;
                 }
@@ -676,11 +696,11 @@ impl Engine {
                         cost.add(c);
                         if let Some(rid) = rid {
                             let rid = RecordId::from_u64(rid);
-                            let (rec, hfp) = {
+                            let (len, hfp) = {
                                 let t = &mut self.tables[*table as usize];
-                                t.heap.get(&mut self.pool, rid)
+                                t.heap.record_len(&mut self.pool, rid)
                             };
-                            let bytes = rec.map_or(0, |r| r.len());
+                            let bytes = len.unwrap_or(0);
                             let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
                             cost.add(c);
                         }
@@ -696,11 +716,11 @@ impl Engine {
                 match rid {
                     Some(rid) => {
                         let rid = RecordId::from_u64(rid);
-                        let (rec, hfp) = {
+                        let (len, hfp) = {
                             let t = &mut self.tables[*table as usize];
-                            t.heap.get(&mut self.pool, rid)
+                            t.heap.record_len(&mut self.pool, rid)
                         };
-                        let bytes = rec.map_or(0, |r| r.len());
+                        let bytes = len.unwrap_or(0);
                         let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
                         cost.add(c);
                         Ok(())
@@ -715,7 +735,8 @@ impl Engine {
                 hi,
                 limit,
             } => {
-                let mut rids: Vec<u64> = Vec::new();
+                let mut rids = std::mem::take(&mut self.scratch.range_rids);
+                rids.clear();
                 let fp = {
                     let t = &self.tables[*table as usize];
                     t.index.range(lo, hi, |_, v| {
@@ -740,16 +761,17 @@ impl Engine {
                     cost.cpu +=
                         self.sw_work(Category::Btree, 4 * rids.len() as u64, 0, AccessClass::Hot);
                 }
-                for rid in rids {
+                for &rid in &rids {
                     let rid = RecordId::from_u64(rid);
-                    let (rec, hfp) = {
+                    let (len, hfp) = {
                         let t = &mut self.tables[*table as usize];
-                        t.heap.get(&mut self.pool, rid)
+                        t.heap.record_len(&mut self.pool, rid)
                     };
-                    let bytes = rec.map_or(0, |r| r.len());
+                    let bytes = len.unwrap_or(0);
                     let c = self.record_read_cost(bytes, hfp.pool_misses > 0, now);
                     cost.add(c);
                 }
+                self.scratch.range_rids = rids;
                 Ok(())
             }
             Op::Update { table, key, patch } => {
@@ -759,18 +781,22 @@ impl Engine {
                     return (cost, Err(AbortReason::MissingKey));
                 };
                 let rid = RecordId::from_u64(rid_u);
-                let (before, hfp) = {
+                let mut before = std::mem::take(&mut self.scratch.rec_before);
+                let mut after = std::mem::take(&mut self.scratch.rec_after);
+                let (blen, hfp) = {
                     let t = &mut self.tables[*table as usize];
-                    t.heap.get(&mut self.pool, rid)
+                    t.heap.get_into(&mut self.pool, rid, &mut before)
                 };
-                let before = before.expect("index points at live record");
-                let c = self.record_read_cost(before.len(), hfp.pool_misses > 0, now);
+                let blen = blen.expect("index points at live record");
+                let c = self.record_read_cost(blen, hfp.pool_misses > 0, now);
                 cost.add(c);
-                let mut after = before.clone();
+                after.clear();
+                after.extend_from_slice(&before);
                 if patch.apply(&mut after).is_err() {
+                    self.scratch.rec_before = before;
+                    self.scratch.rec_after = after;
                     return (cost, Err(AbortReason::PatchFailed));
                 }
-                let before_for_secondary = before.clone();
                 ensure_begin(self, &mut cost, logged_begin, now);
                 let (new_rid, _) = {
                     let t = &mut self.tables[*table as usize];
@@ -783,10 +809,10 @@ impl Engine {
                     // Record moved: log as delete+insert, repoint the index.
                     let (cpu, _, lsn1) = self.log_write(
                         txn,
-                        LogBody::Delete {
+                        LogBodyRef::Delete {
                             table: *table,
                             rid: rid_u,
-                            before: before.clone(),
+                            before: &before,
                         },
                         agent,
                         now,
@@ -795,10 +821,10 @@ impl Engine {
                     self.stamp_page(rid, lsn1);
                     let (cpu, _, lsn2) = self.log_write(
                         txn,
-                        LogBody::Insert {
+                        LogBodyRef::Insert {
                             table: *table,
                             rid: new_rid.to_u64(),
-                            after: after.clone(),
+                            after: &after,
                         },
                         agent,
                         now,
@@ -818,11 +844,11 @@ impl Engine {
                 } else {
                     let (cpu, _, lsn) = self.log_write(
                         txn,
-                        LogBody::Update {
+                        LogBodyRef::Update {
                             table: *table,
                             rid: rid_u,
-                            before,
-                            after: after.clone(),
+                            before: &before,
+                            after: &after,
                         },
                         agent,
                         now,
@@ -837,15 +863,11 @@ impl Engine {
                     let c = self.overlay_write_cost(now);
                     cost.add(c);
                 }
-                let c = self.maintain_secondary(
-                    *table,
-                    *key,
-                    Some(&before_for_secondary),
-                    Some(&after),
-                    now,
-                    undo,
-                );
+                let c =
+                    self.maintain_secondary(*table, *key, Some(&before), Some(&after), now, undo);
                 cost.add(c);
+                self.scratch.rec_before = before;
+                self.scratch.rec_after = after;
                 *wrote = true;
                 Ok(())
             }
@@ -856,8 +878,8 @@ impl Engine {
                     return (cost, Err(AbortReason::DuplicateKey));
                 }
                 ensure_begin(self, &mut cost, logged_begin, now);
-                let full = crate::table::make_record(*key, record);
-                let full_for_secondary = full.clone();
+                let mut full = std::mem::take(&mut self.scratch.rec_before);
+                crate::table::make_record_into(*key, record, &mut full);
                 let (rid, _) = {
                     let t = &mut self.tables[*table as usize];
                     t.heap.insert(&mut self.pool, &full).expect("insert fits")
@@ -865,10 +887,10 @@ impl Engine {
                 cost.cpu += self.record_write_cost(full.len());
                 let (cpu, _, lsn) = self.log_write(
                     txn,
-                    LogBody::Insert {
+                    LogBodyRef::Insert {
                         table: *table,
                         rid: rid.to_u64(),
-                        after: full,
+                        after: &full,
                     },
                     agent,
                     now,
@@ -891,15 +913,9 @@ impl Engine {
                     table: *table,
                     key: *key,
                 });
-                let c = self.maintain_secondary(
-                    *table,
-                    *key,
-                    None,
-                    Some(&full_for_secondary),
-                    now,
-                    undo,
-                );
+                let c = self.maintain_secondary(*table, *key, None, Some(&full), now, undo);
                 cost.add(c);
+                self.scratch.rec_before = full;
                 *wrote = true;
                 Ok(())
             }
@@ -910,12 +926,12 @@ impl Engine {
                     return (cost, Err(AbortReason::MissingKey));
                 };
                 let rid = RecordId::from_u64(rid_u);
-                let (before, hfp) = {
+                let mut before = std::mem::take(&mut self.scratch.rec_before);
+                let (blen, hfp) = {
                     let t = &mut self.tables[*table as usize];
-                    t.heap.get(&mut self.pool, rid)
+                    t.heap.get_into(&mut self.pool, rid, &mut before)
                 };
-                let before = before.expect("index points at live record");
-                let before_for_secondary = before.clone();
+                blen.expect("index points at live record");
                 let c = self.record_read_cost(before.len(), hfp.pool_misses > 0, now);
                 cost.add(c);
                 ensure_begin(self, &mut cost, logged_begin, now);
@@ -926,10 +942,10 @@ impl Engine {
                 cost.cpu += self.record_write_cost(0);
                 let (cpu, _, lsn) = self.log_write(
                     txn,
-                    LogBody::Delete {
+                    LogBodyRef::Delete {
                         table: *table,
                         rid: rid_u,
-                        before,
+                        before: &before,
                     },
                     agent,
                     now,
@@ -951,15 +967,9 @@ impl Engine {
                     key: *key,
                     rid: rid_u,
                 });
-                let c = self.maintain_secondary(
-                    *table,
-                    *key,
-                    Some(&before_for_secondary),
-                    None,
-                    now,
-                    undo,
-                );
+                let c = self.maintain_secondary(*table, *key, Some(&before), None, now, undo);
                 cost.add(c);
+                self.scratch.rec_before = before;
                 *wrote = true;
                 Ok(())
             }
@@ -972,7 +982,7 @@ impl Engine {
     fn rollback(
         &mut self,
         txn: TxnId,
-        undo: Vec<IndexUndo>,
+        undo: &mut Vec<IndexUndo>,
         agent: usize,
         now: SimTime,
     ) -> SimTime {
@@ -1005,7 +1015,7 @@ impl Engine {
             self.platform.charge_fpga(timing.energy);
             cpu += self.sw_work(Category::Xct, 180, 4, AccessClass::PointerChase);
         }
-        for u in undo.into_iter().rev() {
+        for u in undo.drain(..).rev() {
             match u {
                 IndexUndo::Remove { table, key } => {
                     let (_, fp) = self.tables[table as usize].index.remove(&key);
@@ -1165,20 +1175,23 @@ impl Engine {
             None
         };
 
-        let mut undo: Vec<IndexUndo> = Vec::new();
-        let mut written_tables: Vec<u32> = Vec::new();
+        // Check the scratch buffers out for this transaction — they return
+        // to `self.scratch` before every exit path below.
+        let mut undo = std::mem::take(&mut self.scratch.undo);
+        let mut written_tables = std::mem::take(&mut self.scratch.written_tables);
+        let mut op_marks = std::mem::take(&mut self.scratch.op_marks);
+        let mut completions = std::mem::take(&mut self.scratch.completions);
+        undo.clear();
+        written_tables.clear();
         let mut wrote = false;
         let mut logged_begin = false;
         let mut abort: Option<AbortReason> = None;
         let mut interrupted = false;
         let mut last_agent = 0usize;
         let mut locks_taken = 0u64;
-        // Per-op sub-span marks, as CPU offsets into the action's busy
-        // interval; only collected when tracing is on.
-        let mut op_marks: Vec<(&'static str, &'static str, SimTime, SimTime)> = Vec::new();
 
         'phases: for phase in &program.phases {
-            let mut completions: Vec<SimTime> = Vec::with_capacity(phase.len());
+            completions.clear();
             for action in phase {
                 let agent_idx = conventional_agent.unwrap_or_else(|| self.route(action));
                 last_agent = agent_idx;
@@ -1296,69 +1309,80 @@ impl Engine {
             }
         }
 
-        if interrupted {
-            return TxnOutcome::Interrupted;
-        }
-        let outcome = match abort {
-            Some(reason) => {
-                let rb_cpu = self.rollback(txn, undo, last_agent, t);
-                let (rstart, done) = self.agents[last_agent].submit(t, rb_cpu);
-                let track = self.tel.core_track(last_agent);
-                self.tel
-                    .span(track, "rollback", Category::Xct.label(), rstart, done);
-                self.stats.aborted += 1;
-                let latency = done - arrive;
-                self.stats.last_completion = self.stats.last_completion.max(done);
-                TxnOutcome::Aborted { reason, latency }
+        let outcome = 'outcome: {
+            if interrupted {
+                break 'outcome TxnOutcome::Interrupted;
             }
-            None => {
-                // Commit.
-                let mut commit_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
-                if self.cfg.exec == ExecModel::Conventional && locks_taken > 0 {
-                    commit_cpu += self.sw_work(
-                        Category::Lock,
-                        130 * locks_taken,
-                        2 * locks_taken,
-                        AccessClass::Hot,
-                    );
+            match abort {
+                Some(reason) => {
+                    let rb_cpu = self.rollback(txn, &mut undo, last_agent, t);
+                    let (rstart, done) = self.agents[last_agent].submit(t, rb_cpu);
+                    let track = self.tel.core_track(last_agent);
+                    self.tel
+                        .span(track, "rollback", Category::Xct.label(), rstart, done);
+                    self.stats.aborted += 1;
+                    let latency = done - arrive;
+                    self.stats.last_completion = self.stats.last_completion.max(done);
+                    TxnOutcome::Aborted { reason, latency }
                 }
-                let done = if wrote {
-                    let (log_cpu, buffered, _) =
-                        self.log_write(txn, LogBody::Commit, last_agent, t + commit_cpu);
-                    // Torn-commit window: the Commit record is in the
-                    // volatile log but the fuse blew before the flush — the
-                    // transaction is NOT durable and must lose at recovery.
-                    if self.fuse_blown() {
-                        return TxnOutcome::Interrupted;
+                None => {
+                    // Commit.
+                    let mut commit_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
+                    if self.cfg.exec == ExecModel::Conventional && locks_taken > 0 {
+                        commit_cpu += self.sw_work(
+                            Category::Lock,
+                            130 * locks_taken,
+                            2 * locks_taken,
+                            AccessClass::Hot,
+                        );
                     }
-                    commit_cpu += log_cpu;
-                    let bytes = self.log.unflushed_bytes().max(1);
-                    let (durable, e) = self.group_commit.durable_at(buffered, bytes);
-                    self.platform.energy.charge(EnergyDomain::Storage, e);
-                    self.log.flush();
-                    self.log.append(txn, LogBody::End);
-                    let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
-                    let track = self.tel.core_track(last_agent);
-                    self.tel
-                        .span(track, "commit", Category::Log.label(), cstart, agent_done);
-                    agent_done.max(durable)
-                } else {
-                    let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
-                    let track = self.tel.core_track(last_agent);
-                    self.tel
-                        .span(track, "commit", Category::Xct.label(), cstart, agent_done);
-                    agent_done
-                };
-                for t in &written_tables {
-                    self.result_cache.bump_table(*t);
+                    let done = if wrote {
+                        let (log_cpu, buffered, _) =
+                            self.log_write(txn, LogBodyRef::Commit, last_agent, t + commit_cpu);
+                        // Torn-commit window: the Commit record is in the
+                        // volatile log but the fuse blew before the flush — the
+                        // transaction is NOT durable and must lose at recovery.
+                        if self.fuse_blown() {
+                            break 'outcome TxnOutcome::Interrupted;
+                        }
+                        commit_cpu += log_cpu;
+                        let bytes = self.log.unflushed_bytes().max(1);
+                        let (durable, e) = self.group_commit.durable_at(buffered, bytes);
+                        self.platform.energy.charge(EnergyDomain::Storage, e);
+                        self.log.flush();
+                        self.log.append_ref(txn, LogBodyRef::End);
+                        let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                        let track = self.tel.core_track(last_agent);
+                        self.tel
+                            .span(track, "commit", Category::Log.label(), cstart, agent_done);
+                        agent_done.max(durable)
+                    } else {
+                        let (cstart, agent_done) = self.agents[last_agent].submit(t, commit_cpu);
+                        let track = self.tel.core_track(last_agent);
+                        self.tel
+                            .span(track, "commit", Category::Xct.label(), cstart, agent_done);
+                        agent_done
+                    };
+                    for t in &written_tables {
+                        self.result_cache.bump_table(*t);
+                    }
+                    self.stats.committed += 1;
+                    let latency = done - arrive;
+                    self.stats.latency.record(latency);
+                    self.stats.last_completion = self.stats.last_completion.max(done);
+                    TxnOutcome::Committed { latency }
                 }
-                self.stats.committed += 1;
-                let latency = done - arrive;
-                self.stats.latency.record(latency);
-                self.stats.last_completion = self.stats.last_completion.max(done);
-                TxnOutcome::Committed { latency }
             }
         };
+        self.scratch.undo = undo;
+        self.scratch.written_tables = written_tables;
+        self.scratch.op_marks = op_marks;
+        self.scratch.completions = completions;
+        if outcome.is_interrupted() {
+            // A blown fuse ends the run mid-transaction: no merges, no
+            // further bookkeeping (the "process" died).
+            return outcome;
+        }
         self.maybe_merge(t);
         outcome
     }
@@ -1382,11 +1406,29 @@ impl Engine {
         arrive: SimTime,
         inter: SimTime,
     ) -> Vec<TxnOutcome> {
-        self.plan_batch(programs, arrive);
         let mut out = Vec::with_capacity(programs.len());
+        self.submit_batch_with(programs.len(), arrive, inter, |i| &programs[i], &mut out);
+        out
+    }
+
+    /// [`Engine::submit_batch`] over programs resolved by index — the
+    /// allocation-free entry point. `get(i)` hands back the `i`-th program
+    /// (typically from a caller-owned pool of reusable programs), and
+    /// outcomes land in `out` (cleared first, capacity reused). Pricing and
+    /// results are identical to `submit_batch` on the same sequence.
+    pub fn submit_batch_with<'p>(
+        &mut self,
+        n: usize,
+        arrive: SimTime,
+        inter: SimTime,
+        get: impl Fn(usize) -> &'p TxnProgram,
+        out: &mut Vec<TxnOutcome>,
+    ) {
+        out.clear();
+        self.plan_batch_with(n, &get, arrive);
         let mut at = arrive;
-        for program in programs {
-            let outcome = self.submit(program, at);
+        for i in 0..n {
+            let outcome = self.submit(get(i), at);
             let stop = outcome.is_interrupted();
             out.push(outcome);
             if stop {
@@ -1399,17 +1441,25 @@ impl Engine {
         // Shares left by aborted tails are dropped: the planner's aggregate
         // is an upper bound once execution diverges from the plan.
         self.batch_plan.clear();
-        out
     }
 
-    /// Build the amortized probe plan for `programs`: group planned point
-    /// probes by table and run each group's batched descent once.
-    fn plan_batch(&mut self, programs: &[TxnProgram], now: SimTime) {
+    /// Build the amortized probe plan for the batch: group planned point
+    /// probes by table and run each group's batched descent once. Groups
+    /// live in scratch, kept sorted by table id, so planning matches the
+    /// ascending-table order of the original `BTreeMap` without allocating.
+    fn plan_batch_with<'p>(
+        &mut self,
+        n: usize,
+        get: &impl Fn(usize) -> &'p TxnProgram,
+        now: SimTime,
+    ) {
         self.batch_plan.clear();
-        let mut keys_by_table: std::collections::BTreeMap<u32, Vec<i64>> =
-            std::collections::BTreeMap::new();
-        for program in programs {
-            for phase in &program.phases {
+        let mut groups = std::mem::take(&mut self.scratch.plan_groups);
+        for g in &mut groups {
+            g.1.clear();
+        }
+        for i in 0..n {
+            for phase in &get(i).phases {
                 for action in phase {
                     for op in &action.ops {
                         match op {
@@ -1417,7 +1467,14 @@ impl Engine {
                             | Op::Update { table, key, .. }
                             | Op::Insert { table, key, .. }
                             | Op::Delete { table, key } => {
-                                keys_by_table.entry(*table).or_default().push(*key);
+                                let g = match groups.binary_search_by_key(table, |g| g.0) {
+                                    Ok(g) => g,
+                                    Err(g) => {
+                                        groups.insert(g, (*table, Vec::new()));
+                                        g
+                                    }
+                                };
+                                groups[g].1.push(*key);
                             }
                             _ => {}
                         }
@@ -1426,15 +1483,16 @@ impl Engine {
             }
         }
         let mut planned_keys = 0u64;
-        for (table, mut keys) in keys_by_table {
+        for (table, keys) in &mut groups {
             let n = keys.len() as u32;
             if n < 2 {
                 continue; // a lone probe has nothing to share with
             }
             planned_keys += n as u64;
-            let (_, fp) = self.tables[table as usize].index.batch_get(&mut keys);
-            self.batch_plan.insert(table, n, fp);
+            let (_, fp) = self.tables[*table as usize].index.batch_get(keys);
+            self.batch_plan.insert(*table, n, fp);
         }
+        self.scratch.plan_groups = groups;
         if planned_keys > 0 {
             // The planner's own work (gather + sort) runs on the dispatcher.
             let ilog = 64 - planned_keys.leading_zeros() as u64;

@@ -184,6 +184,18 @@ pub struct TxnProgram {
     pub abort_on_missing_read: bool,
 }
 
+impl Default for TxnProgram {
+    /// An empty program, the blank slot the reusable-fill APIs (e.g.
+    /// generator `program_into` paths) write into.
+    fn default() -> Self {
+        TxnProgram {
+            name: "",
+            phases: Vec::new(),
+            abort_on_missing_read: false,
+        }
+    }
+}
+
 impl TxnProgram {
     /// Single-phase program.
     pub fn single_phase(name: &'static str, actions: Vec<Action>) -> Self {

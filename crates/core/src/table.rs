@@ -18,9 +18,16 @@ pub fn record_key(record: &[u8]) -> i64 {
 /// Prefix a record body with its key, forming a full record image.
 pub fn make_record(key: i64, body: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(8 + body.len());
+    make_record_into(key, body, &mut rec);
+    rec
+}
+
+/// [`make_record`] into a caller-supplied buffer (cleared first) — the
+/// hot path reuses one scratch buffer instead of allocating per insert.
+pub fn make_record_into(key: i64, body: &[u8], rec: &mut Vec<u8>) {
+    rec.clear();
     rec.extend_from_slice(&key.to_le_bytes());
     rec.extend_from_slice(body);
-    rec
 }
 
 /// A table: heap file + primary index (key → packed [`RecordId`]), with an

@@ -21,7 +21,12 @@
 
 use bionic_btree::key::TreeKey;
 use bionic_btree::tree::{BTree, Footprint};
+use std::cell::Cell;
 use std::hash::{Hash, Hasher};
+
+/// Cache-invalid sentinel for the byte memos ([`BTree::version`] counts up
+/// from zero, so `u64::MAX` can never match a live version).
+const STALE: u64 = u64::MAX;
 
 /// A versioned write: `None` is a delete tombstone.
 type Versioned = (u64, Option<u64>);
@@ -77,6 +82,16 @@ pub struct OverlayIndex<K: TreeKey> {
     main: BTree<K>,
     delta: BTree<K>,
     chains: Vec<Vec<Versioned>>,
+    /// Total entries across all `chains` — kept exact so `delta_bytes`
+    /// never has to walk the chain table.
+    chain_entries: usize,
+    /// `(tree version, bytes)` memo for `main.approx_bytes()`; the version
+    /// sentinel `u64::MAX` marks the cache invalid (trees start at 0 and
+    /// only count up). Refreshed lazily — `probe_would_miss` runs on every
+    /// hardware probe and must not walk the index each time.
+    main_bytes_cache: Cell<(u64, usize)>,
+    /// Same memo for `delta.approx_bytes()`.
+    delta_bytes_cache: Cell<(u64, usize)>,
     merged_version: u64,
     memory_budget: usize,
     delta_writes: u64,
@@ -108,6 +123,9 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
             main: BTree::bulk_load(base, 256, 0.8),
             delta: BTree::new(),
             chains: Vec::new(),
+            chain_entries: 0,
+            main_bytes_cache: Cell::new((STALE, 0)),
+            delta_bytes_cache: Cell::new((STALE, 0)),
             merged_version: 0,
             memory_budget,
             delta_writes: 0,
@@ -134,14 +152,30 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
         self.delta_writes
     }
 
-    /// Approximate bytes of the main index.
+    /// Approximate bytes of the main index (memoized per tree version).
     pub fn main_bytes(&self) -> usize {
-        self.main.approx_bytes()
+        let v = self.main.version();
+        let (cached_v, cached) = self.main_bytes_cache.get();
+        if cached_v == v {
+            return cached;
+        }
+        let b = self.main.approx_bytes();
+        self.main_bytes_cache.set((v, b));
+        b
     }
 
     /// Approximate bytes of the delta (index + chains).
     pub fn delta_bytes(&self) -> usize {
-        self.delta.approx_bytes() + self.chains.iter().map(|c| c.len() * 16).sum::<usize>()
+        let v = self.delta.version();
+        let (cached_v, cached) = self.delta_bytes_cache.get();
+        let tree = if cached_v == v {
+            cached
+        } else {
+            let b = self.delta.approx_bytes();
+            self.delta_bytes_cache.set((v, b));
+            b
+        };
+        tree + self.chain_entries * 16
     }
 
     /// Fraction of main keys resident in FPGA memory under the budget.
@@ -183,6 +217,7 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
             self.merged_version
         );
         self.delta_writes += 1;
+        self.chain_entries += 1;
         let (existing, mut fp) = self.delta.get(&k);
         match existing {
             Some(chain_idx) => {
@@ -338,6 +373,11 @@ impl<K: TreeKey + Hash> OverlayIndex<K> {
             self.chains.push(chain);
             self.delta.insert(k, idx);
         }
+        // Both trees were replaced above, so their version counters
+        // restarted — the memos must not survive into the new epoch.
+        self.main_bytes_cache.set((STALE, 0));
+        self.delta_bytes_cache.set((STALE, 0));
+        self.chain_entries = entries_retained as usize;
         self.merged_version = up_to;
         MergeReport {
             keys_merged,

@@ -19,4 +19,4 @@ pub mod scanner;
 
 pub use nfa::{Nfa, NfaEngine, SimStats};
 pub use predicate::{CmpOp, ColPredicate, ScanRequest};
-pub use scanner::{scan_enhanced, scan_software, ScanOutcome, ScannerConfig};
+pub use scanner::{scan_enhanced, scan_software, ScanEval, ScanOutcome, ScannerConfig};

@@ -28,6 +28,36 @@ pub struct ScanOutcome {
     pub done: SimTime,
 }
 
+/// The functional half of a scan — matching rows plus the NFA state-visit
+/// count the software cost model charges for — separated from pricing.
+///
+/// Both scan paths price from aggregates of this value only (`matches.len()`
+/// and `nfa_visits`), never from which rows matched, so a caller issuing the
+/// same request against an immutable table many times (E13's periodic
+/// analytics query) can compute it once and replay it: the `*_with` variants
+/// below produce byte-identical outcomes to re-filtering every row.
+#[derive(Debug, Clone)]
+pub struct ScanEval {
+    /// Matching row indexes, ascending.
+    pub matches: Vec<usize>,
+    /// NFA state visits accumulated while filtering (§4 software cost).
+    pub nfa_visits: u64,
+}
+
+impl ScanEval {
+    /// Evaluate `req` over every row of `table`.
+    pub fn compute(table: &ColumnarTable, req: &ScanRequest) -> Self {
+        let mut nfa_visits = 0u64;
+        let matches: Vec<usize> = (0..table.rows())
+            .filter(|&r| req.matches_counting(table, r, &mut nfa_visits))
+            .collect();
+        ScanEval {
+            matches,
+            nfa_visits,
+        }
+    }
+}
+
 /// Configuration of the FPGA filter unit.
 #[derive(Debug, Clone)]
 pub struct ScannerConfig {
@@ -71,6 +101,19 @@ pub fn scan_software(
     req: &ScanRequest,
     start: SimTime,
 ) -> ScanOutcome {
+    let eval = ScanEval::compute(table, req);
+    scan_software_with(platform, table, req, start, &eval)
+}
+
+/// [`scan_software`] replaying a precomputed [`ScanEval`] instead of
+/// re-filtering the table. Identical pricing and results.
+pub fn scan_software_with(
+    platform: &mut Platform,
+    table: &ColumnarTable,
+    req: &ScanRequest,
+    start: SimTime,
+    eval: &ScanEval,
+) -> ScanOutcome {
     let rows = table.rows() as u64;
     let pred_bytes = rows * req.predicate_width(table) as u64;
 
@@ -82,26 +125,22 @@ pub fn scan_software(
         start
     };
 
-    // The actual filtering (functional), accumulating the NFA state-visit
-    // count that drives the software pattern-matching cost (§4).
-    let mut nfa_visits = 0u64;
-    let matches: Vec<usize> = (0..table.rows())
-        .filter(|&r| req.matches_counting(table, r, &mut nfa_visits))
-        .collect();
+    // CPU filtering cost, driven by the row count and the NFA state-visit
+    // count from the functional evaluation (§4).
     let instructions = rows * INSTR_PER_ROW_PER_PRED * req.predicates.len().max(1) as u64
-        + nfa_visits * INSTR_PER_NFA_VISIT;
+        + eval.nfa_visits * INSTR_PER_NFA_VISIT;
     let eval_time = platform.cpu_compute(instructions);
     let filtered_at = wire_done.max(start + eval_time);
 
     // Pull projections of matching rows.
-    let proj_bytes = matches.len() as u64 * req.projection_width(table) as u64;
+    let proj_bytes = eval.matches.len() as u64 * req.projection_width(table) as u64;
     let done = if proj_bytes > 0 {
         platform.pcie_transfer(filtered_at, proj_bytes)
     } else {
         filtered_at
     };
     ScanOutcome {
-        matches,
+        matches: eval.matches.clone(),
         pcie_bytes: pred_bytes + proj_bytes,
         done,
     }
@@ -115,6 +154,20 @@ pub fn scan_enhanced(
     req: &ScanRequest,
     start: SimTime,
     cfg: &ScannerConfig,
+) -> ScanOutcome {
+    let eval = ScanEval::compute(table, req);
+    scan_enhanced_with(platform, table, req, start, cfg, &eval)
+}
+
+/// [`scan_enhanced`] replaying a precomputed [`ScanEval`] instead of
+/// re-filtering the table. Identical pricing and results.
+pub fn scan_enhanced_with(
+    platform: &mut Platform,
+    table: &ColumnarTable,
+    req: &ScanRequest,
+    start: SimTime,
+    cfg: &ScannerConfig,
+    eval: &ScanEval,
 ) -> ScanOutcome {
     let rows = table.rows() as u64;
     let pred_bytes = rows * req.predicate_width(table) as u64;
@@ -148,11 +201,7 @@ pub fn scan_enhanced(
     let e = platform.sg_dram.charge_accesses(sg_accesses);
     platform.energy.charge(EnergyDomain::SgDram, e);
 
-    let matches: Vec<usize> = (0..table.rows())
-        .filter(|&r| req.matches(table, r))
-        .collect();
-
-    let proj_bytes = matches.len() as u64 * req.projection_width(table) as u64;
+    let proj_bytes = eval.matches.len() as u64 * req.projection_width(table) as u64;
     let done = if proj_bytes > 0 {
         let link_wait = platform.link_contention_delay(BwClient::Olap, filtered_at, proj_bytes);
         platform.pcie_transfer(filtered_at + link_wait, proj_bytes)
@@ -160,7 +209,7 @@ pub fn scan_enhanced(
         filtered_at
     };
     ScanOutcome {
-        matches,
+        matches: eval.matches.clone(),
         pcie_bytes: proj_bytes,
         done,
     }
@@ -184,14 +233,29 @@ pub fn scan_dispatch(
     cfg: &ScannerConfig,
     degrade: Option<&mut bionic_sim::fault::DegradedUnit>,
 ) -> ScanOutcome {
+    let eval = ScanEval::compute(table, req);
+    scan_dispatch_with(platform, table, req, start, cfg, degrade, &eval)
+}
+
+/// [`scan_dispatch`] replaying a precomputed [`ScanEval`] on whichever
+/// path the fault unit routes to. Identical pricing and results.
+pub fn scan_dispatch_with(
+    platform: &mut Platform,
+    table: &ColumnarTable,
+    req: &ScanRequest,
+    start: SimTime,
+    cfg: &ScannerConfig,
+    degrade: Option<&mut bionic_sim::fault::DegradedUnit>,
+    eval: &ScanEval,
+) -> ScanOutcome {
     let Some(unit) = degrade else {
-        return scan_enhanced(platform, table, req, start, cfg);
+        return scan_enhanced_with(platform, table, req, start, cfg, eval);
     };
     let d = unit.try_hw(start);
     if d.hw {
-        scan_enhanced(platform, table, req, start + d.delay, cfg)
+        scan_enhanced_with(platform, table, req, start + d.delay, cfg, eval)
     } else {
-        scan_software(platform, table, req, start + d.delay)
+        scan_software_with(platform, table, req, start + d.delay, eval)
     }
 }
 

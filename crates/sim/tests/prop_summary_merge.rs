@@ -1,0 +1,105 @@
+//! Shard-merge laws for [`Histogram`]/[`Summary`] (the harness invariant).
+//!
+//! The figure harness splits a cell's seed range across shards, records
+//! each shard's latencies into a private `Histogram`, and folds them back
+//! with `Histogram::merge` in shard order. That recombination is only
+//! sound if merge obeys the algebra proven here: splitting a sample
+//! stream anywhere and merging the pieces reproduces the unsharded
+//! summary exactly, merge is associative and commutative, and the empty
+//! histogram is a two-sided identity.
+#![recursion_limit = "1024"]
+
+use bionic_sim::stats::Histogram;
+use bionic_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// Record every sample (nanoseconds) into a fresh histogram.
+fn hist(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(SimTime::from_ns(s as f64));
+    }
+    h
+}
+
+/// Full observable state: the condensed summary plus the quantiles the
+/// experiments actually report. Two histograms that agree here are
+/// interchangeable everywhere the harness uses them.
+fn observe(h: &Histogram) -> impl PartialEq + std::fmt::Debug {
+    (h.summary(), h.count(), h.quantile(0.10), h.quantile(0.999))
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Nanosecond latencies spanning sub-ns rounding up to ~10 ms so the
+    // split points land in many different histogram buckets.
+    prop::collection::vec(0u64..10_000_000, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Sharding law: recording a stream whole equals splitting it at any
+    // cut points, recording each shard separately, and merging the shard
+    // histograms back in shard order.
+    #[test]
+    fn sharded_recording_matches_unsharded(
+        xs in samples(),
+        cut_a in 0usize..=200,
+        cut_b in 0usize..=200,
+    ) {
+        let whole = hist(&xs);
+        let (a, b) = (cut_a.min(xs.len()), cut_b.min(xs.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut merged = hist(&xs[..lo]);
+        merged.merge(&hist(&xs[lo..hi]));
+        merged.merge(&hist(&xs[hi..]));
+        prop_assert_eq!(observe(&merged), observe(&whole));
+    }
+
+    // Associativity: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`, so the harness may
+    // fold shard outputs pairwise in any grouping.
+    #[test]
+    fn merge_is_associative(
+        xs in samples(),
+        ys in samples(),
+        zs in samples(),
+    ) {
+        let mut left = hist(&xs);
+        left.merge(&hist(&ys));
+        left.merge(&hist(&zs));
+
+        let mut bc = hist(&ys);
+        bc.merge(&hist(&zs));
+        let mut right = hist(&xs);
+        right.merge(&bc);
+
+        prop_assert_eq!(observe(&left), observe(&right));
+    }
+
+    // Commutativity: shard order never changes the merged statistics —
+    // the harness merges in shard order purely for determinism of
+    // side-effects (row order), not because the algebra needs it.
+    #[test]
+    fn merge_is_commutative(xs in samples(), ys in samples()) {
+        let mut ab = hist(&xs);
+        ab.merge(&hist(&ys));
+        let mut ba = hist(&ys);
+        ba.merge(&hist(&xs));
+        prop_assert_eq!(observe(&ab), observe(&ba));
+    }
+
+    // Identity: the empty histogram is a two-sided unit, so empty shards
+    // (more shards than work items) are harmless.
+    #[test]
+    fn empty_histogram_is_identity(xs in samples()) {
+        let whole = hist(&xs);
+
+        let mut right = hist(&xs);
+        right.merge(&Histogram::new());
+        prop_assert_eq!(observe(&right), observe(&whole));
+
+        let mut left = Histogram::new();
+        left.merge(&hist(&xs));
+        prop_assert_eq!(observe(&left), observe(&whole));
+    }
+}

@@ -115,6 +115,44 @@ impl HeapFile {
         (result, fp)
     }
 
+    /// [`HeapFile::get`] into a caller-supplied buffer (cleared first): same
+    /// page traffic and footprint, no allocation when `out`'s capacity
+    /// suffices. Returns the record length if the slot is live.
+    pub fn get_into(
+        &self,
+        pool: &mut BufferPool,
+        rid: RecordId,
+        out: &mut Vec<u8>,
+    ) -> (Option<usize>, HeapFootprint) {
+        out.clear();
+        let mut fp = HeapFootprint::default();
+        let (result, access) = pool.with_page_mut(rid.page, |pg| {
+            let sp = SlottedPage::attach(pg);
+            sp.get(rid.slot).ok().map(|r| {
+                out.extend_from_slice(r);
+                r.len()
+            })
+        });
+        fp.absorb(access);
+        (result, fp)
+    }
+
+    /// Length of the record at `rid` without copying it out (same page
+    /// traffic and footprint as [`HeapFile::get`]). `None` for a dead slot.
+    pub fn record_len(
+        &self,
+        pool: &mut BufferPool,
+        rid: RecordId,
+    ) -> (Option<usize>, HeapFootprint) {
+        let mut fp = HeapFootprint::default();
+        let (result, access) = pool.with_page_mut(rid.page, |pg| {
+            let sp = SlottedPage::attach(pg);
+            sp.get(rid.slot).ok().map(<[u8]>::len)
+        });
+        fp.absorb(access);
+        (result, fp)
+    }
+
     /// Update a record in place. If the record no longer fits in its page,
     /// it is deleted and re-inserted elsewhere, returning the **new** id —
     /// the caller owns fixing any index entries (exactly the software

@@ -43,7 +43,7 @@ pub struct SpanEvent {
     pub end_ps: u64,
     /// Span name (op kind, program name, or unit operation).
     pub name: &'static str,
-    /// Figure-3 category label ([`bionic_core::Category::label`]-style).
+    /// Figure-3 category label (`bionic_core::Category::label`-style).
     pub category: &'static str,
     /// Transaction id the work was done for (0 = unattributed).
     pub txn: u64,

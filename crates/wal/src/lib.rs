@@ -27,7 +27,7 @@ pub mod timing;
 
 pub use logfs::{FsError, FsOp, LogFs};
 pub use manager::{LogIter, LogManager};
-pub use record::{ClrAction, LogBody, LogRecord, Lsn, TxnId, NULL_LSN};
+pub use record::{ClrAction, LogBody, LogBodyRef, LogRecord, Lsn, TxnId, NULL_LSN};
 pub use recovery::{recover, undo_txn, RecoveryOutcome};
 pub use timing::{
     ConsolidatedLog, GroupCommit, HwLog, HwLogConfig, InsertTiming, LatchedLog, LogInsertModel,

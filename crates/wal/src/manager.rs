@@ -6,7 +6,7 @@
 //! crash survives is decided here by the durable/volatile split: everything
 //! past `durable_lsn` dies with the process.
 
-use crate::record::{LogBody, LogRecord, Lsn, TxnId, NULL_LSN};
+use crate::record::{LogBody, LogBodyRef, LogRecord, Lsn, TxnId, NULL_LSN};
 use std::collections::HashMap;
 
 /// The write-ahead log.
@@ -176,6 +176,23 @@ impl LogManager {
         (rec, bytes.len())
     }
 
+    /// [`LogManager::append`] for a borrowed body: encodes straight into
+    /// the log tail with no intermediate record or buffers, producing
+    /// exactly the bytes the owned path would. Returns the assigned LSN
+    /// and encoded size.
+    pub fn append_ref(&mut self, txn: TxnId, body: LogBodyRef<'_>) -> (Lsn, usize) {
+        let prev_lsn = self.last_lsn.get(&txn).copied().unwrap_or(NULL_LSN);
+        let lsn = self.tail_lsn();
+        let bytes = body.encode_append(txn, prev_lsn, &mut self.buf);
+        self.appends += 1;
+        if matches!(body, LogBodyRef::End) {
+            self.last_lsn.remove(&txn);
+        } else {
+            self.last_lsn.insert(txn, lsn);
+        }
+        (lsn, bytes)
+    }
+
     /// Write a checkpoint recording currently active transactions and the
     /// LSN redo may start from (see [`LogBody::Checkpoint`]).
     pub fn checkpoint(&mut self, redo_from: Lsn) -> Lsn {
@@ -274,6 +291,85 @@ mod tests {
         assert_eq!(r1.prev_lsn, NULL_LSN);
         assert_eq!(r2.prev_lsn, r1.lsn);
         assert_eq!(r3.prev_lsn, NULL_LSN, "chains are per-transaction");
+    }
+
+    #[test]
+    fn append_ref_is_byte_identical_to_owned_append() {
+        // Drive both append paths through the same record sequence and
+        // require identical log bytes, LSNs, and chain state.
+        let mut owned = LogManager::new();
+        let mut by_ref = LogManager::new();
+        let img = |n: usize| (0..n).map(|i| i as u8).collect::<Vec<u8>>();
+        let seq: Vec<(TxnId, LogBody)> = vec![
+            (1, LogBody::Begin),
+            (
+                1,
+                LogBody::Insert {
+                    table: 2,
+                    rid: 77,
+                    after: img(24),
+                },
+            ),
+            (2, LogBody::Begin),
+            (
+                1,
+                LogBody::Update {
+                    table: 2,
+                    rid: 77,
+                    before: img(24),
+                    after: img(31),
+                },
+            ),
+            (
+                2,
+                LogBody::Delete {
+                    table: 0,
+                    rid: 5,
+                    before: img(300),
+                },
+            ),
+            (1, LogBody::Commit),
+            (2, LogBody::Abort),
+            (1, LogBody::End),
+        ];
+        for (txn, body) in seq {
+            let r = match &body {
+                LogBody::Begin => LogBodyRef::Begin,
+                LogBody::Commit => LogBodyRef::Commit,
+                LogBody::Abort => LogBodyRef::Abort,
+                LogBody::End => LogBodyRef::End,
+                LogBody::Insert { table, rid, after } => LogBodyRef::Insert {
+                    table: *table,
+                    rid: *rid,
+                    after,
+                },
+                LogBody::Update {
+                    table,
+                    rid,
+                    before,
+                    after,
+                } => LogBodyRef::Update {
+                    table: *table,
+                    rid: *rid,
+                    before,
+                    after,
+                },
+                LogBody::Delete { table, rid, before } => LogBodyRef::Delete {
+                    table: *table,
+                    rid: *rid,
+                    before,
+                },
+                other => unreachable!("owned-only body {other:?}"),
+            };
+            let (lsn, n) = by_ref.append_ref(txn, r);
+            let (rec, n_owned) = owned.append(txn, body);
+            assert_eq!((lsn, n), (rec.lsn, n_owned));
+        }
+        owned.flush();
+        by_ref.flush();
+        assert_eq!(owned.crash_image(), by_ref.crash_image());
+        assert_eq!(owned.active_txns(), by_ref.active_txns());
+        assert_eq!(owned.appends(), by_ref.appends());
     }
 
     #[test]

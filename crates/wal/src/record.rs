@@ -130,6 +130,120 @@ impl LogBody {
     }
 }
 
+/// A log-record payload by reference — the zero-copy twin of [`LogBody`]
+/// for the hot append path. Encodes to exactly the same bytes as the owned
+/// variant with the same fields (test-enforced); images are borrowed so a
+/// caller can log straight out of its scratch buffers. CLRs and checkpoints
+/// (rare, recovery-side) stay on the owned [`LogBody`] path.
+#[derive(Debug, Clone, Copy)]
+pub enum LogBodyRef<'a> {
+    /// Transaction start.
+    Begin,
+    /// Transaction commit.
+    Commit,
+    /// Transaction abort.
+    Abort,
+    /// Transaction fully undone / finished after abort.
+    End,
+    /// Physical insert.
+    Insert {
+        /// Table id.
+        table: u32,
+        /// Record address (packed `RecordId`).
+        rid: u64,
+        /// Inserted image.
+        after: &'a [u8],
+    },
+    /// Physical update.
+    Update {
+        /// Table id.
+        table: u32,
+        /// Record address.
+        rid: u64,
+        /// Pre-image (for undo).
+        before: &'a [u8],
+        /// Post-image (for redo).
+        after: &'a [u8],
+    },
+    /// Physical delete.
+    Delete {
+        /// Table id.
+        table: u32,
+        /// Record address.
+        rid: u64,
+        /// Pre-image (for undo).
+        before: &'a [u8],
+    },
+}
+
+fn push_image(out: &mut Vec<u8>, img: &[u8]) {
+    out.extend_from_slice(&(img.len() as u32).to_le_bytes());
+    out.extend_from_slice(img);
+}
+
+impl LogBodyRef<'_> {
+    /// Is this body a data modification (redoable)?
+    pub fn is_redoable(&self) -> bool {
+        matches!(
+            self,
+            LogBodyRef::Insert { .. } | LogBodyRef::Update { .. } | LogBodyRef::Delete { .. }
+        )
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            LogBodyRef::Begin => 0,
+            LogBodyRef::Commit => 1,
+            LogBodyRef::Abort => 2,
+            LogBodyRef::End => 3,
+            LogBodyRef::Insert { .. } => 4,
+            LogBodyRef::Update { .. } => 5,
+            LogBodyRef::Delete { .. } => 6,
+        }
+    }
+
+    /// Append the full record encoding (`u32 payload_len | u32 checksum |
+    /// payload`) for this body directly to `out`, returning the bytes
+    /// written. Byte-identical to [`LogRecord::encode`] of the owned
+    /// equivalent, without the intermediate buffers.
+    pub fn encode_append(&self, txn: TxnId, prev_lsn: Lsn, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 8]); // length + checksum, backfilled
+        out.push(self.kind());
+        out.extend_from_slice(&txn.to_le_bytes());
+        out.extend_from_slice(&prev_lsn.to_le_bytes());
+        match *self {
+            LogBodyRef::Begin | LogBodyRef::Commit | LogBodyRef::Abort | LogBodyRef::End => {}
+            LogBodyRef::Insert { table, rid, after } => {
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&rid.to_le_bytes());
+                push_image(out, after);
+            }
+            LogBodyRef::Update {
+                table,
+                rid,
+                before,
+                after,
+            } => {
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&rid.to_le_bytes());
+                push_image(out, before);
+                push_image(out, after);
+            }
+            LogBodyRef::Delete { table, rid, before } => {
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&rid.to_le_bytes());
+                push_image(out, before);
+            }
+        }
+        let body_len = out.len() - start - 8;
+        let csum = fnv1a(&out[start + 8..]);
+        out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        out[start + 4..start + 8].copy_from_slice(&csum.to_le_bytes());
+        body_len + 8
+    }
+}
+
 /// A complete log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {

@@ -22,7 +22,7 @@ pub mod tatp;
 pub mod tpcc;
 
 pub use anywork::{AnyWorkload, WorkloadKind};
-pub use driver::{run, run_batched, WorkloadReport};
+pub use driver::{run, run_batched, run_batched_pooled, PooledSource, WorkloadReport};
 pub use hybrid::{run_hybrid, HybridConfig, HybridReport};
 pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

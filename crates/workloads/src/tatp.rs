@@ -210,6 +210,12 @@ pub struct TatpGenerator {
     rng: SmallRng,
     /// The non-uniformity mask `A` (65535 for populations ≤ 1 M).
     a: i64,
+    /// One reusable program skeleton per transaction type, refilled in
+    /// place by [`TatpGenerator::next_ref`] — the zero-allocation stream.
+    skeletons: Vec<TxnProgram>,
+    /// Type drawn by the last [`TatpGenerator::next_label`], consumed by
+    /// the paired [`TatpGenerator::fill`].
+    pending: TatpTxn,
 }
 
 impl TatpGenerator {
@@ -225,6 +231,23 @@ impl TatpGenerator {
             cfg,
             tables,
             a,
+            skeletons: (0..TatpTxn::MIX.len())
+                .map(|_| TxnProgram::default())
+                .collect(),
+            pending: TatpTxn::GetSubscriberData,
+        }
+    }
+
+    /// Skeleton-pool slot for a transaction type.
+    fn slot(t: TatpTxn) -> usize {
+        match t {
+            TatpTxn::GetSubscriberData => 0,
+            TatpTxn::GetNewDestination => 1,
+            TatpTxn::GetAccessData => 2,
+            TatpTxn::UpdateSubscriberData => 3,
+            TatpTxn::UpdateLocation => 4,
+            TatpTxn::InsertCallForwarding => 5,
+            TatpTxn::DeleteCallForwarding => 6,
         }
     }
 
@@ -254,37 +277,97 @@ impl TatpGenerator {
         (t, self.program(t))
     }
 
+    /// Generate the next transaction into the type's reusable skeleton and
+    /// hand out a reference — the zero-allocation equivalent of
+    /// [`TatpGenerator::next`]. The RNG draw sequence is identical, so the
+    /// stream of programs matches `next` byte for byte.
+    pub fn next_ref(&mut self) -> (TatpTxn, &TxnProgram) {
+        let t = self.next_type();
+        let i = Self::slot(t);
+        let mut prog = std::mem::take(&mut self.skeletons[i]);
+        self.program_into(t, &mut prog);
+        self.skeletons[i] = prog;
+        (t, &self.skeletons[i])
+    }
+
+    /// Draw the next transaction type, remembering it for the paired
+    /// [`TatpGenerator::fill`] call (the two-step protocol pooled drivers
+    /// use: the label picks the pool slot, then `fill` writes into it).
+    pub fn next_label(&mut self) -> &'static str {
+        self.pending = self.next_type();
+        self.pending.label()
+    }
+
+    /// Fill `prog` with the transaction drawn by the last
+    /// [`TatpGenerator::next_label`].
+    pub fn fill(&mut self, prog: &mut TxnProgram) {
+        self.program_into(self.pending, prog);
+    }
+
     /// Build a program of a specific type (used directly by Figure 3).
     pub fn program(&mut self, t: TatpTxn) -> TxnProgram {
+        let mut prog = TxnProgram::default();
+        self.program_into(t, &mut prog);
+        prog
+    }
+
+    /// Build a program of a specific type into `prog`. When `prog` already
+    /// holds this type's program (same `name`) — a pool slot filled by an
+    /// earlier call — it is refilled field by field with no allocation;
+    /// any other value of `prog` (e.g. [`TxnProgram::default`]) is replaced
+    /// by a freshly built program. Both paths draw from the RNG in exactly
+    /// the same order, so the generated stream is independent of which one
+    /// runs.
+    pub fn program_into(&mut self, t: TatpTxn, prog: &mut TxnProgram) {
         let s_id = self.subscriber_id();
         match t {
-            TatpTxn::GetSubscriberData => TxnProgram {
-                name: "TATP-GetSubscriberData",
-                phases: vec![vec![Action::new(
-                    self.tables.subscriber,
-                    s_id,
-                    vec![Op::Read {
-                        table: self.tables.subscriber,
-                        key: s_id,
-                    }],
-                )]],
-                abort_on_missing_read: true,
-            },
+            TatpTxn::GetSubscriberData => {
+                if prog.name == "TATP-GetSubscriberData" {
+                    let a = &mut prog.phases[0][0];
+                    a.route_key = s_id;
+                    let Op::Read { key, .. } = &mut a.ops[0] else {
+                        unreachable!()
+                    };
+                    *key = s_id;
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-GetSubscriberData",
+                        phases: vec![vec![Action::new(
+                            self.tables.subscriber,
+                            s_id,
+                            vec![Op::Read {
+                                table: self.tables.subscriber,
+                                key: s_id,
+                            }],
+                        )]],
+                        abort_on_missing_read: true,
+                    };
+                }
+            }
             TatpTxn::GetAccessData => {
                 let ai_type = self.rng.gen_range(1..=4);
                 let key = keys::access_info(s_id, ai_type);
-                TxnProgram {
-                    name: "TATP-GetAccessData",
-                    phases: vec![vec![Action::new(
-                        self.tables.access_info,
-                        key,
-                        vec![Op::Read {
-                            table: self.tables.access_info,
+                if prog.name == "TATP-GetAccessData" {
+                    let a = &mut prog.phases[0][0];
+                    a.route_key = key;
+                    let Op::Read { key: k, .. } = &mut a.ops[0] else {
+                        unreachable!()
+                    };
+                    *k = key;
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-GetAccessData",
+                        phases: vec![vec![Action::new(
+                            self.tables.access_info,
                             key,
-                        }],
-                    )]],
-                    // Spec: fails (gracefully) when the ai row is absent.
-                    abort_on_missing_read: false,
+                            vec![Op::Read {
+                                table: self.tables.access_info,
+                                key,
+                            }],
+                        )]],
+                        // Spec: fails (gracefully) when the ai row is absent.
+                        abort_on_missing_read: false,
+                    };
                 }
             }
             TatpTxn::GetNewDestination => {
@@ -292,113 +375,22 @@ impl TatpGenerator {
                 let start_time = self.rng.gen_range(0..3) * 8;
                 let sf_key = keys::special_facility(s_id, sf_type);
                 let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
-                TxnProgram {
-                    name: "TATP-GetNewDestination",
-                    phases: vec![vec![
-                        Action::new(
-                            self.tables.special_facility,
-                            sf_key,
-                            vec![Op::Read {
-                                table: self.tables.special_facility,
-                                key: sf_key,
-                            }],
-                        ),
-                        Action::new(
-                            self.tables.call_forwarding,
-                            cf_key,
-                            vec![Op::Read {
-                                table: self.tables.call_forwarding,
-                                key: cf_key,
-                            }],
-                        ),
-                    ]],
-                    abort_on_missing_read: false,
-                }
-            }
-            TatpTxn::UpdateSubscriberData => {
-                let sf_type = self.rng.gen_range(1..=4);
-                let bit: u8 = self.rng.gen_range(0..=1);
-                let data_a: u8 = self.rng.gen();
-                let sf_key = keys::special_facility(s_id, sf_type);
-                TxnProgram {
-                    name: "TATP-UpdateSubscriberData",
-                    phases: vec![vec![
-                        Action::new(
-                            self.tables.subscriber,
-                            s_id,
-                            vec![Op::Update {
-                                table: self.tables.subscriber,
-                                key: s_id,
-                                patch: Patch::Splice {
-                                    offset: layout::SUB_BIT_1,
-                                    bytes: vec![bit],
-                                },
-                            }],
-                        ),
-                        // Fails (≈37.5 %) when this sf_type doesn't exist:
-                        // the spec's built-in abort driver.
-                        Action::new(
-                            self.tables.special_facility,
-                            sf_key,
-                            vec![Op::Update {
-                                table: self.tables.special_facility,
-                                key: sf_key,
-                                patch: Patch::Splice {
-                                    offset: layout::SF_DATA_A,
-                                    bytes: vec![data_a],
-                                },
-                            }],
-                        ),
-                    ]],
-                    abort_on_missing_read: true,
-                }
-            }
-            TatpTxn::UpdateLocation => {
-                // Spec: the subscriber is identified BY sub_nbr — one
-                // secondary probe, then the update.
-                let loc: i64 = self.rng.gen_range(0..1 << 31);
-                TxnProgram {
-                    name: "TATP-UpdateLocation",
-                    phases: vec![vec![Action::new(
-                        self.tables.subscriber,
-                        s_id,
-                        vec![
-                            Op::SecondaryRead {
-                                table: self.tables.subscriber,
-                                skey: sub_nbr(s_id),
-                            },
-                            Op::Update {
-                                table: self.tables.subscriber,
-                                key: s_id,
-                                patch: Patch::Splice {
-                                    offset: layout::SUB_VLR_LOCATION,
-                                    bytes: loc.to_le_bytes().to_vec(),
-                                },
-                            },
-                        ],
-                    )]],
-                    abort_on_missing_read: true,
-                }
-            }
-            TatpTxn::InsertCallForwarding => {
-                let sf_type = self.rng.gen_range(1..=4);
-                let start_time = self.rng.gen_range(0..3) * 8;
-                let sf_key = keys::special_facility(s_id, sf_type);
-                let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
-                let mut body = vec![0u8; layout::CF_BODY];
-                self.rng.fill(&mut body[..]);
-                TxnProgram {
-                    name: "TATP-InsertCallForwarding",
-                    phases: vec![
-                        vec![
-                            Action::new(
-                                self.tables.subscriber,
-                                s_id,
-                                vec![Op::SecondaryRead {
-                                    table: self.tables.subscriber,
-                                    skey: sub_nbr(s_id),
-                                }],
-                            ),
+                if prog.name == "TATP-GetNewDestination" {
+                    let phase = &mut prog.phases[0];
+                    phase[0].route_key = sf_key;
+                    let Op::Read { key, .. } = &mut phase[0].ops[0] else {
+                        unreachable!()
+                    };
+                    *key = sf_key;
+                    phase[1].route_key = cf_key;
+                    let Op::Read { key, .. } = &mut phase[1].ops[0] else {
+                        unreachable!()
+                    };
+                    *key = cf_key;
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-GetNewDestination",
+                        phases: vec![vec![
                             Action::new(
                                 self.tables.special_facility,
                                 sf_key,
@@ -407,39 +399,229 @@ impl TatpGenerator {
                                     key: sf_key,
                                 }],
                             ),
+                            Action::new(
+                                self.tables.call_forwarding,
+                                cf_key,
+                                vec![Op::Read {
+                                    table: self.tables.call_forwarding,
+                                    key: cf_key,
+                                }],
+                            ),
+                        ]],
+                        abort_on_missing_read: false,
+                    };
+                }
+            }
+            TatpTxn::UpdateSubscriberData => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let bit: u8 = self.rng.gen_range(0..=1);
+                let data_a: u8 = self.rng.gen();
+                let sf_key = keys::special_facility(s_id, sf_type);
+                if prog.name == "TATP-UpdateSubscriberData" {
+                    let phase = &mut prog.phases[0];
+                    phase[0].route_key = s_id;
+                    let Op::Update {
+                        key,
+                        patch: Patch::Splice { bytes, .. },
+                        ..
+                    } = &mut phase[0].ops[0]
+                    else {
+                        unreachable!()
+                    };
+                    *key = s_id;
+                    bytes[0] = bit;
+                    phase[1].route_key = sf_key;
+                    let Op::Update {
+                        key,
+                        patch: Patch::Splice { bytes, .. },
+                        ..
+                    } = &mut phase[1].ops[0]
+                    else {
+                        unreachable!()
+                    };
+                    *key = sf_key;
+                    bytes[0] = data_a;
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-UpdateSubscriberData",
+                        phases: vec![vec![
+                            Action::new(
+                                self.tables.subscriber,
+                                s_id,
+                                vec![Op::Update {
+                                    table: self.tables.subscriber,
+                                    key: s_id,
+                                    patch: Patch::Splice {
+                                        offset: layout::SUB_BIT_1,
+                                        bytes: vec![bit],
+                                    },
+                                }],
+                            ),
+                            // Fails (≈37.5 %) when this sf_type doesn't
+                            // exist: the spec's built-in abort driver.
+                            Action::new(
+                                self.tables.special_facility,
+                                sf_key,
+                                vec![Op::Update {
+                                    table: self.tables.special_facility,
+                                    key: sf_key,
+                                    patch: Patch::Splice {
+                                        offset: layout::SF_DATA_A,
+                                        bytes: vec![data_a],
+                                    },
+                                }],
+                            ),
+                        ]],
+                        abort_on_missing_read: true,
+                    };
+                }
+            }
+            TatpTxn::UpdateLocation => {
+                // Spec: the subscriber is identified BY sub_nbr — one
+                // secondary probe, then the update.
+                let loc: i64 = self.rng.gen_range(0..1 << 31);
+                if prog.name == "TATP-UpdateLocation" {
+                    let a = &mut prog.phases[0][0];
+                    a.route_key = s_id;
+                    let Op::SecondaryRead { skey, .. } = &mut a.ops[0] else {
+                        unreachable!()
+                    };
+                    *skey = sub_nbr(s_id);
+                    let Op::Update {
+                        key,
+                        patch: Patch::Splice { bytes, .. },
+                        ..
+                    } = &mut a.ops[1]
+                    else {
+                        unreachable!()
+                    };
+                    *key = s_id;
+                    bytes.copy_from_slice(&loc.to_le_bytes());
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-UpdateLocation",
+                        phases: vec![vec![Action::new(
+                            self.tables.subscriber,
+                            s_id,
+                            vec![
+                                Op::SecondaryRead {
+                                    table: self.tables.subscriber,
+                                    skey: sub_nbr(s_id),
+                                },
+                                Op::Update {
+                                    table: self.tables.subscriber,
+                                    key: s_id,
+                                    patch: Patch::Splice {
+                                        offset: layout::SUB_VLR_LOCATION,
+                                        bytes: loc.to_le_bytes().to_vec(),
+                                    },
+                                },
+                            ],
+                        )]],
+                        abort_on_missing_read: true,
+                    };
+                }
+            }
+            TatpTxn::InsertCallForwarding => {
+                let sf_type = self.rng.gen_range(1..=4);
+                let start_time = self.rng.gen_range(0..3) * 8;
+                let sf_key = keys::special_facility(s_id, sf_type);
+                let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
+                if prog.name == "TATP-InsertCallForwarding" {
+                    let phase = &mut prog.phases[0];
+                    phase[0].route_key = s_id;
+                    let Op::SecondaryRead { skey, .. } = &mut phase[0].ops[0] else {
+                        unreachable!()
+                    };
+                    *skey = sub_nbr(s_id);
+                    phase[1].route_key = sf_key;
+                    let Op::Read { key, .. } = &mut phase[1].ops[0] else {
+                        unreachable!()
+                    };
+                    *key = sf_key;
+                    let ins = &mut prog.phases[1][0];
+                    ins.route_key = cf_key;
+                    let Op::Insert { key, record, .. } = &mut ins.ops[0] else {
+                        unreachable!()
+                    };
+                    *key = cf_key;
+                    self.rng.fill(&mut record[..]);
+                } else {
+                    let mut body = vec![0u8; layout::CF_BODY];
+                    self.rng.fill(&mut body[..]);
+                    *prog = TxnProgram {
+                        name: "TATP-InsertCallForwarding",
+                        phases: vec![
+                            vec![
+                                Action::new(
+                                    self.tables.subscriber,
+                                    s_id,
+                                    vec![Op::SecondaryRead {
+                                        table: self.tables.subscriber,
+                                        skey: sub_nbr(s_id),
+                                    }],
+                                ),
+                                Action::new(
+                                    self.tables.special_facility,
+                                    sf_key,
+                                    vec![Op::Read {
+                                        table: self.tables.special_facility,
+                                        key: sf_key,
+                                    }],
+                                ),
+                            ],
+                            vec![Action::new(
+                                self.tables.call_forwarding,
+                                cf_key,
+                                vec![Op::Insert {
+                                    table: self.tables.call_forwarding,
+                                    key: cf_key,
+                                    record: body,
+                                }],
+                            )],
                         ],
-                        vec![Action::new(
-                            self.tables.call_forwarding,
-                            cf_key,
-                            vec![Op::Insert {
-                                table: self.tables.call_forwarding,
-                                key: cf_key,
-                                record: body,
-                            }],
-                        )],
-                    ],
-                    // Fails when the SF row is missing or the CF exists.
-                    abort_on_missing_read: true,
+                        // Fails when the SF row is missing or the CF exists.
+                        abort_on_missing_read: true,
+                    };
                 }
             }
             TatpTxn::DeleteCallForwarding => {
                 let sf_type = self.rng.gen_range(1..=4);
                 let start_time = self.rng.gen_range(0..3) * 8;
                 let cf_key = keys::call_forwarding(s_id, sf_type, start_time);
-                TxnProgram {
-                    name: "TATP-DeleteCallForwarding",
-                    phases: vec![vec![Action::new(
-                        self.tables.call_forwarding,
-                        cf_key,
-                        vec![Op::Delete {
-                            table: self.tables.call_forwarding,
-                            key: cf_key,
-                        }],
-                    )]],
-                    abort_on_missing_read: true,
+                if prog.name == "TATP-DeleteCallForwarding" {
+                    let a = &mut prog.phases[0][0];
+                    a.route_key = cf_key;
+                    let Op::Delete { key, .. } = &mut a.ops[0] else {
+                        unreachable!()
+                    };
+                    *key = cf_key;
+                } else {
+                    *prog = TxnProgram {
+                        name: "TATP-DeleteCallForwarding",
+                        phases: vec![vec![Action::new(
+                            self.tables.call_forwarding,
+                            cf_key,
+                            vec![Op::Delete {
+                                table: self.tables.call_forwarding,
+                                key: cf_key,
+                            }],
+                        )]],
+                        abort_on_missing_read: true,
+                    };
                 }
             }
         }
+    }
+}
+
+impl crate::driver::PooledSource for TatpGenerator {
+    fn next_label(&mut self) -> &'static str {
+        TatpGenerator::next_label(self)
+    }
+
+    fn fill(&mut self, prog: &mut TxnProgram) {
+        TatpGenerator::fill(self, prog);
     }
 }
 
@@ -527,6 +709,42 @@ mod tests {
         assert!(e.stats.committed > 1500, "committed={}", e.stats.committed);
         // Reads dominate the mix, so aborts stay bounded.
         assert!(e.stats.aborted < 500, "aborted={}", e.stats.aborted);
+    }
+
+    #[test]
+    fn refilled_stream_matches_allocating_stream() {
+        // Twin generators, same seed: the pooled `next_ref` path (refill in
+        // place) must emit exactly the programs `next` (fresh build) does —
+        // same types, same names, same keys, same record bytes — over
+        // enough draws to refill every skeleton many times.
+        let cfg = TatpConfig::small();
+        let mut e = Engine::new(EngineConfig::software().with_agents(8));
+        let tables = load(&mut e, &cfg);
+        let mut ga = TatpGenerator::new(cfg.clone(), tables);
+        let mut gb = TatpGenerator::new(cfg, tables);
+        for i in 0..5_000 {
+            let (ta, pa) = ga.next();
+            let (tb, pb) = gb.next_ref();
+            assert_eq!(ta, tb, "type diverged at draw {i}");
+            assert_eq!(&pa, pb, "program diverged at draw {i}");
+        }
+    }
+
+    #[test]
+    fn label_fill_protocol_matches_next() {
+        let cfg = TatpConfig::small();
+        let mut e = Engine::new(EngineConfig::software().with_agents(8));
+        let tables = load(&mut e, &cfg);
+        let mut ga = TatpGenerator::new(cfg.clone(), tables);
+        let mut gb = TatpGenerator::new(cfg, tables);
+        let mut slot = TxnProgram::default();
+        for i in 0..5_000 {
+            let (ta, pa) = ga.next();
+            let label = gb.next_label();
+            gb.fill(&mut slot);
+            assert_eq!(ta.label(), label, "label diverged at draw {i}");
+            assert_eq!(pa, slot, "program diverged at draw {i}");
+        }
     }
 
     #[test]

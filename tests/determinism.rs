@@ -62,61 +62,73 @@ fn workload_seed_changes_everything() {
 }
 
 /// The parallel figure harness must not leak scheduling order into
-/// results: running an E4/E12/E13/E14 subset with 4 workers produces the
-/// same CSV bytes as running it serially. E13 is an interesting member:
-/// its cells each carry a private contention arbiter, so any shared
-/// mutable state would show up here as a byte diff in `e13_hybrid.csv`.
-/// E14 is the other: each of its cells owns a seeded fault injector and
-/// per-unit circuit breakers, so a nondeterministic RNG draw or a
-/// wall-clock leak into breaker timing would diff `e14_brownout.csv`.
-/// `harness_timing.csv` is the single file allowed to differ (it reports
-/// wall-clock, which is the point of the parallelism).
+/// results: running an experiment subset over the full
+/// jobs ∈ {1, 4} × shards ∈ {1, 2, 8} matrix produces the same CSV bytes
+/// in every configuration. The subset covers every sharding shape: E5
+/// (model-range shards with a row-reassembling merge), E7 (part-range
+/// shards under the default concat merge), E10 (sweep-point shards), E12
+/// (config-range shards with a ratio-computing merge), plus E4, E13, and
+/// E14. E13 is an interesting member: its cells each carry a private
+/// contention arbiter, so any shared mutable state would show up here as
+/// a byte diff in `e13_hybrid.csv`. E14 is the other: each of its cells
+/// owns a seeded fault injector and per-unit circuit breakers, so a
+/// nondeterministic RNG draw or a wall-clock leak into breaker timing
+/// would diff `e14_brownout.csv`. `harness_timing.csv` is the single file
+/// allowed to differ (it reports wall-clock, which is the point of the
+/// parallelism).
 #[test]
-fn harness_results_are_independent_of_job_count() {
+fn harness_results_are_independent_of_jobs_and_shards() {
     use bionic_bench::experiments::{build, Scale};
     use bionic_bench::harness;
 
     let base = std::env::temp_dir().join(format!("bionic_determinism_{}", std::process::id()));
-    let mut per_jobs: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
+    let mut per_config: Vec<std::collections::BTreeMap<String, Vec<u8>>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
     for jobs in [1usize, 4] {
-        let dir = base.join(format!("jobs{jobs}"));
-        let experiments = ["e4", "e12", "e13", "e14"]
-            .into_iter()
-            .map(|id| build(id, Scale::Smoke).expect("known id"))
-            .collect();
-        let timing = harness::run(experiments, jobs, &dir);
-        timing.table().save_and_print(&dir, "harness_timing");
-        let mut csvs = std::collections::BTreeMap::new();
-        for entry in std::fs::read_dir(&dir).expect("results dir") {
-            let path = entry.expect("dir entry").path();
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
-            if name == "harness_timing.csv" {
-                continue;
+        for shards in [1usize, 2, 8] {
+            let dir = base.join(format!("jobs{jobs}_shards{shards}"));
+            let experiments = ["e4", "e5", "e7", "e10", "e12", "e13", "e14"]
+                .into_iter()
+                .map(|id| build(id, Scale::Smoke, shards).expect("known id"))
+                .collect();
+            let timing = harness::run(experiments, jobs, &dir);
+            timing.table().save_and_print(&dir, "harness_timing");
+            let mut csvs = std::collections::BTreeMap::new();
+            for entry in std::fs::read_dir(&dir).expect("results dir") {
+                let path = entry.expect("dir entry").path();
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                if name == "harness_timing.csv" {
+                    continue;
+                }
+                csvs.insert(name, std::fs::read(&path).expect("read csv"));
             }
-            csvs.insert(name, std::fs::read(&path).expect("read csv"));
+            assert!(!csvs.is_empty(), "harness produced no CSVs");
+            assert!(
+                csvs.contains_key("e13_hybrid.csv"),
+                "E13 must write e13_hybrid.csv"
+            );
+            assert!(
+                csvs.contains_key("e14_brownout.csv"),
+                "E14 must write e14_brownout.csv"
+            );
+            per_config.push(csvs);
+            labels.push(format!("jobs={jobs} shards={shards}"));
         }
-        assert!(!csvs.is_empty(), "harness produced no CSVs");
-        assert!(
-            csvs.contains_key("e13_hybrid.csv"),
-            "E13 must write e13_hybrid.csv"
-        );
-        assert!(
-            csvs.contains_key("e14_brownout.csv"),
-            "E14 must write e14_brownout.csv"
-        );
-        per_jobs.push(csvs);
     }
-    let (a, b) = (&per_jobs[0], &per_jobs[1]);
-    assert_eq!(
-        a.keys().collect::<Vec<_>>(),
-        b.keys().collect::<Vec<_>>(),
-        "same set of CSV files for any --jobs"
-    );
-    for (name, bytes) in a {
+    let a = &per_config[0];
+    for (b, label) in per_config[1..].iter().zip(&labels[1..]) {
         assert_eq!(
-            bytes, &b[name],
-            "{name} must be byte-identical across --jobs"
+            a.keys().collect::<Vec<_>>(),
+            b.keys().collect::<Vec<_>>(),
+            "same set of CSV files at {label}"
         );
+        for (name, bytes) in a {
+            assert_eq!(
+                bytes, &b[name],
+                "{name} must be byte-identical at {label} vs {}",
+                labels[0]
+            );
+        }
     }
     let _ = std::fs::remove_dir_all(&base);
 }
@@ -125,6 +137,10 @@ fn harness_results_are_independent_of_job_count() {
 /// utilization, and metrics artifacts are byte-identical whether the
 /// traced cells ran serially or on 4 worker threads. Sim-time-only
 /// timestamps and fully specified export ordering make this hold.
+/// (`--shards` has no axis here by construction: a traced run is one
+/// serial simulation that bypasses the sharded cell harness, since
+/// splitting it would change the recorded span interleaving itself —
+/// so job count is the only knob that could leak into trace bytes.)
 #[test]
 fn trace_artifacts_are_independent_of_job_count() {
     use bionic_bench::trace::run_traced;
