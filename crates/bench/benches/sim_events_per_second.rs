@@ -68,9 +68,16 @@ fn rig(cfg: EngineConfig) -> (Engine, TatpGenerator) {
 }
 
 /// Assert the zero-alloc-per-event budget on a warmed loop, outside any
-/// criterion measurement so the counter sees only simulator work.
-fn assert_alloc_budget(name: &str, cfg: EngineConfig) {
+/// criterion measurement so the counter sees only simulator work. With
+/// `attrib` the engine also records per-class critical-path attribution
+/// at every commit — the budget must hold there too, since E13/E14 run
+/// with it on: histogram recording is plain array arithmetic and the
+/// class table only allocates on first sighting (absorbed by warmup).
+fn assert_alloc_budget(name: &str, cfg: EngineConfig, attrib: bool) {
     let (mut engine, mut generator) = rig(cfg);
+    if attrib {
+        engine.enable_attribution();
+    }
     // Warmup grows the skeleton pools, scratch arenas, and page maps.
     bionic_workloads::run_batched_pooled(
         &mut engine,
@@ -97,11 +104,12 @@ fn assert_alloc_budget(name: &str, cfg: EngineConfig) {
 }
 
 fn bench_events_per_second(c: &mut Criterion) {
-    for (name, cfg) in [
-        ("software", EngineConfig::software()),
-        ("bionic", EngineConfig::bionic()),
+    for (name, cfg, attrib) in [
+        ("software", EngineConfig::software(), false),
+        ("bionic", EngineConfig::bionic(), false),
+        ("bionic+attrib", EngineConfig::bionic(), true),
     ] {
-        assert_alloc_budget(name, cfg);
+        assert_alloc_budget(name, cfg, attrib);
     }
 
     let mut g = c.benchmark_group("sim_events_per_second");
@@ -180,6 +188,7 @@ fn bench_hybrid_chunk(c: &mut Criterion) {
                 scan_rows: 100_000,
                 range_queries: true,
                 software_scans: false,
+                snapshot_window: None,
             };
             black_box(run_hybrid(&mut engine, &cfg).scans)
         });

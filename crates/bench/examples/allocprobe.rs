@@ -76,6 +76,7 @@ fn probe_hybrid(n: u64) {
         scan_rows: 1_000_000,
         range_queries: true,
         software_scans: false,
+        snapshot_window: None,
     };
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let t0 = std::time::Instant::now();

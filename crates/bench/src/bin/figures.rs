@@ -8,6 +8,7 @@
 //! cargo run --release -p bionic-bench --bin figures --list      # list ids
 //! cargo run --release -p bionic-bench --bin figures --trace out # traced runs
 //! cargo run --release -p bionic-bench --bin figures --smoke e14 # CI-sized run
+//! cargo run --release -p bionic-bench --bin figures --report e13 e14 # + scoreboard
 //! ```
 //!
 //! Each experiment prints its tables and writes `results/<id>_*.csv`.
@@ -29,8 +30,8 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--jobs N] [--shards N] [--list] [--smoke] [--out DIR] [--trace DIR] \
-         [ids...]   ids: {}",
+        "usage: figures [--jobs N] [--shards N] [--list] [--smoke] [--report] [--out DIR] \
+         [--trace DIR] [ids...]   ids: {}",
         experiments::ids().collect::<Vec<_>>().join(" ")
     );
     exit(2);
@@ -43,6 +44,7 @@ fn main() {
     let mut trace_dir: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut scale = Scale::Full;
+    let mut report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +77,10 @@ fn main() {
             // come from a Full run, so smoke output defaults away from
             // results/ (override with --out).
             "--smoke" => scale = Scale::Smoke,
+            // Assemble a run report (report.json + report.md scoreboard
+            // with knee/valley detectors) from the results dir after the
+            // selected experiments finish.
+            "--report" => report = true,
             "--out" => {
                 let d = args.next().unwrap_or_else(|| usage());
                 out_dir = Some(PathBuf::from(d));
@@ -126,4 +132,27 @@ fn main() {
     });
     let timing = harness::run(selected, jobs, &results);
     timing.table().save_and_print(&results, "harness_timing");
+
+    if report {
+        let label = match scale {
+            Scale::Full => "full",
+            Scale::Smoke => "smoke",
+        };
+        match bionic_bench::report::build_report(&results, label) {
+            Ok(rep) => match bionic_bench::report::write_report(&results, &rep) {
+                Ok((json, md)) => {
+                    println!("wrote {}", json.display());
+                    println!("wrote {}", md.display());
+                }
+                Err(e) => {
+                    eprintln!("report write failed: {e}");
+                    exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("report build failed: {e}");
+                exit(1);
+            }
+        }
+    }
 }

@@ -1415,6 +1415,47 @@ fn e12(scale: Scale, shards: usize) -> Experiment {
     }
 }
 
+/// Column names of one attribution row (appended after a cell's sweep
+/// coordinates): integer picoseconds/picojoules only, so the merged table
+/// is byte-identical at any `--jobs`×`--shards`.
+const ATTRIB_COLS: [&str; 14] = [
+    "class",
+    "path",
+    "count",
+    "lat_mean_ps",
+    "lat_p50_ps",
+    "lat_p99_ps",
+    "lat_max_ps",
+    "energy_pj_mean",
+    "probe_ps",
+    "arbiter_wait_ps",
+    "watchdog_retry_ps",
+    "fallback_ps",
+    "commit_ps",
+    "other_ps",
+];
+
+/// Append one row per occupied `(class, path)` attribution cell to `t`,
+/// each prefixed with `prefix` (the cell's sweep coordinates).
+fn attrib_rows(t: &mut Table, prefix: &[String], attrib: &bionic_telemetry::Attribution) {
+    for (class, path, cell) in attrib.cells() {
+        let mut row = prefix.to_vec();
+        let lat = &cell.latency_ps;
+        row.push(class.to_string());
+        row.push(path.label().to_string());
+        row.push(lat.count().to_string());
+        row.push(lat.mean().to_string());
+        row.push(lat.quantile(0.50).to_string());
+        row.push(lat.quantile(0.99).to_string());
+        row.push(lat.max().to_string());
+        row.push(cell.energy_pj.mean().to_string());
+        for ps in cell.segments_ps {
+            row.push(ps.to_string());
+        }
+        t.row(row);
+    }
+}
+
 // --------------------------------------------------------------- E13 ----
 
 /// Figure 4 end-to-end: the hybrid engine under analytics pressure.
@@ -1433,6 +1474,7 @@ fn e13(scale: Scale) -> Experiment {
         .map(|&pct| -> Cell {
             Cell::one(move || {
                 let mut engine = Engine::new(EngineConfig::bionic());
+                engine.enable_attribution();
                 let cfg = HybridConfig {
                     tatp: TatpConfig {
                         subscribers: scale.subscribers(),
@@ -1444,6 +1486,7 @@ fn e13(scale: Scale) -> Experiment {
                     scan_rows: scale.pick(1_000_000, 100_000) as usize,
                     range_queries: true,
                     software_scans: false,
+                    snapshot_window: Some(SimTime::from_us(200.0)),
                 };
                 let r = run_hybrid(&mut engine, &cfg);
                 bionic_workloads::hybrid::check_conservation(&engine)
@@ -1478,8 +1521,55 @@ fn e13(scale: Scale) -> Experiment {
                     f(100.0 * r.sg_mean_fill_frac),
                     f(100.0 * r.sg_max_fill_frac),
                 ]);
+                // Critical-path attribution per transaction class × offload
+                // path, keyed by this cell's pressure point.
+                let mut headers = vec!["scan_pressure_pct"];
+                headers.extend_from_slice(&ATTRIB_COLS);
+                let mut at = Table::new(&headers);
+                attrib_rows(
+                    &mut at,
+                    &[pct.to_string()],
+                    engine.attribution().expect("enabled above"),
+                );
+                // Windowed snapshot feed: per-window commit/wait/path deltas
+                // on the fixed 200 µs grid (run-relative bounds).
+                let mut wt = Table::new(&[
+                    "scan_pressure_pct",
+                    "window",
+                    "start_us",
+                    "end_us",
+                    "committed",
+                    "sg_oltp_wait_events",
+                    "sg_olap_wait_events",
+                    "attrib_hw_hit",
+                    "attrib_hw_retry",
+                    "attrib_sw_fallback",
+                    "fabric_occupancy",
+                ]);
+                let hub = r.snapshots.as_ref().expect("window configured");
+                for w in hub.windows() {
+                    wt.row(vec![
+                        pct.to_string(),
+                        w.index.to_string(),
+                        bionic_telemetry::export::fmt_us(w.start.as_ps()),
+                        bionic_telemetry::export::fmt_us(w.end.as_ps()),
+                        w.counter_delta("engine", "committed").to_string(),
+                        w.counter_delta("arbiter/sg", "oltp_wait_events")
+                            .to_string(),
+                        w.counter_delta("arbiter/sg", "olap_wait_events")
+                            .to_string(),
+                        w.counter_delta("attrib", "hw-hit").to_string(),
+                        w.counter_delta("attrib", "hw-retry").to_string(),
+                        w.counter_delta("attrib", "sw-fallback").to_string(),
+                        f(w.gauge_level("fabric", "occupancy").unwrap_or(0.0)),
+                    ]);
+                }
                 CellOut {
-                    tables: vec![("e13_hybrid".into(), t)],
+                    tables: vec![
+                        ("e13_hybrid".into(), t),
+                        ("e13_attrib".into(), at),
+                        ("e13_windows".into(), wt),
+                    ],
                     values: vec![r.oltp.latency.p99.as_us()],
                     notes: vec![],
                 }
@@ -1523,6 +1613,7 @@ fn e14_cell(scale: Scale, config_label: &'static str, rate_bp: Option<u32>) -> C
         None => EngineConfig::software(),
     };
     let mut engine = Engine::new(engine_cfg);
+    engine.enable_attribution();
     let cfg = HybridConfig {
         tatp: TatpConfig {
             subscribers: scale.subscribers(),
@@ -1534,6 +1625,7 @@ fn e14_cell(scale: Scale, config_label: &'static str, rate_bp: Option<u32>) -> C
         scan_rows: scale.pick(500_000, 100_000) as usize,
         range_queries: true,
         software_scans: rate_bp.is_none(),
+        snapshot_window: None,
     };
     let r = run_hybrid(&mut engine, &cfg);
     bionic_workloads::hybrid::check_conservation(&engine)
@@ -1596,8 +1688,19 @@ fn e14_cell(scale: Scale, config_label: &'static str, rate_bp: Option<u32>) -> C
         closes.to_string(),
         f(degraded_us),
     ]);
+    // Attribution: how each transaction class split between hw-hit,
+    // watchdog-retry, and sw-fallback at this fault rate — the brownout's
+    // path mix, keyed by (config, rate).
+    let mut headers = vec!["config", "fault_rate_bp"];
+    headers.extend_from_slice(&ATTRIB_COLS);
+    let mut at = Table::new(&headers);
+    attrib_rows(
+        &mut at,
+        &[config_label.to_string(), rate_bp.unwrap_or(0).to_string()],
+        engine.attribution().expect("enabled above"),
+    );
     CellOut {
-        tables: vec![("e14_brownout".into(), t)],
+        tables: vec![("e14_brownout".into(), t), ("e14_attrib".into(), at)],
         values: vec![
             r.oltp.committed as f64,
             r.oltp.aborted as f64,

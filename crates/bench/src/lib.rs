@@ -5,6 +5,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod trace;
 
 use std::fmt::Write as _;

@@ -197,6 +197,13 @@ pub struct Engine {
     pub(crate) log_fallback: LatchedLog,
     /// Reusable hot-path buffers (see [`crate::exec::ExecScratch`]).
     pub(crate) scratch: crate::exec::ExecScratch,
+    /// Per-transaction critical-path accumulator (reset at each submit;
+    /// charged along the execution path, flushed at commit).
+    pub(crate) path_acc: bionic_telemetry::TxnPathAcc,
+    /// Commit-time latency/energy attribution ledger per transaction class
+    /// × offload path. `None` = disabled, zero hot-path cost (see
+    /// [`Engine::enable_attribution`]).
+    pub(crate) attrib: Option<bionic_telemetry::Attribution>,
 }
 
 impl Engine {
@@ -270,6 +277,8 @@ impl Engine {
                 .map(|fc| FaultLayer::new(fc, cfg.seed)),
             log_fallback: LatchedLog::new(sw_log_params),
             scratch: crate::exec::ExecScratch::default(),
+            path_acc: bionic_telemetry::TxnPathAcc::default(),
+            attrib: None,
             platform: fabric_platform,
             cfg,
         }
@@ -358,6 +367,10 @@ impl Engine {
         self.platform.energy.reset();
         self.stats = EngineStats::new();
         self.tel.reset_run();
+        if let Some(a) = &mut self.attrib {
+            a.reset();
+        }
+        self.path_acc.reset();
     }
 
     /// Turn the sim-time span recorder on with the standard track layout:
@@ -367,6 +380,31 @@ impl Engine {
     pub fn enable_telemetry(&mut self, capacity: usize) {
         let agents = self.cfg.agents;
         self.tel.enable(agents, capacity);
+    }
+
+    /// Turn on commit-time attribution: per transaction class × offload
+    /// path latency/energy histograms with a critical-path decomposition
+    /// (probe / arbiter-wait / watchdog-retry / fallback / commit). All
+    /// recorded quantities are integers (picoseconds, picojoules) so shard
+    /// merges are exact. Stays enabled across [`Engine::finish_load`]
+    /// (which clears recorded data).
+    pub fn enable_attribution(&mut self) {
+        if self.attrib.is_none() {
+            self.attrib = Some(bionic_telemetry::Attribution::default());
+        }
+    }
+
+    /// The commit-time attribution ledger, if enabled.
+    pub fn attribution(&self) -> Option<&bionic_telemetry::Attribution> {
+        self.attrib.as_ref()
+    }
+
+    /// Merge another engine's attribution ledger into this one (shard
+    /// reduce). No-op when either side is disabled.
+    pub fn merge_attribution(&mut self, other: &Engine) {
+        if let (Some(mine), Some(theirs)) = (self.attrib.as_mut(), other.attrib.as_ref()) {
+            mine.merge(theirs);
+        }
     }
 
     /// Pull a metrics snapshot from every layer into the telemetry
@@ -440,6 +478,16 @@ impl Engine {
                         &format!("{}_bytes", client.label()),
                         arb.client_bytes(client.index()),
                     );
+                    m.counter(
+                        scope,
+                        &format!("{}_wait_events", client.label()),
+                        arb.client_wait_events(client.index()),
+                    );
+                    m.gauge(
+                        scope,
+                        &format!("{}_queued_us", client.label()),
+                        arb.client_queued(client.index()).as_us(),
+                    );
                 }
                 m.counter(scope, "requests", arb.requests());
                 m.gauge(scope, "max_fill_frac", arb.max_fill_frac());
@@ -456,6 +504,13 @@ impl Engine {
 
         for (domain, e) in energy {
             m.gauge("energy", domain.label(), e.as_j());
+        }
+
+        if let Some(a) = &self.attrib {
+            let counts = a.path_counts();
+            for p in bionic_telemetry::attrib::PATHS {
+                m.counter("attrib", p.label(), counts[p.idx()]);
+            }
         }
 
         if let Some(layer) = &self.faults {
@@ -596,6 +651,21 @@ impl Engine {
                 .as_mut()
                 .map(|f| f.unit_mut(crate::exec::U_SCAN)),
         )
+    }
+
+    /// Record an `arbiter-wait` busy mark on the scanner's unit track.
+    /// Scan-side contention is priced outside the engine (the scan paths
+    /// take the platform alone); this surfaces the queueing the arbiter
+    /// charged on the same timeline the OLTP-side waits use. Empty or
+    /// inverted intervals are ignored, like every span.
+    pub fn mark_scan_arbiter_wait(&mut self, start: SimTime, end: SimTime) {
+        self.tel.unit_busy(
+            crate::exec::U_SCAN,
+            "arbiter-wait",
+            crate::breakdown::Category::Other.label(),
+            start,
+            end,
+        );
     }
 
     /// Per-unit degraded-mode report, stamped at the latest completion

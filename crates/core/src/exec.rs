@@ -23,6 +23,7 @@ use bionic_sim::stats::Summary;
 use bionic_sim::time::SimTime;
 use bionic_storage::page::RecordId;
 use bionic_storage::slotted::SlottedPage;
+use bionic_telemetry::attrib::{SEG_ARBITER_WAIT, SEG_COMMIT, SEG_FALLBACK, SEG_PROBE, SEG_RETRY};
 use bionic_wal::record::{LogBodyRef, Lsn, TxnId};
 use bionic_wal::timing::LogInsertModel;
 
@@ -253,6 +254,9 @@ impl Engine {
     /// software. With the layer off this is `(ZERO, true)` and costs
     /// nothing: no RNG draw, no branch into the fault machinery.
     fn hw_gate(&mut self, unit: usize, cat: &'static str, now: SimTime) -> (SimTime, bool) {
+        // Every caller is a hardware attempt: flag the transaction as
+        // offloaded for the commit-time path classification.
+        self.path_acc.offloaded = true;
         let Some(layer) = self.faults.as_mut() else {
             return (SimTime::ZERO, true);
         };
@@ -261,6 +265,14 @@ impl Engine {
             let mark = if d.hw { "hw-retry" } else { "hw-fallback" };
             self.tel.unit_busy(unit, mark, cat, now, now + d.delay);
             self.breakdown.charge(Category::Other, d.delay);
+            // Watchdog/retry/backoff time is its own critical-path segment.
+            self.path_acc.charge(SEG_RETRY, d.delay.as_ps());
+            if d.hw {
+                self.path_acc.retried = true;
+            }
+        }
+        if !d.hw {
+            self.path_acc.fell_back = true;
         }
         (d.delay, d.hw)
     }
@@ -305,7 +317,16 @@ impl Engine {
             (SimTime::ZERO, true)
         };
         if self.probe_hw.is_none() || !go {
-            let mut cpu = gate + self.sw_probe_cost(fp);
+            let sw = self.sw_probe_cost(fp);
+            // Attribution: a refused hardware probe is fallback time; the
+            // plain software descent is probe time.
+            let seg = if self.probe_hw.is_some() {
+                SEG_FALLBACK
+            } else {
+                SEG_PROBE
+            };
+            self.path_acc.charge(seg, sw.as_ps());
+            let mut cpu = gate + sw;
             if self.cfg.exec == ExecModel::Conventional {
                 // Latch coupling: ~10 instructions + contention at the root.
                 cpu += self.sw_work(
@@ -338,6 +359,19 @@ impl Engine {
         let sg_wait =
             self.platform
                 .sg_contention_delay(BwClient::Oltp, now + cpu, levels as u64 * 64);
+        let wait = link_wait + sg_wait;
+        if !wait.is_zero() {
+            // The probe sat in the bandwidth arbiter before the doorbell:
+            // surface it on the unit track and in the critical path.
+            self.tel.unit_busy(
+                U_PROBE,
+                "arbiter-wait",
+                Category::Btree.label(),
+                now + cpu,
+                now + cpu + wait,
+            );
+            self.path_acc.charge(SEG_ARBITER_WAIT, wait.as_ps());
+        }
         let at_fpga = self.platform.pcie_send(now + cpu + link_wait + sg_wait, 64);
         let probe = self.probe_hw.as_mut().expect("checked above");
         let outcome = if miss {
@@ -353,6 +387,8 @@ impl Engine {
             at_fpga,
             outcome.time(),
         );
+        self.path_acc
+            .charge(SEG_PROBE, outcome.time().saturating_sub(at_fpga).as_ps());
         let mut done = self.platform.pcie_send(outcome.time(), 16);
         let mut cpu_total = cpu;
         if let ProbeOutcome::Aborted { .. } = outcome {
@@ -374,6 +410,8 @@ impl Engine {
                 at2,
                 retry.time(),
             );
+            self.path_acc
+                .charge(SEG_PROBE, retry.time().saturating_sub(at2).as_ps());
             done = self.platform.pcie_send(retry.time(), 16);
             cpu_total += fetch_cpu;
         }
@@ -420,6 +458,17 @@ impl Engine {
             let link_wait =
                 self.platform
                     .link_contention_delay(BwClient::Oltp, now + cpu, bytes as u64);
+            let wait = sg_wait + link_wait;
+            if !wait.is_zero() {
+                self.tel.unit_busy(
+                    U_OVERLAY,
+                    "arbiter-wait",
+                    Category::Other.label(),
+                    now + cpu,
+                    now + cpu + wait,
+                );
+                self.path_acc.charge(SEG_ARBITER_WAIT, wait.as_ps());
+            }
             let asy = SimTime::from_ns(400.0)
                 + self.platform.pcie.wire_time(bytes as u64)
                 + sg_wait
@@ -468,9 +517,10 @@ impl Engine {
             // [`Engine::record_write_cost`] charges when the overlay is
             // off. The functional overlay put at the call site is
             // unaffected (pricing-only reroute).
-            let cpu = gate + self.sw_work(Category::Bpool, 110, 3, AccessClass::Hot);
+            let sw = self.sw_work(Category::Bpool, 110, 3, AccessClass::Hot);
+            self.path_acc.charge(SEG_FALLBACK, sw.as_ps());
             return OpCost {
-                cpu,
+                cpu: gate + sw,
                 asy: SimTime::ZERO,
             };
         }
@@ -478,6 +528,16 @@ impl Engine {
         let link_wait = self
             .platform
             .link_contention_delay(BwClient::Oltp, now + cpu, 64);
+        if !link_wait.is_zero() {
+            self.tel.unit_busy(
+                U_OVERLAY,
+                "arbiter-wait",
+                Category::Bpool.label(),
+                now + cpu,
+                now + cpu + link_wait,
+            );
+            self.path_acc.charge(SEG_ARBITER_WAIT, link_wait.as_ps());
+        }
         let done = self.platform.pcie_send(now + cpu + link_wait, 64);
         self.tel.unit_busy(
             U_OVERLAY,
@@ -538,7 +598,13 @@ impl Engine {
                 timing.buffered_at,
             );
         }
-        let cpu = gate + self.cpu_time(Category::Log, timing.cpu_busy);
+        let insert_cpu = self.cpu_time(Category::Log, timing.cpu_busy);
+        if is_hw && !go {
+            // The log record rerouted through the latch-serialized software
+            // buffer: its insert time is fallback, not log-engine service.
+            self.path_acc.charge(SEG_FALLBACK, insert_cpu.as_ps());
+        }
+        let cpu = gate + insert_cpu;
         self.platform.charge_fpga(timing.energy);
         (cpu, timing.buffered_at, lsn)
     }
@@ -754,9 +820,20 @@ impl Engine {
                     cost.asy += SimTime::from_ns(400.0) * extra_leaves;
                     let e = self.platform.sg_dram.charge_accesses(extra_leaves * 8);
                     self.platform.energy.charge(EnergyDomain::SgDram, e);
-                    cost.asy +=
+                    let sg_wait =
                         self.platform
                             .sg_contention_delay(BwClient::Oltp, now, extra_leaves * 64);
+                    if !sg_wait.is_zero() {
+                        self.tel.unit_busy(
+                            U_PROBE,
+                            "arbiter-wait",
+                            Category::Btree.label(),
+                            now,
+                            now + sg_wait,
+                        );
+                        self.path_acc.charge(SEG_ARBITER_WAIT, sg_wait.as_ps());
+                    }
+                    cost.asy += sg_wait;
                 } else {
                     cost.cpu +=
                         self.sw_work(Category::Btree, 4 * rids.len() as u64, 0, AccessClass::Hot);
@@ -1158,6 +1235,15 @@ impl Engine {
         let txn = self.next_txn;
         self.next_txn += 1;
         self.tel.set_txn(txn);
+        self.path_acc.reset();
+        // Per-txn energy delta for attribution: mark the ledger total now,
+        // subtract at commit. Converted once to integer picojoules at
+        // record time so shard merges stay exact.
+        let energy_mark = if self.attrib.is_some() {
+            self.platform.energy.total().as_j()
+        } else {
+            0.0
+        };
 
         // Front-end: admission + routing on the dispatcher.
         let fe_cpu = self.sw_work(Category::FrontEnd, 300, 5, AccessClass::Hot);
@@ -1217,6 +1303,12 @@ impl Engine {
                         _ => {
                             let e = self.queue_sw.enqueue(cross);
                             let d = self.queue_sw.dequeue(cross);
+                            if self.queue_hw.is_some() {
+                                // Hardware queue refused this hand-off:
+                                // software enqueue/dequeue is fallback time.
+                                self.path_acc
+                                    .charge(SEG_FALLBACK, (e.cpu_busy + d.cpu_busy).as_ps());
+                            }
                             (e.cpu_busy, d.cpu_busy, None)
                         }
                     };
@@ -1327,6 +1419,7 @@ impl Engine {
                 }
                 None => {
                     // Commit.
+                    let commit_start = t;
                     let mut commit_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
                     if self.cfg.exec == ExecModel::Conventional && locks_taken > 0 {
                         commit_cpu += self.sw_work(
@@ -1370,6 +1463,13 @@ impl Engine {
                     let latency = done - arrive;
                     self.stats.latency.record(latency);
                     self.stats.last_completion = self.stats.last_completion.max(done);
+                    if let Some(attrib) = self.attrib.as_mut() {
+                        self.path_acc
+                            .charge(SEG_COMMIT, done.saturating_sub(commit_start).as_ps());
+                        let delta_j = self.platform.energy.total().as_j() - energy_mark;
+                        let pj = (delta_j * 1e12).round().max(0.0) as u64;
+                        attrib.record(program.name, latency.as_ps(), pj, &self.path_acc);
+                    }
                     TxnOutcome::Committed { latency }
                 }
             }

@@ -26,6 +26,11 @@ pub struct ScanOutcome {
     pub pcie_bytes: u64,
     /// Completion time.
     pub done: SimTime,
+    /// SG-DRAM arbiter queueing absorbed by the predicate stream (zero on
+    /// a contention-free platform and on the software path).
+    pub sg_wait: SimTime,
+    /// PCIe-link arbiter queueing absorbed by the projection transfer.
+    pub link_wait: SimTime,
 }
 
 /// The functional half of a scan — matching rows plus the NFA state-visit
@@ -143,6 +148,8 @@ pub fn scan_software_with(
         matches: eval.matches.clone(),
         pcie_bytes: pred_bytes + proj_bytes,
         done,
+        sg_wait: SimTime::ZERO,
+        link_wait: SimTime::ZERO,
     }
 }
 
@@ -202,8 +209,9 @@ pub fn scan_enhanced_with(
     platform.energy.charge(EnergyDomain::SgDram, e);
 
     let proj_bytes = eval.matches.len() as u64 * req.projection_width(table) as u64;
+    let mut link_wait = SimTime::ZERO;
     let done = if proj_bytes > 0 {
-        let link_wait = platform.link_contention_delay(BwClient::Olap, filtered_at, proj_bytes);
+        link_wait = platform.link_contention_delay(BwClient::Olap, filtered_at, proj_bytes);
         platform.pcie_transfer(filtered_at + link_wait, proj_bytes)
     } else {
         filtered_at
@@ -212,6 +220,8 @@ pub fn scan_enhanced_with(
         matches: eval.matches.clone(),
         pcie_bytes: proj_bytes,
         done,
+        sg_wait,
+        link_wait,
     }
 }
 

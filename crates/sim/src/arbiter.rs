@@ -96,6 +96,13 @@ pub struct SharedBandwidth {
     max_fill: u64,
     requests: u64,
     queued_total: SimTime,
+    /// Per-client arbitration delay totals (`queued_total` is their sum,
+    /// maintained independently as a third conservation check).
+    per_client_queued: Vec<SimTime>,
+    /// Per-client count of requests that observed a nonzero queueing
+    /// delay — the "how often did backpressure bite" rate the windowed
+    /// snapshots report.
+    per_client_wait_events: Vec<u64>,
 }
 
 impl SharedBandwidth {
@@ -121,6 +128,8 @@ impl SharedBandwidth {
             max_fill: 0,
             requests: 0,
             queued_total: SimTime::ZERO,
+            per_client_queued: vec![SimTime::ZERO; weights.len()],
+            per_client_wait_events: vec![0; weights.len()],
         }
     }
 
@@ -215,6 +224,10 @@ impl SharedBandwidth {
         let done = drained.max(floor);
         let queued = done - floor;
         self.queued_total += queued;
+        self.per_client_queued[client] += queued;
+        if !queued.is_zero() {
+            self.per_client_wait_events[client] += 1;
+        }
         Grant { done, queued }
     }
 
@@ -236,6 +249,17 @@ impl SharedBandwidth {
     /// Sum of all arbitration delays handed out.
     pub fn queued_total(&self) -> SimTime {
         self.queued_total
+    }
+
+    /// Arbitration delay handed to one client.
+    pub fn client_queued(&self, client: usize) -> SimTime {
+        self.per_client_queued[client]
+    }
+
+    /// Number of one client's requests that observed a nonzero queueing
+    /// delay.
+    pub fn client_wait_events(&self, client: usize) -> u64 {
+        self.per_client_wait_events[client]
     }
 
     /// Peak fill of any window as a fraction of capacity (≤ 1 when
@@ -294,6 +318,16 @@ impl SharedBandwidth {
             return Err(format!(
                 "client ledgers sum to {client_sum}, grand total says {}",
                 self.total_bytes
+            ));
+        }
+        let queued_sum: SimTime = self
+            .per_client_queued
+            .iter()
+            .fold(SimTime::ZERO, |acc, &q| acc + q);
+        if queued_sum != self.queued_total {
+            return Err(format!(
+                "per-client queued delays sum to {queued_sum}, total says {}",
+                self.queued_total
             ));
         }
         Ok(())
@@ -396,6 +430,23 @@ mod tests {
             a.client_bytes(0) + a.client_bytes(1),
             a.total_bytes(),
             "ledgers must agree"
+        );
+        a.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn per_client_wait_accounting_matches_grants() {
+        let mut a = sg();
+        // A scan loads a window, then OLTP lands inside it and waits.
+        a.request(BwClient::Oltp.index(), SimTime::ZERO, 64);
+        a.request(BwClient::Olap.index(), SimTime::from_us(5.1), 1 << 20);
+        let hot = a.request(BwClient::Oltp.index(), SimTime::from_us(5.2), 64);
+        assert!(!hot.queued.is_zero());
+        assert_eq!(a.client_wait_events(BwClient::Oltp.index()), 1);
+        assert_eq!(
+            a.client_queued(BwClient::Oltp.index()) + a.client_queued(BwClient::Olap.index()),
+            a.queued_total(),
+            "per-client queued delays must sum to the total"
         );
         a.check_conservation().unwrap();
     }

@@ -11,13 +11,15 @@ use crate::tracer::{SpanEvent, Track, TrackKind};
 use bionic_sim::time::SimTime;
 
 /// Format picoseconds as a Chrome-trace `ts` value: microseconds with six
-/// fractional digits, computed purely with integer math.
-fn fmt_us(ps: u64) -> String {
+/// fractional digits, computed purely with integer math. Public because
+/// every exporter in the crate (snapshots, reports, traces) must format
+/// timestamps identically for artifacts to stay byte-stable.
+pub fn fmt_us(ps: u64) -> String {
     format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -153,7 +155,8 @@ pub struct UtilizationRow {
     pub window: usize,
     /// Window start, picoseconds.
     pub start_ps: u64,
-    /// Window end, picoseconds (clipped to the traced horizon's window grid).
+    /// Window end, picoseconds. The final window is clipped to the traced
+    /// horizon, so a partial tail window has `end_ps - start_ps < window`.
     pub end_ps: u64,
     /// Busy picoseconds inside the window, after union-merging overlaps.
     pub busy_ps: u64,
@@ -180,7 +183,9 @@ impl UtilizationRow {
 ///
 /// Every registered track gets rows for every window — a unit that never
 /// ran still shows up, at zero occupancy, so coverage is explicit. The
-/// window count is `ceil(horizon / window)`, minimum one.
+/// window count is `ceil(horizon / window)`, minimum one, and the final
+/// window's end is clipped to the horizon so a partial tail window
+/// reports occupancy against its real width, not the full grid width.
 pub fn utilization_rows(
     tracks: &[Track],
     timelines: &Timelines,
@@ -193,7 +198,13 @@ pub fn utilization_rows(
     for (tid, track) in tracks.iter().enumerate() {
         for w in 0..n_windows {
             let start = w as u64 * win;
-            let end = start + win;
+            let end = if horizon > start {
+                (start + win).min(horizon)
+            } else {
+                // Nothing was ever recorded (horizon 0): keep the single
+                // full-width window so idle tracks still report 0/window.
+                start + win
+            };
             rows.push(UtilizationRow {
                 track: track.name.clone(),
                 window: w,
@@ -285,6 +296,30 @@ mod tests {
         assert!(csv.contains("fpga/tree-probe,0,0.000000,0.100000,0.030000,0.300000"));
         // core-0 busy 0..100ns (outer span covers children) = 1.0.
         assert!(csv.contains("core-0,0,0.000000,0.100000,0.100000,1.000000"));
+    }
+
+    #[test]
+    fn tail_window_is_clipped_to_horizon() {
+        // Horizon 150ns with 100ns windows: the second window is a 50ns
+        // partial. A track busy for all 50ns of the tail must report full
+        // occupancy against the clipped width, not 0.5 of the grid width.
+        let mut tel = Telemetry::disabled();
+        tel.enable(1, 64);
+        let c0 = tel.core_track(0);
+        tel.span(c0, "head", "Xct", t(0), t(30));
+        tel.span(c0, "tail", "Xct", t(100), t(150));
+        let rows = utilization_rows(tel.tracks(), tel.timelines(), SimTime::from_ns(100.0));
+        let tail: Vec<&UtilizationRow> = rows
+            .iter()
+            .filter(|r| r.track == "core-0" && r.window == 1)
+            .collect();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].start_ps, 100_000);
+        assert_eq!(tail[0].end_ps, 150_000, "tail window end clips to horizon");
+        assert_eq!(tail[0].busy_ps, 50_000);
+        assert_eq!(tail[0].occupancy(), "1.000000");
+        let csv = utilization_csv(tel.tracks(), tel.timelines(), SimTime::from_ns(100.0));
+        assert!(csv.contains("core-0,1,0.100000,0.150000,0.050000,1.000000"));
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //!   `chrome://tracing`, one track per unit/core, spans nested per
 //!   transaction) and flat CSVs; plus [`validate_chrome_trace`], the schema
 //!   check CI runs against every exported trace.
+//! * [`SnapshotHub`] — windowed snapshots on a fixed sim-time grid:
+//!   per-window counter deltas and gauge levels, the feed the adaptive
+//!   placement controller (ROADMAP item 4) reads.
+//! * [`Attribution`] — commit-time latency/energy attribution per
+//!   transaction class × offload path (hw-hit / hw-retry / sw-fallback /
+//!   cpu), with a critical-path decomposition into probe, arbiter-wait,
+//!   watchdog-retry, fallback, commit, and other segments, built on
+//!   pre-sized mergeable [`LogHistogram`]s.
+//! * [`RunReport`] — a per-experiment scoreboard with knee/valley
+//!   detectors, hand-rolled JSON both ways, markdown rendering, and
+//!   [`diff_reports`], the regression gate `report-diff` runs in CI.
 //!
 //! ## Determinism rules
 //!
@@ -40,13 +51,24 @@
 
 #![deny(missing_docs)]
 
+pub mod attrib;
 pub mod export;
+pub mod histogram;
 pub mod metrics;
+pub mod report;
+pub mod snapshot;
 pub mod timeline;
 pub mod tracer;
 pub mod validate;
 
+pub use attrib::{Attribution, OffloadPath, PathCell, TxnPathAcc};
+pub use histogram::LogHistogram;
 pub use metrics::{MetricValue, MetricsRegistry};
+pub use report::{
+    detect_knee, detect_valley, diff_reports, DetectorResult, ExperimentReport, ReportDiff,
+    RunReport,
+};
+pub use snapshot::{SnapshotHub, SnapshotWindow, WindowValue};
 pub use timeline::Timelines;
 pub use tracer::{RingSink, SpanEvent, Telemetry, TraceSink, TrackId, TrackKind, UNIT_NAMES};
 pub use validate::validate_chrome_trace;

@@ -1,0 +1,96 @@
+//! Conservation law for [`SnapshotHub`] windows: counter deltas
+//! telescope.
+//!
+//! The adaptive-placement feed consumes per-window counter deltas; those
+//! are only trustworthy if summing a counter's deltas across every
+//! window reproduces the final cumulative registry value exactly — no
+//! events created, lost, or double-counted at window boundaries — and if
+//! the window grid itself is gapless. Proven here over arbitrary
+//! capture-point counter trajectories (including decreasing ones, where
+//! deltas go negative but still telescope).
+#![recursion_limit = "1024"]
+
+use bionic_sim::time::SimTime;
+use bionic_telemetry::{MetricsRegistry, SnapshotHub, WindowValue};
+use proptest::prelude::*;
+
+/// The counters a trajectory drives; a scope the engine never uses.
+const COUNTERS: [(&str, &str); 3] = [
+    ("prop", "committed"),
+    ("prop", "aborted"),
+    ("prop/unit", "retries"),
+];
+
+fn trajectories() -> impl Strategy<Value = Vec<[u64; 3]>> {
+    // One `[u64; 3]` of absolute counter values per capture point.
+    prop::collection::vec(
+        (
+            0u64..1_000_000_000,
+            0u64..1_000_000_000,
+            0u64..1_000_000_000,
+        )
+            .prop_map(|(a, b, c)| [a, b, c]),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Conservation: per counter, the window deltas sum to the final
+    // cumulative value (the hub's baseline before the first capture is
+    // zero), and a counter absent from a window reads as delta zero.
+    #[test]
+    fn window_deltas_telescope_to_cumulative(points in trajectories()) {
+        let mut hub = SnapshotHub::new(SimTime::from_us(1.0));
+        let mut m = MetricsRegistry::new();
+        for (i, vals) in points.iter().enumerate() {
+            for (c, (scope, name)) in COUNTERS.iter().enumerate() {
+                m.counter(scope, name, vals[c]);
+            }
+            m.gauge("prop", "level", vals[0] as f64);
+            hub.capture(SimTime::from_us((i + 1) as f64), &m);
+        }
+        prop_assert_eq!(hub.len(), points.len());
+
+        let last = points.last().unwrap();
+        for (c, (scope, name)) in COUNTERS.iter().enumerate() {
+            let total: i64 = hub.windows().map(|w| w.counter_delta(scope, name)).sum();
+            prop_assert_eq!(total, last[c] as i64, "counter {}/{}", scope, name);
+        }
+
+        // Gauges are levels, not deltas: each window reports the value
+        // at its capture point.
+        for (w, vals) in hub.windows().zip(&points) {
+            prop_assert_eq!(w.gauge_level("prop", "level"), Some(vals[0] as f64));
+        }
+
+        // Absent counters read as zero, not as a phantom delta.
+        for w in hub.windows() {
+            prop_assert_eq!(w.counter_delta("prop", "no-such-counter"), 0);
+        }
+    }
+
+    // The grid is gapless: window i+1 starts exactly where window i
+    // ended, indices are dense from zero, and each window carries
+    // exactly one row per registered metric.
+    #[test]
+    fn window_grid_is_gapless(points in trajectories()) {
+        let mut hub = SnapshotHub::new(SimTime::from_us(1.0));
+        let mut m = MetricsRegistry::new();
+        for (i, vals) in points.iter().enumerate() {
+            m.counter("prop", "committed", vals[0]);
+            hub.capture(SimTime::from_us((i + 1) as f64), &m);
+        }
+        let mut prev_end = SimTime::ZERO;
+        for (i, w) in hub.windows().enumerate() {
+            prop_assert_eq!(w.index as usize, i);
+            prop_assert_eq!(w.start, prev_end);
+            prop_assert!(w.end > w.start);
+            prev_end = w.end;
+            let rows: Vec<_> = w.rows().collect();
+            prop_assert_eq!(rows.len(), 1, "one registered counter, one row");
+            prop_assert!(matches!(rows[0].2, WindowValue::Delta(_)));
+        }
+    }
+}

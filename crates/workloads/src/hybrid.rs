@@ -53,6 +53,9 @@ pub struct HybridConfig {
     /// pair it with [`bionic_core::config::EngineConfig::software`] and
     /// *nothing* in the run touches an accelerator.
     pub software_scans: bool,
+    /// Capture windowed metric snapshots on this fixed sim-time grid
+    /// (run-relative). `None` disables the snapshot feed entirely.
+    pub snapshot_window: Option<SimTime>,
 }
 
 impl HybridConfig {
@@ -69,6 +72,7 @@ impl HybridConfig {
             scan_rows: 200_000,
             range_queries: true,
             software_scans: false,
+            snapshot_window: None,
         }
     }
 }
@@ -114,6 +118,10 @@ pub struct HybridReport {
     pub link_olap_bytes: u64,
     /// Peak PCIe-link window fill (fraction of capacity).
     pub link_max_fill_frac: f64,
+    /// Windowed metric snapshots, when [`HybridConfig::snapshot_window`]
+    /// was set: one window per grid step (run-relative times) plus a final
+    /// partial window at the horizon.
+    pub snapshots: Option<bionic_telemetry::SnapshotHub>,
 }
 
 /// Build the columnar table the analytic stream scans: a deterministic
@@ -192,6 +200,7 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
     let mut last_scan_done = SimTime::ZERO;
     let mut queries = 0u64;
 
+    let mut hub = cfg.snapshot_window.map(bionic_telemetry::SnapshotHub::new);
     let mut txn_i = 0u64;
     let mut scan_i = 0u64;
     while txn_i < cfg.txns {
@@ -201,6 +210,17 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
         } else {
             scan_period * scan_i
         };
+        if let Some(hub) = hub.as_mut() {
+            // Grid crossing: collect every layer's counters and capture the
+            // finished window(s) before the next arrival runs. Times on the
+            // grid are run-relative (arrival offsets from `base`).
+            let next_arrival = txn_at.min(scan_at);
+            while hub.due(next_arrival) {
+                let end = hub.cursor() + hub.window();
+                engine.collect_metrics();
+                hub.capture(end, engine.tel.metrics());
+            }
+        }
         if txn_at <= scan_at {
             let (ty, prog) = generator.next_ref();
             *per_type.entry(ty.label()).or_insert(0) += 1;
@@ -236,6 +256,13 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
                     &scan_eval,
                 )
             };
+            let wait = out.sg_wait + out.link_wait;
+            if !wait.is_zero() {
+                // Surface the analytic stream's arbiter queueing on the
+                // scanner's unit track (satellite of the per-client wait
+                // counters the arbiter itself keeps).
+                engine.mark_scan_arbiter_wait(base + scan_at, base + scan_at + wait);
+            }
             scan_hist.record(out.done - (base + scan_at));
             scans += 1;
             scan_matches += out.matches.len() as u64;
@@ -255,6 +282,19 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
 
     let committed = engine.stats.committed - committed_before;
     let elapsed = engine.stats.last_completion.saturating_sub(base);
+    if let Some(hub) = hub.as_mut() {
+        // Close out the grid at the horizon: any full windows the arrival
+        // loop never crossed, then one final partial window so the deltas
+        // telescope to the run's cumulative counters.
+        engine.collect_metrics();
+        while hub.due(elapsed) {
+            let end = hub.cursor() + hub.window();
+            hub.capture(end, engine.tel.metrics());
+        }
+        if elapsed > hub.cursor() || hub.is_empty() {
+            hub.capture(elapsed.max(hub.cursor()), engine.tel.metrics());
+        }
+    }
     let energy = engine.platform.energy.since(&energy_before);
     let oltp = WorkloadReport {
         submitted: engine.stats.submitted - submitted_before,
@@ -308,6 +348,7 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
         link_oltp_bytes: contention.link.client_bytes(0),
         link_olap_bytes: contention.link.client_bytes(1),
         link_max_fill_frac: contention.link.max_fill_frac(),
+        snapshots: hub,
     }
 }
 
@@ -408,6 +449,38 @@ mod tests {
         assert_eq!(sw.scan_matches, enhanced.scan_matches);
         assert_eq!(sw.oltp.committed, enhanced.oltp.committed);
         assert_eq!(sw.oltp.aborted, enhanced.oltp.aborted);
+        check_conservation(&engine).unwrap();
+    }
+
+    #[test]
+    fn snapshot_deltas_telescope_and_attribution_covers_commits() {
+        let mut engine = Engine::new(EngineConfig::bionic());
+        engine.enable_attribution();
+        let cfg = HybridConfig {
+            scan_rows: 100_000,
+            txns: 400,
+            snapshot_window: Some(SimTime::from_us(100.0)),
+            ..HybridConfig::small(0.6)
+        };
+        let report = run_hybrid(&mut engine, &cfg);
+        let hub = report.snapshots.as_ref().expect("window configured");
+        assert!(hub.len() > 1, "run spans several windows");
+        // Conservation: per-window commit deltas telescope to the total.
+        let total: i64 = hub
+            .windows()
+            .map(|w| w.counter_delta("engine", "committed"))
+            .sum();
+        assert_eq!(total, report.oltp.committed as i64);
+        // Attribution saw every committed transaction, and under pressure
+        // some of them waited on the arbiter.
+        let attrib = engine.attribution().expect("enabled above");
+        assert_eq!(attrib.count(), report.oltp.committed);
+        let waited: u64 = attrib
+            .cells()
+            .iter()
+            .map(|(_, _, c)| c.segments_ps[bionic_telemetry::attrib::SEG_ARBITER_WAIT])
+            .sum();
+        assert!(waited > 0, "scan pressure should queue some probes");
         check_conservation(&engine).unwrap();
     }
 

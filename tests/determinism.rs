@@ -75,7 +75,11 @@ fn workload_seed_changes_everything() {
 /// nondeterministic RNG draw or a wall-clock leak into breaker timing
 /// would diff `e14_brownout.csv`. `harness_timing.csv` is the single file
 /// allowed to differ (it reports wall-clock, which is the point of the
-/// parallelism).
+/// parallelism). The run report (`report.json` / `report.md`) is built
+/// from each configuration's CSVs and compared too, so the scoreboard a
+/// CI baseline diffs against inherits the same guarantee — including the
+/// knee/valley detector verdicts and the attribution/window tables they
+/// summarize.
 #[test]
 fn harness_results_are_independent_of_jobs_and_shards() {
     use bionic_bench::experiments::{build, Scale};
@@ -93,6 +97,8 @@ fn harness_results_are_independent_of_jobs_and_shards() {
                 .collect();
             let timing = harness::run(experiments, jobs, &dir);
             timing.table().save_and_print(&dir, "harness_timing");
+            let report = bionic_bench::report::build_report(&dir, "smoke").expect("report builds");
+            bionic_bench::report::write_report(&dir, &report).expect("report writes");
             let mut csvs = std::collections::BTreeMap::new();
             for entry in std::fs::read_dir(&dir).expect("results dir") {
                 let path = entry.expect("dir entry").path();
@@ -110,6 +116,10 @@ fn harness_results_are_independent_of_jobs_and_shards() {
             assert!(
                 csvs.contains_key("e14_brownout.csv"),
                 "E14 must write e14_brownout.csv"
+            );
+            assert!(
+                csvs.contains_key("report.json"),
+                "the run report must land next to the CSVs"
             );
             per_config.push(csvs);
             labels.push(format!("jobs={jobs} shards={shards}"));
