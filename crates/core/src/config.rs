@@ -96,6 +96,10 @@ pub struct EngineConfig {
     /// default) means the fault layer does not exist: no RNG draws, no
     /// watchdogs, byte-identical results to a build without it.
     pub hw_faults: Option<HwFaultConfig>,
+    /// Adaptive placement controller (see [`crate::placement`]). `None`
+    /// (the default) means no controller exists: no observations, no
+    /// rerouting, byte-identical pricing to a build without it.
+    pub placement: Option<crate::placement::PlacementConfig>,
 }
 
 impl EngineConfig {
@@ -114,6 +118,7 @@ impl EngineConfig {
             cpu_nj_per_instr: 2.0,
             sg_nj_per_access: 2.0,
             hw_faults: None,
+            placement: None,
         }
     }
 
@@ -150,6 +155,49 @@ impl EngineConfig {
         self.hw_faults = Some(faults);
         self
     }
+
+    /// Arm the adaptive placement controller (see [`crate::placement`]):
+    /// each decision window the engine samples the counters it already
+    /// keeps and may shed op classes from hardware to the software paths
+    /// (arbiter contention, breaker flapping). Functional results are
+    /// unaffected — placement reroutes *pricing* only.
+    ///
+    /// Minimal adaptive run:
+    ///
+    /// ```
+    /// use bionic_core::config::EngineConfig;
+    /// use bionic_core::engine::Engine;
+    /// use bionic_core::ops::{Action, Op, TxnProgram};
+    /// use bionic_core::placement::PlacementConfig;
+    /// use bionic_sim::time::SimTime;
+    ///
+    /// // The bionic engine with the calibrated default controller.
+    /// let cfg = EngineConfig::bionic().with_placement(PlacementConfig::default());
+    /// let mut engine = Engine::new(cfg);
+    /// let t = engine.create_table("accounts");
+    /// engine.load(t, 1, b"alice: 100");
+    /// engine.finish_load();
+    ///
+    /// let read = TxnProgram::single_phase(
+    ///     "read-account",
+    ///     vec![Action::new(t, 1, vec![Op::Read { table: t, key: 1 }])],
+    /// );
+    /// // Submissions carry sim time; the controller observes whenever a
+    /// // 100 µs window boundary is crossed and its summary lands in the
+    /// // engine's placement report.
+    /// for i in 0..2_000u32 {
+    ///     let at = SimTime::from_us(f64::from(i) * 2.0);
+    ///     assert!(engine.submit(&read, at).is_committed());
+    /// }
+    /// let report = engine.placement_report().expect("controller armed");
+    /// assert!(report.windows > 0, "windows observed: {}", report.windows);
+    /// // An uncontended, fault-free run never sheds anything.
+    /// assert_eq!(report.transitions, 0);
+    /// ```
+    pub fn with_placement(mut self, placement: crate::placement::PlacementConfig) -> Self {
+        self.placement = Some(placement);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +222,10 @@ mod tests {
         assert_eq!(c.agents, 4);
         assert_eq!(c.seed, 7);
         assert!(c.hw_faults.is_none(), "faults are strictly opt-in");
+        assert!(c.placement.is_none(), "placement is strictly opt-in");
         let f = EngineConfig::bionic().with_hw_faults(HwFaultConfig::uniform(100));
         assert_eq!(f.hw_faults.unwrap().rates.stall_bp, 100);
+        let p = EngineConfig::bionic().with_placement(crate::placement::PlacementConfig::default());
+        assert_eq!(p.placement.unwrap().shed_trip_windows, 3);
     }
 }

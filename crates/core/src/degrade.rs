@@ -47,6 +47,12 @@ impl FaultLayer {
         &mut self.units[unit]
     }
 
+    /// Read-only view of the unit at telemetry index `unit` — the
+    /// placement controller samples counters without touching state.
+    pub fn unit(&self, unit: usize) -> &DegradedUnit {
+        &self.units[unit]
+    }
+
     /// Snapshot every unit for reporting, stamped at sim-time `now` (the
     /// time-in-degraded-state of a currently-Open breaker accrues up to
     /// `now`).

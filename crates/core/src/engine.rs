@@ -191,6 +191,9 @@ pub struct Engine {
     /// Degraded-mode layer (watchdog/retry/breaker per unit); `None`
     /// unless [`EngineConfig::hw_faults`] is set.
     pub(crate) faults: Option<FaultLayer>,
+    /// Adaptive placement controller (see [`crate::placement`]); `None`
+    /// unless [`EngineConfig::placement`] is set.
+    pub(crate) placement: Option<crate::placement::PlacementController>,
     /// Software log-insert model used when a hardware log insert falls
     /// back (constructed with the same parameters as the `Latched` path,
     /// so fallback pricing matches the software baseline).
@@ -275,6 +278,10 @@ impl Engine {
                 .hw_faults
                 .as_ref()
                 .map(|fc| FaultLayer::new(fc, cfg.seed)),
+            placement: cfg
+                .placement
+                .clone()
+                .map(crate::placement::PlacementController::new),
             log_fallback: LatchedLog::new(sw_log_params),
             scratch: crate::exec::ExecScratch::default(),
             path_acc: bionic_telemetry::TxnPathAcc::default(),
@@ -530,6 +537,21 @@ impl Engine {
                 m.gauge(&scope, "time_degraded_us", r.time_degraded.as_us());
             }
         }
+
+        if let Some(ctl) = &self.placement {
+            let r = ctl.report();
+            m.counter("placement", "windows", r.windows);
+            m.counter("placement", "shed_windows", r.shed_windows);
+            m.counter("placement", "brownout_windows", r.brownout_windows);
+            m.counter("placement", "transitions", r.transitions);
+            for (u, name) in bionic_telemetry::UNIT_NAMES.iter().enumerate() {
+                m.gauge(
+                    "placement",
+                    &format!("{name}_forced_sw"),
+                    f64::from(u8::from(r.forced_sw[u])),
+                );
+            }
+        }
     }
 
     /// Direct read of a row (untimed; for tests and verification). The
@@ -673,6 +695,89 @@ impl Engine {
     pub fn fault_report(&self) -> Option<Vec<FaultUnitReport>> {
         let now = self.stats.last_completion;
         self.faults.as_ref().map(|f| f.report(now))
+    }
+
+    /// Gather the cumulative counters the placement controller diffs: the
+    /// arbiter's per-client queueing and grant bytes, per-unit degrade
+    /// stats and breaker opens, and the commit count — all ledgers the
+    /// engine keeps anyway, read without mutation.
+    fn placement_signals(&self) -> crate::placement::PlacementSignals {
+        let mut s = crate::placement::PlacementSignals {
+            committed: self.stats.committed,
+            ..Default::default()
+        };
+        if let Some(c) = &self.platform.contention {
+            let oltp = bionic_sim::arbiter::BwClient::Oltp.index();
+            let olap = bionic_sim::arbiter::BwClient::Olap.index();
+            s.oltp_queued_ps =
+                c.sg.client_queued(oltp).as_ps() + c.link.client_queued(oltp).as_ps();
+            s.oltp_wait_events = c.sg.client_wait_events(oltp) + c.link.client_wait_events(oltp);
+            s.sg_olap_bytes = c.sg.client_bytes(olap);
+        }
+        if let Some(layer) = &self.faults {
+            for u in 0..crate::placement::UNIT_COUNT {
+                let unit = layer.unit(u);
+                s.unit_ops[u] = unit.stats.ops;
+                s.unit_retries[u] = unit.stats.retries;
+                s.unit_fallbacks[u] = unit.stats.fallbacks;
+                s.breaker_opens[u] = unit.breaker().opens();
+            }
+        }
+        s
+    }
+
+    /// Drive the placement controller at sim time `now`: when a decision
+    /// window boundary has been crossed, sample the counters, run the
+    /// decision rules, and emit a trace mark per effective transition.
+    /// No-op (one `Option` check) when the controller is off; between
+    /// boundaries it costs one comparison.
+    pub fn placement_tick(&mut self, now: SimTime) {
+        let Some(ctl) = self.placement.as_ref() else {
+            return;
+        };
+        if !ctl.due(now) {
+            return;
+        }
+        let signals = self.placement_signals();
+        let ctl = self.placement.as_mut().expect("checked above");
+        ctl.observe(now, signals);
+        while let Some(d) = self.placement.as_mut().and_then(|c| c.take_unannounced()) {
+            let label = if d.forced_sw {
+                "placement-shed"
+            } else {
+                "placement-restore"
+            };
+            self.tel.unit_busy(
+                d.unit,
+                label,
+                d.reason.label(),
+                d.at,
+                d.at + SimTime::from_ns(100.0),
+            );
+        }
+    }
+
+    /// May `unit` use its hardware path right now, as far as the
+    /// placement controller is concerned? Always `true` when no
+    /// controller is armed.
+    #[inline]
+    pub(crate) fn placement_allows(&self, unit: usize) -> bool {
+        match &self.placement {
+            Some(ctl) => ctl.allows_hw(unit),
+            None => true,
+        }
+    }
+
+    /// Should the next enhanced-scanner dispatch run in software because
+    /// the controller browned the scan unit out? (Distinct from the
+    /// breaker-driven per-op fallback inside `scan_dispatch`.)
+    pub fn placement_scan_software(&self) -> bool {
+        !self.placement_allows(crate::exec::U_SCAN)
+    }
+
+    /// The placement controller's summary, or `None` when off.
+    pub fn placement_report(&self) -> Option<crate::placement::PlacementReport> {
+        self.placement.as_ref().map(|c| c.report())
     }
 
     /// The write-ahead log (read access, e.g. for verification).

@@ -308,23 +308,22 @@ impl Engine {
     fn probe_cost(&mut self, table: u32, key: i64, fp: &Footprint, now: SimTime) -> OpCost {
         self.stats.probes += 1;
         self.stats.probe_nodes_visited += fp.nodes_visited() as u64;
-        // Degraded mode: a faulting probe engine reroutes this one probe
-        // to the software descent (plus whatever watchdog/retry time the
-        // failed attempts burned).
-        let (gate, go) = if self.probe_hw.is_some() {
+        // Placement shedding routes the probe straight to the software
+        // descent — no hardware attempt, so no fault-layer consultation
+        // (and no RNG draw) either. Degraded mode then reroutes
+        // individual faulting probes the same way.
+        let hw_active = self.probe_hw.is_some() && self.placement_allows(U_PROBE);
+        let (gate, go) = if hw_active {
             self.hw_gate(U_PROBE, Category::Btree.label(), now)
         } else {
             (SimTime::ZERO, true)
         };
-        if self.probe_hw.is_none() || !go {
+        if !hw_active || !go {
             let sw = self.sw_probe_cost(fp);
             // Attribution: a refused hardware probe is fallback time; the
-            // plain software descent is probe time.
-            let seg = if self.probe_hw.is_some() {
-                SEG_FALLBACK
-            } else {
-                SEG_PROBE
-            };
+            // plain software descent (static or placement-shed) is probe
+            // time.
+            let seg = if hw_active { SEG_FALLBACK } else { SEG_PROBE };
             self.path_acc.charge(seg, sw.as_ps());
             let mut cpu = gate + sw;
             if self.cfg.exec == ExecModel::Conventional {
@@ -445,7 +444,11 @@ impl Engine {
 
     /// Record fetch cost (`bytes` of payload, `missed` = buffer-pool miss).
     fn record_read_cost(&mut self, bytes: usize, missed: bool, now: SimTime) -> OpCost {
-        if self.cfg.offloads.overlay {
+        // While placement has the overlay shed, reads are served from the
+        // host-side structures (which the engine maintains functionally in
+        // every mode) and price through the buffer-pool path below —
+        // keeping the OLTP read stream off the contended SG-DRAM port.
+        if self.cfg.offloads.overlay && self.placement_allows(U_OVERLAY) {
             // Record lives in FPGA memory: one more SG round piggybacked on
             // the probe exchange.
             let cpu = self.sw_work(Category::Other, 20, 0, AccessClass::Hot);
@@ -510,6 +513,17 @@ impl Engine {
 
     /// Overlay delta-write cost (the FPGA overlay manager of Figure 4).
     fn overlay_write_cost(&mut self, now: SimTime) -> OpCost {
+        if !self.placement_allows(U_OVERLAY) {
+            // Placement-shed: price the delta through the buffer-pool
+            // write path, exactly as a software-overlay configuration
+            // would — no hardware attempt, no fault-layer consultation.
+            // The functional overlay put at the call site is unaffected.
+            let sw = self.sw_work(Category::Bpool, 110, 3, AccessClass::Hot);
+            return OpCost {
+                cpu: sw,
+                asy: SimTime::ZERO,
+            };
+        }
         let (gate, go) = self.hw_gate(U_OVERLAY, Category::Bpool.label(), now);
         if !go {
             // Software fallback: the delta goes through the buffer-pool
@@ -576,20 +590,24 @@ impl Engine {
             }
         }
         let is_hw = matches!(self.log_path, LogPath::Hardware(_));
-        let (gate, go) = if is_hw {
+        // Placement shedding sends the record straight to the software
+        // buffer with no hardware attempt; degraded mode reroutes single
+        // faulting inserts the same way after the gate says no.
+        let hw_active = is_hw && self.placement_allows(U_LOG);
+        let (gate, go) = if hw_active {
             self.hw_gate(U_LOG, Category::Log.label(), now)
         } else {
             (SimTime::ZERO, true)
         };
-        let timing = if go {
-            self.log_path.insert(now + gate, agent, bytes as u64)
-        } else {
-            // Fallback: the record goes through the latch-serialized
+        let timing = if is_hw && !(hw_active && go) {
+            // Fallback/shed: the record goes through the latch-serialized
             // software buffer (functional append already happened above —
             // only the insertion pricing reroutes).
             self.log_fallback.insert(now + gate, agent, bytes as u64)
+        } else {
+            self.log_path.insert(now + gate, agent, bytes as u64)
         };
-        if is_hw && go {
+        if hw_active && go {
             self.tel.unit_busy(
                 U_LOG,
                 "log-insert",
@@ -599,7 +617,7 @@ impl Engine {
             );
         }
         let insert_cpu = self.cpu_time(Category::Log, timing.cpu_busy);
-        if is_hw && !go {
+        if hw_active && !go {
             // The log record rerouted through the latch-serialized software
             // buffer: its insert time is fallback, not log-engine service.
             self.path_acc.charge(SEG_FALLBACK, insert_cpu.as_ps());
@@ -816,7 +834,7 @@ impl Engine {
                 let c = self.probe_cost(*table, *lo, &fp, now);
                 cost.add(c);
                 let extra_leaves = fp.leaves_visited.saturating_sub(1) as u64;
-                if self.probe_hw.is_some() {
+                if self.probe_hw.is_some() && self.placement_allows(U_PROBE) {
                     cost.asy += SimTime::from_ns(400.0) * extra_leaves;
                     let e = self.platform.sg_dram.charge_accesses(extra_leaves * 8);
                     self.platform.energy.charge(EnergyDomain::SgDram, e);
@@ -1068,18 +1086,19 @@ impl Engine {
         // Price each CLR like a small logged update.
         for _ in 0..undone {
             let is_hw = matches!(self.log_path, LogPath::Hardware(_));
-            let (gate, go) = if is_hw {
+            let hw_active = is_hw && self.placement_allows(U_LOG);
+            let (gate, go) = if hw_active {
                 self.hw_gate(U_LOG, Category::Log.label(), now + cpu)
             } else {
                 (SimTime::ZERO, true)
             };
             cpu += gate;
-            let timing = if go {
-                self.log_path.insert(now + cpu, agent, 120)
-            } else {
+            let timing = if is_hw && !(hw_active && go) {
                 self.log_fallback.insert(now + cpu, agent, 120)
+            } else {
+                self.log_path.insert(now + cpu, agent, 120)
             };
-            if is_hw && go {
+            if hw_active && go {
                 self.tel.unit_busy(
                     U_LOG,
                     "clr-insert",
@@ -1231,6 +1250,10 @@ impl Engine {
             // The "process" is already dead: nothing runs, nothing counts.
             return TxnOutcome::Interrupted;
         }
+        // Adaptive placement observes on its window grid at arrival time —
+        // before this transaction is priced, so the decision it runs under
+        // depends only on prior windows (one branch when disarmed).
+        self.placement_tick(arrive);
         self.stats.submitted += 1;
         let txn = self.next_txn;
         self.next_txn += 1;
@@ -1286,14 +1309,15 @@ impl Engine {
                     // Action creation + queue hand-off (Dora mechanics).
                     let create = self.sw_work(Category::Dora, 100, 2, AccessClass::Hot);
                     let cross = self.socket_of(agent_idx) != 0;
-                    let (gate, go) = if self.queue_hw.is_some() {
+                    let queue_hw_active = self.queue_hw.is_some() && self.placement_allows(U_QUEUE);
+                    let (gate, go) = if queue_hw_active {
                         self.hw_gate(U_QUEUE, Category::Dora.label(), t)
                     } else {
                         (SimTime::ZERO, true)
                     };
                     let tq = t + gate;
                     let (enq, deq, hw_op) = match self.queue_hw.as_mut() {
-                        Some(hw) if go => {
+                        Some(hw) if queue_hw_active && go => {
                             let lat = hw.op_latency();
                             let e = hw.enqueue(tq);
                             let d = hw.dequeue(tq);
@@ -1303,7 +1327,7 @@ impl Engine {
                         _ => {
                             let e = self.queue_sw.enqueue(cross);
                             let d = self.queue_sw.dequeue(cross);
-                            if self.queue_hw.is_some() {
+                            if queue_hw_active {
                                 // Hardware queue refused this hand-off:
                                 // software enqueue/dequeue is fallback time.
                                 self.path_acc

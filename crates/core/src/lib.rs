@@ -46,6 +46,7 @@ pub mod degrade;
 pub mod engine;
 pub mod exec;
 pub mod ops;
+pub mod placement;
 pub mod table;
 
 pub use breakdown::{Category, TimeBreakdown};
@@ -54,3 +55,4 @@ pub use degrade::{FaultLayer, FaultUnitReport};
 pub use engine::{CrashImage, Engine, EngineStats};
 pub use exec::{AbortReason, TxnOutcome};
 pub use ops::{Action, Op, Patch, TxnProgram};
+pub use placement::{PlacementConfig, PlacementController, PlacementReport};

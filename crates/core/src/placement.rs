@@ -1,0 +1,624 @@
+//! Adaptive hardware/software placement: the telemetry→scheduling loop.
+//!
+//! Everything before this module placed work statically: an op class ran
+//! in hardware because [`crate::config::Offloads`] said so at construction,
+//! and the only runtime reroute was the failure-driven circuit breaker in
+//! [`crate::degrade`]. The paper's bionic premise, though, is that the
+//! *right* substrate depends on what the machine is doing right now —
+//! Polynesia and the Boroumand HW/SW-cooperation line (PAPERS.md) both
+//! argue placement must respond to load. Two concrete pathologies in this
+//! repo's own sweeps motivate the loop:
+//!
+//! * **E13's high-pressure band**: when the enhanced scanner offers most
+//!   of SG-DRAM's bandwidth, every hardware tree probe queues behind scan
+//!   grants in the arbiter and transaction p99 inflates by orders of
+//!   magnitude — while the *software* descent, which never touches the
+//!   shared fabric, would have answered in microseconds.
+//! * **E14's mid-band valley**: at moderate fault rates the breaker flaps
+//!   (open → half-open → re-open), so a steady trickle of ops pays full
+//!   watchdog-timeout + retry-backoff chains just before each re-open.
+//!
+//! [`PlacementController`] closes the loop. On a fixed sim-time window
+//! grid it reads the cumulative counters the engine already maintains
+//! (arbiter per-client queueing and grant bytes, per-unit degrade stats,
+//! breaker opens, commit counts — the same feed
+//! `telemetry::SnapshotHub` samples), diffs them into per-window deltas,
+//! and decides per functional unit whether the next window's ops run in
+//! hardware or are *shed* to the existing software paths:
+//!
+//! * **Contention shedding** ([`PlacementConfig::shed_units`] — by
+//!   default the tree-probe and overlay units, the OLTP paths that book
+//!   SG-DRAM grants): trip when the OLTP
+//!   client's arbitration delay in a window exceeds
+//!   [`PlacementConfig::shed_trip_pct`] of the window *and* the scanner is
+//!   actively drawing SG bandwidth, for
+//!   [`PlacementConfig::shed_trip_windows`] consecutive windows. Restore
+//!   only once the scanner has gone quiet for
+//!   [`PlacementConfig::shed_clear_windows`] consecutive windows — the
+//!   clear signal is deliberately the *rival's* activity, not our own
+//!   queueing, because shedding removes the very delay that tripped it
+//!   (clearing on our own silence would oscillate).
+//! * **Pre-emptive brownout** (any unit allowed by
+//!   [`PlacementConfig::brownout_units`]): trip when a window shows
+//!   breaker opens, or retries + fallbacks above
+//!   [`PlacementConfig::fault_trip_pct`] of the unit's ops, for
+//!   [`PlacementConfig::fault_trip_windows`] consecutive windows. The unit
+//!   is then pinned to software for [`PlacementConfig::hold_windows`]
+//!   windows — no watchdog expiries, no backoff chains — and released for
+//!   a fresh hardware probe afterwards (the controller's own half-open
+//!   analogue). By default only the tree probe is eligible: its software
+//!   descent is the one reroute that is competitive on both latency and
+//!   energy, so the brownout is free; every other unit's software path
+//!   costs more CPU energy than its hardware service (the scanner ~5×,
+//!   E14's software floor), so pinning them would trade the paper's
+//!   joules/txn headline for latency and is left as an explicit opt-in.
+//!
+//! Determinism contract: decisions are a pure function of the observed
+//! counter sequence — integer arithmetic only (picoseconds, bytes, op
+//! counts; no floats, no RNG, no wall clock), observations happen only
+//! when simulated time crosses a grid boundary, and a decision holds
+//! unchanged for at least one full window (hysteresis streaks + hold
+//! periods mean no unit ever flaps within a window). Placement never
+//! touches functional results — like the fault layer, it reroutes
+//! *pricing* between the hardware models and the always-maintained
+//! software structures — so an adaptive run commits byte-identically to
+//! its static twin, and a `None` config (the default) leaves every priced
+//! path untouched.
+
+use bionic_sim::time::SimTime;
+
+/// Number of offloadable units (mirrors
+/// [`bionic_telemetry::UNIT_NAMES`] and [`crate::degrade::UNIT_COUNT`]).
+pub const UNIT_COUNT: usize = 5;
+/// Tree-probe unit index in [`bionic_telemetry::UNIT_NAMES`] order.
+pub const UNIT_PROBE: usize = 0;
+/// Log-insert unit index.
+pub const UNIT_LOG: usize = 1;
+/// DORA queue unit index.
+pub const UNIT_QUEUE: usize = 2;
+/// Overlay-manager unit index.
+pub const UNIT_OVERLAY: usize = 3;
+/// Enhanced-scanner unit index.
+pub const UNIT_SCAN: usize = 4;
+
+/// Tuning for the adaptive placement controller. Attach with
+/// [`crate::config::EngineConfig::with_placement`]; the default values are
+/// the calibrated operating point experiment E15 evaluates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementConfig {
+    /// Decision window: the fixed sim-time grid on which observations are
+    /// taken and decisions may change.
+    pub window: SimTime,
+    /// Contention trip: shed probes when the OLTP client's arbitration
+    /// delay within a window reaches this percentage of the window's span
+    /// (may exceed 100 — queueing sums across concurrent requests).
+    pub shed_trip_pct: u32,
+    /// Consecutive over-trip windows required before shedding.
+    pub shed_trip_windows: u32,
+    /// Consecutive scanner-quiet windows required before restoring probes
+    /// to hardware.
+    pub shed_clear_windows: u32,
+    /// Scanner activity floor, bytes of SG grant per microsecond of
+    /// window: below this the scanner counts as quiet (4 000 B/µs is 5 %
+    /// of the 80 GB/s SG-DRAM path).
+    pub olap_floor_bytes_per_us: u64,
+    /// Fault trip: a unit's window is "bad" when `retries + fallbacks`
+    /// reach this percentage of its ops (or its breaker opened).
+    pub fault_trip_pct: u32,
+    /// Consecutive bad windows required before browning a unit out.
+    pub fault_trip_windows: u32,
+    /// Windows a browned-out unit stays pinned to software before the
+    /// controller re-probes hardware.
+    pub hold_windows: u32,
+    /// Which units the contention rule sheds. Probe and overlay by
+    /// default: they are the OLTP-side units whose hardware paths book
+    /// SG-DRAM grants and therefore queue behind an active scanner (the
+    /// log and queue engines never touch the shared fabric).
+    pub shed_units: [bool; UNIT_COUNT],
+    /// Which units the fault rule may brown out. Only the tree probe by
+    /// default: it is the one unit whose software path is competitive on
+    /// both latency and energy (~201 nJ software descent vs ~145 nJ
+    /// hardware probe, E4), so pinning it to software under flapping is
+    /// free. The log/queue/overlay software reroutes cost measurably more
+    /// CPU energy than their hardware service — that is why they were
+    /// offloaded — and the scanner's software path forfeits the ~5×
+    /// energy advantage outright; all four keep their per-op breaker
+    /// fallback and stay available here as an explicit opt-in.
+    pub brownout_units: [bool; UNIT_COUNT],
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            window: SimTime::from_us(100.0),
+            shed_trip_pct: 100,
+            shed_trip_windows: 3,
+            shed_clear_windows: 3,
+            olap_floor_bytes_per_us: 4_000,
+            fault_trip_pct: 8,
+            fault_trip_windows: 2,
+            hold_windows: 16,
+            shed_units: [true, false, false, true, false],
+            brownout_units: [true, false, false, false, false],
+        }
+    }
+}
+
+impl PlacementConfig {
+    /// A configuration whose thresholds can never be met: the controller
+    /// observes but never reroutes. Used by the byte-identity tests to
+    /// show the observation path itself does not perturb pricing.
+    pub fn never_trips() -> Self {
+        PlacementConfig {
+            shed_trip_pct: u32::MAX,
+            fault_trip_pct: u32::MAX,
+            // A breaker open always marks a window bad regardless of
+            // `fault_trip_pct`; an unreachable streak keeps it inert.
+            fault_trip_windows: u32::MAX,
+            shed_trip_windows: u32::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// Cumulative counter snapshot the controller diffs per window. All
+/// fields are monotone totals since engine construction; the engine
+/// gathers them in [`crate::engine::Engine::placement_tick`] from ledgers
+/// it already maintains (no new accounting on the hot path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementSignals {
+    /// Total OLTP-client arbitration delay, picoseconds (SG-DRAM + link).
+    pub oltp_queued_ps: u64,
+    /// Total OLTP-client requests that observed a nonzero queueing delay.
+    pub oltp_wait_events: u64,
+    /// Total SG-DRAM bytes granted to the scan (OLAP) client.
+    pub sg_olap_bytes: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Per-unit ops that consulted the degrade layer.
+    pub unit_ops: [u64; UNIT_COUNT],
+    /// Per-unit retried hardware attempts.
+    pub unit_retries: [u64; UNIT_COUNT],
+    /// Per-unit software fallbacks.
+    pub unit_fallbacks: [u64; UNIT_COUNT],
+    /// Per-unit breaker Closed→Open transitions.
+    pub breaker_opens: [u64; UNIT_COUNT],
+}
+
+/// Why a unit's placement changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementReason {
+    /// Shed: the arbiter showed sustained OLTP queueing under an active
+    /// scanner.
+    Contention,
+    /// Shed: the unit's fault rate (retries/fallbacks/breaker opens)
+    /// stayed above the trip threshold.
+    Faults,
+    /// Restored to hardware (clear streak satisfied or hold expired).
+    Restored,
+}
+
+impl PlacementReason {
+    /// Stable label for trace marks and CSV cells.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementReason::Contention => "contention",
+            PlacementReason::Faults => "faults",
+            PlacementReason::Restored => "restored",
+        }
+    }
+}
+
+/// One effective placement transition (logged only when a unit's
+/// hardware/software routing actually changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// End of the observation window that produced the decision.
+    pub at: SimTime,
+    /// Observation index (monotone per controller).
+    pub window: u64,
+    /// Unit index ([`bionic_telemetry::UNIT_NAMES`] order).
+    pub unit: usize,
+    /// `true` = unit now runs in software; `false` = restored to hardware.
+    pub forced_sw: bool,
+    /// What tripped the change.
+    pub reason: PlacementReason,
+}
+
+/// Bound on the retained decision log (transitions keep being *counted*
+/// past it; a controller oscillating this often is a tuning bug the tests
+/// would catch long before memory does).
+const DECISION_LOG_CAP: usize = 16_384;
+
+/// Controller summary for reports and experiment CSV rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementReport {
+    /// Observations taken (grid crossings).
+    pub windows: u64,
+    /// Observations during which probes were contention-shed.
+    pub shed_windows: u64,
+    /// Unit-window count of fault brownout (summed over units).
+    pub brownout_windows: u64,
+    /// Effective placement transitions.
+    pub transitions: u64,
+    /// Units currently routed to software.
+    pub forced_sw: [bool; UNIT_COUNT],
+}
+
+/// The deterministic windowed placement controller. See the module docs
+/// for the decision rules and the determinism contract.
+#[derive(Debug, Clone)]
+pub struct PlacementController {
+    cfg: PlacementConfig,
+    initialized: bool,
+    cursor: SimTime,
+    prev: PlacementSignals,
+    windows: u64,
+    // Contention shedding (probe unit only).
+    shed: bool,
+    trip_streak: u32,
+    clear_streak: u32,
+    shed_windows: u64,
+    // Fault brownout (per unit).
+    hold_left: [u32; UNIT_COUNT],
+    fault_streak: [u32; UNIT_COUNT],
+    brownout_windows: u64,
+    // Decision log.
+    decisions: Vec<PlacementDecision>,
+    transitions: u64,
+    announced: usize,
+}
+
+impl PlacementController {
+    /// A controller in its initial (everything-in-hardware) state.
+    pub fn new(cfg: PlacementConfig) -> Self {
+        assert!(!cfg.window.is_zero(), "placement window must be positive");
+        PlacementController {
+            cfg,
+            initialized: false,
+            cursor: SimTime::ZERO,
+            prev: PlacementSignals::default(),
+            windows: 0,
+            shed: false,
+            trip_streak: 0,
+            clear_streak: 0,
+            shed_windows: 0,
+            hold_left: [0; UNIT_COUNT],
+            fault_streak: [0; UNIT_COUNT],
+            brownout_windows: 0,
+            decisions: Vec::new(),
+            transitions: 0,
+            announced: 0,
+        }
+    }
+
+    /// The attached configuration.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.cfg
+    }
+
+    /// Does simulated time `now` warrant an observation? (Also true once
+    /// before the first observation, which only baselines the counters.)
+    #[inline]
+    pub fn due(&self, now: SimTime) -> bool {
+        !self.initialized || now >= self.cursor + self.cfg.window
+    }
+
+    /// May `unit` run in hardware right now? This is the hot-path query:
+    /// two array reads, no branches into the decision machinery.
+    #[inline]
+    pub fn allows_hw(&self, unit: usize) -> bool {
+        !(self.hold_left[unit] > 0 || (self.shed && self.cfg.shed_units[unit]))
+    }
+
+    fn forced(&self, unit: usize) -> bool {
+        !self.allows_hw(unit)
+    }
+
+    /// Ingest one cumulative counter snapshot at sim time `now`. The first
+    /// call baselines `prev` without deciding anything; later calls that
+    /// have crossed a grid boundary diff the counters over the crossed
+    /// span, run the decision rules once, and advance the cursor to the
+    /// last boundary at or before `now`. Calls between boundaries are
+    /// no-ops, so decisions can only change on the grid.
+    pub fn observe(&mut self, now: SimTime, s: PlacementSignals) {
+        if !self.initialized {
+            self.initialized = true;
+            self.cursor = now;
+            self.prev = s;
+            return;
+        }
+        if now < self.cursor + self.cfg.window {
+            return;
+        }
+        let crossed = (now - self.cursor).as_ps() / self.cfg.window.as_ps();
+        let span = self.cfg.window * crossed;
+        let end = self.cursor + span;
+        let before: [bool; UNIT_COUNT] = std::array::from_fn(|u| self.forced(u));
+
+        let span_ps = span.as_ps().max(1);
+        let queued_delta = s.oltp_queued_ps - self.prev.oltp_queued_ps;
+        let olap_delta = s.sg_olap_bytes - self.prev.sg_olap_bytes;
+        let hot = queued_delta.saturating_mul(100)
+            >= span_ps.saturating_mul(self.cfg.shed_trip_pct as u64);
+        let olap_active =
+            olap_delta >= (span_ps / 1_000_000).max(1) * self.cfg.olap_floor_bytes_per_us;
+
+        // Contention rule (the `shed_units` set). Trip on sustained OLTP
+        // queueing while the scanner draws; clear on a sustained quiet
+        // scanner.
+        if self.shed {
+            if olap_active {
+                self.clear_streak = 0;
+            } else {
+                self.clear_streak += 1;
+                if self.clear_streak >= self.cfg.shed_clear_windows {
+                    self.shed = false;
+                    self.clear_streak = 0;
+                }
+            }
+        } else if hot && olap_active {
+            self.trip_streak = self.trip_streak.saturating_add(1);
+            if self.trip_streak >= self.cfg.shed_trip_windows {
+                self.shed = true;
+                self.trip_streak = 0;
+                self.clear_streak = 0;
+            }
+        } else {
+            self.trip_streak = 0;
+        }
+
+        // Fault rule, per unit. A browned-out unit ticks its hold down
+        // (its own counters are silent while pinned — no hardware
+        // attempts); a live unit accumulates bad-window streaks.
+        for u in 0..UNIT_COUNT {
+            if !self.cfg.brownout_units[u] {
+                continue;
+            }
+            if self.hold_left[u] > 0 {
+                self.hold_left[u] -= 1;
+                continue;
+            }
+            let ops = s.unit_ops[u] - self.prev.unit_ops[u];
+            let faults = (s.unit_retries[u] - self.prev.unit_retries[u])
+                + (s.unit_fallbacks[u] - self.prev.unit_fallbacks[u]);
+            let opened = s.breaker_opens[u] > self.prev.breaker_opens[u];
+            let bad = opened
+                || (ops > 0
+                    && faults.saturating_mul(100)
+                        >= ops.saturating_mul(self.cfg.fault_trip_pct as u64));
+            if bad {
+                self.fault_streak[u] = self.fault_streak[u].saturating_add(1);
+                if self.fault_streak[u] >= self.cfg.fault_trip_windows {
+                    self.hold_left[u] = self.cfg.hold_windows;
+                    self.fault_streak[u] = 0;
+                }
+            } else {
+                self.fault_streak[u] = 0;
+            }
+        }
+
+        self.windows += 1;
+        if self.shed {
+            self.shed_windows += 1;
+        }
+        self.brownout_windows += self.hold_left.iter().filter(|&&h| h > 0).count() as u64;
+
+        for (u, &was) in before.iter().enumerate() {
+            let after = self.forced(u);
+            if after != was {
+                self.transitions += 1;
+                if self.decisions.len() < DECISION_LOG_CAP {
+                    let reason = if !after {
+                        PlacementReason::Restored
+                    } else if self.hold_left[u] > 0 {
+                        PlacementReason::Faults
+                    } else {
+                        PlacementReason::Contention
+                    };
+                    self.decisions.push(PlacementDecision {
+                        at: end,
+                        window: self.windows,
+                        unit: u,
+                        forced_sw: after,
+                        reason,
+                    });
+                }
+            }
+        }
+
+        self.cursor = end;
+        self.prev = s;
+    }
+
+    /// The retained transition log, oldest first.
+    pub fn decisions(&self) -> &[PlacementDecision] {
+        &self.decisions
+    }
+
+    /// Pop the next not-yet-announced transition (the engine drains these
+    /// into trace marks right after each observation).
+    pub fn take_unannounced(&mut self) -> Option<PlacementDecision> {
+        let d = self.decisions.get(self.announced).copied();
+        if d.is_some() {
+            self.announced += 1;
+        }
+        d
+    }
+
+    /// Summarize for reports and experiment rows.
+    pub fn report(&self) -> PlacementReport {
+        PlacementReport {
+            windows: self.windows,
+            shed_windows: self.shed_windows,
+            brownout_windows: self.brownout_windows,
+            transitions: self.transitions,
+            forced_sw: std::array::from_fn(|u| self.forced(u)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: f64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    fn ctl() -> PlacementController {
+        PlacementController::new(PlacementConfig::default())
+    }
+
+    /// Signals showing heavy OLTP queueing under an active scanner.
+    fn contended(k: u64) -> PlacementSignals {
+        PlacementSignals {
+            oltp_queued_ps: k * 200_000_000, // 200 µs queueing per window
+            sg_olap_bytes: k * 2_000_000,    // 20 000 B/µs of scan draw
+            committed: k * 50,
+            ..Default::default()
+        }
+    }
+
+    /// Signals with a quiet scanner and no queueing past window `k0`.
+    fn quiet_after(k: u64, k0: u64) -> PlacementSignals {
+        PlacementSignals {
+            oltp_queued_ps: k0.min(k) * 200_000_000,
+            sg_olap_bytes: k0.min(k) * 2_000_000,
+            committed: k * 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sheds_after_trip_streak_and_restores_after_quiet_streak() {
+        let mut c = ctl();
+        c.observe(SimTime::ZERO, contended(0));
+        assert!(c.allows_hw(UNIT_PROBE));
+        // Windows 1–2: hot streak builds, still hardware.
+        for k in 1..=2 {
+            c.observe(us(k as f64 * 100.0), contended(k));
+            assert!(c.allows_hw(UNIT_PROBE), "window {k} below trip streak");
+        }
+        // Window 3: third consecutive hot window — trips.
+        c.observe(us(300.0), contended(3));
+        assert!(!c.allows_hw(UNIT_PROBE));
+        // Scanner goes quiet: restore only after 3 consecutive quiet
+        // windows.
+        for k in 4..=5 {
+            c.observe(us(k as f64 * 100.0), quiet_after(k, 3));
+            assert!(!c.allows_hw(UNIT_PROBE), "window {k} still held");
+        }
+        c.observe(us(600.0), quiet_after(6, 3));
+        assert!(c.allows_hw(UNIT_PROBE));
+        let r = c.report();
+        // Probe and overlay shed together (the default shed set), then
+        // both restore: four effective transitions.
+        assert_eq!(r.transitions, 4);
+        assert_eq!(r.shed_windows, 3); // windows 3,4,5 ended shed
+        assert_eq!(c.decisions().len(), 4);
+        assert_eq!(c.decisions()[0].reason, PlacementReason::Contention);
+        assert_eq!(c.decisions()[3].reason, PlacementReason::Restored);
+    }
+
+    #[test]
+    fn decisions_only_change_on_grid_boundaries() {
+        let mut c = ctl();
+        c.observe(SimTime::ZERO, contended(0));
+        c.observe(us(100.0), contended(1));
+        // Mid-window observations are no-ops regardless of signals.
+        let before = c.report();
+        c.observe(us(150.0), contended(100));
+        c.observe(us(199.0), contended(200));
+        assert_eq!(c.report(), before);
+        assert!(c.allows_hw(UNIT_PROBE));
+    }
+
+    #[test]
+    fn flapping_unit_browns_out_for_hold_then_reprobes() {
+        // Opt the log unit in (the default set browns out only the probe).
+        let mut c = PlacementController::new(PlacementConfig {
+            brownout_units: [true, true, false, false, false],
+            ..PlacementConfig::default()
+        });
+        let mut s = PlacementSignals::default();
+        c.observe(SimTime::ZERO, s);
+        // Two consecutive windows with breaker opens on the log unit.
+        for k in 1..=2u64 {
+            s.unit_ops[UNIT_LOG] += 100;
+            s.breaker_opens[UNIT_LOG] += 1;
+            c.observe(us(k as f64 * 100.0), s);
+        }
+        assert!(!c.allows_hw(UNIT_LOG));
+        assert!(c.allows_hw(UNIT_PROBE), "other units untouched");
+        // Pinned for hold_windows observations (counters silent), then
+        // released.
+        let hold = c.config().hold_windows as u64;
+        for k in 3..(3 + hold) {
+            assert!(!c.allows_hw(UNIT_LOG), "window {k} inside hold");
+            c.observe(us(k as f64 * 100.0), s);
+        }
+        assert!(c.allows_hw(UNIT_LOG));
+        let r = c.report();
+        assert_eq!(r.brownout_windows, hold);
+        assert_eq!(r.transitions, 2);
+    }
+
+    #[test]
+    fn scanner_is_excluded_from_brownout_by_default() {
+        let mut c = ctl();
+        let mut s = PlacementSignals::default();
+        c.observe(SimTime::ZERO, s);
+        for k in 1..=4u64 {
+            s.unit_ops[UNIT_SCAN] += 10;
+            s.unit_retries[UNIT_SCAN] += 10;
+            s.breaker_opens[UNIT_SCAN] += 1;
+            c.observe(us(k as f64 * 100.0), s);
+        }
+        assert!(c.allows_hw(UNIT_SCAN));
+    }
+
+    #[test]
+    fn retry_share_trips_without_breaker_opens() {
+        let mut c = ctl();
+        let mut s = PlacementSignals::default();
+        c.observe(SimTime::ZERO, s);
+        for k in 1..=2u64 {
+            s.unit_ops[UNIT_PROBE] += 100;
+            s.unit_retries[UNIT_PROBE] += 10; // 10 % ≥ fault_trip_pct 8 %
+            c.observe(us(k as f64 * 100.0), s);
+        }
+        assert!(!c.allows_hw(UNIT_PROBE));
+        assert_eq!(c.decisions()[0].reason, PlacementReason::Faults);
+    }
+
+    #[test]
+    fn never_trips_config_stays_in_hardware() {
+        let mut c = PlacementController::new(PlacementConfig::never_trips());
+        let mut s = contended(0);
+        c.observe(SimTime::ZERO, s);
+        for k in 1..=50u64 {
+            s = contended(k);
+            s.unit_ops[UNIT_LOG] += 100;
+            s.unit_retries[UNIT_LOG] += 100;
+            c.observe(us(k as f64 * 100.0), s);
+        }
+        let r = c.report();
+        assert_eq!(r.transitions, 0);
+        assert!(r.forced_sw.iter().all(|&f| !f));
+        assert_eq!(r.windows, 50);
+    }
+
+    #[test]
+    fn idle_gaps_collapse_into_one_observation() {
+        let mut c = ctl();
+        c.observe(SimTime::ZERO, contended(0));
+        // 10 windows pass with no tick; the next observation covers the
+        // whole span as one window (deltas diluted over the span).
+        c.observe(us(1000.0), contended(1));
+        let r = c.report();
+        assert_eq!(r.windows, 1);
+        // 200 µs queueing over a 1 ms span is 20 % < the 100 % trip.
+        assert!(c.allows_hw(UNIT_PROBE));
+    }
+}

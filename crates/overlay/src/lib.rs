@@ -12,7 +12,7 @@
 //!   results and other 'cooked' data", LRU by bytes and invalidated by
 //!   table versions.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod overlay;
 pub mod result_cache;

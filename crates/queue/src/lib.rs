@@ -15,7 +15,7 @@
 //!   caveat that "hardware … will not magically solve the scheduling
 //!   problem".
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod action_queue;
 pub mod concurrent;

@@ -11,7 +11,7 @@
 //! NFA pattern matching with a byte-per-cycle skeleton-automata hardware
 //! model \[13\] beside the active-set software simulation it embarrasses.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod nfa;
 pub mod predicate;

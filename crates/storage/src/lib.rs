@@ -12,7 +12,7 @@
 //! that `bionic-core` converts to simulated cost, keeping data structures
 //! reusable outside the simulator.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bufferpool;
 pub mod columnar;

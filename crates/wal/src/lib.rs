@@ -17,7 +17,7 @@
 //! * [`logfs`] — §5.4's closing aside made real: a log-structured
 //!   filesystem reusing the same insertion/commit machinery.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod logfs;
 pub mod manager;

@@ -122,6 +122,9 @@ pub struct HybridReport {
     /// was set: one window per grid step (run-relative times) plus a final
     /// partial window at the horizon.
     pub snapshots: Option<bionic_telemetry::SnapshotHub>,
+    /// Adaptive placement controller summary, when the engine was built
+    /// with [`bionic_core::config::EngineConfig::with_placement`].
+    pub placement: Option<bionic_core::PlacementReport>,
 }
 
 /// Build the columnar table the analytic stream scans: a deterministic
@@ -231,12 +234,18 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
                 .record(outcome.latency());
             txn_i += 1;
         } else {
+            // Scan arrivals drive the placement window grid too — without
+            // this, a pure-scan stretch would leave the controller blind
+            // between transactions.
+            engine.placement_tick(base + scan_at);
             // Route through the degraded-mode dispatcher: with the fault
             // layer off this is exactly `scan_enhanced`; with it armed the
-            // scanner unit may reroute this scan to the software path. The
-            // all-software reference configuration skips the dispatcher
-            // and scans on the host unconditionally.
-            let out = if cfg.software_scans {
+            // scanner unit may reroute this scan to the software path. A
+            // placement brownout of the scan unit forces the software path
+            // for the whole decision window. The all-software reference
+            // configuration skips the dispatcher and scans on the host
+            // unconditionally.
+            let out = if cfg.software_scans || engine.placement_scan_software() {
                 scan_software_with(
                     &mut engine.platform,
                     &scan_table,
@@ -349,6 +358,7 @@ pub fn run_hybrid(engine: &mut Engine, cfg: &HybridConfig) -> HybridReport {
         link_olap_bytes: contention.link.client_bytes(1),
         link_max_fill_frac: contention.link.max_fill_frac(),
         snapshots: hub,
+        placement: engine.placement_report(),
     }
 }
 

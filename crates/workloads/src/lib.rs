@@ -13,7 +13,7 @@
 //! * [`hybrid`] — the Figure-4 mixed driver: TATP transactions interleaved
 //!   with enhanced-scanner analytics under shared-bandwidth arbitration.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anywork;
 pub mod driver;

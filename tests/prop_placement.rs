@@ -1,0 +1,228 @@
+//! Property tests for the adaptive placement controller.
+//!
+//! Three contracts, each load-bearing for the E15 experiment and the
+//! byte-identity guarantees the determinism suite pins:
+//!
+//! 1. **Determinism** — the decision stream is a pure function of the
+//!    observed signal sequence; two controllers fed the same snapshots
+//!    at the same sim times agree on every decision and report field.
+//! 2. **No flapping** — a unit's routing changes only on window
+//!    boundaries (at most one transition per unit per window), and once
+//!    forced to software it dwells there for at least the configured
+//!    clear/hold hysteresis before restoring.
+//! 3. **Inert controllers change nothing** — an armed controller whose
+//!    thresholds can never be met ([`PlacementConfig::never_trips`])
+//!    leaves every engine statistic bit-identical to running with no
+//!    controller at all: observation is read-only.
+
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_core::placement::{PlacementConfig, PlacementController, PlacementSignals, UNIT_COUNT};
+use bionic_core::Category;
+use bionic_sim::time::SimTime;
+use bionic_workloads::tatp::{self, TatpConfig, TatpGenerator};
+use proptest::prelude::*;
+
+/// One randomized observation step: how far sim time advances (in
+/// quarter-windows, so boundary-straddling and mid-window no-op calls
+/// both occur) and the per-window increments applied to every signal.
+#[derive(Debug, Clone)]
+struct Step {
+    quarter_windows: u64,
+    queued_ps: u64,
+    olap_bytes: u64,
+    ops: [u64; UNIT_COUNT],
+    retries: [u64; UNIT_COUNT],
+    fallbacks: [u64; UNIT_COUNT],
+    opens: [u64; UNIT_COUNT],
+}
+
+/// One `0..=max` draw per hardware unit.
+fn unit_array(max: u64) -> impl Strategy<Value = [u64; UNIT_COUNT]> {
+    (0..=max, 0..=max, 0..=max, 0..=max, 0..=max).prop_map(|(a, b, c, d, e)| [a, b, c, d, e])
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        (
+            1u64..=12,
+            0u64..=400_000_000, // up to 400 µs of queueing per step
+            0u64..=4_000_000,   // up to 40 000 B/µs of scan draw per step
+        ),
+        unit_array(200),
+        unit_array(30),
+        unit_array(30),
+        unit_array(1),
+    )
+        .prop_map(
+            |((quarter_windows, queued_ps, olap_bytes), ops, retries, fallbacks, opens)| Step {
+                quarter_windows,
+                queued_ps,
+                olap_bytes,
+                ops,
+                retries,
+                fallbacks,
+                opens,
+            },
+        )
+}
+
+/// Drive a fresh controller through `steps`, returning it for
+/// inspection. Signals accumulate monotonically, as the engine's do.
+fn drive(cfg: PlacementConfig, steps: &[Step]) -> PlacementController {
+    let mut c = PlacementController::new(cfg.clone());
+    let mut s = PlacementSignals::default();
+    let mut now = SimTime::ZERO;
+    c.observe(now, s);
+    let quarter = SimTime::from_ps(cfg.window.as_ps() / 4);
+    for st in steps {
+        now = now + quarter * st.quarter_windows;
+        s.oltp_queued_ps += st.queued_ps;
+        s.sg_olap_bytes += st.olap_bytes;
+        s.committed += 7;
+        for u in 0..UNIT_COUNT {
+            s.unit_ops[u] += st.ops[u];
+            s.unit_retries[u] += st.retries[u];
+            s.unit_fallbacks[u] += st.fallbacks[u];
+            s.breaker_opens[u] += st.opens[u];
+        }
+        c.observe(now, s);
+    }
+    c
+}
+
+/// Configurations worth fuzzing: the calibrated default and a twitchy
+/// variant with every unit opted in and minimal hysteresis, which
+/// maximizes the chance of surfacing a flapping bug.
+fn config_strategy() -> impl Strategy<Value = PlacementConfig> {
+    prop_oneof![
+        Just(PlacementConfig::default()),
+        Just(PlacementConfig {
+            shed_trip_windows: 1,
+            shed_clear_windows: 1,
+            fault_trip_windows: 1,
+            hold_windows: 2,
+            shed_units: [true; UNIT_COUNT],
+            brownout_units: [true; UNIT_COUNT],
+            ..PlacementConfig::default()
+        }),
+    ]
+}
+
+/// Body of `same_inputs_give_same_decisions`: same signal sequence in,
+/// same decision stream out — bit for bit.
+fn check_determinism(cfg: PlacementConfig, steps: &[Step]) -> Result<(), TestCaseError> {
+    let a = drive(cfg.clone(), steps);
+    let b = drive(cfg, steps);
+    prop_assert_eq!(a.decisions(), b.decisions());
+    prop_assert_eq!(a.report(), b.report());
+    Ok(())
+}
+
+/// Body of `no_flapping_within_the_hysteresis`: per unit, at most one
+/// transition per observation window, and a forced-to-software unit
+/// dwells at least the smaller of the clear-streak and brownout-hold
+/// hysteresis before restoring.
+fn check_no_flapping(cfg: PlacementConfig, steps: &[Step]) -> Result<(), TestCaseError> {
+    let min_dwell = cfg.shed_clear_windows.min(cfg.hold_windows) as u64;
+    let c = drive(cfg, steps);
+    for unit in 0..UNIT_COUNT {
+        let unit_decisions: Vec<_> = c.decisions().iter().filter(|d| d.unit == unit).collect();
+        for pair in unit_decisions.windows(2) {
+            prop_assert!(
+                pair[0].window != pair[1].window,
+                "unit {} changed routing twice in window {}",
+                unit,
+                pair[0].window
+            );
+            prop_assert!(
+                pair[0].forced_sw != pair[1].forced_sw,
+                "unit {} logged two identical transitions",
+                unit
+            );
+            if pair[0].forced_sw && !pair[1].forced_sw {
+                prop_assert!(
+                    pair[1].window - pair[0].window >= min_dwell,
+                    "unit {} restored after {} windows (< dwell {})",
+                    unit,
+                    pair[1].window - pair[0].window,
+                    min_dwell
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_inputs_give_same_decisions(
+        cfg in config_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        check_determinism(cfg, &steps)?;
+    }
+
+    #[test]
+    fn no_flapping_within_the_hysteresis(
+        cfg in config_strategy(),
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        check_no_flapping(cfg, &steps)?;
+    }
+}
+
+/// Run a seeded TATP slice and fingerprint every statistic that timing,
+/// energy, or functional divergence would move.
+fn engine_fingerprint(cfg: EngineConfig, seed: u64) -> (u64, u64, u64, u64, u64) {
+    let wl = TatpConfig {
+        subscribers: 2_000,
+        seed,
+    };
+    let mut engine = Engine::new(cfg);
+    let tables = tatp::load(&mut engine, &wl);
+    let mut generator = TatpGenerator::new(wl, tables);
+    let mut at = SimTime::ZERO;
+    for _ in 0..600 {
+        let (_, prog) = generator.next();
+        engine.submit(&prog, at);
+        at += SimTime::from_us(2.0);
+    }
+    (
+        engine.stats.committed,
+        engine.stats.last_completion.as_ps(),
+        engine.breakdown.get(Category::Btree).as_ps(),
+        engine.platform.energy.total().as_j().to_bits(),
+        engine.stats.latency.quantile(0.99).as_ps(),
+    )
+}
+
+/// Arming a controller with `cfg` must be byte-identical to not arming
+/// one on this workload: the observation path reads ledgers, it never
+/// prices.
+fn check_engine_identity(cfg: PlacementConfig, seed: u64) -> Result<(), TestCaseError> {
+    let disabled = engine_fingerprint(EngineConfig::bionic(), seed);
+    let armed = engine_fingerprint(EngineConfig::bionic().with_placement(cfg), seed);
+    prop_assert_eq!(disabled, armed);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // A controller that can never trip perturbs nothing.
+    #[test]
+    fn armed_but_inert_controller_is_byte_identical(seed in 0u64..1_000) {
+        check_engine_identity(PlacementConfig::never_trips(), seed)?;
+    }
+
+    // The calibrated default also stays inert on a scan-free workload:
+    // the contention rule requires an active scanner and the fault rule
+    // a fault, and this workload has neither.
+    #[test]
+    fn default_controller_is_inert_without_scans_or_faults(seed in 0u64..1_000) {
+        check_engine_identity(PlacementConfig::default(), seed)?;
+    }
+}
