@@ -140,6 +140,16 @@ const SOURCES: &[Source] = &[
             },
         ],
     },
+    // E16 is a grid, not a monotone sweep, so it carries no shape
+    // detectors — pinning every cell (commit latency, throughput,
+    // joules/txn, in-doubt tail) in the baseline diff is the gate.
+    Source {
+        id: "e16",
+        table: "e16_cluster",
+        key_cols: &["nodes", "cross_bp", "net"],
+        filter: None,
+        detectors: &[],
+    },
 ];
 
 fn column_index(headers: &[String], name: &str, table: &str) -> Result<usize, String> {

@@ -536,6 +536,10 @@ mod tests {
             hw_stall: 0,
             hw_transient: 0,
             hw_ecc: 0,
+            net_drop: 0,
+            net_dup: 0,
+            net_delay: 0,
+            net_part: 0,
         }
     }
 

@@ -63,6 +63,17 @@ pub struct FaultPlan {
     pub hw_transient: u32,
     /// Per-attempt SG-DRAM uncorrectable-ECC word probability (bp).
     pub hw_ecc: u32,
+    /// Per-message network drop probability in basis points (cluster runs;
+    /// see `bionic-cluster`). All four network rates 0 leaves the network
+    /// model unarmed: zero RNG draws, byte-identical single-engine runs.
+    pub net_drop: u32,
+    /// Per-message duplicate-delivery probability (bp).
+    pub net_dup: u32,
+    /// Per-message extra-delay probability (bp).
+    pub net_delay: u32,
+    /// Per-message link-partition probability (bp): the sending link goes
+    /// down for a seeded interval, dropping everything queued across it.
+    pub net_part: u32,
 }
 
 /// One shrinkable numeric knob on a [`FaultPlan`]. The shrinker walks
@@ -120,6 +131,30 @@ impl FaultPlan {
             floor: 0,
             get: |p| p.hw_ecc as u64,
             set: |p, v| p.hw_ecc = v as u32,
+        },
+        NumericField {
+            name: "net_drop",
+            floor: 0,
+            get: |p| p.net_drop as u64,
+            set: |p, v| p.net_drop = v as u32,
+        },
+        NumericField {
+            name: "net_dup",
+            floor: 0,
+            get: |p| p.net_dup as u64,
+            set: |p, v| p.net_dup = v as u32,
+        },
+        NumericField {
+            name: "net_delay",
+            floor: 0,
+            get: |p| p.net_delay as u64,
+            set: |p, v| p.net_delay = v as u32,
+        },
+        NumericField {
+            name: "net_part",
+            floor: 0,
+            get: |p| p.net_part as u64,
+            set: |p, v| p.net_part = v as u32,
         },
         NumericField {
             name: "txns",
@@ -196,6 +231,10 @@ impl FaultPlan {
             hw_stall,
             hw_transient,
             hw_ecc,
+            net_drop: 0,
+            net_dup: 0,
+            net_delay: 0,
+            net_part: 0,
         };
         if faults.chance(0.4) {
             // Page-flush family: a background writer raced the crash.
@@ -217,6 +256,42 @@ impl FaultPlan {
         plan
     }
 
+    /// [`FaultPlan::from_seed`] plus seeded network-fault knobs, for
+    /// cluster torture runs. The network rates come from a substream split
+    /// *after* every single-engine stream, so a clustered plan's workload,
+    /// crash point, and hardware faults are identical to the plain plan of
+    /// the same seed — the network layer is strictly additive. Roughly a
+    /// third of seeds leave the network healthy so the matrix keeps
+    /// exercising the fault-free commit path.
+    pub fn from_seed_clustered(seed: u64) -> FaultPlan {
+        let mut plan = Self::from_seed(seed);
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let _shape = rng.split();
+        let _crash = rng.split();
+        let _faults = rng.split();
+        let _hw = rng.split();
+        let mut net = rng.split();
+        if net.chance(0.66) {
+            fn net_rate(net: &mut SplitMix64) -> u32 {
+                if net.chance(0.2) {
+                    2_000 + net.below(4_000) as u32
+                } else {
+                    net.below(600) as u32
+                }
+            }
+            plan.net_drop = net_rate(&mut net);
+            plan.net_dup = net_rate(&mut net);
+            plan.net_delay = net_rate(&mut net);
+            plan.net_part = if net.chance(0.5) {
+                net.below(800) as u32
+            } else {
+                0
+            };
+        }
+        plan.normalize();
+        plan
+    }
+
     /// Enforce the physical-coherence rules (see module docs). Idempotent;
     /// called by [`FaultPlan::from_seed`], [`FaultPlan::parse`], and after
     /// every shrinking step.
@@ -229,6 +304,10 @@ impl FaultPlan {
         self.hw_stall = self.hw_stall.min(10_000);
         self.hw_transient = self.hw_transient.min(10_000);
         self.hw_ecc = self.hw_ecc.min(10_000);
+        self.net_drop = self.net_drop.min(10_000);
+        self.net_dup = self.net_dup.min(10_000);
+        self.net_delay = self.net_delay.min(10_000);
+        self.net_part = self.net_part.min(10_000);
         if self.flush_pool_pages > 0 {
             // Write-ahead rule: page write-back implies a stable log, and
             // the stable log cannot then lose bytes.
@@ -257,7 +336,8 @@ impl FaultPlan {
         format!(
             "chaosplan v1 seed={} workload={} txns={} group={} crash={} \
              flush_log={} flush_pages={} torn={} ckpt={} flips={} \
-             stall={} transient={} ecc={}",
+             stall={} transient={} ecc={} \
+             net_drop={} net_dup={} net_delay={} net_part={}",
             self.seed,
             self.workload.label(),
             self.txns,
@@ -271,6 +351,10 @@ impl FaultPlan {
             self.hw_stall,
             self.hw_transient,
             self.hw_ecc,
+            self.net_drop,
+            self.net_dup,
+            self.net_delay,
+            self.net_part,
         )
     }
 
@@ -295,6 +379,10 @@ impl FaultPlan {
             hw_stall: 0,
             hw_transient: 0,
             hw_ecc: 0,
+            net_drop: 0,
+            net_dup: 0,
+            net_delay: 0,
+            net_part: 0,
         };
         for field in fields {
             let (key, value) = field.split_once('=')?;
@@ -319,6 +407,11 @@ impl FaultPlan {
                 "stall" => plan.hw_stall = value.parse().ok()?,
                 "transient" => plan.hw_transient = value.parse().ok()?,
                 "ecc" => plan.hw_ecc = value.parse().ok()?,
+                // Network keys also default to 0 (pre-cluster plan lines).
+                "net_drop" => plan.net_drop = value.parse().ok()?,
+                "net_dup" => plan.net_dup = value.parse().ok()?,
+                "net_delay" => plan.net_delay = value.parse().ok()?,
+                "net_part" => plan.net_part = value.parse().ok()?,
                 "flips" => {
                     if value != "-" {
                         for pair in value.split(',') {
@@ -360,6 +453,9 @@ mod tests {
             let plan = FaultPlan::from_seed(seed);
             let line = plan.serialize();
             assert_eq!(FaultPlan::parse(&line), Some(plan), "{line}");
+            let clustered = FaultPlan::from_seed_clustered(seed);
+            let line = clustered.serialize();
+            assert_eq!(FaultPlan::parse(&line), Some(clustered), "{line}");
         }
     }
 
@@ -434,6 +530,55 @@ mod tests {
     }
 
     #[test]
+    fn clustered_seeds_share_the_single_engine_stream_and_cover_network_faults() {
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed_clustered).collect();
+        for (seed, p) in plans.iter().enumerate() {
+            // The clustered plan must be the plain plan plus network knobs.
+            let mut stripped = p.clone();
+            stripped.net_drop = 0;
+            stripped.net_dup = 0;
+            stripped.net_delay = 0;
+            stripped.net_part = 0;
+            assert_eq!(stripped, FaultPlan::from_seed(seed as u64), "seed {seed}");
+        }
+        assert!(plans.iter().any(|p| p.net_drop > 0), "drop family");
+        assert!(plans.iter().any(|p| p.net_dup > 0), "dup family");
+        assert!(plans.iter().any(|p| p.net_delay > 0), "delay family");
+        assert!(plans.iter().any(|p| p.net_part > 0), "partition family");
+        let healthy = plans
+            .iter()
+            .filter(|p| p.net_drop == 0 && p.net_dup == 0 && p.net_delay == 0 && p.net_part == 0)
+            .count();
+        assert!(
+            (8..=40).contains(&healthy),
+            "a fair share of the matrix must keep the network healthy, got {healthy}/64"
+        );
+    }
+
+    #[test]
+    fn pre_cluster_plan_lines_still_parse_with_network_healthy() {
+        let line = "chaosplan v1 seed=7 workload=tpcc txns=50 group=2 crash=120 \
+                    flush_log=1 flush_pages=0 torn=33 ckpt=0 flips=10:3 \
+                    stall=100 transient=0 ecc=0";
+        let plan = FaultPlan::parse(line).expect("pre-cluster line parses");
+        assert_eq!(
+            (plan.net_drop, plan.net_dup, plan.net_delay, plan.net_part),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(plan.hw_stall, 100);
+    }
+
+    #[test]
+    fn normalize_clamps_network_rates_at_saturation() {
+        let mut plan = FaultPlan::from_seed(0);
+        plan.net_drop = 99_999;
+        plan.net_part = 10_001;
+        plan.normalize();
+        assert_eq!(plan.net_drop, 10_000);
+        assert_eq!(plan.net_part, 10_000);
+    }
+
+    #[test]
     fn shrink_table_reaches_every_numeric_knob() {
         // Writing floor through every table row must produce a plan whose
         // every numeric knob is at its floor — i.e. the table is complete
@@ -443,6 +588,10 @@ mod tests {
         plan.hw_stall = 500;
         plan.hw_transient = 500;
         plan.hw_ecc = 500;
+        plan.net_drop = 500;
+        plan.net_dup = 500;
+        plan.net_delay = 500;
+        plan.net_part = 500;
         plan.flush_pool_pages = 3;
         for field in FaultPlan::SHRINK_FIELDS {
             (field.set)(&mut plan, field.floor);
@@ -453,6 +602,10 @@ mod tests {
         assert_eq!(plan.torn_tail_bytes, 0);
         assert_eq!(plan.flush_pool_pages, 0);
         assert_eq!((plan.hw_stall, plan.hw_transient, plan.hw_ecc), (0, 0, 0));
+        assert_eq!(
+            (plan.net_drop, plan.net_dup, plan.net_delay, plan.net_part),
+            (0, 0, 0, 0)
+        );
         assert_eq!((plan.txns, plan.group), (1, 1));
     }
 }

@@ -27,11 +27,13 @@ fn plan() -> impl Strategy<Value = FaultPlan> {
         0u32..12_000,
         0u32..12_000,
     );
-    (shape, crash, hw).prop_map(
+    let net = (0u32..12_000, 0u32..12_000, 0u32..12_000, 0u32..12_000);
+    (shape, crash, hw, net).prop_map(
         |(
             (seed, tpcc, txns, group, checkpoint_every),
             (has_crash, crash_n, flush_log_tail, flush_pool_pages, torn_tail_bytes),
             (flips, hw_stall, hw_transient, hw_ecc),
+            (net_drop, net_dup, net_delay, net_part),
         )| FaultPlan {
             seed,
             workload: if tpcc {
@@ -50,6 +52,10 @@ fn plan() -> impl Strategy<Value = FaultPlan> {
             hw_stall,
             hw_transient,
             hw_ecc,
+            net_drop,
+            net_dup,
+            net_delay,
+            net_part,
         },
     )
 }

@@ -1,0 +1,216 @@
+//! Cluster behaviour: mono-cluster byte-identity, healthy-net 2PC,
+//! coordinator-crash smoke coverage, and merged telemetry artifacts.
+
+use bionic_cluster::{Cluster, ClusterConfig, CoordStep, NetConfig};
+use bionic_core::config::EngineConfig;
+use bionic_core::engine::Engine;
+use bionic_sim::time::SimTime;
+use bionic_workloads::{AnyWorkload, WorkloadKind};
+
+const CADENCE: f64 = 10.0; // µs between arrivals
+
+fn run_cluster(
+    nodes: usize,
+    engine: EngineConfig,
+    net: NetConfig,
+    kind: WorkloadKind,
+    cross_bp: u32,
+    seed: u64,
+    txns: usize,
+) -> Cluster {
+    let mut cluster = Cluster::new(ClusterConfig::new(nodes, engine, net));
+    let mut wl = cluster.load_small(kind, cross_bp, seed);
+    let mut at = SimTime::ZERO;
+    for _ in 0..txns {
+        let txn = wl.next();
+        cluster.execute(txn, at);
+        at += SimTime::from_us(CADENCE);
+    }
+    cluster.end_of_run(at);
+    cluster
+}
+
+#[test]
+fn unarmed_mono_cluster_is_byte_identical_to_the_single_engine() {
+    for cfg in [
+        EngineConfig::software().with_agents(4),
+        EngineConfig::bionic(),
+        EngineConfig::conventional().with_agents(4),
+    ] {
+        // Plain engine, driven directly.
+        let mut solo = Engine::new(cfg.clone());
+        let mut wl = AnyWorkload::load_small(&mut solo, WorkloadKind::Tatp, 4242);
+        solo.finish_load();
+        let mut at = SimTime::ZERO;
+        for _ in 0..200 {
+            let (_, prog) = wl.next_program();
+            solo.submit(&prog, at);
+            at += SimTime::from_us(CADENCE);
+        }
+
+        // One-node cluster, healthy net, zero cross fraction.
+        let cluster = run_cluster(
+            1,
+            cfg,
+            NetConfig::healthy(4242),
+            WorkloadKind::Tatp,
+            0,
+            4242,
+            200,
+        );
+        let node = &cluster.nodes[0].engine;
+
+        assert_eq!(node.stats.submitted, solo.stats.submitted);
+        assert_eq!(node.stats.committed, solo.stats.committed);
+        assert_eq!(node.stats.aborted, solo.stats.aborted);
+        assert_eq!(node.stats.last_completion, solo.stats.last_completion);
+        assert_eq!(node.log().tail_lsn(), solo.log().tail_lsn());
+        assert_eq!(
+            node.log().crash_image(),
+            solo.log().crash_image(),
+            "one-node cluster WAL must be byte-identical to the single engine"
+        );
+        assert_eq!(cluster.net.stats.sent, 0, "no messages on a mono-cluster");
+    }
+}
+
+#[test]
+fn healthy_cluster_commits_cross_partition_transactions_atomically() {
+    let cluster = run_cluster(
+        3,
+        EngineConfig::software().with_agents(2),
+        NetConfig::healthy(7),
+        WorkloadKind::Tatp,
+        3_000,
+        7,
+        300,
+    );
+    let report = cluster.report();
+    assert!(report.global_committed > 20, "{report:?}");
+    assert!(report.single_committed > 100, "{report:?}");
+    assert_eq!(report.recoveries, 0);
+    assert_eq!(report.in_doubt_resolved, 0, "healthy net leaves no doubt");
+    assert!(report.net.sent > 0 && report.net.dropped == 0);
+    // Cross-partition commits pay at least one RTT + decision flush over
+    // a local commit.
+    assert!(report.commit_p50 >= SimTime::from_us(10.0), "{report:?}");
+    cluster.verify_atomicity().expect("atomic");
+}
+
+#[test]
+fn tpcc_cross_partition_stream_stays_atomic() {
+    let cluster = run_cluster(
+        2,
+        EngineConfig::bionic(),
+        NetConfig::healthy(11),
+        WorkloadKind::Tpcc,
+        2_000,
+        11,
+        200,
+    );
+    let report = cluster.report();
+    assert!(report.global_committed > 10, "{report:?}");
+    cluster.verify_atomicity().expect("atomic");
+}
+
+#[test]
+fn lossy_network_preserves_atomicity_and_resolves_all_doubt() {
+    let net = NetConfig::healthy(13).with_rates(2_500, 1_500, 2_000, 600);
+    let cluster = run_cluster(
+        3,
+        EngineConfig::software().with_agents(2),
+        net,
+        WorkloadKind::Tatp,
+        4_000,
+        13,
+        250,
+    );
+    let report = cluster.report();
+    assert!(
+        report.net.dropped + report.net.partitioned > 0,
+        "{report:?}"
+    );
+    assert!(report.global_committed > 5, "{report:?}");
+    cluster.verify_atomicity().expect("atomic under loss");
+}
+
+#[test]
+fn same_seed_same_cluster_run() {
+    let go = || {
+        let net = NetConfig::healthy(5).with_rates(1_500, 1_000, 1_000, 400);
+        let mut cluster = run_cluster(
+            3,
+            EngineConfig::software().with_agents(2),
+            net,
+            WorkloadKind::Tatp,
+            2_000,
+            5,
+            200,
+        );
+        let report = cluster.report();
+        let metrics = cluster.merged_metrics().to_csv();
+        (
+            report.global_committed,
+            report.global_aborted,
+            report.single_committed,
+            report.elapsed,
+            report.net,
+            metrics,
+        )
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn coordinator_crash_smoke_every_step() {
+    for (i, step) in CoordStep::ALL.into_iter().enumerate() {
+        let mut cluster = Cluster::new(ClusterConfig::new(
+            2,
+            EngineConfig::software().with_agents(2),
+            NetConfig::healthy(99),
+        ));
+        let mut wl = cluster.load_small(WorkloadKind::Tatp, 5_000, 99);
+        cluster.arm_coordinator_crash(step, 1);
+        let mut at = SimTime::ZERO;
+        for _ in 0..120 {
+            let txn = wl.next();
+            cluster.execute(txn, at);
+            at += SimTime::from_us(CADENCE);
+        }
+        cluster.end_of_run(at);
+        let report = cluster.report();
+        assert!(report.recoveries >= 1, "step {i} never fired: {report:?}");
+        cluster
+            .verify_atomicity()
+            .unwrap_or_else(|e| panic!("step {step:?}: {e}"));
+    }
+}
+
+#[test]
+fn merged_telemetry_has_one_track_group_per_node() {
+    let mut cluster = Cluster::new(ClusterConfig::new(
+        2,
+        EngineConfig::software().with_agents(2),
+        NetConfig::healthy(3),
+    ));
+    for node in &mut cluster.nodes {
+        node.engine.enable_telemetry(4096);
+    }
+    let mut wl = cluster.load_small(WorkloadKind::Tatp, 2_000, 3);
+    let mut at = SimTime::ZERO;
+    for _ in 0..80 {
+        let txn = wl.next();
+        cluster.execute(txn, at);
+        at += SimTime::from_us(CADENCE);
+    }
+    cluster.end_of_run(at);
+
+    let trace = cluster.merged_chrome_trace();
+    bionic_telemetry::validate_chrome_trace(&trace).expect("schema-valid merged trace");
+    assert!(trace.contains("node0/core-0") && trace.contains("node1/core-0"));
+    assert!(trace.contains("node0/fpga/tree-probe"));
+
+    let metrics = cluster.merged_metrics().to_csv();
+    assert!(metrics.contains("node0/engine,committed,"));
+    assert!(metrics.contains("node1/engine,committed,"));
+}

@@ -1,0 +1,168 @@
+//! The cluster torture matrix: crash-safe 2PC under seeded network
+//! faults, node crash fuses, and coordinator crashes at every protocol
+//! step.
+//!
+//! Two layers, mirroring the single-engine chaos suite:
+//!
+//! * a 64-seed fixed matrix driven by
+//!   [`FaultPlan::from_seed_clustered`] — each seed picks the workload,
+//!   transaction count, crash fuse, and network fault rates; the
+//!   coordinator crash step cycles through [`CoordStep::ALL`]. Split into
+//!   four tests so the harness runs the shards in parallel, exactly like
+//!   `crates/chaos/tests/torture.rs`.
+//! * a property test over random seeds asserting the same invariant: the
+//!   WAL-only atomicity oracle ([`Cluster::verify_atomicity`]) never
+//!   fires, and a rerun of the same seed is byte-identical.
+
+use bionic_chaos::FaultPlan;
+use bionic_cluster::{Cluster, ClusterConfig, CoordStep, NetConfig};
+use bionic_core::config::EngineConfig;
+use bionic_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// Deterministic digest of one finished run, for rerun-identity checks.
+#[derive(Debug, PartialEq)]
+struct RunDigest {
+    global_committed: u64,
+    global_aborted: u64,
+    single_committed: u64,
+    single_aborted: u64,
+    recoveries: u64,
+    in_doubt: u64,
+    elapsed: SimTime,
+    sent: u64,
+    tails: Vec<u64>,
+}
+
+/// Run one clustered fault plan to completion and verify atomicity.
+/// Returns the digest; panics (with the serialized plan) on any oracle
+/// violation so the failing schedule is reproducible from the message.
+fn run_clustered_plan(seed: u64) -> RunDigest {
+    let plan = FaultPlan::from_seed_clustered(seed);
+    let nodes = 2 + (seed % 3) as usize; // 2..=4 nodes
+    let engine = if seed.is_multiple_of(2) {
+        EngineConfig::software().with_agents(2)
+    } else {
+        EngineConfig::bionic()
+    };
+    let net = NetConfig::healthy(seed).with_rates(
+        plan.net_drop,
+        plan.net_dup,
+        plan.net_delay,
+        plan.net_part,
+    );
+    let mut cluster = Cluster::new(ClusterConfig::new(nodes, engine, net));
+    let mut wl = cluster.load_small(plan.workload, 3_000, seed);
+
+    // Arm the crash fuse on a seed-chosen node (the chaos plan's fuse
+    // counts WAL appends, so it fires mid-transaction — including mid-2PC
+    // when it lands on a participant executing a prepared branch).
+    if let Some(appends) = plan.crash_after_appends {
+        let victim = (seed as usize) % nodes;
+        cluster.nodes[victim].engine.crash_at(appends);
+    }
+    // And a coordinator crash at a protocol step, cycling through all six.
+    let step = CoordStep::ALL[(seed % 6) as usize];
+    cluster.arm_coordinator_crash(step, seed % 5);
+
+    let mut at = SimTime::ZERO;
+    for _ in 0..plan.txns {
+        let txn = wl.next();
+        cluster.execute(txn, at);
+        at += SimTime::from_us(10.0);
+    }
+    cluster.end_of_run(at);
+
+    if let Err(msg) = cluster.verify_atomicity() {
+        panic!(
+            "seed {seed}: {msg}\n  plan: {}\n  nodes: {nodes}, coord step: {step:?}",
+            plan.serialize()
+        );
+    }
+    let report = cluster.report();
+    RunDigest {
+        global_committed: report.global_committed,
+        global_aborted: report.global_aborted,
+        single_committed: report.single_committed,
+        single_aborted: report.single_aborted,
+        recoveries: report.recoveries,
+        in_doubt: report.in_doubt_resolved,
+        elapsed: report.elapsed,
+        sent: report.net.sent,
+        tails: cluster
+            .nodes
+            .iter()
+            .map(|n| n.engine.log().tail_lsn())
+            .collect(),
+    }
+}
+
+fn run_seed_range(range: std::ops::Range<u64>) {
+    for seed in range {
+        let _ = run_clustered_plan(seed);
+    }
+}
+
+#[test]
+fn cluster_torture_seeds_00_to_15() {
+    run_seed_range(0..16);
+}
+
+#[test]
+fn cluster_torture_seeds_16_to_31() {
+    run_seed_range(16..32);
+}
+
+#[test]
+fn cluster_torture_seeds_32_to_47() {
+    run_seed_range(32..48);
+}
+
+#[test]
+fn cluster_torture_seeds_48_to_63() {
+    run_seed_range(48..64);
+}
+
+#[test]
+fn coordinator_crash_matrix_all_steps_under_loss() {
+    // Every protocol step, on a lossy network, with enough traffic that
+    // the armed cross-partition transaction actually exists.
+    for (i, step) in CoordStep::ALL.into_iter().enumerate() {
+        let net = NetConfig::healthy(1000 + i as u64).with_rates(1_000, 800, 800, 300);
+        let mut cluster = Cluster::new(ClusterConfig::new(
+            3,
+            EngineConfig::software().with_agents(2),
+            net,
+        ));
+        let mut wl = cluster.load_small(bionic_workloads::WorkloadKind::Tatp, 4_000, 77 + i as u64);
+        cluster.arm_coordinator_crash(step, 2);
+        let mut at = SimTime::ZERO;
+        for _ in 0..150 {
+            let txn = wl.next();
+            cluster.execute(txn, at);
+            at += SimTime::from_us(10.0);
+        }
+        cluster.end_of_run(at);
+        let report = cluster.report();
+        assert!(
+            report.recoveries >= 1,
+            "step {step:?} never fired: {report:?}"
+        );
+        cluster
+            .verify_atomicity()
+            .unwrap_or_else(|e| panic!("step {step:?} under loss: {e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any seed's clustered plan satisfies the atomicity oracle, and the
+    // run is deterministic: same seed, same digest, same WAL tails.
+    #[test]
+    fn random_clustered_plans_stay_atomic_and_deterministic(seed in any::<u64>()) {
+        let a = run_clustered_plan(seed);
+        let b = run_clustered_plan(seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -33,7 +33,7 @@ use bionic_storage::bufferpool::BufferPool;
 use bionic_storage::disk::DiskManager;
 use bionic_telemetry::Telemetry;
 use bionic_wal::manager::LogManager;
-use bionic_wal::recovery::{recover, RecoveryOutcome};
+use bionic_wal::recovery::RecoveryOutcome;
 use bionic_wal::timing::{
     ConsolidatedLog, GroupCommit, HwLog, InsertTiming, LatchedLog, LogInsertModel, SwLogParams,
 };
@@ -198,6 +198,10 @@ pub struct Engine {
     /// back (constructed with the same parameters as the `Latched` path,
     /// so fallback pricing matches the software baseline).
     pub(crate) log_fallback: LatchedLog,
+    /// Branches prepared under two-phase commit, keyed by local txn id,
+    /// awaiting the coordinator's decision (see
+    /// [`Engine::submit_prepared`] / [`Engine::resolve_prepared`]).
+    pub(crate) prepared: std::collections::BTreeMap<TxnId, crate::exec::PreparedTxn>,
     /// Reusable hot-path buffers (see [`crate::exec::ExecScratch`]).
     pub(crate) scratch: crate::exec::ExecScratch,
     /// Per-transaction critical-path accumulator (reset at each submit;
@@ -283,6 +287,7 @@ impl Engine {
                 .clone()
                 .map(crate::placement::PlacementController::new),
             log_fallback: LatchedLog::new(sw_log_params),
+            prepared: std::collections::BTreeMap::new(),
             scratch: crate::exec::ExecScratch::default(),
             path_acc: bionic_telemetry::TxnPathAcc::default(),
             attrib: None,
@@ -588,10 +593,39 @@ impl Engine {
     /// lists and indexes, and return the ready engine plus the recovery
     /// outcome.
     pub fn restart(image: CrashImage, cfg: EngineConfig) -> (Self, RecoveryOutcome) {
+        // Presumed abort: with nobody to ask, in-doubt branches roll back.
+        Self::restart_resolving(image, cfg, |_, _, _| false)
+    }
+
+    /// [`Engine::restart`] for a 2PC participant: in-doubt branches
+    /// (durable Prepare, no decision) are resolved through
+    /// `resolve(local_txn, gtxn, coord)` — `true` means the coordinator
+    /// durably committed the global transaction. Resolution happens inside
+    /// recovery, before indexes are rebuilt, so committed branches keep
+    /// their effects and aborted ones leave no trace in the rebuilt state.
+    pub fn restart_resolving(
+        image: CrashImage,
+        cfg: EngineConfig,
+        resolve: impl FnMut(bionic_wal::TxnId, u64, u32) -> bool,
+    ) -> (Self, RecoveryOutcome) {
         let mut engine = Engine::new(cfg);
         engine.pool = BufferPool::new(engine.cfg.pool_pages, image.disk);
         engine.log = LogManager::from_image_at(image.log, image.log_base);
-        let outcome = recover(&mut engine.log, &mut engine.pool);
+        let outcome =
+            bionic_wal::recovery::recover_with(&mut engine.log, &mut engine.pool, resolve);
+        // Post-restart transactions must not reuse ids already in the log:
+        // a collision would alias a dead transaction's records with a live
+        // one's in the shared WAL (and corrupt a second recovery). Global
+        // 2PC ids live in the top half of the id space and have their own
+        // allocator, so only local ids advance the counter.
+        let max_local = engine
+            .log
+            .iter_from(engine.log.base_lsn())
+            .map(|r| r.txn)
+            .filter(|t| t & (1 << 63) == 0)
+            .max()
+            .unwrap_or(0);
+        engine.next_txn = engine.next_txn.max(max_local + 1);
         for (name, secondary) in image.table_names.iter().zip(&image.secondary_offsets) {
             match secondary {
                 Some(off) => engine.create_table_with_secondary(name.clone(), *off),

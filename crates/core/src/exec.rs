@@ -36,6 +36,9 @@ pub enum AbortReason {
     DuplicateKey,
     /// An update patch did not fit the record.
     PatchFailed,
+    /// A two-phase-commit coordinator decided abort for this prepared
+    /// branch (timeout, peer veto, or presumed abort after a crash).
+    Coordinator,
 }
 
 /// Result of one transaction.
@@ -78,6 +81,57 @@ impl TxnOutcome {
             TxnOutcome::Interrupted => SimTime::ZERO,
         }
     }
+}
+
+/// Result of [`Engine::submit_prepared`]: the first phase of two-phase
+/// commit for one local branch of a global transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrepareOutcome {
+    /// Vote YES: the branch executed and its Prepare record is durable.
+    /// The engine holds the branch open until [`Engine::resolve_prepared`]
+    /// delivers the coordinator's decision.
+    Prepared {
+        /// Local transaction id (the resolve handle).
+        txn: TxnId,
+        /// Arrival → durable-vote latency.
+        latency: SimTime,
+    },
+    /// Vote NO: the branch aborted locally and already rolled back; the
+    /// coordinator must abort the global transaction.
+    Aborted {
+        /// Why.
+        reason: AbortReason,
+        /// Arrival → rollback-complete latency.
+        latency: SimTime,
+    },
+    /// The crash fuse blew mid-execution; the branch is in whatever state
+    /// the log says (possibly in doubt if the Prepare record made it out).
+    Interrupted,
+}
+
+impl PrepareOutcome {
+    /// Did the branch vote YES?
+    pub fn is_prepared(&self) -> bool {
+        matches!(self, PrepareOutcome::Prepared { .. })
+    }
+}
+
+/// A branch that voted YES and awaits the coordinator's decision: the
+/// volatile state [`Engine::resolve_prepared`] needs to finish the job.
+/// (After a crash none of this survives — recovery re-derives in-doubt
+/// branches from Prepare records instead.)
+#[derive(Debug)]
+pub(crate) struct PreparedTxn {
+    undo: Vec<IndexUndo>,
+    agent: usize,
+    locks_taken: u64,
+    wrote: bool,
+}
+
+/// Internal result of the unified submit path.
+enum SubmitResult {
+    Done(TxnOutcome),
+    Prepared { txn: TxnId, latency: SimTime },
 }
 
 /// Volatile-index compensation for runtime aborts (the WAL undoes heap
@@ -1246,9 +1300,170 @@ impl Engine {
 
     /// Execute one transaction arriving at `arrive`.
     pub fn submit(&mut self, program: &TxnProgram, arrive: SimTime) -> TxnOutcome {
+        match self.submit_inner(program, arrive, None) {
+            SubmitResult::Done(outcome) => outcome,
+            SubmitResult::Prepared { .. } => unreachable!("prepare not requested"),
+        }
+    }
+
+    /// Execute one local branch of a global transaction as 2PC phase one:
+    /// run the program, then — instead of committing — force a durable
+    /// [`bionic_wal::LogBody::Prepare`] vote and hold the branch open.
+    /// A YES vote surrenders the right to unilaterally abort: the branch
+    /// stays prepared until [`Engine::resolve_prepared`] delivers the
+    /// coordinator's decision. Local failures (missing key, duplicate…)
+    /// still abort-and-rollback immediately, which is a NO vote.
+    pub fn submit_prepared(
+        &mut self,
+        program: &TxnProgram,
+        arrive: SimTime,
+        gtxn: u64,
+        coord: u32,
+    ) -> PrepareOutcome {
+        match self.submit_inner(program, arrive, Some((gtxn, coord))) {
+            SubmitResult::Prepared { txn, latency } => PrepareOutcome::Prepared { txn, latency },
+            SubmitResult::Done(TxnOutcome::Aborted { reason, latency }) => {
+                PrepareOutcome::Aborted { reason, latency }
+            }
+            SubmitResult::Done(TxnOutcome::Interrupted) => PrepareOutcome::Interrupted,
+            SubmitResult::Done(TxnOutcome::Committed { .. }) => {
+                unreachable!("a prepared branch never commits in phase one")
+            }
+        }
+    }
+
+    /// Deliver the coordinator's decision for a branch that voted YES.
+    /// `commit == true` appends the Commit/End records (group-commit
+    /// priced, like any local commit) and counts the branch as committed;
+    /// `false` rolls it back through the ordinary undo path (CLRs and
+    /// all) with [`AbortReason::Coordinator`]. `at` is when the decision
+    /// message reaches this node.
+    ///
+    /// # Panics
+    /// If `txn` is not a currently prepared branch.
+    pub fn resolve_prepared(&mut self, txn: TxnId, commit: bool, at: SimTime) -> TxnOutcome {
+        if self.fuse_blown() {
+            return TxnOutcome::Interrupted;
+        }
+        let mut p = self
+            .prepared
+            .remove(&txn)
+            .unwrap_or_else(|| panic!("resolve of unknown prepared txn {txn}"));
+        let t = at;
+        if commit {
+            let mut commit_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
+            if self.cfg.exec == ExecModel::Conventional && p.locks_taken > 0 {
+                commit_cpu += self.sw_work(
+                    Category::Lock,
+                    130 * p.locks_taken,
+                    2 * p.locks_taken,
+                    AccessClass::Hot,
+                );
+            }
+            let done = if p.wrote {
+                let (log_cpu, buffered, _) =
+                    self.log_write(txn, LogBodyRef::Commit, p.agent, t + commit_cpu);
+                if self.fuse_blown() {
+                    return TxnOutcome::Interrupted;
+                }
+                commit_cpu += log_cpu;
+                let bytes = self.log.unflushed_bytes().max(1);
+                let (durable, e) = self.group_commit.durable_at(buffered, bytes);
+                self.platform.energy.charge(EnergyDomain::Storage, e);
+                self.log.flush();
+                self.log.append_ref(txn, LogBodyRef::End);
+                let (cstart, agent_done) = self.agents[p.agent].submit(t, commit_cpu);
+                let track = self.tel.core_track(p.agent);
+                self.tel
+                    .span(track, "commit", Category::Log.label(), cstart, agent_done);
+                agent_done.max(durable)
+            } else {
+                let (cstart, agent_done) = self.agents[p.agent].submit(t, commit_cpu);
+                let track = self.tel.core_track(p.agent);
+                self.tel
+                    .span(track, "commit", Category::Xct.label(), cstart, agent_done);
+                agent_done
+            };
+            self.stats.committed += 1;
+            let latency = done - at;
+            self.stats.latency.record(latency);
+            self.stats.last_completion = self.stats.last_completion.max(done);
+            self.maybe_merge(done);
+            TxnOutcome::Committed { latency }
+        } else {
+            let rb_cpu = if p.wrote {
+                // Undo chain tail is the Prepare record; the walk skips it
+                // and compensates the data records like any runtime abort.
+                self.rollback(txn, &mut p.undo, p.agent, t)
+            } else {
+                // Read-only branch: nothing logged, nothing to undo.
+                self.sw_work(Category::Xct, 150, 3, AccessClass::Hot)
+            };
+            let (rstart, done) = self.agents[p.agent].submit(t, rb_cpu);
+            let track = self.tel.core_track(p.agent);
+            self.tel
+                .span(track, "rollback", Category::Xct.label(), rstart, done);
+            self.stats.aborted += 1;
+            let latency = done - at;
+            self.stats.last_completion = self.stats.last_completion.max(done);
+            self.maybe_merge(done);
+            TxnOutcome::Aborted {
+                reason: AbortReason::Coordinator,
+                latency,
+            }
+        }
+    }
+
+    /// Local transaction ids of branches currently held prepared.
+    pub fn prepared_branches(&self) -> Vec<TxnId> {
+        self.prepared.keys().copied().collect()
+    }
+
+    /// Durably record a coordinator-side commit decision for global
+    /// transaction `gtxn` in this node's own WAL. Presumed abort makes
+    /// this the *only* record a coordinator writes: no decision record
+    /// means abort, so abort decisions cost nothing durable. The decision
+    /// is an ordinary empty Begin/Commit/End transaction under the gtxn id
+    /// (the `0x8000…` namespace keeps it disjoint from local ids), forced
+    /// with a group-commit-priced flush. Returns the sim time at which the
+    /// decision is stable, or `None` if the crash fuse blew mid-write — in
+    /// which case recovery will answer from whatever prefix survived.
+    pub fn log_decision(&mut self, gtxn: u64, at: SimTime) -> Option<SimTime> {
+        if self.fuse_blown() {
+            return None;
+        }
+        let mut cpu = self.sw_work(Category::Log, 200, 3, AccessClass::Hot);
+        let (c1, _, _) = self.log_write(gtxn, LogBodyRef::Begin, 0, at + cpu);
+        if self.fuse_blown() {
+            return None;
+        }
+        cpu += c1;
+        let (c2, buffered, _) = self.log_write(gtxn, LogBodyRef::Commit, 0, at + cpu);
+        if self.fuse_blown() {
+            return None;
+        }
+        cpu += c2;
+        let bytes = self.log.unflushed_bytes().max(1);
+        let (durable, e) = self.group_commit.durable_at(buffered, bytes);
+        self.platform.energy.charge(EnergyDomain::Storage, e);
+        self.log.flush();
+        self.log.append_ref(gtxn, LogBodyRef::End);
+        let (start, agent_done) = self.agents[0].submit(at, cpu);
+        let track = self.tel.core_track(0);
+        self.tel
+            .span(track, "decide", Category::Log.label(), start, agent_done);
+        Some(agent_done.max(durable))
+    }
+
+    fn submit_inner(
+        &mut self,
+        program: &TxnProgram,
+        arrive: SimTime,
+        prepare: Option<(u64, u32)>,
+    ) -> SubmitResult {
         if self.fuse_blown() {
             // The "process" is already dead: nothing runs, nothing counts.
-            return TxnOutcome::Interrupted;
+            return SubmitResult::Done(TxnOutcome::Interrupted);
         }
         // Adaptive placement observes on its window grid at arrival time —
         // before this transaction is priced, so the decision it runs under
@@ -1427,7 +1642,7 @@ impl Engine {
 
         let outcome = 'outcome: {
             if interrupted {
-                break 'outcome TxnOutcome::Interrupted;
+                break 'outcome SubmitResult::Done(TxnOutcome::Interrupted);
             }
             match abort {
                 Some(reason) => {
@@ -1439,7 +1654,60 @@ impl Engine {
                     self.stats.aborted += 1;
                     let latency = done - arrive;
                     self.stats.last_completion = self.stats.last_completion.max(done);
-                    TxnOutcome::Aborted { reason, latency }
+                    SubmitResult::Done(TxnOutcome::Aborted { reason, latency })
+                }
+                None if prepare.is_some() => {
+                    // 2PC phase one: durable Prepare vote instead of commit.
+                    let (gtxn, coord) = prepare.unwrap();
+                    let mut prep_cpu = self.sw_work(Category::Xct, 200, 3, AccessClass::Hot);
+                    let done = if wrote {
+                        let (log_cpu, buffered, _) = self.log_write(
+                            txn,
+                            LogBodyRef::Prepare { gtxn, coord },
+                            last_agent,
+                            t + prep_cpu,
+                        );
+                        // Torn-vote window: the Prepare record is volatile
+                        // and the fuse blew before the flush — the vote
+                        // never left this node; recovery sees a loser.
+                        if self.fuse_blown() {
+                            break 'outcome SubmitResult::Done(TxnOutcome::Interrupted);
+                        }
+                        prep_cpu += log_cpu;
+                        let bytes = self.log.unflushed_bytes().max(1);
+                        let (durable, e) = self.group_commit.durable_at(buffered, bytes);
+                        self.platform.energy.charge(EnergyDomain::Storage, e);
+                        self.log.flush();
+                        let (cstart, agent_done) = self.agents[last_agent].submit(t, prep_cpu);
+                        let track = self.tel.core_track(last_agent);
+                        self.tel
+                            .span(track, "prepare", Category::Log.label(), cstart, agent_done);
+                        agent_done.max(durable)
+                    } else {
+                        let (cstart, agent_done) = self.agents[last_agent].submit(t, prep_cpu);
+                        let track = self.tel.core_track(last_agent);
+                        self.tel
+                            .span(track, "prepare", Category::Xct.label(), cstart, agent_done);
+                        agent_done
+                    };
+                    // Written state becomes visible to later branches on
+                    // this node only at resolve; invalidate result caches
+                    // now so nothing stale is served meanwhile.
+                    for t in &written_tables {
+                        self.result_cache.bump_table(*t);
+                    }
+                    self.prepared.insert(
+                        txn,
+                        PreparedTxn {
+                            undo: std::mem::take(&mut undo),
+                            agent: last_agent,
+                            locks_taken,
+                            wrote,
+                        },
+                    );
+                    let latency = done - arrive;
+                    self.stats.last_completion = self.stats.last_completion.max(done);
+                    SubmitResult::Prepared { txn, latency }
                 }
                 None => {
                     // Commit.
@@ -1460,7 +1728,7 @@ impl Engine {
                         // volatile log but the fuse blew before the flush — the
                         // transaction is NOT durable and must lose at recovery.
                         if self.fuse_blown() {
-                            break 'outcome TxnOutcome::Interrupted;
+                            break 'outcome SubmitResult::Done(TxnOutcome::Interrupted);
                         }
                         commit_cpu += log_cpu;
                         let bytes = self.log.unflushed_bytes().max(1);
@@ -1494,7 +1762,7 @@ impl Engine {
                         let pj = (delta_j * 1e12).round().max(0.0) as u64;
                         attrib.record(program.name, latency.as_ps(), pj, &self.path_acc);
                     }
-                    TxnOutcome::Committed { latency }
+                    SubmitResult::Done(TxnOutcome::Committed { latency })
                 }
             }
         };
@@ -1502,7 +1770,7 @@ impl Engine {
         self.scratch.written_tables = written_tables;
         self.scratch.op_marks = op_marks;
         self.scratch.completions = completions;
-        if outcome.is_interrupted() {
+        if matches!(outcome, SubmitResult::Done(TxnOutcome::Interrupted)) {
             // A blown fuse ends the run mid-transaction: no merges, no
             // further bookkeeping (the "process" died).
             return outcome;

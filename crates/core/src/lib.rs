@@ -53,6 +53,6 @@ pub use breakdown::{Category, TimeBreakdown};
 pub use config::{EngineConfig, ExecModel, LogImpl, Offloads};
 pub use degrade::{FaultLayer, FaultUnitReport};
 pub use engine::{CrashImage, Engine, EngineStats};
-pub use exec::{AbortReason, TxnOutcome};
+pub use exec::{AbortReason, PrepareOutcome, TxnOutcome};
 pub use ops::{Action, Op, Patch, TxnProgram};
 pub use placement::{PlacementConfig, PlacementController, PlacementReport};

@@ -813,3 +813,124 @@ fn fault_counters_flow_into_the_metrics_registry() {
         "2000bp over 100 txns must fault sometimes"
     );
 }
+
+// ---- two-phase commit branches ---------------------------------------------
+
+#[test]
+fn prepared_branch_commits_on_coordinator_decision() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 100);
+        let out = e.submit_prepared(
+            &update_txn(t, 5, -70),
+            SimTime::ZERO,
+            0x8000_0000_0000_0001,
+            0,
+        );
+        let bionic_core::PrepareOutcome::Prepared { txn, .. } = out else {
+            panic!("{name}: expected Prepared, got {out:?}");
+        };
+        assert_eq!(e.stats.committed, 0, "{name}: prepared is not committed");
+        assert_eq!(e.prepared_branches(), vec![txn], "{name}");
+        let res = e.resolve_prepared(txn, true, SimTime::from_us(50.0));
+        assert!(res.is_committed(), "{name}");
+        assert_eq!(read_balance(&mut e, t, 5), 430, "{name}");
+        assert_eq!(e.stats.committed, 1, "{name}");
+        assert!(e.prepared_branches().is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn prepared_branch_rolls_back_on_coordinator_abort() {
+    for (name, cfg) in all_configs() {
+        let (mut e, t) = loaded_engine(cfg, 100);
+        let out = e.submit_prepared(
+            &update_txn(t, 5, -70),
+            SimTime::ZERO,
+            0x8000_0000_0000_0002,
+            1,
+        );
+        let bionic_core::PrepareOutcome::Prepared { txn, .. } = out else {
+            panic!("{name}: expected Prepared, got {out:?}");
+        };
+        let res = e.resolve_prepared(txn, false, SimTime::from_us(50.0));
+        assert_eq!(
+            res,
+            TxnOutcome::Aborted {
+                reason: AbortReason::Coordinator,
+                latency: res.latency()
+            },
+            "{name}"
+        );
+        assert_eq!(read_balance(&mut e, t, 5), 500, "{name}: branch undone");
+        assert_eq!(e.stats.aborted, 1, "{name}");
+    }
+}
+
+#[test]
+fn local_failure_votes_no_and_rolls_back() {
+    let (mut e, t) = loaded_engine(EngineConfig::bionic(), 10);
+    let out = e.submit_prepared(
+        &update_txn(t, 9999, 1),
+        SimTime::ZERO,
+        0x8000_0000_0000_0003,
+        0,
+    );
+    assert!(
+        matches!(
+            out,
+            bionic_core::PrepareOutcome::Aborted {
+                reason: AbortReason::MissingKey,
+                ..
+            }
+        ),
+        "{out:?}"
+    );
+    assert!(e.prepared_branches().is_empty());
+    assert_eq!(e.stats.aborted, 1);
+}
+
+#[test]
+fn crashed_prepared_branch_is_in_doubt_and_resolves_both_ways() {
+    for decision in [false, true] {
+        let cfg = EngineConfig::bionic();
+        let (mut e, t) = loaded_engine(cfg.clone(), 100);
+        let gtxn = 0x8000_0000_0000_0011u64;
+        let out = e.submit_prepared(&update_txn(t, 7, -25), SimTime::ZERO, gtxn, 2);
+        assert!(out.is_prepared(), "{out:?}");
+        // Crash before the decision arrives: the branch is in doubt.
+        let image = e.crash();
+        let (mut e2, rec) = Engine::restart_resolving(image, cfg, |_txn, g, coord| {
+            assert_eq!((g, coord), (gtxn, 2));
+            decision
+        });
+        assert_eq!(rec.in_doubt.len(), 1, "decision={decision}");
+        if decision {
+            assert_eq!(rec.resolved_committed, 1);
+            assert_eq!(read_balance(&mut e2, t, 7), 675, "effects kept");
+        } else {
+            assert_eq!(rec.resolved_aborted, 1);
+            assert_eq!(read_balance(&mut e2, t, 7), 700, "effects undone");
+        }
+        // Either way the branch is closed: a second restart is clean.
+        let (mut e3, rec2) = Engine::restart(e2.crash(), EngineConfig::bionic());
+        assert!(rec2.in_doubt.is_empty(), "decision={decision}");
+        let expect = if decision { 675 } else { 700 };
+        assert_eq!(read_balance(&mut e3, t, 7), expect);
+    }
+}
+
+#[test]
+fn plain_restart_presumes_abort_for_in_doubt_branches() {
+    let cfg = EngineConfig::software();
+    let (mut e, t) = loaded_engine(cfg.clone(), 50);
+    let out = e.submit_prepared(
+        &update_txn(t, 3, 40),
+        SimTime::ZERO,
+        0x8000_0000_0000_0021,
+        0,
+    );
+    assert!(out.is_prepared());
+    let (mut e2, rec) = Engine::restart(e.crash(), cfg);
+    assert_eq!(rec.resolved_aborted, 1);
+    assert_eq!(read_balance(&mut e2, t, 3), 300, "presumed abort");
+}

@@ -1,0 +1,140 @@
+//! Per-node merging for cluster runs.
+//!
+//! A cluster run owns one [`Telemetry`](crate::Telemetry) and one
+//! [`MetricsRegistry`] *per node*; this module folds them into a single
+//! artifact so the existing exporters — the Chrome-trace writer, the
+//! metrics CSV — render a whole cluster without learning anything about
+//! nodes. The scheme is pure namespacing:
+//!
+//! * metrics keep their scope but gain a `node{n}/` prefix
+//!   (`node0/engine,committed,…`), so the merged CSV stays in one global
+//!   `BTreeMap` order and per-node series diff cleanly across runs;
+//! * tracks keep their registration order within a node and gain the same
+//!   `node{n}/` name prefix (`node1/core-0`, `node2/fpga/scanner`), with
+//!   every span's track id remapped into the concatenated track list, so
+//!   one Perfetto load shows one track group per node.
+//!
+//! Merging is deterministic by construction: nodes are folded in index
+//! order and nothing is re-sorted here — the exporters' own `(start, seq)`
+//! ordering rules apply unchanged to the merged event list.
+
+use crate::metrics::MetricsRegistry;
+use crate::tracer::{SpanEvent, Track};
+
+/// Fold per-node metric registries into one, prefixing every scope with
+/// `node{n}/` (n = position in `nodes`). Values are copied verbatim.
+pub fn merge_node_metrics(nodes: &[&MetricsRegistry]) -> MetricsRegistry {
+    let mut merged = MetricsRegistry::new();
+    for (n, reg) in nodes.iter().enumerate() {
+        for (scope, name, value) in reg.iter() {
+            let scoped = format!("node{n}/{scope}");
+            match value {
+                crate::metrics::MetricValue::Counter(v) => merged.counter(&scoped, name, v),
+                crate::metrics::MetricValue::Gauge(v) => merged.gauge(&scoped, name, v),
+            }
+        }
+    }
+    merged
+}
+
+/// Concatenate per-node track lists and span streams into one trace.
+///
+/// Each node's tracks are renamed `node{n}/{name}` and appended in node
+/// order; each node's events have their `track` ids shifted by the running
+/// track offset so they land on their renamed track. Sequence ids are left
+/// untouched — they only break ties *within* a track, and merged tracks
+/// never interleave nodes.
+pub fn merge_node_traces(nodes: &[(&[Track], &[SpanEvent])]) -> (Vec<Track>, Vec<SpanEvent>) {
+    let mut tracks = Vec::new();
+    let mut events = Vec::new();
+    for (n, (node_tracks, node_events)) in nodes.iter().enumerate() {
+        let base = tracks.len();
+        for t in node_tracks.iter() {
+            tracks.push(Track {
+                name: format!("node{n}/{}", t.name),
+                kind: t.kind,
+            });
+        }
+        for ev in node_events.iter() {
+            let mut ev = *ev;
+            ev.track += base;
+            events.push(ev);
+        }
+    }
+    (tracks, events)
+}
+
+/// Render per-node telemetry as one Chrome trace-event JSON document with
+/// one track group per node (see [`merge_node_traces`] and
+/// [`crate::export::chrome_trace`]).
+pub fn merged_chrome_trace(nodes: &[(&[Track], &[SpanEvent])]) -> String {
+    let (tracks, events) = merge_node_traces(nodes);
+    crate::export::chrome_trace(&tracks, &events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Telemetry;
+    use bionic_sim::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ps(ns * 1000)
+    }
+
+    fn node(tag: u64) -> Telemetry {
+        let mut tel = Telemetry::disabled();
+        tel.enable(1, 256);
+        tel.set_txn(tag);
+        let c0 = tel.core_track(0);
+        tel.span(c0, "payment", "Xct", t(tag * 10), t(tag * 10 + 5));
+        tel.metrics_mut().counter("engine", "committed", tag);
+        tel
+    }
+
+    #[test]
+    fn metrics_gain_node_prefixes_in_global_order() {
+        let (a, b) = (node(1), node(2));
+        let merged = merge_node_metrics(&[a.metrics(), b.metrics()]);
+        assert_eq!(merged.counter_value("node0/engine", "committed"), 1);
+        assert_eq!(merged.counter_value("node1/engine", "committed"), 2);
+        let csv = merged.to_csv();
+        let n0 = csv.find("node0/engine").unwrap();
+        let n1 = csv.find("node1/engine").unwrap();
+        assert!(n0 < n1, "BTreeMap order keeps node groups sorted");
+    }
+
+    #[test]
+    fn merged_trace_has_one_track_group_per_node() {
+        let (a, b) = (node(1), node(2));
+        let (ea, eb) = (a.events(), b.events());
+        let (tracks, events) = merge_node_traces(&[(a.tracks(), &ea[..]), (b.tracks(), &eb[..])]);
+        // 1 dispatch + 1 core + 5 units per node.
+        assert_eq!(tracks.len(), 14);
+        assert_eq!(tracks[0].name, "node0/dispatch");
+        assert_eq!(tracks[1].name, "node0/core-0");
+        assert_eq!(tracks[7].name, "node1/dispatch");
+        assert_eq!(tracks[13].name, "node1/fpga/scanner");
+        // Node 1's single span moved onto its shifted core track.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, 1);
+        assert_eq!(events[1].track, 8);
+    }
+
+    #[test]
+    fn merged_trace_passes_the_schema_checker() {
+        let (a, b) = (node(1), node(2));
+        let (ea, eb) = (a.events(), b.events());
+        let json = merged_chrome_trace(&[(a.tracks(), &ea[..]), (b.tracks(), &eb[..])]);
+        crate::validate_chrome_trace(&json).expect("schema-valid");
+        assert!(json.contains("node0/core-0"));
+        assert!(json.contains("node1/core-0"));
+    }
+
+    #[test]
+    fn empty_node_list_merges_to_empty_artifacts() {
+        assert!(merge_node_metrics(&[]).is_empty());
+        let (tracks, events) = merge_node_traces(&[]);
+        assert!(tracks.is_empty() && events.is_empty());
+    }
+}

@@ -52,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod attrib;
+pub mod cluster;
 pub mod export;
 pub mod histogram;
 pub mod metrics;
@@ -62,6 +63,7 @@ pub mod tracer;
 pub mod validate;
 
 pub use attrib::{Attribution, OffloadPath, PathCell, TxnPathAcc};
+pub use cluster::{merge_node_metrics, merge_node_traces, merged_chrome_trace};
 pub use histogram::LogHistogram;
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use report::{

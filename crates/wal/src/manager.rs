@@ -329,6 +329,13 @@ mod tests {
                 },
             ),
             (1, LogBody::Commit),
+            (
+                2,
+                LogBody::Prepare {
+                    gtxn: 0x8000_0000_0000_0042,
+                    coord: 1,
+                },
+            ),
             (2, LogBody::Abort),
             (1, LogBody::End),
         ];
@@ -358,6 +365,10 @@ mod tests {
                     table: *table,
                     rid: *rid,
                     before,
+                },
+                LogBody::Prepare { gtxn, coord } => LogBodyRef::Prepare {
+                    gtxn: *gtxn,
+                    coord: *coord,
                 },
                 other => unreachable!("owned-only body {other:?}"),
             };

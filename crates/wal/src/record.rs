@@ -101,6 +101,18 @@ pub enum LogBody {
         /// Earliest LSN whose effects might not be on disk.
         redo_from: Lsn,
     },
+    /// Two-phase-commit prepare vote: once this record is durable the
+    /// participant may no longer unilaterally abort the branch — the
+    /// decision belongs to the coordinator named here. A prepared branch
+    /// found at recovery with no later Commit/End is *in doubt* and must
+    /// be resolved against the coordinator's log (presumed abort: no
+    /// durable decision means abort).
+    Prepare {
+        /// Cluster-global transaction id this local branch belongs to.
+        gtxn: u64,
+        /// Coordinator node id holding the commit decision.
+        coord: u32,
+    },
 }
 
 impl LogBody {
@@ -126,6 +138,7 @@ impl LogBody {
             LogBody::Delete { .. } => 6,
             LogBody::Clr { .. } => 7,
             LogBody::Checkpoint { .. } => 8,
+            LogBody::Prepare { .. } => 9,
         }
     }
 }
@@ -174,6 +187,13 @@ pub enum LogBodyRef<'a> {
         /// Pre-image (for undo).
         before: &'a [u8],
     },
+    /// Two-phase-commit prepare vote (see [`LogBody::Prepare`]).
+    Prepare {
+        /// Cluster-global transaction id.
+        gtxn: u64,
+        /// Coordinator node id.
+        coord: u32,
+    },
 }
 
 fn push_image(out: &mut Vec<u8>, img: &[u8]) {
@@ -199,6 +219,7 @@ impl LogBodyRef<'_> {
             LogBodyRef::Insert { .. } => 4,
             LogBodyRef::Update { .. } => 5,
             LogBodyRef::Delete { .. } => 6,
+            LogBodyRef::Prepare { .. } => 9,
         }
     }
 
@@ -234,6 +255,10 @@ impl LogBodyRef<'_> {
                 out.extend_from_slice(&table.to_le_bytes());
                 out.extend_from_slice(&rid.to_le_bytes());
                 push_image(out, before);
+            }
+            LogBodyRef::Prepare { gtxn, coord } => {
+                out.extend_from_slice(&gtxn.to_le_bytes());
+                out.extend_from_slice(&coord.to_le_bytes());
             }
         }
         let body_len = out.len() - start - 8;
@@ -341,6 +366,10 @@ impl LogRecord {
                     body.put_u64_le(*t);
                     body.put_u64_le(*l);
                 }
+            }
+            LogBody::Prepare { gtxn, coord } => {
+                body.put_u64_le(*gtxn);
+                body.put_u32_le(*coord);
             }
         }
         let mut out = Vec::with_capacity(8 + body.len());
@@ -466,6 +495,14 @@ impl LogRecord {
                 }
                 LogBody::Checkpoint { active, redo_from }
             }
+            9 => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                let gtxn = buf.get_u64_le();
+                let coord = buf.get_u32_le();
+                LogBody::Prepare { gtxn, coord }
+            }
             _ => return None,
         };
         Some((
@@ -544,6 +581,10 @@ mod tests {
         round_trip(LogBody::Checkpoint {
             active: vec![],
             redo_from: 0,
+        });
+        round_trip(LogBody::Prepare {
+            gtxn: 0x8000_0000_0000_0001,
+            coord: 3,
         });
     }
 
@@ -627,7 +668,7 @@ mod tests {
     fn invalid_kind_tag_with_valid_checksum_is_rejected() {
         // Hand-build a record whose checksum is correct but whose kind tag
         // is out of range: validation must catch the tag, not just the sum.
-        for kind in [9u8, 42, 0xFF] {
+        for kind in [10u8, 42, 0xFF] {
             let mut payload = vec![kind];
             payload.extend_from_slice(&7u64.to_le_bytes());
             payload.extend_from_slice(&NULL_LSN.to_le_bytes());
@@ -658,6 +699,7 @@ mod tests {
     fn redoable_classification() {
         assert!(!LogBody::Begin.is_redoable());
         assert!(!LogBody::Commit.is_redoable());
+        assert!(!LogBody::Prepare { gtxn: 1, coord: 0 }.is_redoable());
         assert!(LogBody::Insert {
             table: 0,
             rid: 0,

@@ -44,6 +44,15 @@ pub struct RecoveryOutcome {
     /// [`LogManager::torn_bytes_dropped`] so callers see the skip instead of
     /// it vanishing silently.
     pub torn_bytes_skipped: u64,
+    /// Transactions found prepared but undecided (durable Prepare, no
+    /// Commit/End): `(local txn, global txn, coordinator)`. These were
+    /// handed to the resolver; presumed abort means an unresolvable branch
+    /// rolls back.
+    pub in_doubt: Vec<(TxnId, u64, u32)>,
+    /// In-doubt branches the resolver committed.
+    pub resolved_committed: u64,
+    /// In-doubt branches rolled back (resolver said abort, or presumed).
+    pub resolved_aborted: u64,
 }
 
 /// Install `image` at `rid`, stamping `lsn` on the page.
@@ -159,7 +168,26 @@ pub fn undo_txn(lm: &mut LogManager, pool: &mut BufferPool, txn: TxnId) -> u64 {
 
 /// Run full restart recovery over `lm` (typically built with
 /// [`LogManager::from_image`] from the crash image) against `pool`.
+///
+/// Prepared-but-undecided (in-doubt) branches are *presumed aborted*: with
+/// no resolver to consult, a durable Prepare without a later Commit rolls
+/// back exactly like a loser. Distributed participants use
+/// [`recover_with`] to consult the coordinator's decision instead.
 pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
+    recover_with(lm, pool, |_, _, _| false)
+}
+
+/// [`recover`] with an in-doubt resolver: `resolve(txn, gtxn, coord)`
+/// returns `true` iff the coordinator durably decided commit for the
+/// global transaction this local branch belongs to. Committed branches get
+/// their missing Commit/End records appended (their effects were already
+/// replayed by redo); aborted ones roll back through the ordinary undo
+/// path, CLRs and all.
+pub fn recover_with(
+    lm: &mut LogManager,
+    pool: &mut BufferPool,
+    mut resolve: impl FnMut(TxnId, u64, u32) -> bool,
+) -> RecoveryOutcome {
     let mut out = RecoveryOutcome {
         torn_bytes_skipped: lm.torn_bytes_dropped(),
         ..RecoveryOutcome::default()
@@ -170,6 +198,7 @@ pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
     let mut txn_last: HashMap<TxnId, Lsn> = HashMap::new();
     let mut committed: HashSet<TxnId> = HashSet::new();
     let mut ended: HashSet<TxnId> = HashSet::new();
+    let mut prepared: HashMap<TxnId, (u64, u32)> = HashMap::new();
     let mut redo_start: Lsn = 0;
     let start = match lm.last_checkpoint() {
         Some(ck) => {
@@ -199,6 +228,10 @@ pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
                 txn_last.remove(&rec.txn);
             }
             LogBody::Checkpoint { .. } => {}
+            LogBody::Prepare { gtxn, coord } => {
+                prepared.insert(rec.txn, (*gtxn, *coord));
+                txn_last.insert(rec.txn, rec.lsn);
+            }
             _ => {
                 txn_last.insert(rec.txn, rec.lsn);
             }
@@ -206,9 +239,18 @@ pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
     }
     out.winners = committed.iter().copied().collect();
     out.winners.sort_unstable();
+    // In-doubt branches (durable Prepare, no decision) are pulled out of
+    // the loser set: their fate belongs to the resolver, not to undo.
+    let mut in_doubt: Vec<(TxnId, u64, u32)> = txn_last
+        .keys()
+        .filter(|t| !committed.contains(t) && !ended.contains(t))
+        .filter_map(|t| prepared.get(t).map(|&(g, c)| (*t, g, c)))
+        .collect();
+    in_doubt.sort_unstable();
+    out.in_doubt = in_doubt.clone();
     let mut losers: Vec<(TxnId, Lsn)> = txn_last
         .iter()
-        .filter(|(t, _)| !committed.contains(t) && !ended.contains(t))
+        .filter(|(t, _)| !committed.contains(t) && !ended.contains(t) && !prepared.contains_key(t))
         .map(|(&t, &l)| (t, l))
         .collect();
     losers.sort_unstable();
@@ -259,6 +301,30 @@ pub fn recover(lm: &mut LogManager, pool: &mut BufferPool) -> RecoveryOutcome {
     for (txn, _) in losers {
         out.undone += undo_txn(lm, pool, txn);
     }
+
+    // ---- Resolve in-doubt branches against the coordinator --------------
+    // Redo already replayed their effects (they were not losers), so a
+    // commit decision only needs the missing decision records; an abort
+    // rolls back through the same undo path as a loser.
+    let resolved_any = !in_doubt.is_empty();
+    for (txn, gtxn, coord) in in_doubt {
+        if resolve(txn, gtxn, coord) {
+            lm.append(txn, LogBody::Commit);
+            lm.append(txn, LogBody::End);
+            out.winners.push(txn);
+            out.resolved_committed += 1;
+        } else {
+            lm.append(txn, LogBody::Abort);
+            out.undone += undo_txn(lm, pool, txn); // appends the End
+            out.resolved_aborted += 1;
+        }
+    }
+    if resolved_any {
+        // Force the resolution records: a crash right after recovery must
+        // not resurrect the doubt (the coordinator may be gone by then).
+        lm.flush();
+    }
+    out.winners.sort_unstable();
     out
 }
 
@@ -343,6 +409,11 @@ mod tests {
             self.lm.append(txn, LogBody::Commit);
             self.lm.flush(); // WAL: commit forces the log
             self.lm.append(txn, LogBody::End);
+        }
+
+        fn prepare(&mut self, txn: TxnId, gtxn: u64, coord: u32) {
+            self.lm.append(txn, LogBody::Prepare { gtxn, coord });
+            self.lm.flush(); // prepare vote must be durable before YES
         }
 
         /// Crash: lose the buffer pool and the volatile log tail; restart
@@ -547,6 +618,74 @@ mod tests {
         assert!(out.torn_bytes_skipped > 0);
         assert_eq!(out.winners, vec![1]);
         assert_eq!(read(&mut pool, rid).unwrap(), b"good");
+    }
+
+    #[test]
+    fn in_doubt_branch_is_presumed_aborted_without_a_resolver() {
+        let mut h = Harness::new();
+        h.begin(1);
+        let rid = h.insert(1, b"kept");
+        h.commit(1);
+        h.begin(2);
+        let rid2 = h.insert(2, b"in doubt");
+        h.prepare(2, 0x8000_0000_0000_0007, 1);
+        let (mut pool, lm, out) = h.crash_and_recover();
+        assert_eq!(out.in_doubt, vec![(2, 0x8000_0000_0000_0007, 1)]);
+        assert_eq!(out.resolved_aborted, 1);
+        assert_eq!(out.resolved_committed, 0);
+        assert!(out.losers.is_empty(), "in-doubt is not a plain loser");
+        assert_eq!(read(&mut pool, rid).unwrap(), b"kept");
+        assert_eq!(read(&mut pool, rid2), None, "presumed abort rolls back");
+        assert_eq!(lm.last_lsn_of(2), None, "branch chain is closed");
+    }
+
+    #[test]
+    fn in_doubt_branch_commits_when_the_resolver_says_so() {
+        let mut h = Harness::new();
+        h.begin(2);
+        let rid = h.insert(2, b"decided commit");
+        h.prepare(2, 0x8000_0000_0000_0009, 0);
+        let disk = h.pool.crash();
+        let mut pool = BufferPool::new(128, disk);
+        let mut lm = LogManager::from_image(h.lm.crash_image());
+        let out = recover_with(&mut lm, &mut pool, |txn, gtxn, coord| {
+            assert_eq!((txn, gtxn, coord), (2, 0x8000_0000_0000_0009, 0));
+            true
+        });
+        assert_eq!(out.resolved_committed, 1);
+        assert_eq!(out.winners, vec![2]);
+        assert_eq!(read(&mut pool, rid).unwrap(), b"decided commit");
+
+        // Second crash immediately after: the appended Commit was flushed,
+        // so the branch is now an ordinary winner — no in-doubt, no undo.
+        let disk2 = pool.crash();
+        let mut pool2 = BufferPool::new(128, disk2);
+        let mut lm2 = LogManager::from_image(lm.crash_image());
+        let again = recover_with(&mut lm2, &mut pool2, |_, _, _| {
+            panic!("resolved branch must not be re-asked")
+        });
+        assert!(again.in_doubt.is_empty());
+        assert_eq!(read(&mut pool2, rid).unwrap(), b"decided commit");
+    }
+
+    #[test]
+    fn unflushed_prepare_is_an_ordinary_loser() {
+        let mut h = Harness::new();
+        h.begin(3);
+        h.insert(3, b"vote never sent");
+        h.lm.flush();
+        // Prepare appended but NOT flushed: the vote never became durable,
+        // so recovery must treat the branch as a plain loser.
+        h.lm.append(
+            3,
+            LogBody::Prepare {
+                gtxn: 0x8000_0000_0000_0002,
+                coord: 0,
+            },
+        );
+        let (_pool, _, out) = h.crash_and_recover();
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.losers, vec![3]);
     }
 
     #[test]

@@ -11,18 +11,23 @@
 //! * [`driver`] — runs a stream against an engine and reports throughput,
 //!   latency, joules/txn, and the Figure-3 breakdown;
 //! * [`hybrid`] — the Figure-4 mixed driver: TATP transactions interleaved
-//!   with enhanced-scanner analytics under shared-bandwidth arbitration.
+//!   with enhanced-scanner analytics under shared-bandwidth arbitration;
+//! * [`partitioned`] — the cluster sharding layer: one population per
+//!   node and a routed stream mixing single-partition transactions with a
+//!   tunable fraction of cross-partition (two-phase-commit) transactions.
 
 #![deny(missing_docs)]
 
 pub mod anywork;
 pub mod driver;
 pub mod hybrid;
+pub mod partitioned;
 pub mod tatp;
 pub mod tpcc;
 
 pub use anywork::{AnyWorkload, WorkloadKind};
 pub use driver::{run, run_batched, run_batched_pooled, PooledSource, WorkloadReport};
 pub use hybrid::{run_hybrid, HybridConfig, HybridReport};
+pub use partitioned::{ClusterTxn, PartitionedWorkload};
 pub use tatp::{TatpConfig, TatpGenerator, TatpTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};

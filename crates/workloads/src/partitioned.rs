@@ -1,0 +1,206 @@
+//! Partition-aware workload generation for cluster runs.
+//!
+//! A cluster shards a benchmark horizontally: every node owns a full,
+//! independent population of the chosen workload (its partition), and the
+//! stream interleaves *single-partition* transactions — the benchmark's
+//! official mix against one node — with *cross-partition* transactions
+//! that must touch two nodes atomically and therefore ride the two-phase
+//! commit protocol. The cross-partition fraction is the knob the paper's
+//! scale-out argument turns: at 0 bp the cluster is embarrassingly
+//! parallel, and every basis point of distribution buys coordination.
+//!
+//! Determinism contract: node `n`'s generator is seeded from
+//! `seed + n * GOLDEN`, so **node 0's stream is byte-identical to a
+//! single-engine [`AnyWorkload`] run at the same seed** — the property the
+//! cluster's unarmed-1-node regression test pins. Home-node selection and
+//! the cross draw come from a separate [`SplitMix64`] stream, and the
+//! cross draw is only taken when it can matter (`nodes > 1 && cross_bp >
+//! 0`), so a mono-cluster consumes the exact same generator draws as the
+//! single engine.
+
+use crate::anywork::{AnyWorkload, WorkloadKind};
+use bionic_core::engine::Engine;
+use bionic_core::ops::TxnProgram;
+use bionic_sim::rng::SplitMix64;
+
+/// Weyl increment used to derive per-node generator seeds.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One transaction drawn from the partitioned stream.
+pub enum ClusterTxn {
+    /// An ordinary transaction against one node's partition.
+    Single {
+        /// The owning node.
+        node: usize,
+        /// Program label (benchmark transaction name).
+        label: &'static str,
+        /// The program to run.
+        program: TxnProgram,
+    },
+    /// An atomic transaction spanning two partitions. The first branch's
+    /// node is the coordinator (the transaction's home node).
+    Cross {
+        /// `(node, label, program)` per participating partition, home
+        /// node first.
+        branches: Vec<(usize, &'static str, TxnProgram)>,
+    },
+}
+
+impl ClusterTxn {
+    /// The coordinating / owning node.
+    pub fn home(&self) -> usize {
+        match self {
+            ClusterTxn::Single { node, .. } => *node,
+            ClusterTxn::Cross { branches } => branches[0].0,
+        }
+    }
+}
+
+/// A sharded workload: one generator per node plus the routing stream.
+pub struct PartitionedWorkload {
+    gens: Vec<AnyWorkload>,
+    cross_bp: u32,
+    route: SplitMix64,
+}
+
+impl PartitionedWorkload {
+    /// Load one small population per engine (see
+    /// [`AnyWorkload::load_small`]) and return the routed stream.
+    /// `cross_bp` is the cross-partition fraction in basis points
+    /// (0..=10_000). Node 0 loads at exactly `seed`, preserving
+    /// single-engine byte-identity for a one-node cluster.
+    pub fn load_small<'a>(
+        engines: impl IntoIterator<Item = &'a mut Engine>,
+        kind: WorkloadKind,
+        cross_bp: u32,
+        seed: u64,
+    ) -> Self {
+        let gens: Vec<AnyWorkload> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(n, e)| {
+                AnyWorkload::load_small(e, kind, seed.wrapping_add((n as u64).wrapping_mul(GOLDEN)))
+            })
+            .collect();
+        PartitionedWorkload {
+            gens,
+            cross_bp: cross_bp.min(10_000),
+            route: SplitMix64::new(seed ^ 0x7C15_9E37_79B9_7F4A),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn nodes(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Draw the next transaction. Single-node streams never consume the
+    /// cross draw, and a zero `cross_bp` consumes neither the cross draw
+    /// nor the remote-node draw — the routing stream stays aligned with a
+    /// cross-free run.
+    #[allow(clippy::should_implement_trait)] // infallible, follows TatpGenerator
+    pub fn next(&mut self) -> ClusterTxn {
+        let n = self.gens.len();
+        let home = if n > 1 {
+            self.route.below(n as u64) as usize
+        } else {
+            0
+        };
+        let cross = n > 1 && self.cross_bp > 0 && self.route.chance(self.cross_bp as f64 / 1e4);
+        if !cross {
+            let (label, program) = self.gens[home].next_program();
+            return ClusterTxn::Single {
+                node: home,
+                label,
+                program,
+            };
+        }
+        let mut other = self.route.below(n as u64 - 1) as usize;
+        if other >= home {
+            other += 1;
+        }
+        let (hl, hp) = self.gens[home].next_program();
+        let (ol, op) = self.gens[other].next_program();
+        ClusterTxn::Cross {
+            branches: vec![(home, hl, hp), (other, ol, op)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionic_core::config::EngineConfig;
+
+    fn engines(n: usize) -> Vec<Engine> {
+        (0..n)
+            .map(|i| {
+                Engine::new(
+                    EngineConfig::software()
+                        .with_agents(2)
+                        .with_seed(40 + i as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn node_zero_stream_matches_single_engine_run() {
+        let mut solo = Engine::new(EngineConfig::software().with_agents(2).with_seed(40));
+        let mut w = AnyWorkload::load_small(&mut solo, WorkloadKind::Tatp, 77);
+        let solo_stream: Vec<TxnProgram> = (0..40).map(|_| w.next_program().1).collect();
+
+        let mut cluster = engines(1);
+        let mut pw = PartitionedWorkload::load_small(&mut cluster, WorkloadKind::Tatp, 0, 77);
+        let routed: Vec<TxnProgram> = (0..40)
+            .map(|_| match pw.next() {
+                ClusterTxn::Single { node, program, .. } => {
+                    assert_eq!(node, 0);
+                    program
+                }
+                ClusterTxn::Cross { .. } => panic!("mono-cluster can never go cross"),
+            })
+            .collect();
+        assert_eq!(solo_stream, routed);
+    }
+
+    #[test]
+    fn cross_fraction_tracks_the_knob() {
+        let mut es = engines(4);
+        let mut pw = PartitionedWorkload::load_small(&mut es, WorkloadKind::Tatp, 2_500, 9);
+        let mut cross = 0usize;
+        let mut homes = [0usize; 4];
+        for _ in 0..800 {
+            match pw.next() {
+                ClusterTxn::Single { node, .. } => homes[node] += 1,
+                ClusterTxn::Cross { branches } => {
+                    assert_eq!(branches.len(), 2);
+                    assert_ne!(branches[0].0, branches[1].0, "branches hit distinct nodes");
+                    cross += 1;
+                }
+            }
+        }
+        // 25% nominal; allow generous slack, the draw is unbiased.
+        assert!((120..=280).contains(&cross), "cross={cross}");
+        assert!(homes.iter().all(|&h| h > 80), "{homes:?}");
+    }
+
+    #[test]
+    fn same_seed_same_routed_stream() {
+        let stream = |seed: u64| {
+            let mut es = engines(3);
+            let mut pw = PartitionedWorkload::load_small(&mut es, WorkloadKind::Tpcc, 1_000, seed);
+            (0..60)
+                .map(|_| match pw.next() {
+                    ClusterTxn::Single { node, label, .. } => format!("s{node}/{label}"),
+                    ClusterTxn::Cross { branches } => format!(
+                        "x{}/{}+{}/{}",
+                        branches[0].0, branches[0].1, branches[1].0, branches[1].1
+                    ),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(5), stream(5));
+        assert_ne!(stream(5), stream(6));
+    }
+}

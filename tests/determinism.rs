@@ -76,7 +76,10 @@ fn workload_seed_changes_everything() {
 /// would diff `e14_brownout.csv`. E15 runs every cell twice — a static
 /// arm and one with the adaptive placement controller armed — so a
 /// controller decision that depended on anything but the sim-time
-/// window grid would diff `e15_adaptive.csv`. `harness_timing.csv` is the single file
+/// window grid would diff `e15_adaptive.csv`. E16 drives whole clusters —
+/// per-node engines, the seeded interconnect's per-link fault substreams,
+/// and the 2PC driver — so any cross-link RNG coupling or driver-order
+/// leak would diff `e16_cluster.csv`. `harness_timing.csv` is the single file
 /// allowed to differ (it reports wall-clock, which is the point of the
 /// parallelism). The run report (`report.json` / `report.md`) is built
 /// from each configuration's CSVs and compared too, so the scoreboard a
@@ -94,7 +97,7 @@ fn harness_results_are_independent_of_jobs_and_shards() {
     for jobs in [1usize, 4] {
         for shards in [1usize, 2, 8] {
             let dir = base.join(format!("jobs{jobs}_shards{shards}"));
-            let experiments = ["e4", "e5", "e7", "e10", "e12", "e13", "e14", "e15"]
+            let experiments = ["e4", "e5", "e7", "e10", "e12", "e13", "e14", "e15", "e16"]
                 .into_iter()
                 .map(|id| build(id, Scale::Smoke, shards).expect("known id"))
                 .collect();
@@ -123,6 +126,10 @@ fn harness_results_are_independent_of_jobs_and_shards() {
             assert!(
                 csvs.contains_key("e15_adaptive.csv"),
                 "E15 must write e15_adaptive.csv"
+            );
+            assert!(
+                csvs.contains_key("e16_cluster.csv"),
+                "E16 must write e16_cluster.csv"
             );
             assert!(
                 csvs.contains_key("report.json"),

@@ -76,7 +76,7 @@ fn drive(cfg: PlacementConfig, steps: &[Step]) -> PlacementController {
     c.observe(now, s);
     let quarter = SimTime::from_ps(cfg.window.as_ps() / 4);
     for st in steps {
-        now = now + quarter * st.quarter_windows;
+        now += quarter * st.quarter_windows;
         s.oltp_queued_ps += st.queued_ps;
         s.sg_olap_bytes += st.olap_bytes;
         s.committed += 7;
